@@ -1,0 +1,207 @@
+//! Stage one of the two-step commercial flow: K-longest *structural* path
+//! enumeration, with no sensitization check (paper §I/§IV.B: "first look
+//! for structural paths and compute their delay").
+
+use sta_cells::Edge;
+use sta_charlib::TimingLibrary;
+use sta_netlist::{GateId, GateKind, NetId, Netlist};
+
+/// A structural path: a gate sequence with a vector-blind delay estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructuralPath {
+    /// Nets from source PI to endpoint PO.
+    pub nodes: Vec<NetId>,
+    /// Traversed (gate, input pin) pairs.
+    pub arcs: Vec<(GateId, u8)>,
+    /// LUT-based delay estimate used for ranking, ps.
+    pub est_delay: f64,
+}
+
+impl StructuralPath {
+    /// The source PI.
+    pub fn source(&self) -> NetId {
+        self.nodes[0]
+    }
+
+    /// The endpoint.
+    pub fn endpoint(&self) -> NetId {
+        *self.nodes.last().expect("non-empty path")
+    }
+}
+
+/// Per-gate worst LUT delay (max over pins and edges) at the given input
+/// slew and the gate's real fanout load.
+pub fn lut_gate_bounds(nl: &Netlist, tlib: &TimingLibrary, default_slew: f64) -> Vec<f64> {
+    nl.gate_ids()
+        .map(|g| {
+            let gate = nl.gate(g);
+            let cell = match gate.kind() {
+                GateKind::Cell(c) => c,
+                GateKind::Prim(op) => panic!("baseline on unmapped primitive {op}"),
+            };
+            let fo = tlib.equivalent_fanout(nl, gate.output(), cell);
+            let mut worst: f64 = 0.0;
+            for pin in 0..gate.fanin() as u8 {
+                for edge in Edge::BOTH {
+                    let (d, _) = tlib.lut_delay_slew(cell, pin, edge, fo, default_slew);
+                    worst = worst.max(d);
+                }
+            }
+            worst
+        })
+        .collect()
+}
+
+/// Enumerates the K longest structural paths by estimated delay,
+/// descending. Uses depth-first search pruned against the current K-th
+/// best with a static remaining-delay bound — the classic first stage of
+/// a two-step timer.
+pub fn k_longest(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    k: usize,
+    default_slew: f64,
+) -> Vec<StructuralPath> {
+    assert!(k > 0, "k must be positive");
+    let bound = lut_gate_bounds(nl, tlib, default_slew);
+    // remaining[net] = worst delay from net to any PO.
+    let order = nl.topo_gates();
+    assert_eq!(order.len(), nl.num_gates(), "netlist has a cycle");
+    let mut remaining = vec![0.0_f64; nl.num_nets()];
+    for &g in order.iter().rev() {
+        let gate = nl.gate(g);
+        let through = remaining[gate.output().index()] + bound[g.index()];
+        for n in gate.inputs() {
+            if through > remaining[n.index()] {
+                remaining[n.index()] = through;
+            }
+        }
+    }
+    let mut collector = Collector {
+        nl,
+        bound: &bound,
+        remaining: &remaining,
+        k,
+        found: Vec::new(),
+        threshold: f64::NEG_INFINITY,
+        nodes: Vec::new(),
+        arcs: Vec::new(),
+    };
+    let is_output: Vec<bool> = {
+        let mut v = vec![false; nl.num_nets()];
+        for &o in nl.outputs() {
+            v[o.index()] = true;
+        }
+        v
+    };
+    for &src in nl.inputs() {
+        collector.dfs(src, 0.0, &is_output);
+    }
+    let mut found = collector.found;
+    found.sort_by(|a, b| b.est_delay.total_cmp(&a.est_delay));
+    found.truncate(k);
+    found
+}
+
+struct Collector<'a> {
+    nl: &'a Netlist,
+    bound: &'a [f64],
+    remaining: &'a [f64],
+    k: usize,
+    found: Vec<StructuralPath>,
+    threshold: f64,
+    nodes: Vec<NetId>,
+    arcs: Vec<(GateId, u8)>,
+}
+
+impl Collector<'_> {
+    fn dfs(&mut self, net: NetId, delay: f64, is_output: &[bool]) {
+        if self.found.len() >= self.k && delay + self.remaining[net.index()] <= self.threshold
+        {
+            return;
+        }
+        self.nodes.push(net);
+        if is_output[net.index()] && !self.arcs.is_empty() {
+            self.record(delay);
+        }
+        let fanout: Vec<_> = self.nl.net(net).fanout().to_vec();
+        for pr in fanout {
+            let d = delay + self.bound[pr.gate.index()];
+            self.arcs.push((pr.gate, pr.pin as u8));
+            self.dfs(self.nl.gate(pr.gate).output(), d, is_output);
+            self.arcs.pop();
+        }
+        self.nodes.pop();
+    }
+
+    fn record(&mut self, delay: f64) {
+        if self.found.len() >= self.k && delay <= self.threshold {
+            return;
+        }
+        self.found.push(StructuralPath {
+            nodes: self.nodes.clone(),
+            arcs: self.arcs.clone(),
+            est_delay: delay,
+        });
+        if self.found.len() >= 2 * self.k {
+            self.found
+                .sort_by(|a, b| b.est_delay.total_cmp(&a.est_delay));
+            self.found.truncate(self.k);
+        }
+        if self.found.len() >= self.k {
+            let mut ds: Vec<f64> = self.found.iter().map(|p| p.est_delay).collect();
+            ds.sort_by(f64::total_cmp);
+            self.threshold = ds[ds.len() - self.k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::{Library, Technology};
+    use sta_charlib::{characterize, CharConfig};
+    use sta_netlist::GateKind;
+
+    fn diamond() -> (Netlist, Library) {
+        // a → INV → NAND2 ┐
+        //   └────────────→ NAND2 → z   (two structural paths from a)
+        let lib = Library::standard();
+        let inv = lib.cell_by_name("INV").unwrap().id();
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate(GateKind::Cell(inv), &[a], None).unwrap();
+        let z = nl.add_gate(GateKind::Cell(nand2), &[x, a], None).unwrap();
+        let w = nl.add_gate(GateKind::Cell(nand2), &[z, b], None).unwrap();
+        nl.mark_output(w);
+        (nl, lib)
+    }
+
+    #[test]
+    fn enumerates_all_structural_paths_in_order() {
+        let (nl, lib) = diamond();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let paths = k_longest(&nl, &tlib, 10, 60.0);
+        // Structural paths: a-x-z-w, a-z-w, b-w.
+        assert_eq!(paths.len(), 3);
+        // Sorted by descending estimate; the 3-gate path is the longest.
+        assert!(paths[0].est_delay >= paths[1].est_delay);
+        assert_eq!(paths[0].arcs.len(), 3);
+        assert_eq!(paths[2].arcs.len(), 1);
+    }
+
+    #[test]
+    fn k_truncates_to_longest() {
+        let (nl, lib) = diamond();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let all = k_longest(&nl, &tlib, 10, 60.0);
+        let top = k_longest(&nl, &tlib, 2, 60.0);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].nodes, all[0].nodes);
+        assert_eq!(top[1].nodes, all[1].nodes);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion bench backing the paper's §IV.A claim that the analytical
+//! polynomial model evaluates faster than LUT interpolation, plus the
+//! fitting cost of the one-time extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sta_charlib::poly::{PolyModel, Sample};
+use sta_charlib::Lut2d;
+
+fn training_samples() -> Vec<Sample> {
+    let mut out = Vec::new();
+    for fo in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        for t_in in [10.0, 30.0, 80.0, 200.0, 500.0] {
+            for temperature in [0.0, 25.0, 75.0, 125.0] {
+                for vdd in [0.9, 1.0, 1.1] {
+                    out.push(Sample {
+                        fo,
+                        t_in,
+                        temperature,
+                        vdd,
+                        value: 20.0
+                            + 9.0 * fo
+                            + 0.2 * t_in
+                            + 0.02 * temperature
+                            - 28.0 * (vdd - 1.0)
+                            + 0.01 * fo * t_in,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_models(c: &mut Criterion) {
+    let samples = training_samples();
+    let poly = PolyModel::fit_auto(&samples, [3, 3, 2, 2], 0.01);
+    let lut = Lut2d::tabulate(
+        vec![0.5, 2.0, 5.0, 8.0],
+        vec![10.0, 80.0, 250.0, 500.0],
+        |fo, tin| 20.0 + 9.0 * fo + 0.2 * tin + 0.01 * fo * tin,
+    );
+    let mut group = c.benchmark_group("delay_model_eval");
+    group.bench_function("poly_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let fo = 0.5 + (i as f64) * 0.07;
+                acc += poly.eval(black_box(fo), black_box(55.0), 25.0, 1.0);
+            }
+            acc
+        })
+    });
+    group.bench_function("lut_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let fo = 0.5 + (i as f64) * 0.07;
+                acc += lut.eval(black_box(fo), black_box(55.0));
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    let mut fit_group = c.benchmark_group("model_fitting");
+    fit_group.sample_size(10);
+    fit_group.bench_function("poly_fit_fixed_orders", |b| {
+        b.iter(|| PolyModel::fit(black_box(&samples), [2, 2, 1, 1]))
+    });
+    fit_group.bench_function("poly_fit_auto", |b| {
+        b.iter(|| PolyModel::fit_auto(black_box(&samples), [3, 3, 2, 2], 0.01))
+    });
+    fit_group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for the electrical-simulation substrate: single-arc
+//! transient cost (the unit of characterization work) and golden path
+//! simulation cost (the unit of Tables 7–9 verification work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sta_bench::library;
+use sta_cells::{Corner, Edge, Technology};
+use sta_esim::cellsim::{cell_input_cap, simulate_arc, Drive};
+use sta_esim::pathsim::{simulate_path, PathStage};
+
+fn bench_esim(c: &mut Criterion) {
+    let lib = library();
+    let tech = Technology::n90();
+    let corner = Corner::nominal(&tech);
+    let ao22 = lib.cell_by_name("AO22").expect("standard cell");
+    let inv = lib.cell_by_name("INV").expect("standard cell");
+    let load = 4.0 * cell_input_cap(ao22, &tech);
+
+    let mut group = c.benchmark_group("electrical_sim");
+    group.sample_size(20);
+    group.bench_function("ao22_arc_transient", |b| {
+        b.iter(|| {
+            simulate_arc(
+                ao22,
+                &tech,
+                corner,
+                &ao22.vectors_of(0)[1],
+                Edge::Fall,
+                Drive::Ramp { transition: 60.0 },
+                load,
+            )
+            .expect("arc simulates")
+        })
+    });
+    group.bench_function("five_stage_path", |b| {
+        let stages: Vec<PathStage<'_>> = (0..5)
+            .map(|i| {
+                if i % 2 == 0 {
+                    PathStage {
+                        cell: inv,
+                        vector: &inv.vectors_of(0)[0],
+                        load_ff: 4.0,
+                    }
+                } else {
+                    PathStage {
+                        cell: ao22,
+                        vector: &ao22.vectors_of(0)[1],
+                        load_ff: load,
+                    }
+                }
+            })
+            .collect();
+        b.iter(|| {
+            simulate_path(&stages, &tech, corner, Edge::Rise, 60.0).expect("path simulates")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_esim);
+criterion_main!(benches);

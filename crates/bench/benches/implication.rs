@@ -1,0 +1,40 @@
+//! Criterion bench for the implication engine: assign/propagate/rollback
+//! throughput on a real mapped circuit — the inner loop of the true-path
+//! search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sta_bench::{benchmark, library};
+use sta_logic::{Dual, ImplicationEngine, Mask};
+
+fn bench_implication(c: &mut Criterion) {
+    let lib = library();
+    let bench = benchmark("c880");
+    let nl = &bench.mapped;
+    let inputs: Vec<_> = nl.inputs().to_vec();
+
+    let mut group = c.benchmark_group("implication_engine");
+    group.bench_function("assign_cone_rollback_c880", |b| {
+        let mut eng = ImplicationEngine::new(nl, lib);
+        b.iter(|| {
+            let mark = eng.mark();
+            // Launch a transition and pin a handful of side values — the
+            // same mix of work the enumerator issues per arc.
+            let mut mask = Mask::BOTH;
+            let c0 = eng.assign(inputs[0], Dual::transition(false), mask);
+            mask = mask.minus(c0);
+            for (i, &pi) in inputs.iter().enumerate().skip(1).take(8) {
+                if !mask.any() {
+                    break;
+                }
+                let conflicts = eng.assign(pi, Dual::stable(i % 2 == 0), mask);
+                mask = mask.minus(conflicts);
+            }
+            eng.rollback(mark);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_implication);
+criterion_main!(benches);

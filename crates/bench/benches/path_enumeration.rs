@@ -1,0 +1,66 @@
+//! Criterion bench for the CPU-time columns of Table 6: the developed
+//! single-pass enumerator versus the two-step baseline, per circuit.
+//!
+//! The paper's claim is that the developed tool needs *less* CPU time
+//! than the commercial tool while reporting more (and all-vector) paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sta_baseline::{run_baseline, BaselineConfig};
+use sta_bench::{benchmark, library, timing_library};
+use sta_cells::{Corner, Technology};
+use sta_core::{EnumerationConfig, PathEnumerator};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let tech = Technology::n130();
+    let lib = library();
+    let tlib = timing_library(&tech);
+    let corner = Corner::nominal(&tech);
+    let mut group = c.benchmark_group("table6_cpu");
+    group.sample_size(10);
+    for name in ["c17", "sample"] {
+        let bench = benchmark(name);
+        let nl = bench.mapped.clone();
+        group.bench_with_input(
+            BenchmarkId::new("developed_full", name),
+            &nl,
+            |b, nl| {
+                b.iter(|| {
+                    let mut cfg = EnumerationConfig::new(corner);
+                    cfg.max_paths = Some(200_000);
+                    PathEnumerator::new(nl, lib, tlib, cfg).run()
+                })
+            },
+        );
+    }
+    // Matched-workload comparison on the mid-size circuits: the developed
+    // tool restricted to the N worst paths versus the baseline exploring
+    // K = N structural paths.
+    for name in ["c432", "c880"] {
+        let bench = benchmark(name);
+        let nl = bench.mapped.clone();
+        group.bench_with_input(
+            BenchmarkId::new("developed_n50", name),
+            &nl,
+            |b, nl| {
+                b.iter(|| {
+                    let mut cfg = EnumerationConfig::new(corner).with_n_worst(50);
+                    cfg.max_paths = Some(5_000);
+                    cfg.max_decisions = 2_000_000;
+                    PathEnumerator::new(nl, lib, tlib, cfg).run()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_k50", name),
+            &nl,
+            |b, nl| {
+                b.iter(|| run_baseline(nl, lib, tlib, &BaselineConfig::new(50, 1000)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

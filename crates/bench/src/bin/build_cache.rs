@@ -1,0 +1,18 @@
+//! Populates the on-disk characterization cache for all three
+//! technologies (run once; the repro binaries then start instantly).
+
+use sta_bench::timing_library;
+use sta_cells::Technology;
+
+fn main() {
+    for tech in Technology::all() {
+        let t0 = std::time::Instant::now();
+        let tlib = timing_library(&tech);
+        println!(
+            "{}: {} cells characterized in {:.1} s",
+            tech.name,
+            tlib.cells.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

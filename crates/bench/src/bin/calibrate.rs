@@ -1,0 +1,27 @@
+//! Raw per-vector delay dump (the data behind Tables 3–4), used while
+//! tuning the technology parameter sets.
+
+use sta_bench::experiments::delay_tables::vector_delays;
+use sta_cells::Edge;
+
+fn main() {
+    for (cell, pin) in [("AO22", 0u8), ("OA12", 2u8)] {
+        for row in vector_delays(cell, pin, 50.0) {
+            let diffs: Vec<String> = (2..=row.delays.len())
+                .map(|k| format!("{:+.1}%", row.diff_pct(k)))
+                .collect();
+            let delays: Vec<String> = row.delays.iter().map(|d| format!("{d:.1}")).collect();
+            println!(
+                "{:>5} {:<4} in-{:<5} [{}] diffs [{}]",
+                row.tech,
+                cell,
+                match row.edge {
+                    Edge::Rise => "rise",
+                    Edge::Fall => "fall",
+                },
+                delays.join(", "),
+                diffs.join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! E9: the §V.B ablation — polynomial versus LUT delay models, off-grid
+//! accuracy and model size.
+
+use sta_cells::Technology;
+
+fn main() {
+    for tech in Technology::all() {
+        print!("{}", sta_bench::experiments::ablation::render(&tech));
+        println!();
+    }
+}

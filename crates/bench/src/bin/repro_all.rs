@@ -1,0 +1,81 @@
+//! Runs every reproduction experiment in sequence (E1–E9) and prints the
+//! full report. Expect tens of minutes on first run (library
+//! characterization for three technologies is cached afterwards).
+
+use sta_bench::experiments::{ablation, delay_tables, errors, sens_tables, table5, table6};
+use sta_cells::Technology;
+
+fn main() {
+    println!("=== E1: Tables 1-2 ===");
+    print!("{}", sens_tables::table1_2());
+    println!("=== E2: Figs. 2-3 ===");
+    print!("{}", sens_tables::fig2_3());
+    println!("=== E3: Tables 3-4 ===");
+    print!("{}", delay_tables::table3_4(50.0));
+    println!("=== E4: Table 5 ===");
+    print!("{}", table5::render(&Technology::n130()));
+    println!("\n=== E5: Table 6 (130nm) ===");
+    let heavy = || table6::Table6Config {
+        max_paths: Some(60_000),
+        max_decisions: 6_000_000,
+        ..Default::default()
+    };
+    let plan: Vec<(&str, table6::Table6Config)> = vec![
+        ("c17", Default::default()),
+        ("c432", heavy()),
+        ("c499", Default::default()),
+        ("c880", heavy()),
+        (
+            "c1355",
+            table6::Table6Config {
+                max_decisions: 5_000_000,
+                skip_baseline: true,
+                ..Default::default()
+            },
+        ),
+        ("c1908", heavy()),
+        ("c2670", heavy()),
+        ("c3540", heavy()),
+        ("c5315", heavy()),
+        (
+            "c6288",
+            table6::Table6Config {
+                n_worst: Some(1000),
+                max_paths: Some(30_000),
+                max_decisions: 6_000_000,
+                ..Default::default()
+            },
+        ),
+        ("c7552", heavy()),
+    ];
+    let rows: Vec<_> = plan
+        .iter()
+        .map(|(name, cfg)| {
+            eprintln!("table6: {name}...");
+            table6::run_circuit(name, &Technology::n130(), cfg)
+        })
+        .collect();
+    print!("{}", table6::render_rows(&rows));
+    println!("\n=== E6-E8: Tables 7-9 ===");
+    let cfg = errors::ErrorConfig::default();
+    for tech in Technology::all() {
+        let circuits = [
+            "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315",
+            "c6288", "c7552",
+        ];
+        let rows: Vec<_> = circuits
+            .iter()
+            .map(|c| {
+                eprintln!("[{}] errors: {c}...", tech.name);
+                errors::run_circuit(c, &tech, &cfg)
+            })
+            .collect();
+        print!("{}", errors::render_rows(&rows, &tech));
+        println!();
+    }
+    println!("=== E9: model ablation ===");
+    for tech in Technology::all() {
+        print!("{}", ablation::render(&tech));
+        println!();
+    }
+}

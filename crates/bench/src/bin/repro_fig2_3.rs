@@ -1,0 +1,6 @@
+//! E2: reproduces the paper's Figs. 2–3 as a textual transistor-state
+//! analysis per sensitization vector.
+
+fn main() {
+    print!("{}", sta_bench::experiments::sens_tables::fig2_3());
+}

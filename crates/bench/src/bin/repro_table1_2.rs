@@ -1,0 +1,6 @@
+//! E1: reproduces the paper's Tables 1–2 (sensitization vectors of AO22
+//! and OA12).
+
+fn main() {
+    print!("{}", sta_bench::experiments::sens_tables::table1_2());
+}

@@ -1,0 +1,11 @@
+//! E3: reproduces the paper's Tables 3–4 (complex-gate delay versus
+//! sensitization vector for the three technologies), from golden
+//! electrical simulation.
+
+fn main() {
+    let t_in = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50.0);
+    print!("{}", sta_bench::experiments::delay_tables::table3_4(t_in));
+}

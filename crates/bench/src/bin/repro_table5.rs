@@ -1,0 +1,12 @@
+//! E4: reproduces the paper's Fig. 4 + Table 5 (sample circuit: path
+//! delay versus input vector; the baseline misses the slow vector).
+
+use sta_cells::Technology;
+
+fn main() {
+    let tech = std::env::args()
+        .nth(1)
+        .and_then(|s| Technology::by_name(&s))
+        .unwrap_or_else(Technology::n130);
+    print!("{}", sta_bench::experiments::table5::render(&tech));
+}

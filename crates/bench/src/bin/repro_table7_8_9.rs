@@ -1,0 +1,42 @@
+//! E6–E8: reproduces the paper's Tables 7, 8 and 9 (delay-estimation
+//! error of the developed polynomial model and the commercial-style LUT
+//! model against golden electrical simulation).
+//!
+//! Usage: `repro_table7_8_9 [tech] [circuit...]` — default: all three
+//! technologies over the full catalog.
+
+use sta_bench::experiments::errors::{render_rows, run_circuit, ErrorConfig};
+use sta_cells::Technology;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let techs: Vec<Technology> = match args.first().and_then(|s| Technology::by_name(s)) {
+        Some(t) => vec![t],
+        None => Technology::all(),
+    };
+    let skip = usize::from(args.first().map(|s| Technology::by_name(s).is_some()) == Some(true));
+    let selected: Vec<String> = args[skip..].to_vec();
+    let default_circuits = [
+        "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
+        "c7552",
+    ];
+    let circuits: Vec<&str> = if selected.is_empty() {
+        default_circuits.to_vec()
+    } else {
+        default_circuits
+            .iter()
+            .copied()
+            .filter(|c| selected.iter().any(|s| s == c))
+            .collect()
+    };
+    let cfg = ErrorConfig::default();
+    for tech in techs {
+        let mut rows = Vec::new();
+        for c in &circuits {
+            eprintln!("[{}] measuring {c}...", tech.name);
+            rows.push(run_circuit(c, &tech, &cfg));
+        }
+        print!("{}", render_rows(&rows, &tech));
+        println!();
+    }
+}

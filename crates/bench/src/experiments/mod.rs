@@ -1,0 +1,18 @@
+//! The per-table/figure experiment implementations (see DESIGN.md §3 for
+//! the experiment index).
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`sens_tables`] | Tables 1–2, Figs. 2–3 |
+//! | [`delay_tables`] | Tables 3–4 |
+//! | [`table5`] | Fig. 4 + Table 5 |
+//! | [`table6`] | Table 6 |
+//! | [`errors`] | Tables 7–9 |
+//! | [`ablation`] | §V.B polynomial-vs-LUT claim |
+
+pub mod ablation;
+pub mod delay_tables;
+pub mod errors;
+pub mod sens_tables;
+pub mod table5;
+pub mod table6;

@@ -1,0 +1,100 @@
+//! E1 (Tables 1–2): sensitization-vector propagation tables, and
+//! E2 (Figs. 2–3): transistor-state analysis per vector.
+
+use sta_cells::sensitization::propagation_table;
+use sta_cells::topology::{device_states, DeviceState};
+use sta_cells::Edge;
+
+use crate::harness::library;
+
+/// Renders the paper's Tables 1 and 2: all sensitization vectors of AO22
+/// and OA12.
+pub fn table1_2() -> String {
+    let lib = library();
+    let mut out = String::new();
+    for name in ["AO22", "OA12"] {
+        let cell = lib.cell_by_name(name).expect("standard cell");
+        out.push_str(&propagation_table(
+            &format!("{name}  (Z = {})", cell.expr().display()),
+            cell.arcs(),
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the paper's Figs. 2 and 3 as text: the ON/OFF/switching state
+/// of every transistor of AO22 (falling input A) and OA12 (rising input
+/// C) under each sensitization vector.
+pub fn fig2_3() -> String {
+    let lib = library();
+    let mut out = String::new();
+    let dump = |out: &mut String, cell_name: &str, pin: u8, edge: Edge| {
+        let cell = lib.cell_by_name(cell_name).expect("standard cell");
+        out.push_str(&format!(
+            "{cell_name}, input {} {} ({} stages, {} transistors)\n",
+            sta_cells::func::pin_name(pin),
+            edge,
+            cell.topology().stages.len(),
+            cell.topology().transistor_count(),
+        ));
+        let initial = edge == Edge::Fall; // pin starts high for a fall
+        for v in cell.vectors_of(pin) {
+            let reports = device_states(cell.topology(), pin, initial, &v.side);
+            let mut on = Vec::new();
+            let mut turning = Vec::new();
+            for r in reports.iter().filter(|r| r.stage == 0) {
+                match r.state {
+                    DeviceState::On => on.push(r.label.clone()),
+                    DeviceState::TurnsOn => turning.push(format!("{}↑", r.label)),
+                    DeviceState::TurnsOff => turning.push(format!("{}↓", r.label)),
+                    DeviceState::Off => {}
+                }
+            }
+            out.push_str(&format!(
+                "  Case {}: {}  ON: [{}]  switching: [{}]\n",
+                v.case,
+                v,
+                on.join(" "),
+                turning.join(" ")
+            ));
+        }
+        out.push('\n');
+    };
+    // Fig. 2: AO22, falling transition through input A.
+    dump(&mut out, "AO22", 0, Edge::Fall);
+    // Fig. 3: OA12, rising transition through input C.
+    dump(&mut out, "OA12", 2, Edge::Rise);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rendered Table 1 must contain the paper's exact Case rows for
+    /// input A of AO22: `T 1 0 0`, `T 1 1 0`, `T 1 0 1`.
+    #[test]
+    fn table1_rows_match_paper() {
+        let t = table1_2();
+        for row in ["T 1 0 0 T", "T 1 1 0 T", "T 1 0 1 T"] {
+            assert!(t.contains(row), "missing row {row:?} in\n{t}");
+        }
+        // OA12 rows for input C: `1 0 T`, `0 1 T`, `1 1 T`.
+        for row in ["1 0 T T", "0 1 T T", "1 1 T T"] {
+            assert!(t.contains(row), "missing row {row:?} in\n{t}");
+        }
+    }
+
+    /// Fig. 2 analysis: Case 2 must show nC conducting (the extra internal
+    /// charging path the paper blames for the slowdown).
+    #[test]
+    fn fig2_shows_the_charge_sharing_device() {
+        let f = fig2_3();
+        let case2_line = f
+            .lines()
+            .find(|l| l.contains("Case 2") && l.contains("C=1"))
+            .expect("case 2 line present");
+        assert!(case2_line.contains("nC"), "{case2_line}");
+    }
+}

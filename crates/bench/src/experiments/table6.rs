@@ -1,0 +1,306 @@
+//! E5 (Table 6): technology-independent critical-path identification —
+//! the developed single-pass tool versus the two-step baseline, per
+//! benchmark circuit.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use sta_baseline::{run_baseline, BaselineConfig, Classification};
+use sta_cells::{Corner, Technology};
+use sta_core::{EnumerationConfig, PathEnumerator, TruePath};
+use sta_netlist::NetId;
+
+use crate::harness::{benchmark, library, render_table, timing_library};
+
+/// Per-circuit knobs (the paper bounds some runs).
+#[derive(Clone, Debug)]
+pub struct Table6Config {
+    /// Backtrack limit of the baseline.
+    pub backtrack_limit: u64,
+    /// Structural paths the baseline explores.
+    pub k_paths: usize,
+    /// Cap on the developed tool's emissions (`None` = enumerate all).
+    pub max_paths: Option<usize>,
+    /// Search-decision budget for the developed tool.
+    pub max_decisions: u64,
+    /// N-worst restriction for the developed tool on huge circuits.
+    pub n_worst: Option<usize>,
+    /// Skip the baseline stage entirely (the paper's own Table 6 leaves
+    /// the commercial columns blank on c1355 — the two-step tool did not
+    /// complete there, and the same parity-heavy justification hurts our
+    /// baseline emulation).
+    pub skip_baseline: bool,
+}
+
+impl Default for Table6Config {
+    fn default() -> Self {
+        Table6Config {
+            backtrack_limit: 1000,
+            k_paths: 1000,
+            max_paths: Some(200_000),
+            max_decisions: 50_000_000,
+            n_worst: None,
+            skip_baseline: false,
+        }
+    }
+}
+
+/// One Table 6 row.
+#[derive(Clone, Debug)]
+pub struct Table6Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Developed tool: sensitizing input vectors found (column 2).
+    pub input_vectors: usize,
+    /// Developed tool: structural paths with > 1 sensitization vector
+    /// (column 3).
+    pub multi_input_paths: usize,
+    /// Developed tool: CPU seconds (column 4).
+    pub dev_cpu_s: f64,
+    /// Whether the developed run hit a budget.
+    pub dev_truncated: bool,
+    /// Baseline backtrack limit (column 5).
+    pub backtrack_limit: u64,
+    /// Baseline CPU seconds (column 6).
+    pub base_cpu_s: f64,
+    /// Baseline: structural paths explored (#Paths).
+    pub base_paths: usize,
+    /// Baseline: paths it sensitized (#True paths).
+    pub base_true: usize,
+    /// Baseline: paths it wrongly declared false — the developed tool
+    /// found a vector for them (#False paths).
+    pub base_false_wrong: usize,
+    /// Baseline: paths abandoned at the backtrack limit.
+    pub base_limited: usize,
+    /// (false + limited) / explored (the "False path ratio").
+    pub false_path_ratio: f64,
+    /// Fraction of matched multi-vector paths where the baseline's single
+    /// vector is the actual worst-delay vector.
+    pub worst_delay_prediction_ratio: f64,
+    /// Number of paths the prediction ratio was evaluated over.
+    pub prediction_sample: usize,
+}
+
+/// Groups developed-tool emissions by structural path.
+fn group_paths(paths: &[TruePath]) -> HashMap<Vec<NetId>, Vec<&TruePath>> {
+    let mut groups: HashMap<Vec<NetId>, Vec<&TruePath>> = HashMap::new();
+    for p in paths {
+        groups.entry(p.structural_key()).or_default().push(p);
+    }
+    groups
+}
+
+/// Runs the Table 6 experiment on one circuit at one technology.
+pub fn run_circuit(name: &str, tech: &Technology, cfg: &Table6Config) -> Table6Row {
+    let lib = library();
+    let tlib = timing_library(tech);
+    let bench = benchmark(name);
+    let nl = &bench.mapped;
+    let corner = Corner::nominal(tech);
+
+    // Developed tool.
+    let mut ecfg = EnumerationConfig::new(corner);
+    ecfg.max_paths = cfg.max_paths;
+    ecfg.max_decisions = cfg.max_decisions;
+    ecfg.n_worst = cfg.n_worst;
+    let t0 = Instant::now();
+    let (paths, stats) = PathEnumerator::new(nl, lib, tlib, ecfg).run();
+    let dev_cpu_s = t0.elapsed().as_secs_f64();
+    let groups = group_paths(&paths);
+    let multi_input_paths = groups.values().filter(|g| g.len() > 1).count();
+
+    // Baseline.
+    if cfg.skip_baseline {
+        return Table6Row {
+            circuit: name.to_string(),
+            input_vectors: stats.input_vectors,
+            multi_input_paths,
+            dev_cpu_s,
+            dev_truncated: stats.truncated,
+            backtrack_limit: cfg.backtrack_limit,
+            base_cpu_s: f64::NAN,
+            base_paths: 0,
+            base_true: 0,
+            base_false_wrong: 0,
+            base_limited: 0,
+            false_path_ratio: f64::NAN,
+            worst_delay_prediction_ratio: f64::NAN,
+            prediction_sample: 0,
+        };
+    }
+    let t1 = Instant::now();
+    let report = run_baseline(
+        nl,
+        lib,
+        tlib,
+        &BaselineConfig::new(cfg.k_paths, cfg.backtrack_limit),
+    );
+    let base_cpu_s = t1.elapsed().as_secs_f64();
+
+    // Misidentified-false count: baseline said false but the developed
+    // tool holds a sensitizing vector for the same structural path.
+    let base_false_wrong = report
+        .paths
+        .iter()
+        .filter(|bp| {
+            bp.sens.classification == Classification::False
+                && groups.contains_key(&bp.path.nodes)
+        })
+        .count();
+
+    // Worst-delay-vector prediction: over baseline-true multi-vector
+    // paths, does its committed vector match the developed tool's worst?
+    let mut correct = 0usize;
+    let mut sample = 0usize;
+    for bp in &report.paths {
+        if bp.sens.classification != Classification::True {
+            continue;
+        }
+        let Some(group) = groups.get(&bp.path.nodes) else {
+            continue;
+        };
+        if group.len() < 2 {
+            continue;
+        }
+        sample += 1;
+        let worst = group
+            .iter()
+            .max_by(|a, b| a.worst_arrival().total_cmp(&b.worst_arrival()))
+            .expect("non-empty group");
+        let worst_vectors: Vec<usize> = worst.arcs.iter().map(|a| a.vector).collect();
+        if bp.sens.chosen_vectors == worst_vectors {
+            correct += 1;
+        }
+    }
+    let worst_delay_prediction_ratio = if sample == 0 {
+        f64::NAN
+    } else {
+        correct as f64 / sample as f64
+    };
+
+    Table6Row {
+        circuit: name.to_string(),
+        input_vectors: stats.input_vectors,
+        multi_input_paths,
+        dev_cpu_s,
+        dev_truncated: stats.truncated,
+        backtrack_limit: cfg.backtrack_limit,
+        base_cpu_s,
+        base_paths: report.paths.len(),
+        base_true: report.num_true,
+        base_false_wrong,
+        base_limited: report.num_backtrack_limited,
+        false_path_ratio: report.false_path_ratio(),
+        worst_delay_prediction_ratio,
+        prediction_sample: sample,
+    }
+}
+
+/// Renders Table 6 for a list of circuits.
+pub fn render(circuits: &[(&str, Table6Config)], tech: &Technology) -> String {
+    let rows: Vec<Table6Row> = circuits
+        .iter()
+        .map(|(name, cfg)| run_circuit(name, tech, cfg))
+        .collect();
+    render_rows(&rows)
+}
+
+/// Renders already-computed rows.
+pub fn render_rows(rows: &[Table6Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.clone(),
+                format!(
+                    "{}{}",
+                    r.input_vectors,
+                    if r.dev_truncated { "*" } else { "" }
+                ),
+                r.multi_input_paths.to_string(),
+                format!("{:.2}", r.dev_cpu_s),
+                r.backtrack_limit.to_string(),
+                if r.base_cpu_s.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}", r.base_cpu_s)
+                },
+                r.base_paths.to_string(),
+                r.base_true.to_string(),
+                r.base_false_wrong.to_string(),
+                r.base_limited.to_string(),
+                if r.false_path_ratio.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", r.false_path_ratio * 100.0)
+                },
+                if r.worst_delay_prediction_ratio.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!(
+                        "{:.1}% ({})",
+                        r.worst_delay_prediction_ratio * 100.0,
+                        r.prediction_sample
+                    )
+                },
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 6: critical-path identification, developed tool vs commercial-style baseline\n\
+         (* = developed-tool budget hit; prediction column shows sample size)",
+        &[
+            "Circuit",
+            "InputVecs",
+            "MultiPaths",
+            "DevCPU(s)",
+            "BTlimit",
+            "BaseCPU(s)",
+            "#Paths",
+            "#True",
+            "#False",
+            "BTlimited",
+            "FalseRatio",
+            "WorstPred",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// On c17 (all NAND2s, single-vector arcs) both tools agree: every
+    /// structural path is true, nothing is multi-vector.
+    #[test]
+    fn c17_row_matches_paper_shape() {
+        let tech = Technology::n130();
+        let row = run_circuit("c17", &tech, &Table6Config::default());
+        // Paper: 8 paths for the commercial tool, all true, 0 false.
+        assert_eq!(row.base_paths, 11, "c17 has 11 structural paths");
+        assert_eq!(row.base_true, row.base_paths);
+        assert_eq!(row.base_false_wrong, 0);
+        assert_eq!(row.base_limited, 0);
+        assert_eq!(row.multi_input_paths, 0, "NAND2-only circuit");
+        assert!(!row.dev_truncated);
+        // Dual-polarity tracing: 2 vectors per structural path.
+        assert_eq!(row.input_vectors, 2 * row.base_paths);
+    }
+
+    /// The sample circuit's paths through the AO22 are multi-vector, and
+    /// the baseline (committing the easiest vector) predicts the worst
+    /// vector poorly.
+    #[test]
+    fn sample_circuit_exposes_baseline_weakness() {
+        let tech = Technology::n130();
+        let row = run_circuit("sample", &tech, &Table6Config::default());
+        assert!(row.multi_input_paths >= 1);
+        assert!(row.prediction_sample >= 1);
+        assert!(
+            row.worst_delay_prediction_ratio < 0.5,
+            "easiest-vector commitment should miss most worst vectors, got {}",
+            row.worst_delay_prediction_ratio
+        );
+    }
+}

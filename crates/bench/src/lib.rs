@@ -1,0 +1,24 @@
+//! Reproduction harness: one binary per paper table/figure plus shared
+//! experiment code and Criterion benches.
+//!
+//! Binaries (run with `cargo run --release -p sta-bench --bin <name>`):
+//!
+//! * `repro_table1_2` — sensitization-vector propagation tables (E1);
+//! * `repro_fig2_3` — transistor-state analysis per vector (E2);
+//! * `repro_table3_4` — gate delay vs vector per technology (E3);
+//! * `repro_table5` — sample-circuit critical path, Fig. 4 + Table 5 (E4);
+//! * `repro_table6` — path-identification comparison vs baseline (E5);
+//! * `repro_table7_8_9` — delay-error comparison vs electrical sim
+//!   (E6–E8);
+//! * `repro_ablation_model` — polynomial-vs-LUT ablation (E9);
+//! * `calibrate` — raw per-vector delay dump used to tune the technology
+//!   parameters;
+//! * `repro_all` — everything above in sequence, writing
+//!   `EXPERIMENTS-data/` artifacts.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{benchmark, cache_dir, library, render_table, timing_library, Bench};

@@ -1,0 +1,279 @@
+//! Exhaustive sensitization-vector enumeration (paper §II, Tables 1–2).
+//!
+//! For a cell function `f` over pins `x₀..xₙ₋₁`, pin `xᵢ` is *sensitized* by
+//! an assignment `v` of the other pins iff the Boolean difference
+//! `f(v, xᵢ=0) ≠ f(v, xᵢ=1)` holds — a transition on `xᵢ` then propagates to
+//! the output. Complex gates generally have several such vectors per pin,
+//! and the paper shows the gate delay depends on which one is applied.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::func::{pin_name, TruthTable};
+
+/// Output polarity of a sensitized transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Output follows the input (input rise → output rise).
+    NonInverting,
+    /// Output opposes the input (input rise → output fall).
+    Inverting,
+}
+
+/// One sensitization vector for one pin: the side-input values that let a
+/// transition pass from the pin to the output.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SensVector {
+    /// The transitioning pin.
+    pub pin: u8,
+    /// Per-pin values; `None` at `pin` (the transitioning position),
+    /// `Some(value)` at every side pin.
+    pub side: Vec<Option<bool>>,
+    /// Whether the output follows or opposes the input transition under
+    /// this vector.
+    pub polarity: Polarity,
+    /// Case number, 1-based, in canonical enumeration order — matches the
+    /// paper's "Case 1/2/3" labels for AO22 and OA12.
+    pub case: usize,
+}
+
+impl SensVector {
+    /// The side value required at `pin`, if constrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range.
+    pub fn side_value(&self, pin: u8) -> Option<bool> {
+        self.side[pin as usize]
+    }
+
+    /// Number of side pins required to be logic 1 (used by "easiest
+    /// justification first" heuristics).
+    pub fn ones(&self) -> usize {
+        self.side.iter().filter(|v| **v == Some(true)).count()
+    }
+
+    /// Renders the vector as a propagation-table row, e.g. `T 1 0 0 -> T`
+    /// (paper Tables 1–2 use the same shape).
+    pub fn table_row(&self) -> String {
+        let mut cells: Vec<String> = self
+            .side
+            .iter()
+            .map(|v| match v {
+                None => "T".to_string(),
+                Some(true) => "1".to_string(),
+                Some(false) => "0".to_string(),
+            })
+            .collect();
+        cells.push("T".to_string());
+        cells.join(" ")
+    }
+}
+
+impl fmt::Display for SensVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case {} [", self.case)?;
+        for (i, v) in self.side.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match v {
+                None => write!(f, "{}=T", pin_name(i as u8))?,
+                Some(b) => write!(f, "{}={}", pin_name(i as u8), u8::from(*b))?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// All sensitization vectors of one pin, in canonical order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PinArcs {
+    /// The pin these vectors sensitize.
+    pub pin: u8,
+    /// The vectors, ordered by ascending packed side-assignment (pin 0 is
+    /// the least significant bit, skipping the transitioning pin). This
+    /// order reproduces the paper's Case 1/2/3 labels.
+    pub vectors: Vec<SensVector>,
+}
+
+/// Enumerates all sensitization vectors of every pin of `tt`.
+///
+/// Pins the function does not depend on get an empty vector list.
+///
+/// # Example
+///
+/// ```
+/// use sta_cells::func::{Expr, TruthTable};
+/// use sta_cells::sensitization::enumerate;
+///
+/// // AO22: Z = A*B + C*D — three vectors per pin (paper Table 1).
+/// let tt = TruthTable::from_expr(
+///     &Expr::Or(vec![Expr::and_pins(&[0, 1]), Expr::and_pins(&[2, 3])]),
+///     4,
+/// );
+/// let arcs = enumerate(&tt);
+/// assert!(arcs.iter().all(|a| a.vectors.len() == 3));
+/// ```
+pub fn enumerate(tt: &TruthTable) -> Vec<PinArcs> {
+    let n = tt.num_pins();
+    (0..n)
+        .map(|pin| {
+            let mut vectors = Vec::new();
+            let side_pins: Vec<u8> = (0..n).filter(|&p| p != pin).collect();
+            for packed in 0..(1u32 << side_pins.len()) {
+                let mut row0 = 0u32;
+                for (k, &p) in side_pins.iter().enumerate() {
+                    if packed & (1 << k) != 0 {
+                        row0 |= 1 << p;
+                    }
+                }
+                let f0 = tt.value(row0);
+                let f1 = tt.value(row0 | (1 << pin));
+                if f0 != f1 {
+                    let mut side = vec![None; n as usize];
+                    for (k, &p) in side_pins.iter().enumerate() {
+                        side[p as usize] = Some(packed & (1 << k) != 0);
+                    }
+                    let polarity = if f1 {
+                        Polarity::NonInverting
+                    } else {
+                        Polarity::Inverting
+                    };
+                    vectors.push(SensVector {
+                        pin,
+                        side,
+                        polarity,
+                        case: vectors.len() + 1,
+                    });
+                }
+            }
+            PinArcs { pin, vectors }
+        })
+        .collect()
+}
+
+/// Formats the full propagation table of a cell (like the paper's Tables
+/// 1–2): one row per (pin, vector).
+pub fn propagation_table(name: &str, arcs: &[PinArcs]) -> String {
+    let n = arcs.len() as u8;
+    let mut out = String::new();
+    let header: Vec<String> = (0..n).map(|p| pin_name(p).to_string()).collect();
+    out.push_str(&format!(
+        "Propagation table {}\n        {} Z\n",
+        name,
+        header.join(" ")
+    ));
+    for pa in arcs {
+        for v in &pa.vectors {
+            out.push_str(&format!("Case {}  {}\n", v.case, v.table_row()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Expr;
+
+    fn arcs_of(expr: Expr, pins: u8) -> Vec<PinArcs> {
+        enumerate(&TruthTable::from_expr(&expr, pins))
+    }
+
+    fn side_tuple(v: &SensVector) -> Vec<i8> {
+        v.side
+            .iter()
+            .map(|x| match x {
+                None => -1,
+                Some(false) => 0,
+                Some(true) => 1,
+            })
+            .collect()
+    }
+
+    /// Paper Table 1: AO22 has exactly three vectors per input, and for
+    /// input A they are (B,C,D) = (1,0,0), (1,1,0), (1,0,1) in case order.
+    #[test]
+    fn ao22_matches_paper_table1() {
+        let arcs = arcs_of(
+            Expr::Or(vec![Expr::and_pins(&[0, 1]), Expr::and_pins(&[2, 3])]),
+            4,
+        );
+        for pa in &arcs {
+            assert_eq!(pa.vectors.len(), 3, "pin {}", pa.pin);
+            for v in &pa.vectors {
+                assert_eq!(v.polarity, Polarity::NonInverting);
+            }
+        }
+        let a = &arcs[0].vectors;
+        assert_eq!(side_tuple(&a[0]), vec![-1, 1, 0, 0]); // Case 1: B=1 C=0 D=0
+        assert_eq!(side_tuple(&a[1]), vec![-1, 1, 1, 0]); // Case 2: B=1 C=1 D=0
+        assert_eq!(side_tuple(&a[2]), vec![-1, 1, 0, 1]); // Case 3: B=1 C=0 D=1
+        // Input C by symmetry: (A,B,D) rows from the paper: (0,0,·,1),(1,0,·,1),(0,1,·,1)
+        let c = &arcs[2].vectors;
+        assert_eq!(side_tuple(&c[0]), vec![0, 0, -1, 1]);
+        assert_eq!(side_tuple(&c[1]), vec![1, 0, -1, 1]);
+        assert_eq!(side_tuple(&c[2]), vec![0, 1, -1, 1]);
+    }
+
+    /// Paper Table 2: OA12 (Z = (A+B)*C) has one vector for A, one for B,
+    /// three for C.
+    #[test]
+    fn oa12_matches_paper_table2() {
+        let arcs = arcs_of(Expr::And(vec![Expr::or_pins(&[0, 1]), Expr::Pin(2)]), 3);
+        assert_eq!(arcs[0].vectors.len(), 1);
+        assert_eq!(arcs[1].vectors.len(), 1);
+        assert_eq!(arcs[2].vectors.len(), 3);
+        assert_eq!(side_tuple(&arcs[0].vectors[0]), vec![-1, 0, 1]); // A: B=0, C=1
+        assert_eq!(side_tuple(&arcs[1].vectors[0]), vec![0, -1, 1]); // B: A=0, C=1
+        let c = &arcs[2].vectors;
+        assert_eq!(side_tuple(&c[0]), vec![1, 0, -1]); // Case 1: A=1 B=0
+        assert_eq!(side_tuple(&c[1]), vec![0, 1, -1]); // Case 2: A=0 B=1
+        assert_eq!(side_tuple(&c[2]), vec![1, 1, -1]); // Case 3: A=1 B=1
+    }
+
+    /// Simple gates have a single sensitization vector per input (paper §I).
+    #[test]
+    fn nand_has_single_vector_per_input() {
+        let arcs = arcs_of(Expr::and_pins(&[0, 1, 2]).not(), 3);
+        for pa in &arcs {
+            assert_eq!(pa.vectors.len(), 1);
+            assert_eq!(pa.vectors[0].polarity, Polarity::Inverting);
+            // All side inputs at the non-controlling value 1.
+            assert!(pa.vectors[0]
+                .side
+                .iter()
+                .all(|v| v.is_none() || *v == Some(true)));
+        }
+    }
+
+    /// XOR is binate: both vectors exist per pin with opposite polarities.
+    #[test]
+    fn xor_vectors_have_both_polarities() {
+        let arcs = arcs_of(Expr::Xor(vec![Expr::Pin(0), Expr::Pin(1)]), 2);
+        for pa in &arcs {
+            assert_eq!(pa.vectors.len(), 2);
+            assert_eq!(pa.vectors[0].polarity, Polarity::NonInverting); // side 0
+            assert_eq!(pa.vectors[1].polarity, Polarity::Inverting); // side 1
+        }
+    }
+
+    #[test]
+    fn table_rows_render() {
+        let arcs = arcs_of(Expr::And(vec![Expr::or_pins(&[0, 1]), Expr::Pin(2)]), 3);
+        let table = propagation_table("OA12", &arcs);
+        assert!(table.contains("Case 1  T 0 1 T"));
+        assert!(table.contains("Case 3  1 1 T T"));
+    }
+
+    #[test]
+    fn ones_counts_required_ones() {
+        let arcs = arcs_of(
+            Expr::Or(vec![Expr::and_pins(&[0, 1]), Expr::and_pins(&[2, 3])]),
+            4,
+        );
+        assert_eq!(arcs[0].vectors[0].ones(), 1); // B=1 C=0 D=0
+        assert_eq!(arcs[0].vectors[1].ones(), 2); // B=1 C=1 D=0
+    }
+}

@@ -1,0 +1,211 @@
+//! Technology parameter sets for the three CMOS nodes the paper evaluates
+//! (130 nm, 90 nm, 65 nm).
+//!
+//! The paper characterizes foundry libraries with Spectre; we substitute a
+//! switch-level RC model (see `sta-esim`), so a "technology" here is the
+//! parameter set of that model: device on-resistance, threshold voltage,
+//! gate/drain capacitance per unit width, nominal supply, and first-order
+//! temperature/supply scalings. Values are chosen so that absolute gate
+//! delays land in the same few-tens-to-hundreds-of-picoseconds range the
+//! paper reports (its 65 nm library is a low-power flavor — slower than the
+//! 90 nm one — and we mirror that), but only the *relative* behaviour
+//! (vector-to-vector deltas, model-vs-golden errors) carries scientific
+//! weight in the reproduction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CMOS technology node for the switch-level model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Short name, e.g. `"130nm"`.
+    pub name: String,
+    /// Nominal supply voltage in volts.
+    pub vdd: f64,
+    /// nMOS threshold voltage in volts (at 25 °C).
+    pub vt_n: f64,
+    /// pMOS threshold voltage magnitude in volts (at 25 °C).
+    pub vt_p: f64,
+    /// On-resistance of a unit-width nMOS, in kΩ.
+    pub r_n: f64,
+    /// On-resistance of a unit-width pMOS, in kΩ.
+    pub r_p: f64,
+    /// Gate capacitance per unit width, in fF.
+    pub c_gate: f64,
+    /// Drain/source junction capacitance per unit width, in fF.
+    pub c_drain: f64,
+    /// Fixed wiring capacitance per fanout pin, in fF.
+    pub c_wire: f64,
+    /// Relative on-resistance increase per °C above 25 °C.
+    pub res_tc: f64,
+    /// Threshold-voltage decrease per °C above 25 °C, in volts.
+    pub vt_tc: f64,
+    /// Velocity-saturation exponent for the conductance law
+    /// (g ∝ ((Vgs−Vt)/(VDD−Vt))^α).
+    pub alpha: f64,
+}
+
+impl Technology {
+    /// The 130 nm node (VDD = 1.2 V).
+    pub fn n130() -> Self {
+        Technology {
+            name: "130nm".into(),
+            vdd: 1.2,
+            vt_n: 0.34,
+            vt_p: 0.36,
+            r_n: 3.9,
+            r_p: 7.8,
+            c_gate: 1.20,
+            c_drain: 0.85,
+            c_wire: 0.30,
+            res_tc: 0.0020,
+            vt_tc: 0.0008,
+            alpha: 1.25,
+        }
+    }
+
+    /// The 90 nm node (VDD = 1.0 V) — the fastest of the three, as in the
+    /// paper's Tables 3–4.
+    pub fn n90() -> Self {
+        Technology {
+            name: "90nm".into(),
+            vdd: 1.0,
+            vt_n: 0.28,
+            vt_p: 0.30,
+            r_n: 3.0,
+            r_p: 6.0,
+            c_gate: 0.75,
+            c_drain: 0.55,
+            c_wire: 0.20,
+            res_tc: 0.0022,
+            vt_tc: 0.0009,
+            alpha: 1.18,
+        }
+    }
+
+    /// The 65 nm node (VDD = 1.0 V, low-power flavor: higher Vt and
+    /// resistance, hence *slower* than 90 nm — matching the paper, where
+    /// 65 nm AO22 delays exceed the 90 nm ones).
+    pub fn n65() -> Self {
+        Technology {
+            name: "65nm".into(),
+            vdd: 1.0,
+            vt_n: 0.36,
+            vt_p: 0.38,
+            r_n: 5.6,
+            r_p: 11.2,
+            c_gate: 0.62,
+            c_drain: 0.17,
+            c_wire: 0.15,
+            res_tc: 0.0024,
+            vt_tc: 0.0010,
+            alpha: 1.12,
+        }
+    }
+
+    /// All three nodes, in the paper's order.
+    pub fn all() -> Vec<Technology> {
+        vec![Self::n130(), Self::n90(), Self::n65()]
+    }
+
+    /// Looks a node up by name (`"130nm"`, `"90nm"`, `"65nm"`, with or
+    /// without the `nm` suffix).
+    pub fn by_name(name: &str) -> Option<Technology> {
+        match name.trim().trim_end_matches("nm") {
+            "130" => Some(Self::n130()),
+            "90" => Some(Self::n90()),
+            "65" => Some(Self::n65()),
+            _ => None,
+        }
+    }
+
+    /// Effective nMOS on-resistance (kΩ) for a device of `width` units at
+    /// temperature `t` (°C).
+    pub fn r_n_eff(&self, width: f64, t: f64) -> f64 {
+        self.r_n / width * (1.0 + self.res_tc * (t - 25.0))
+    }
+
+    /// Effective pMOS on-resistance (kΩ) for a device of `width` units at
+    /// temperature `t` (°C).
+    pub fn r_p_eff(&self, width: f64, t: f64) -> f64 {
+        self.r_p / width * (1.0 + self.res_tc * (t - 25.0))
+    }
+
+    /// nMOS threshold at temperature `t` (°C).
+    pub fn vt_n_at(&self, t: f64) -> f64 {
+        (self.vt_n - self.vt_tc * (t - 25.0)).max(0.05)
+    }
+
+    /// pMOS threshold magnitude at temperature `t` (°C).
+    pub fn vt_p_at(&self, t: f64) -> f64 {
+        (self.vt_p - self.vt_tc * (t - 25.0)).max(0.05)
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (VDD={} V)", self.name, self.vdd)
+    }
+}
+
+/// An operating corner: temperature and supply, defaulting to the paper's
+/// nominal conditions (25 °C, nominal VDD).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Corner {
+    /// Junction temperature in °C.
+    pub temperature: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl Corner {
+    /// The nominal corner of a technology: 25 °C, nominal supply.
+    pub fn nominal(tech: &Technology) -> Self {
+        Corner {
+            temperature: 25.0,
+            vdd: tech.vdd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Technology::by_name("130nm").unwrap().name, "130nm");
+        assert_eq!(Technology::by_name("90").unwrap().name, "90nm");
+        assert!(Technology::by_name("45nm").is_none());
+    }
+
+    #[test]
+    fn ordering_of_speeds() {
+        // 90 nm must be the fastest node, 65 nm slower than 90 nm (paper
+        // Tables 3–4), judged by the intrinsic R·C product.
+        let rc = |t: &Technology| t.r_n * t.c_gate;
+        let (t130, t90, t65) = (
+            Technology::n130(),
+            Technology::n90(),
+            Technology::n65(),
+        );
+        assert!(rc(&t90) < rc(&t65), "90nm faster than 65nm");
+        assert!(rc(&t90) < rc(&t130), "90nm faster than 130nm");
+    }
+
+    #[test]
+    fn temperature_scalings_have_the_right_sign() {
+        let t = Technology::n90();
+        assert!(t.r_n_eff(1.0, 125.0) > t.r_n_eff(1.0, 25.0));
+        assert!(t.vt_n_at(125.0) < t.vt_n_at(25.0));
+        assert!((t.r_n_eff(2.0, 25.0) - t.r_n / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_corner_matches_tech() {
+        let t = Technology::n130();
+        let c = Corner::nominal(&t);
+        assert_eq!(c.vdd, 1.2);
+        assert_eq!(c.temperature, 25.0);
+    }
+}

@@ -1,0 +1,533 @@
+//! Transistor-level realization of cells (paper §III).
+//!
+//! Every cell is realized as one or more static-CMOS *stages*. A stage
+//! computes `NOT g` for a monotone function `g` of its input signals: the
+//! pull-down network (PDN) is a series/parallel nMOS network implementing
+//! `g` (AND ⇒ series, OR ⇒ parallel) and the pull-up network (PUN) is its
+//! dual in pMOS. Non-inverting cells such as AO22 get an output inverter,
+//! exactly as the paper notes in §III; binate cells (XOR, MUX) additionally
+//! get input inverters.
+//!
+//! The internal nodes *between* series transistors carry parasitic
+//! capacitance. They are what makes the gate delay depend on the
+//! sensitization vector: parallel ON devices lower the effective resistance
+//! (paper Fig. 2a) and ON devices of the opposite network expose internal
+//! charge that must also be moved (paper Fig. 2b/3b).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::func::{pin_name, Expr};
+
+/// A signal inside a cell: either an input pin or the output of an earlier
+/// stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// Cell input pin.
+    Pin(u8),
+    /// Output of stage `i` (stages are topologically ordered).
+    Stage(usize),
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signal::Pin(p) => write!(f, "{}", pin_name(*p)),
+            Signal::Stage(i) => write!(f, "s{i}"),
+        }
+    }
+}
+
+/// A series/parallel transistor network over signals.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpNet {
+    /// One transistor gated by the signal.
+    Device(Signal),
+    /// Networks connected in series (all must conduct).
+    Series(Vec<SpNet>),
+    /// Networks connected in parallel (any may conduct).
+    Parallel(Vec<SpNet>),
+}
+
+impl SpNet {
+    /// The maximum number of devices in series between the two terminals.
+    pub fn series_depth(&self) -> usize {
+        match self {
+            SpNet::Device(_) => 1,
+            SpNet::Series(cs) => cs.iter().map(SpNet::series_depth).sum(),
+            SpNet::Parallel(cs) => cs.iter().map(SpNet::series_depth).max().unwrap_or(0),
+        }
+    }
+
+    /// The series depth of the *dual* network (series ↔ parallel swapped).
+    pub fn dual_series_depth(&self) -> usize {
+        match self {
+            SpNet::Device(_) => 1,
+            SpNet::Series(cs) => cs.iter().map(SpNet::dual_series_depth).max().unwrap_or(0),
+            SpNet::Parallel(cs) => cs.iter().map(SpNet::dual_series_depth).sum(),
+        }
+    }
+
+    /// Total number of devices.
+    pub fn device_count(&self) -> usize {
+        match self {
+            SpNet::Device(_) => 1,
+            SpNet::Series(cs) | SpNet::Parallel(cs) => {
+                cs.iter().map(SpNet::device_count).sum()
+            }
+        }
+    }
+
+    /// The dual network (realizes the complementary condition; used for the
+    /// PUN).
+    pub fn dual(&self) -> SpNet {
+        match self {
+            SpNet::Device(s) => SpNet::Device(*s),
+            SpNet::Series(cs) => SpNet::Parallel(cs.iter().map(SpNet::dual).collect()),
+            SpNet::Parallel(cs) => SpNet::Series(cs.iter().map(SpNet::dual).collect()),
+        }
+    }
+
+    /// Whether the network conducts under the given signal values.
+    pub fn conducts(&self, on: &dyn Fn(Signal) -> bool) -> bool {
+        match self {
+            SpNet::Device(s) => on(*s),
+            SpNet::Series(cs) => cs.iter().all(|c| c.conducts(on)),
+            SpNet::Parallel(cs) => cs.iter().any(|c| c.conducts(on)),
+        }
+    }
+
+    /// Iterates over the gating signals of all devices, in tree order.
+    pub fn signals(&self) -> Vec<Signal> {
+        let mut out = Vec::new();
+        fn go(n: &SpNet, out: &mut Vec<Signal>) {
+            match n {
+                SpNet::Device(s) => out.push(*s),
+                SpNet::Series(cs) | SpNet::Parallel(cs) => {
+                    for c in cs {
+                        go(c, out);
+                    }
+                }
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}
+
+/// One static-CMOS stage: output = NOT(pulldown condition).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// PDN series/parallel structure; PUN is its dual.
+    pub pulldown: SpNet,
+    /// Uniform width multiplier of PDN devices (series-stack sizing).
+    pub nmos_width: f64,
+    /// Uniform width multiplier of PUN devices.
+    pub pmos_width: f64,
+}
+
+impl Stage {
+    /// Builds a stage for the monotone condition `pulldown`, sizing devices
+    /// so the worst-case series resistance matches a reference inverter
+    /// (nMOS width = PDN depth, pMOS width = β · PUN depth with β = 2).
+    pub fn new(pulldown: SpNet) -> Self {
+        let nmos_width = pulldown.series_depth() as f64;
+        let pmos_width = 2.0 * pulldown.dual_series_depth() as f64;
+        Stage {
+            pulldown,
+            nmos_width,
+            pmos_width,
+        }
+    }
+
+    /// An inverter stage driven by `signal`.
+    pub fn inverter(signal: Signal) -> Self {
+        Stage::new(SpNet::Device(signal))
+    }
+
+    /// The pull-up network (dual of the PDN).
+    pub fn pullup(&self) -> SpNet {
+        self.pulldown.dual()
+    }
+
+    /// Evaluates the stage output for given signal values.
+    pub fn eval(&self, value: &dyn Fn(Signal) -> bool) -> bool {
+        !self.pulldown.conducts(value)
+    }
+}
+
+/// A complete multi-stage CMOS realization of a cell. The last stage drives
+/// the cell output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellTopology {
+    /// Topologically ordered stages; `Signal::Stage(i)` refers into this
+    /// list, and the final stage is the cell output.
+    pub stages: Vec<Stage>,
+}
+
+impl CellTopology {
+    /// Derives a CMOS realization from the cell's logic expression.
+    ///
+    /// Strategy: compare realizing `Z = NOT(h)` with `h = nnf(!expr)`
+    /// (single main stage) against `Z = INV(NOT(g))` with `g = nnf(expr)`
+    /// (main stage + output inverter); complemented literals in either form
+    /// cost one input-inverter stage each. The cheaper realization (fewer
+    /// stages) wins — this reproduces the textbook structures: NAND/NOR/AOI
+    /// are single-stage, AND/OR/AO22/OA12 are stage+inverter, XOR uses two
+    /// input inverters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is degenerate (no pins).
+    pub fn derive(expr: &Expr) -> Self {
+        let direct = Nnf::of(&Expr::Not(Box::new(expr.clone())));
+        let inverted = Nnf::of(expr);
+        let cost_direct = direct.complemented_pins().len() + 1;
+        let cost_inverted = inverted.complemented_pins().len() + 2;
+        if cost_direct <= cost_inverted {
+            Self::build(&direct, false)
+        } else {
+            Self::build(&inverted, true)
+        }
+    }
+
+    fn build(nnf: &Nnf, add_output_inverter: bool) -> Self {
+        let mut stages = Vec::new();
+        let comp = nnf.complemented_pins();
+        // One inverter stage per complemented pin, then remember its index.
+        let mut inv_stage = std::collections::HashMap::new();
+        for &p in &comp {
+            inv_stage.insert(p, stages.len());
+            stages.push(Stage::inverter(Signal::Pin(p)));
+        }
+        let net = nnf.to_spnet(&|p, complemented| {
+            if complemented {
+                Signal::Stage(inv_stage[&p])
+            } else {
+                Signal::Pin(p)
+            }
+        });
+        stages.push(Stage::new(net));
+        if add_output_inverter {
+            let main = stages.len() - 1;
+            stages.push(Stage::inverter(Signal::Stage(main)));
+        }
+        CellTopology { stages }
+    }
+
+    /// Total transistor count (PDN + PUN over all stages).
+    pub fn transistor_count(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| 2 * s.pulldown.device_count())
+            .sum()
+    }
+
+    /// Evaluates the cell output for a pin assignment (used to cross-check
+    /// the realization against the specification truth table).
+    pub fn eval(&self, pins: &[bool]) -> bool {
+        let mut values = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let v = stage.eval(&|s| match s {
+                Signal::Pin(p) => pins[p as usize],
+                Signal::Stage(i) => values[i],
+            });
+            values.push(v);
+        }
+        *values.last().expect("at least one stage")
+    }
+
+}
+
+/// Negation-normal-form view of an expression: AND/OR tree over possibly
+/// complemented pins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Nnf {
+    Lit { pin: u8, complemented: bool },
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+}
+
+impl Nnf {
+    fn of(expr: &Expr) -> Nnf {
+        Self::convert(expr, false)
+    }
+
+    fn convert(expr: &Expr, negate: bool) -> Nnf {
+        match expr {
+            Expr::Pin(p) => Nnf::Lit {
+                pin: *p,
+                complemented: negate,
+            },
+            Expr::Not(e) => Self::convert(e, !negate),
+            Expr::And(es) => {
+                let kids: Vec<Nnf> = es.iter().map(|e| Self::convert(e, negate)).collect();
+                if negate {
+                    Nnf::Or(kids)
+                } else {
+                    Nnf::And(kids)
+                }
+            }
+            Expr::Or(es) => {
+                let kids: Vec<Nnf> = es.iter().map(|e| Self::convert(e, negate)).collect();
+                if negate {
+                    Nnf::And(kids)
+                } else {
+                    Nnf::Or(kids)
+                }
+            }
+            Expr::Xor(es) => {
+                // Expand left-to-right: x ^ rest, negation folds into the
+                // overall parity.
+                let expanded = Self::expand_xor(es);
+                Self::convert(&expanded, negate)
+            }
+        }
+    }
+
+    /// Rewrites `Xor([a, b, ...])` into AND/OR/NOT form.
+    fn expand_xor(es: &[Expr]) -> Expr {
+        assert!(!es.is_empty(), "empty XOR");
+        let mut acc = es[0].clone();
+        for e in &es[1..] {
+            // acc ^ e = acc*!e + !acc*e
+            acc = Expr::Or(vec![
+                Expr::And(vec![acc.clone(), e.clone().not()]),
+                Expr::And(vec![acc.not(), e.clone()]),
+            ]);
+        }
+        acc
+    }
+
+    fn complemented_pins(&self) -> Vec<u8> {
+        let mut pins = Vec::new();
+        fn go(n: &Nnf, pins: &mut Vec<u8>) {
+            match n {
+                Nnf::Lit { pin, complemented } => {
+                    if *complemented && !pins.contains(pin) {
+                        pins.push(*pin);
+                    }
+                }
+                Nnf::And(cs) | Nnf::Or(cs) => {
+                    for c in cs {
+                        go(c, pins);
+                    }
+                }
+            }
+        }
+        go(self, &mut pins);
+        pins.sort_unstable();
+        pins
+    }
+
+    fn to_spnet(&self, lit: &dyn Fn(u8, bool) -> Signal) -> SpNet {
+        match self {
+            Nnf::Lit { pin, complemented } => SpNet::Device(lit(*pin, *complemented)),
+            Nnf::And(cs) => SpNet::Series(cs.iter().map(|c| c.to_spnet(lit)).collect()),
+            Nnf::Or(cs) => SpNet::Parallel(cs.iter().map(|c| c.to_spnet(lit)).collect()),
+        }
+    }
+}
+
+/// The state of one transistor under a sensitization vector (paper Figs.
+/// 2–3 use crosses for OFF, arrows for ON, dashed for switching).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceState {
+    /// Conducting throughout.
+    On,
+    /// Non-conducting throughout.
+    Off,
+    /// Switches from OFF to ON as the input transitions.
+    TurnsOn,
+    /// Switches from ON to OFF as the input transitions.
+    TurnsOff,
+}
+
+/// A labelled transistor state, e.g. `("pA", TurnsOn)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Stage index within the topology.
+    pub stage: usize,
+    /// Conventional label: `n`/`p` + gating signal name.
+    pub label: String,
+    /// The device state under the analyzed transition.
+    pub state: DeviceState,
+}
+
+/// Computes every transistor's state for a transition on `pin` with the
+/// given side values (reproduces the annotations of paper Figs. 2–3).
+///
+/// `initial_pin_value` is the pin's value before the transition; side pins
+/// hold `side[p]` (pins set to `None` are treated as logic 0 — the caller
+/// should pass a fully specified vector).
+pub fn device_states(
+    topo: &CellTopology,
+    pin: u8,
+    initial_pin_value: bool,
+    side: &[Option<bool>],
+) -> Vec<DeviceReport> {
+    let value_at = |time_final: bool, s: Signal, values: &[bool]| -> bool {
+        match s {
+            Signal::Pin(p) => {
+                if p == pin {
+                    if time_final {
+                        !initial_pin_value
+                    } else {
+                        initial_pin_value
+                    }
+                } else {
+                    side[p as usize].unwrap_or(false)
+                }
+            }
+            Signal::Stage(i) => values[i],
+        }
+    };
+    // Evaluate stage outputs at both time points.
+    let mut v_init = Vec::new();
+    let mut v_final = Vec::new();
+    for stage in &topo.stages {
+        let a = stage.eval(&|s| value_at(false, s, &v_init));
+        let b = stage.eval(&|s| value_at(true, s, &v_final));
+        v_init.push(a);
+        v_final.push(b);
+    }
+    let mut out = Vec::new();
+    for (si, stage) in topo.stages.iter().enumerate() {
+        for (is_pmos, net) in [(false, stage.pulldown.clone()), (true, stage.pullup())] {
+            for s in net.signals() {
+                let gi = value_at(false, s, &v_init);
+                let gf = value_at(true, s, &v_final);
+                // nMOS conducts when gate is high, pMOS when low.
+                let on_i = if is_pmos { !gi } else { gi };
+                let on_f = if is_pmos { !gf } else { gf };
+                let state = match (on_i, on_f) {
+                    (true, true) => DeviceState::On,
+                    (false, false) => DeviceState::Off,
+                    (false, true) => DeviceState::TurnsOn,
+                    (true, false) => DeviceState::TurnsOff,
+                };
+                out.push(DeviceReport {
+                    stage: si,
+                    label: format!("{}{}", if is_pmos { 'p' } else { 'n' }, s),
+                    state,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::TruthTable;
+
+    fn ao22() -> Expr {
+        Expr::Or(vec![Expr::and_pins(&[0, 1]), Expr::and_pins(&[2, 3])])
+    }
+
+    fn oa12() -> Expr {
+        Expr::And(vec![Expr::or_pins(&[0, 1]), Expr::Pin(2)])
+    }
+
+    #[test]
+    fn nand_is_single_stage() {
+        let topo = CellTopology::derive(&Expr::and_pins(&[0, 1]).not());
+        assert_eq!(topo.stages.len(), 1);
+        assert_eq!(topo.transistor_count(), 4);
+        assert_eq!(topo.stages[0].nmos_width, 2.0); // series stack of 2
+        assert_eq!(topo.stages[0].pmos_width, 2.0); // parallel pair, β·1
+    }
+
+    #[test]
+    fn ao22_is_aoi_plus_inverter() {
+        let topo = CellTopology::derive(&ao22());
+        assert_eq!(topo.stages.len(), 2, "complex stage + output inverter");
+        assert_eq!(topo.transistor_count(), 8 + 2);
+        // PDN of the main stage: (A·B) ∥ (C·D) — depth 2.
+        assert_eq!(topo.stages[0].pulldown.series_depth(), 2);
+        // PUN: (A∥C)·(A∥D)… dual: series of parallels — dual depth 2.
+        assert_eq!(topo.stages[0].pulldown.dual_series_depth(), 2);
+    }
+
+    #[test]
+    fn xor_uses_input_inverters_single_main_stage() {
+        let topo = CellTopology::derive(&Expr::Xor(vec![Expr::Pin(0), Expr::Pin(1)]));
+        // 2 input inverters + 1 main stage (Z = NOT(a·b + !a·!b)).
+        assert_eq!(topo.stages.len(), 3);
+    }
+
+    #[test]
+    fn realizations_match_truth_tables() {
+        let cases = vec![
+            (Expr::and_pins(&[0, 1]).not(), 2),
+            (Expr::or_pins(&[0, 1, 2]).not(), 3),
+            (Expr::and_pins(&[0, 1, 2, 3]), 4),
+            (ao22(), 4),
+            (oa12(), 3),
+            (Expr::Xor(vec![Expr::Pin(0), Expr::Pin(1)]), 2),
+            (Expr::Xor(vec![Expr::Pin(0), Expr::Pin(1)]).not(), 2),
+            // MUX2: A·!S + B·S
+            (
+                Expr::Or(vec![
+                    Expr::And(vec![Expr::Pin(0), Expr::Pin(2).not()]),
+                    Expr::And(vec![Expr::Pin(1), Expr::Pin(2)]),
+                ]),
+                3,
+            ),
+        ];
+        for (expr, pins) in cases {
+            let tt = TruthTable::from_expr(&expr, pins);
+            let topo = CellTopology::derive(&expr);
+            for row in 0..(1u32 << pins) {
+                let bits: Vec<bool> = (0..pins).map(|k| row & (1 << k) != 0).collect();
+                assert_eq!(
+                    topo.eval(&bits),
+                    tt.value(row),
+                    "{} row {row}",
+                    expr.display()
+                );
+            }
+        }
+    }
+
+    /// Paper Fig. 2: AO22, falling transition through input A. Case 1
+    /// (C=0, D=0) leaves both pC and pD ON; Case 2 (C=1) turns nC ON,
+    /// creating the internal charging path the paper blames for the extra
+    /// delay.
+    #[test]
+    fn ao22_fig2_transistor_states() {
+        let topo = CellTopology::derive(&ao22());
+        let find = |reports: &[DeviceReport], label: &str| -> DeviceState {
+            reports
+                .iter()
+                .find(|r| r.stage == 0 && r.label == label)
+                .map(|r| r.state)
+                .unwrap_or_else(|| panic!("missing device {label}"))
+        };
+        // Case 1: A falls (initial 1), B=1, C=0, D=0.
+        let r1 = device_states(&topo, 0, true, &[None, Some(true), Some(false), Some(false)]);
+        assert_eq!(find(&r1, "pA"), DeviceState::TurnsOn);
+        assert_eq!(find(&r1, "pC"), DeviceState::On);
+        assert_eq!(find(&r1, "pD"), DeviceState::On);
+        assert_eq!(find(&r1, "nC"), DeviceState::Off);
+        // Case 2: C=1, D=0 — only pD on top, nC creates the side path.
+        let r2 = device_states(&topo, 0, true, &[None, Some(true), Some(true), Some(false)]);
+        assert_eq!(find(&r2, "pC"), DeviceState::Off);
+        assert_eq!(find(&r2, "pD"), DeviceState::On);
+        assert_eq!(find(&r2, "nC"), DeviceState::On);
+        // Case 3: C=0, D=1 — only pC on top, nC stays off.
+        let r3 = device_states(&topo, 0, true, &[None, Some(true), Some(false), Some(true)]);
+        assert_eq!(find(&r3, "pC"), DeviceState::On);
+        assert_eq!(find(&r3, "pD"), DeviceState::Off);
+        assert_eq!(find(&r3, "nC"), DeviceState::Off);
+        assert_eq!(find(&r3, "nD"), DeviceState::On);
+    }
+
+    #[test]
+    fn dual_roundtrip() {
+        let net = CellTopology::derive(&oa12()).stages[0].pulldown.clone();
+        assert_eq!(net.dual().dual(), net);
+        assert_eq!(net.device_count(), net.dual().device_count());
+    }
+}

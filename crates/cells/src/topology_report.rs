@@ -1,0 +1,91 @@
+//! Textual transistor-schematic rendering (an ASCII stand-in for the
+//! paper's Figs. 2–3 schematics): the series/parallel structure of each
+//! stage with per-device sizing.
+
+use std::fmt::Write as _;
+
+use crate::topology::{CellTopology, SpNet};
+use crate::Cell;
+
+/// Renders a cell's transistor-level structure:
+///
+/// ```text
+/// AO22  (10 transistors)
+/// stage 0 (AOI):  PDN w=2  (nA·nB) ∥ (nC·nD)
+///                 PUN w=4  (pA ∥ pC)·(pA ∥ pD)…
+/// stage 1 (INV):  …
+/// ```
+pub fn topology_report(cell: &Cell) -> String {
+    let topo: &CellTopology = cell.topology();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}  Z = {}  ({} transistors, {} stage{})",
+        cell.name(),
+        cell.expr().display(),
+        topo.transistor_count(),
+        topo.stages.len(),
+        if topo.stages.len() == 1 { "" } else { "s" },
+    );
+    for (i, stage) in topo.stages.iter().enumerate() {
+        let kind = if stage.pulldown.device_count() == 1 {
+            "INV"
+        } else {
+            "complex"
+        };
+        let _ = writeln!(
+            out,
+            "  stage {i} ({kind}): PDN w={:.0}  {}",
+            stage.nmos_width,
+            render_net(&stage.pulldown, 'n'),
+        );
+        let _ = writeln!(
+            out,
+            "              PUN w={:.0}  {}",
+            stage.pmos_width,
+            render_net(&stage.pullup(), 'p'),
+        );
+    }
+    out
+}
+
+fn render_net(net: &SpNet, prefix: char) -> String {
+    match net {
+        SpNet::Device(s) => format!("{prefix}{s}"),
+        SpNet::Series(cs) => {
+            let parts: Vec<String> = cs.iter().map(|c| render_net(c, prefix)).collect();
+            format!("({})", parts.join("·"))
+        }
+        SpNet::Parallel(cs) => {
+            let parts: Vec<String> = cs.iter().map(|c| render_net(c, prefix)).collect();
+            format!("({})", parts.join(" ∥ "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Library;
+
+    #[test]
+    fn ao22_report_shows_both_networks() {
+        let lib = Library::standard();
+        let r = topology_report(lib.cell_by_name("AO22").unwrap());
+        assert!(r.contains("10 transistors"), "{r}");
+        assert!(r.contains("PDN"), "{r}");
+        assert!(r.contains("PUN"), "{r}");
+        assert!(r.contains("∥"), "{r}");
+        assert!(r.contains("stage 1 (INV)"), "{r}");
+    }
+
+    #[test]
+    fn every_standard_cell_renders() {
+        let lib = Library::standard();
+        for cell in lib.iter() {
+            let r = topology_report(cell);
+            assert!(r.contains(cell.name()), "{r}");
+            assert!(r.lines().count() >= 3);
+        }
+    }
+}

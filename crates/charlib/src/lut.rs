@@ -1,0 +1,163 @@
+//! NLDM-style 2-D look-up-table delay model with bilinear interpolation —
+//! the model the paper attributes to the commercial tool.
+//!
+//! The table spans (equivalent fanout × input transition time) at the
+//! nominal corner; off-grid queries interpolate bilinearly and clamp at
+//! the table edges. Unlike the polynomial model, the LUT here is
+//! characterized at a *single reference sensitization vector* per pin,
+//! which is exactly the vector-blindness the paper criticizes.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D look-up table over (fanout, input transition time).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Lut2d {
+    fo_axis: Vec<f64>,
+    tin_axis: Vec<f64>,
+    /// Row-major: `values[i * tin_axis.len() + j]` for `fo_axis[i]`,
+    /// `tin_axis[j]`.
+    values: Vec<f64>,
+}
+
+impl Lut2d {
+    /// Creates a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis has fewer than two strictly increasing points or
+    /// the value count does not match the grid.
+    pub fn new(fo_axis: Vec<f64>, tin_axis: Vec<f64>, values: Vec<f64>) -> Self {
+        assert!(fo_axis.len() >= 2 && tin_axis.len() >= 2, "axes need ≥ 2 points");
+        for axis in [&fo_axis, &tin_axis] {
+            for w in axis.windows(2) {
+                assert!(w[0] < w[1], "axes must be strictly increasing");
+            }
+        }
+        assert_eq!(values.len(), fo_axis.len() * tin_axis.len());
+        Lut2d {
+            fo_axis,
+            tin_axis,
+            values,
+        }
+    }
+
+    /// Builds a table by evaluating `f` on the grid.
+    pub fn tabulate(
+        fo_axis: Vec<f64>,
+        tin_axis: Vec<f64>,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Self {
+        let mut values = Vec::with_capacity(fo_axis.len() * tin_axis.len());
+        for &fo in &fo_axis {
+            for &tin in &tin_axis {
+                values.push(f(fo, tin));
+            }
+        }
+        Lut2d::new(fo_axis, tin_axis, values)
+    }
+
+    /// The fanout axis.
+    pub fn fo_axis(&self) -> &[f64] {
+        &self.fo_axis
+    }
+
+    /// The transition-time axis.
+    pub fn tin_axis(&self) -> &[f64] {
+        &self.tin_axis
+    }
+
+    /// Bilinear interpolation with clamping outside the grid.
+    pub fn eval(&self, fo: f64, tin: f64) -> f64 {
+        let (i, u) = locate(&self.fo_axis, fo);
+        let (j, v) = locate(&self.tin_axis, tin);
+        let m = self.tin_axis.len();
+        let q00 = self.values[i * m + j];
+        let q01 = self.values[i * m + j + 1];
+        let q10 = self.values[(i + 1) * m + j];
+        let q11 = self.values[(i + 1) * m + j + 1];
+        q00 * (1.0 - u) * (1.0 - v) + q10 * u * (1.0 - v) + q01 * (1.0 - u) * v + q11 * u * v
+    }
+
+    /// The largest tabulated value (used for conservative bounds).
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Finds the cell index and normalized offset of `x` on `axis`, clamping to
+/// the boundary cells.
+fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+    let n = axis.len();
+    if x <= axis[0] {
+        return (0, 0.0);
+    }
+    if x >= axis[n - 1] {
+        return (n - 2, 1.0);
+    }
+    let mut i = 0;
+    while i + 2 < n && axis[i + 1] <= x {
+        i += 1;
+    }
+    let u = (x - axis[i]) / (axis[i + 1] - axis[i]);
+    (i, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Lut2d {
+        // f(fo, tin) = 10·fo + tin — bilinear, so the LUT is exact inside.
+        Lut2d::tabulate(
+            vec![1.0, 2.0, 4.0, 8.0],
+            vec![10.0, 50.0, 200.0],
+            |fo, tin| 10.0 * fo + tin,
+        )
+    }
+
+    #[test]
+    fn interpolates_exactly_on_bilinear_function() {
+        let t = table();
+        for (fo, tin) in [(1.0, 10.0), (3.0, 40.0), (5.5, 125.0), (8.0, 200.0)] {
+            assert!(
+                (t.eval(fo, tin) - (10.0 * fo + tin)).abs() < 1e-9,
+                "({fo},{tin})"
+            );
+        }
+    }
+
+    #[test]
+    fn clamps_outside_grid() {
+        let t = table();
+        assert!((t.eval(0.1, 10.0) - 20.0).abs() < 1e-9); // fo clamped to 1
+        assert!((t.eval(100.0, 300.0) - (80.0 + 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_error_on_curved_function() {
+        // A convex function: interpolation overestimates between knots,
+        // which is the LUT error source the paper exploits.
+        let t = Lut2d::tabulate(vec![1.0, 4.0, 8.0], vec![10.0, 100.0], |fo, _| fo * fo);
+        let mid = t.eval(2.5, 50.0);
+        assert!(mid > 2.5 * 2.5, "bilinear overestimates convex: {mid}");
+    }
+
+    #[test]
+    fn max_value_reports_corner() {
+        assert!((table().max_value() - 280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = table();
+        let js = serde_json::to_string(&t).unwrap();
+        let back: Lut2d = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_axis_panics() {
+        let _ = Lut2d::new(vec![1.0, 1.0], vec![1.0, 2.0], vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Monte-Carlo process variation on the analytical model — the natural
+//! extension of [`crate::variation`]'s corner analysis and the second
+//! half of the paper's §V future-work item ("considering parameter
+//! variations on the delay model").
+//!
+//! The expensive way to sample process variation is to re-characterize
+//! per sample. The analytical model enables a cheaper, standard shortcut:
+//! characterize the *sensitivities* once (fast/slow corners bracketing
+//! each parameter axis) and interpolate per sample. This module
+//! implements the simplest sound variant — per-sample linear
+//! interpolation between a slow and a fast characterized library — which
+//! captures the first-order (global/correlated) process term that
+//! dominates inter-die variation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sta_cells::{Corner, Edge};
+use sta_netlist::CellId;
+
+use crate::model::TimingLibrary;
+
+/// A delay sampler interpolating between two characterized corners.
+///
+/// Sample `k ∈ [−1, 1]` linearly blends the fast (−1), typical (0) and
+/// slow (+1) libraries; Gaussian samples are clamped to ±1 (a ±3σ
+/// characterization span).
+#[derive(Clone, Debug)]
+pub struct VariationSampler<'a> {
+    fast: &'a TimingLibrary,
+    typical: &'a TimingLibrary,
+    slow: &'a TimingLibrary,
+}
+
+impl<'a> VariationSampler<'a> {
+    /// Creates a sampler over three corner libraries (fast −3σ, typical,
+    /// slow +3σ — see [`crate::variation::three_corners`]).
+    pub fn new(
+        fast: &'a TimingLibrary,
+        typical: &'a TimingLibrary,
+        slow: &'a TimingLibrary,
+    ) -> Self {
+        VariationSampler {
+            fast,
+            typical,
+            slow,
+        }
+    }
+
+    /// Arc delay at process sample `k ∈ [−1, 1]`.
+    pub fn delay_at(
+        &self,
+        k: f64,
+        cell: CellId,
+        pin: u8,
+        vector: usize,
+        edge: Edge,
+        fo: f64,
+        t_in: f64,
+    ) -> f64 {
+        let eval = |lib: &TimingLibrary| {
+            lib.delay_slew(cell, pin, vector, edge, fo, t_in, Corner::nominal(&lib.tech))
+                .0
+        };
+        let typ = eval(self.typical);
+        if k >= 0.0 {
+            typ + k.min(1.0) * (eval(self.slow) - typ)
+        } else {
+            typ + (-k).min(1.0) * (eval(self.fast) - typ)
+        }
+    }
+
+    /// Draws `n` Gaussian process samples (σ = 1/3 of the span, so the
+    /// corner libraries sit at ±3σ) and returns the arc-delay
+    /// distribution summary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn monte_carlo(
+        &self,
+        n: usize,
+        seed: u64,
+        cell: CellId,
+        pin: u8,
+        vector: usize,
+        edge: Edge,
+        fo: f64,
+        t_in: f64,
+    ) -> DelayDistribution {
+        assert!(n >= 2, "need at least two samples");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delays: Vec<f64> = (0..n)
+            .map(|_| {
+                // Box-Muller Gaussian from two uniforms.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let g = (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos();
+                let k = (g / 3.0).clamp(-1.0, 1.0);
+                self.delay_at(k, cell, pin, vector, edge, fo, t_in)
+            })
+            .collect();
+        delays.sort_by(f64::total_cmp);
+        DelayDistribution::from_sorted(delays)
+    }
+}
+
+/// Summary statistics of a sampled delay distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DelayDistribution {
+    /// Sample mean, ps.
+    pub mean: f64,
+    /// Sample standard deviation, ps.
+    pub sigma: f64,
+    /// Minimum sample, ps.
+    pub min: f64,
+    /// Maximum sample, ps.
+    pub max: f64,
+    /// 99.7th percentile (≈ +3σ quantile), ps.
+    pub p997: f64,
+}
+
+impl DelayDistribution {
+    fn from_sorted(delays: Vec<f64>) -> Self {
+        let n = delays.len() as f64;
+        let mean = delays.iter().sum::<f64>() / n;
+        let var = delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+        let idx = (((delays.len() - 1) as f64) * 0.997).round() as usize;
+        DelayDistribution {
+            mean,
+            sigma: var.sqrt(),
+            min: delays[0],
+            max: delays[delays.len() - 1],
+            p997: delays[idx],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize_cell, CharConfig};
+    use crate::variation::{three_corners, ProcessSpread};
+    use sta_cells::{Library, Technology};
+
+    fn corner_libs() -> (TimingLibrary, TimingLibrary, TimingLibrary) {
+        let mut small = Library::new();
+        small.add("INV", 1, sta_cells::Expr::Pin(0).not());
+        let cfg = CharConfig::fast();
+        let corners = three_corners(&Technology::n90(), &ProcessSpread::nominal());
+        let mut libs = corners.iter().map(|tech| TimingLibrary {
+            tech: tech.clone(),
+            cells: small
+                .iter()
+                .map(|c| characterize_cell(c, tech, &cfg).unwrap())
+                .collect(),
+        });
+        (
+            libs.next().unwrap(),
+            libs.next().unwrap(),
+            libs.next().unwrap(),
+        )
+    }
+
+    #[test]
+    fn monte_carlo_distribution_is_sane() {
+        let (fast, typical, slow) = corner_libs();
+        let sampler = VariationSampler::new(&fast, &typical, &slow);
+        let cell = CellId::from_index(0);
+        let dist = sampler.monte_carlo(400, 7, cell, 0, 0, Edge::Rise, 2.0, 60.0);
+        // The distribution brackets the typical value and stays inside the
+        // characterized corners.
+        let typ = sampler.delay_at(0.0, cell, 0, 0, Edge::Rise, 2.0, 60.0);
+        let lo = sampler.delay_at(-1.0, cell, 0, 0, Edge::Rise, 2.0, 60.0);
+        let hi = sampler.delay_at(1.0, cell, 0, 0, Edge::Rise, 2.0, 60.0);
+        assert!(dist.min >= lo - 1e-9 && dist.max <= hi + 1e-9);
+        assert!((dist.mean - typ).abs() < 0.15 * typ, "mean near typical");
+        assert!(dist.sigma > 0.0);
+        assert!(dist.p997 >= dist.mean && dist.p997 <= dist.max);
+        // Determinism.
+        let again = sampler.monte_carlo(400, 7, cell, 0, 0, Edge::Rise, 2.0, 60.0);
+        assert_eq!(dist, again);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_k() {
+        let (fast, typical, slow) = corner_libs();
+        let sampler = VariationSampler::new(&fast, &typical, &slow);
+        let cell = CellId::from_index(0);
+        let d = |k: f64| sampler.delay_at(k, cell, 0, 0, Edge::Fall, 3.0, 80.0);
+        assert!(d(-1.0) < d(0.0) && d(0.0) < d(1.0));
+        assert!(d(0.5) > d(0.0) && d(0.5) < d(1.0));
+    }
+}

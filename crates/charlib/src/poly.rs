@@ -1,0 +1,345 @@
+//! The paper's analytical delay model (§IV.A, eq. 3): a multivariate
+//! polynomial in equivalent fanout, input transition time, temperature and
+//! supply voltage,
+//!
+//! ```text
+//! f(Fo, t_in, T, VDD) = Σᵢ Σⱼ Σₖ Σₗ  P_ijkl · Foⁱ · t_inʲ · Tᵏ · VDDˡ
+//! ```
+//!
+//! with per-variable maximum orders adjusted during extraction to hit a
+//! target accuracy ("recursive polynomial regression").
+
+use serde::{Deserialize, Serialize};
+
+use crate::regress::{least_squares, rms_residual};
+
+/// Number of model variables (Fo, t_in, T, VDD).
+pub const NUM_VARS: usize = 4;
+
+/// One characterization sample: predictor values and the measured response.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Equivalent fanout.
+    pub fo: f64,
+    /// Input transition time, ps.
+    pub t_in: f64,
+    /// Temperature, °C.
+    pub temperature: f64,
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Measured response (delay or output slew), ps.
+    pub value: f64,
+}
+
+impl Sample {
+    fn vars(&self) -> [f64; NUM_VARS] {
+        [self.fo, self.t_in, self.temperature, self.vdd]
+    }
+}
+
+/// A fitted polynomial model.
+///
+/// Variables are affinely normalized to `[0, 1]` over the fitted range
+/// before exponentiation — essential for conditioning when `t_in` spans
+/// hundreds of ps while `VDD` spans a fraction of a volt.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolyModel {
+    /// Per-variable maximum exponent (inclusive).
+    orders: [usize; NUM_VARS],
+    /// Coefficients, indexed by mixed radix of the exponents.
+    coeffs: Vec<f64>,
+    /// Per-variable normalization offset.
+    lo: [f64; NUM_VARS],
+    /// Per-variable normalization span.
+    span: [f64; NUM_VARS],
+    /// RMS residual on the training samples, ps.
+    rms: f64,
+}
+
+impl PolyModel {
+    /// Fits a model with fixed per-variable orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer samples than coefficients or the design
+    /// is degenerate (e.g. a variable with order ≥ 1 that never varies).
+    pub fn fit(samples: &[Sample], orders: [usize; NUM_VARS]) -> Self {
+        assert!(!samples.is_empty(), "no samples to fit");
+        let (lo, span) = normalization(samples, &orders);
+        let cols: usize = orders.iter().map(|o| o + 1).product();
+        let rows = samples.len();
+        let mut design = vec![0.0; rows * cols];
+        let mut y = vec![0.0; rows];
+        for (r, s) in samples.iter().enumerate() {
+            fill_row(
+                &mut design[r * cols..(r + 1) * cols],
+                &s.vars(),
+                &orders,
+                &lo,
+                &span,
+            );
+            y[r] = s.value;
+        }
+        let coeffs = least_squares(&design, &y, rows, cols);
+        let rms = rms_residual(&design, &y, &coeffs, rows, cols);
+        PolyModel {
+            orders,
+            coeffs,
+            lo,
+            span,
+            rms,
+        }
+    }
+
+    /// Fits with automatic order selection: starts from order 1 in every
+    /// variable and greedily raises the order that most reduces the RMS
+    /// residual, until the residual drops below
+    /// `target_rel · mean(|value|)` or `max_orders` is reached in every
+    /// variable.
+    pub fn fit_auto(samples: &[Sample], max_orders: [usize; NUM_VARS], target_rel: f64) -> Self {
+        let mean_abs: f64 =
+            samples.iter().map(|s| s.value.abs()).sum::<f64>() / samples.len() as f64;
+        let target = target_rel * mean_abs.max(1e-9);
+        // A variable that never varies in the sample set cannot support
+        // order ≥ 1.
+        let varies: Vec<bool> = (0..NUM_VARS)
+            .map(|v| {
+                let first = samples[0].vars()[v];
+                samples.iter().any(|s| (s.vars()[v] - first).abs() > 1e-12)
+            })
+            .collect();
+        let start: [usize; NUM_VARS] =
+            std::array::from_fn(|v| if varies[v] { 1.min(max_orders[v]) } else { 0 });
+        let mut current = PolyModel::fit(samples, start);
+        loop {
+            if current.rms <= target {
+                return current;
+            }
+            let mut best: Option<PolyModel> = None;
+            for v in 0..NUM_VARS {
+                if !varies[v] || current.orders[v] >= max_orders[v] {
+                    continue;
+                }
+                let mut orders = current.orders;
+                orders[v] += 1;
+                let cols: usize = orders.iter().map(|o| o + 1).product();
+                if cols > samples.len() {
+                    continue;
+                }
+                let cand = PolyModel::fit(samples, orders);
+                if best.as_ref().map_or(true, |b| cand.rms < b.rms) {
+                    best = Some(cand);
+                }
+            }
+            match best {
+                Some(b) if b.rms < current.rms * 0.999 => current = b,
+                _ => return current,
+            }
+        }
+    }
+
+    /// Evaluates the model.
+    ///
+    /// Inputs are clamped to the fitted range: polynomial extrapolation
+    /// of order ≥ 2 diverges rapidly (a net with 4× the largest
+    /// characterized fanout would otherwise get a delay off by orders of
+    /// magnitude), so outside the grid the model holds its boundary value
+    /// — the same convention LUT flows use. Characterize with a grid wide
+    /// enough for the design's fanout spread (see
+    /// [`crate::CharConfig::standard`]).
+    pub fn eval(&self, fo: f64, t_in: f64, temperature: f64, vdd: f64) -> f64 {
+        let vars = [fo, t_in, temperature, vdd];
+        let powers: [Vec<f64>; NUM_VARS] = std::array::from_fn(|v| {
+            let x = ((vars[v] - self.lo[v]) / self.span[v]).clamp(0.0, 1.0);
+            let mut p = Vec::with_capacity(self.orders[v] + 1);
+            let mut acc = 1.0;
+            for _ in 0..=self.orders[v] {
+                p.push(acc);
+                acc *= x;
+            }
+            p
+        });
+        // Mixed-radix walk over coefficient indices.
+        let mut total = 0.0;
+        let mut idx = [0usize; NUM_VARS];
+        for c in &self.coeffs {
+            let term = powers[0][idx[0]] * powers[1][idx[1]] * powers[2][idx[2]]
+                * powers[3][idx[3]];
+            total += c * term;
+            // Increment mixed-radix counter (variable 3 fastest).
+            for v in (0..NUM_VARS).rev() {
+                idx[v] += 1;
+                if idx[v] <= self.orders[v] {
+                    break;
+                }
+                idx[v] = 0;
+            }
+        }
+        total
+    }
+
+    /// The per-variable orders of the fitted model.
+    pub fn orders(&self) -> [usize; NUM_VARS] {
+        self.orders
+    }
+
+    /// RMS residual on the training set, ps.
+    pub fn training_rms(&self) -> f64 {
+        self.rms
+    }
+
+    /// Number of stored coefficients.
+    pub fn num_coefficients(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+fn normalization(samples: &[Sample], orders: &[usize; NUM_VARS]) -> ([f64; NUM_VARS], [f64; NUM_VARS]) {
+    let mut lo = [f64::INFINITY; NUM_VARS];
+    let mut hi = [f64::NEG_INFINITY; NUM_VARS];
+    for s in samples {
+        for (v, x) in s.vars().into_iter().enumerate() {
+            lo[v] = lo[v].min(x);
+            hi[v] = hi[v].max(x);
+        }
+    }
+    let mut span = [1.0; NUM_VARS];
+    for v in 0..NUM_VARS {
+        let s = hi[v] - lo[v];
+        if s > 1e-12 {
+            span[v] = s;
+        } else {
+            // Constant variable: normalize to 0 so higher powers vanish.
+            span[v] = 1.0;
+            assert!(
+                orders[v] == 0,
+                "variable {v} is constant in the samples but has order {}",
+                orders[v]
+            );
+        }
+    }
+    (lo, span)
+}
+
+fn fill_row(
+    row: &mut [f64],
+    vars: &[f64; NUM_VARS],
+    orders: &[usize; NUM_VARS],
+    lo: &[f64; NUM_VARS],
+    span: &[f64; NUM_VARS],
+) {
+    let powers: [Vec<f64>; NUM_VARS] = std::array::from_fn(|v| {
+        let x = (vars[v] - lo[v]) / span[v];
+        let mut p = Vec::with_capacity(orders[v] + 1);
+        let mut acc = 1.0;
+        for _ in 0..=orders[v] {
+            p.push(acc);
+            acc *= x;
+        }
+        p
+    });
+    let mut idx = [0usize; NUM_VARS];
+    for slot in row.iter_mut() {
+        *slot = powers[0][idx[0]] * powers[1][idx[1]] * powers[2][idx[2]] * powers[3][idx[3]];
+        for v in (0..NUM_VARS).rev() {
+            idx[v] += 1;
+            if idx[v] <= orders[v] {
+                break;
+            }
+            idx[v] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(f: impl Fn(f64, f64, f64, f64) -> f64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for &fo in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+            for &t_in in &[10.0, 40.0, 120.0, 300.0] {
+                for &temp in &[0.0, 25.0, 75.0, 125.0] {
+                    for &vdd in &[0.9, 1.0, 1.1] {
+                        out.push(Sample {
+                            fo,
+                            t_in,
+                            temperature: temp,
+                            vdd,
+                            value: f(fo, t_in, temp, vdd),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_polynomial_ground_truth() {
+        // A function exactly representable at orders (2,1,1,1).
+        let truth =
+            |fo: f64, t: f64, temp: f64, v: f64| 20.0 + 8.0 * fo + 0.4 * fo * fo + 0.15 * t
+                + 0.02 * temp - 30.0 * (v - 1.0) + 0.01 * fo * t;
+        let samples = synth(truth);
+        let m = PolyModel::fit(&samples, [2, 1, 1, 1]);
+        assert!(m.training_rms() < 1e-8, "rms = {}", m.training_rms());
+        let got = m.eval(3.0, 75.0, 50.0, 1.05);
+        let want = truth(3.0, 75.0, 50.0, 1.05);
+        assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+    }
+
+    #[test]
+    fn auto_fit_raises_orders_until_accurate() {
+        // Mildly nonlinear in Fo; auto fit should reach a small residual.
+        let truth = |fo: f64, t: f64, temp: f64, v: f64| {
+            35.0 * (1.0 + fo).ln() + 0.2 * t + 0.03 * temp - 25.0 * (v - 1.0)
+        };
+        let samples = synth(truth);
+        let m = PolyModel::fit_auto(&samples, [3, 3, 2, 2], 0.005);
+        let mean: f64 = samples.iter().map(|s| s.value).sum::<f64>() / samples.len() as f64;
+        assert!(
+            m.training_rms() < 0.02 * mean,
+            "rms {} vs mean {mean}",
+            m.training_rms()
+        );
+        assert!(m.orders()[0] >= 2, "Fo order should have been raised");
+    }
+
+    #[test]
+    fn constant_variables_get_order_zero() {
+        // Temperature and VDD fixed: auto fit must not blow up.
+        let samples: Vec<Sample> = [0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .flat_map(|&fo| {
+                [20.0, 60.0, 150.0].iter().map(move |&t_in| Sample {
+                    fo,
+                    t_in,
+                    temperature: 25.0,
+                    vdd: 1.2,
+                    value: 10.0 + 5.0 * fo + 0.1 * t_in,
+                })
+            })
+            .collect();
+        let m = PolyModel::fit_auto(&samples, [3, 3, 2, 2], 0.01);
+        assert_eq!(m.orders()[2], 0);
+        assert_eq!(m.orders()[3], 0);
+        assert!((m.eval(3.0, 100.0, 25.0, 1.2) - 35.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let samples = synth(|fo, t, _, _| 5.0 + fo + 0.1 * t);
+        let m = PolyModel::fit(&samples, [1, 1, 0, 0]);
+        let js = serde_json::to_string(&m).unwrap();
+        let back: PolyModel = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.eval(2.0, 50.0, 25.0, 1.0), m.eval(2.0, 50.0, 25.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_panics() {
+        let _ = PolyModel::fit(&[], [1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Linear least-squares via normal equations (self-contained; no external
+//! linear-algebra dependency).
+
+/// Solves the least-squares problem `min ‖X·β − y‖₂` through the normal
+/// equations `XᵀX β = Xᵀy` with partial-pivot Gaussian elimination.
+///
+/// `x` is row-major with `rows` rows and `cols` columns.
+///
+/// # Panics
+///
+/// Panics if the dimensions are inconsistent, if `rows < cols`, or if the
+/// normal matrix is numerically singular (collinear regressors).
+pub fn least_squares(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(x.len(), rows * cols, "design matrix shape mismatch");
+    assert_eq!(y.len(), rows, "rhs length mismatch");
+    assert!(rows >= cols, "underdetermined system ({rows} rows, {cols} cols)");
+    // Normal matrix A = XᵀX (cols × cols) and b = Xᵀy.
+    let mut a = vec![0.0; cols * cols];
+    let mut b = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            b[i] += row[i] * y[r];
+            for j in i..cols {
+                a[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            a[i * cols + j] = a[j * cols + i];
+        }
+    }
+    solve(&mut a, &mut b, cols);
+    b
+}
+
+/// Root-mean-square residual of a fitted model.
+pub fn rms_residual(x: &[f64], y: &[f64], beta: &[f64], rows: usize, cols: usize) -> f64 {
+    let mut acc = 0.0;
+    for r in 0..rows {
+        let pred: f64 = (0..cols).map(|c| x[r * cols + c] * beta[c]).sum();
+        let e = pred - y[r];
+        acc += e * e;
+    }
+    (acc / rows as f64).sqrt()
+}
+
+/// In-place Gaussian elimination with partial pivoting; the solution is
+/// written back into `b`.
+///
+/// # Panics
+///
+/// Panics on a numerically singular matrix.
+pub fn solve(a: &mut [f64], b: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        let (best, best_abs) = (col..n)
+            .map(|r| (r, a[perm[r] * n + col].abs()))
+            .max_by(|p, q| p.1.total_cmp(&q.1))
+            .expect("non-empty range");
+        assert!(best_abs > 1e-14, "singular matrix in regression solve");
+        perm.swap(col, best);
+        let prow = perm[col];
+        let pivot = a[prow * n + col];
+        for r in col + 1..n {
+            let row = perm[r];
+            let f = a[row * n + col] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            a[row * n + col] = 0.0;
+            for k in col + 1..n {
+                a[row * n + k] -= f * a[prow * n + k];
+            }
+            b[row] -= f * b[prow];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let row = perm[col];
+        let mut acc = b[row];
+        for k in col + 1..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[col] = acc / a[row * n + col];
+    }
+    b.copy_from_slice(&x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_of_line() {
+        // y = 3 + 2x sampled exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for &x in &xs {
+            design.extend([1.0, x]);
+            y.push(3.0 + 2.0 * x);
+        }
+        let beta = least_squares(&design, &y, xs.len(), 2);
+        assert!((beta[0] - 3.0).abs() < 1e-10);
+        assert!((beta[1] - 2.0).abs() < 1e-10);
+        assert!(rms_residual(&design, &y, &beta, xs.len(), 2) < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_minimizes_rms() {
+        // y = 1 + x with symmetric noise; LS should land near the truth.
+        let pts = [
+            (0.0, 1.1),
+            (1.0, 1.9),
+            (2.0, 3.1),
+            (3.0, 3.9),
+            (4.0, 5.1),
+            (5.0, 5.9),
+        ];
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for &(x, v) in &pts {
+            design.extend([1.0, x]);
+            y.push(v);
+        }
+        let beta = least_squares(&design, &y, pts.len(), 2);
+        assert!((beta[0] - 1.0).abs() < 0.15, "{beta:?}");
+        assert!((beta[1] - 1.0).abs() < 0.05, "{beta:?}");
+    }
+
+    #[test]
+    fn quadratic_surface_recovers_coefficients() {
+        // f(u, v) = 2 + u − 3v + 0.5uv
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        let mut rows = 0;
+        for i in 0..5 {
+            for j in 0..5 {
+                let (u, v) = (i as f64 / 4.0, j as f64 / 4.0);
+                design.extend([1.0, u, v, u * v]);
+                y.push(2.0 + u - 3.0 * v + 0.5 * u * v);
+                rows += 1;
+            }
+        }
+        let beta = least_squares(&design, &y, rows, 4);
+        for (got, want) in beta.iter().zip([2.0, 1.0, -3.0, 0.5]) {
+            assert!((got - want).abs() < 1e-9, "{beta:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular matrix")]
+    fn collinear_regressors_panic() {
+        // Two identical columns.
+        let design = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let _ = least_squares(&design, &y, 4, 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Process-variation corners — the paper's §V.A future-work item
+//! ("considering parameter variations on the delay model").
+//!
+//! The analytical model's design makes this cheap: because delay is a
+//! closed-form function of technology-level quantities, a process corner
+//! is just a derated [`Technology`] re-characterized once (and cached).
+//! This module defines the classic slow/typical/fast corners and a helper
+//! that brackets a path delay across them.
+
+use sta_cells::Technology;
+
+/// Relative process spreads (1σ) for the corner construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcessSpread {
+    /// Relative on-resistance variation per σ.
+    pub sigma_r: f64,
+    /// Relative capacitance variation per σ.
+    pub sigma_c: f64,
+    /// Absolute threshold-voltage variation per σ, volts.
+    pub sigma_vt: f64,
+}
+
+impl ProcessSpread {
+    /// A typical spread for the studied nodes: ±8 % R, ±5 % C,
+    /// ±20 mV Vt per σ.
+    pub fn nominal() -> Self {
+        ProcessSpread {
+            sigma_r: 0.08,
+            sigma_c: 0.05,
+            sigma_vt: 0.02,
+        }
+    }
+}
+
+/// Derates a technology by `k_sigma` process sigmas (positive = slow
+/// corner, negative = fast corner). The derived technology gets a
+/// distinct name (`"90nm+3.0s"`), so cached characterizations of
+/// different corners never collide.
+pub fn derated(tech: &Technology, spread: &ProcessSpread, k_sigma: f64) -> Technology {
+    let mut t = tech.clone();
+    let r = 1.0 + spread.sigma_r * k_sigma;
+    let c = 1.0 + spread.sigma_c * k_sigma;
+    t.r_n *= r;
+    t.r_p *= r;
+    t.c_gate *= c;
+    t.c_drain *= c;
+    t.vt_n = (t.vt_n + spread.sigma_vt * k_sigma).max(0.05);
+    t.vt_p = (t.vt_p + spread.sigma_vt * k_sigma).max(0.05);
+    t.name = format!("{}{}{:.1}s", tech.name, if k_sigma >= 0.0 { "+" } else { "" }, k_sigma);
+    t
+}
+
+/// The classic three-corner set: fast (−3σ), typical, slow (+3σ).
+pub fn three_corners(tech: &Technology, spread: &ProcessSpread) -> [Technology; 3] {
+    [
+        derated(tech, spread, -3.0),
+        tech.clone(),
+        derated(tech, spread, 3.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derating_moves_parameters_the_right_way() {
+        let t = Technology::n90();
+        let spread = ProcessSpread::nominal();
+        let slow = derated(&t, &spread, 3.0);
+        let fast = derated(&t, &spread, -3.0);
+        assert!(slow.r_n > t.r_n && fast.r_n < t.r_n);
+        assert!(slow.c_gate > t.c_gate && fast.c_gate < t.c_gate);
+        assert!(slow.vt_n > t.vt_n && fast.vt_n < t.vt_n);
+        assert_ne!(slow.name, t.name);
+        assert_ne!(slow.name, fast.name);
+    }
+
+    #[test]
+    fn corner_delays_bracket_nominal() {
+        use crate::characterize::{characterize_cell, CharConfig};
+        use sta_cells::{Corner, Edge, Library};
+        let lib = Library::standard();
+        let inv = lib.cell_by_name("INV").unwrap();
+        let spread = ProcessSpread::nominal();
+        let corners = three_corners(&Technology::n90(), &spread);
+        let cfg = CharConfig::fast();
+        let delays: Vec<f64> = corners
+            .iter()
+            .map(|tech| {
+                let ct = characterize_cell(inv, tech, &cfg).unwrap();
+                ct.variant(0, 0)
+                    .for_edge(Edge::Rise)
+                    .eval(2.0, 50.0, Corner::nominal(tech))
+                    .0
+            })
+            .collect();
+        assert!(
+            delays[0] < delays[1] && delays[1] < delays[2],
+            "fast < typical < slow: {delays:?}"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! ALU generator — the structure-faithful surrogate for ISCAS-85 c880
+//! (an 8-bit ALU).
+//!
+//! Operations (selected by `op1 op0`): 00 ADD, 01 AND, 10 OR, 11 XOR.
+//! Outputs: 8 result bits, carry-out, and a zero flag. The adder carries
+//! (`g + p·cin`) and the operand multiplexers are exactly the AO21/MUX2
+//! shapes the technology mapper turns into complex gates.
+
+use sta_netlist::{GateKind, NetId, Netlist, PrimOp};
+
+/// Generates an `n`-bit ALU (`2n + 3` inputs, `n + 2` outputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu(n: usize) -> Netlist {
+    assert!(n > 0, "ALU width must be positive");
+    let mut nl = Netlist::new(format!("alu{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = nl.add_input("cin");
+    let op0 = nl.add_input("op0");
+    let op1 = nl.add_input("op1");
+    let g = |nl: &mut Netlist, op: PrimOp, ins: &[NetId]| -> NetId {
+        nl.add_gate(GateKind::Prim(op), ins, None).expect("valid")
+    };
+    let nop0 = g(&mut nl, PrimOp::Not, &[op0]);
+    let nop1 = g(&mut nl, PrimOp::Not, &[op1]);
+    // Operation strobes.
+    let is_add = g(&mut nl, PrimOp::And, &[nop1, nop0]);
+    let is_and = g(&mut nl, PrimOp::And, &[nop1, op0]);
+    let is_or = g(&mut nl, PrimOp::And, &[op1, nop0]);
+    let is_xor = g(&mut nl, PrimOp::And, &[op1, op0]);
+
+    // Ripple-carry adder.
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = g(&mut nl, PrimOp::Xor, &[a[i], b[i]]);
+        let s = g(&mut nl, PrimOp::Xor, &[p, carry]);
+        let gen = g(&mut nl, PrimOp::And, &[a[i], b[i]]);
+        let prop = g(&mut nl, PrimOp::And, &[p, carry]);
+        carry = g(&mut nl, PrimOp::Or, &[gen, prop]);
+        sums.push(s);
+    }
+    let cout = g(&mut nl, PrimOp::And, &[carry, is_add]);
+
+    // Logic units + one-hot select per bit: r = add·s + and·(a·b) +
+    // or·(a+b) + xor·(a⊕b).
+    let mut results = Vec::with_capacity(n);
+    for i in 0..n {
+        let land = g(&mut nl, PrimOp::And, &[a[i], b[i]]);
+        let lor = g(&mut nl, PrimOp::Or, &[a[i], b[i]]);
+        let lxor = g(&mut nl, PrimOp::Xor, &[a[i], b[i]]);
+        let t0 = g(&mut nl, PrimOp::And, &[is_add, sums[i]]);
+        let t1 = g(&mut nl, PrimOp::And, &[is_and, land]);
+        let t2 = g(&mut nl, PrimOp::And, &[is_or, lor]);
+        let t3 = g(&mut nl, PrimOp::And, &[is_xor, lxor]);
+        let u0 = g(&mut nl, PrimOp::Or, &[t0, t1]);
+        let u1 = g(&mut nl, PrimOp::Or, &[t2, t3]);
+        let r = nl
+            .add_gate(GateKind::Prim(PrimOp::Or), &[u0, u1], Some(&format!("r{i}")))
+            .expect("valid");
+        results.push(r);
+        nl.mark_output(r);
+    }
+    nl.mark_output(cout);
+    // Zero flag: NOR over all result bits.
+    let zero = nl
+        .add_gate(GateKind::Prim(PrimOp::Nor), &results, Some("zero"))
+        .expect("valid");
+    nl.mark_output(zero);
+    nl.validate().expect("generated ALU is valid");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nl: &Netlist, n: usize, a: u64, b: u64, cin: bool, op: u8) -> (u64, bool, bool) {
+        let mut v = Vec::new();
+        for i in 0..n {
+            v.push(a >> i & 1 == 1);
+        }
+        for i in 0..n {
+            v.push(b >> i & 1 == 1);
+        }
+        v.push(cin);
+        v.push(op & 1 == 1);
+        v.push(op & 2 == 2);
+        let out = nl.eval_prim(&v);
+        let result = (0..n).fold(0u64, |acc, i| acc | (u64::from(out[i]) << i));
+        (result, out[n], out[n + 1])
+    }
+
+    #[test]
+    fn eight_bit_alu_operations() {
+        let nl = alu(8);
+        assert_eq!(nl.inputs().len(), 19);
+        assert_eq!(nl.outputs().len(), 10);
+        for (a, b, cin) in [(13u64, 200u64, false), (255, 1, true), (0, 0, false)] {
+            let (add, cout, zero) = run(&nl, 8, a, b, cin, 0b00);
+            let expect = a + b + u64::from(cin);
+            assert_eq!(add, expect & 0xFF, "ADD {a}+{b}+{cin}");
+            assert_eq!(cout, expect > 0xFF, "carry {a}+{b}");
+            assert_eq!(zero, (expect & 0xFF) == 0);
+            let (and, _, _) = run(&nl, 8, a, b, cin, 0b01);
+            assert_eq!(and, a & b);
+            let (or, _, _) = run(&nl, 8, a, b, cin, 0b10);
+            assert_eq!(or, a | b);
+            let (xor, _, _) = run(&nl, 8, a, b, cin, 0b11);
+            assert_eq!(xor, a ^ b);
+        }
+    }
+
+    #[test]
+    fn non_add_ops_mask_carry() {
+        let nl = alu(4);
+        let (_, cout, _) = run(&nl, 4, 15, 15, true, 0b01);
+        assert!(!cout, "carry suppressed for logic ops");
+    }
+}

@@ -1,0 +1,51 @@
+//! Benchmark circuits and technology mapping for the STA reproduction.
+//!
+//! The paper evaluates on the ISCAS-85 combinational benchmarks
+//! synthesized for three technologies. The published netlists are not
+//! shipped here, so this crate provides (see DESIGN.md §4):
+//!
+//! * the exact, tiny [`catalog::C17_BENCH`];
+//! * *structure-faithful generators* for the rest — an array multiplier
+//!   ([`mult`], c6288), a 32-bit SEC circuit ([`ecc`], c499/c1355), an
+//!   8-bit ALU ([`alu`], c880), a 27-channel priority interrupt
+//!   controller ([`priority`], c432), and seeded random logic at matched
+//!   sizes ([`randlogic`], c1908/c2670/c3540/c5315/c7552);
+//! * the paper's Fig. 4 [`sample`] circuit;
+//! * a [`mapper`] that covers primitive netlists with the standard-cell
+//!   library, introducing the AO22/OA12/AOI/OAI complex gates the paper's
+//!   experiments study;
+//! * netlist [`transforms`] (XOR → NAND expansion, the c499 → c1355
+//!   relationship).
+//!
+//! # Example
+//!
+//! ```
+//! use sta_cells::Library;
+//! use sta_circuits::catalog;
+//!
+//! # fn main() -> Result<(), sta_netlist::NetlistError> {
+//! let lib = Library::standard();
+//! let mapped = catalog::mapped("c17", &lib)?.expect("known benchmark");
+//! assert_eq!(mapped.num_gates(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alu;
+pub mod catalog;
+pub mod ecc;
+pub mod mapper;
+pub mod mult;
+pub mod priority;
+pub mod randlogic;
+pub mod sample;
+pub mod transforms;
+
+pub use catalog::{
+    from_bench_file, mapped, names, primitive, primitive_with_overrides, BenchmarkInfo,
+    BENCHMARKS,
+};
+pub use mapper::map_netlist;
+pub use sample::sample_circuit;

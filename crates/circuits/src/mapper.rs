@@ -1,0 +1,625 @@
+//! Technology mapping: covering a primitive-gate netlist with standard
+//! cells, including the multi-vector complex gates (AO22, OA12, AOI/OAI…)
+//! that the paper's experiments revolve around.
+//!
+//! The mapper lowers the netlist to 2-input AND/OR/XOR plus NOT, then
+//! covers the fanout-free regions greedily with the largest matching cell
+//! pattern (classic tree covering): AOI22/AO22/OA22/OAI22 and the 4-input
+//! simple gates first, then the 3-input families (AO21, OA12, AOI21,
+//! OAI12, AND3…), then 2-input cells, INV and BUF. MUX2 is matched
+//! structurally (`a·!s + b·s` with a shared select).
+
+use std::collections::HashMap;
+
+use sta_cells::Library;
+use sta_netlist::{GateKind, NetId, Netlist, NetlistError, PrimOp};
+
+/// Maps a primitive netlist onto `lib`'s standard cells.
+///
+/// # Errors
+///
+/// Returns an error if the netlist is structurally invalid. All primitive
+/// operators of any fan-in are supported.
+///
+/// # Example
+///
+/// ```
+/// use sta_cells::Library;
+/// use sta_circuits::mapper::map_netlist;
+/// use sta_netlist::bench_fmt;
+///
+/// # fn main() -> Result<(), sta_netlist::NetlistError> {
+/// let raw = bench_fmt::parse(
+///     "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n\
+///      x = AND(a, b)\ny = AND(c, d)\nz = OR(x, y)\n",
+///     "sop",
+/// )?;
+/// let lib = Library::standard();
+/// let mapped = map_netlist(&raw, &lib)?;
+/// // The whole sum-of-products collapses into a single AO22.
+/// assert_eq!(mapped.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_netlist(nl: &Netlist, lib: &Library) -> Result<Netlist, NetlistError> {
+    let lowered = lower(nl)?;
+    cover(&lowered, lib)
+}
+
+/// Lowers arbitrary-fanin primitives to 2-input AND/OR/XOR + NOT/BUF.
+fn lower(nl: &Netlist) -> Result<Netlist, NetlistError> {
+    let mut out = Netlist::new(nl.name());
+    let mut newid: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in nl.inputs() {
+        let id = out.add_input(nl.net_label(pi));
+        newid.insert(pi, id);
+    }
+    for g in nl.topo_gates() {
+        let gate = nl.gate(g);
+        let op = match gate.kind() {
+            GateKind::Prim(op) => op,
+            GateKind::Cell(_) => {
+                return Err(NetlistError::UnknownOperator(
+                    "cannot re-map an already mapped netlist".into(),
+                ))
+            }
+        };
+        let ins: Vec<NetId> = gate.inputs().iter().map(|n| newid[n]).collect();
+        let result = lower_gate(&mut out, op, &ins)?;
+        newid.insert(gate.output(), result);
+    }
+    for &po in nl.outputs() {
+        out.mark_output(newid[&po]);
+    }
+    Ok(out)
+}
+
+fn lower_gate(out: &mut Netlist, op: PrimOp, ins: &[NetId]) -> Result<NetId, NetlistError> {
+    let tree = |out: &mut Netlist, op2: PrimOp, ins: &[NetId]| -> Result<NetId, NetlistError> {
+        // Balanced binary tree of 2-input gates.
+        let mut layer: Vec<NetId> = ins.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(out.add_gate(GateKind::Prim(op2), pair, None)?);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        Ok(layer[0])
+    };
+    match op {
+        PrimOp::Not | PrimOp::Buf => out.add_gate(GateKind::Prim(op), ins, None),
+        PrimOp::And | PrimOp::Or | PrimOp::Xor => {
+            if ins.len() == 1 {
+                out.add_gate(GateKind::Prim(PrimOp::Buf), ins, None)
+            } else {
+                tree(out, op, ins)
+            }
+        }
+        PrimOp::Nand | PrimOp::Nor | PrimOp::Xnor => {
+            let base = match op {
+                PrimOp::Nand => PrimOp::And,
+                PrimOp::Nor => PrimOp::Or,
+                _ => PrimOp::Xor,
+            };
+            let inner = if ins.len() == 1 {
+                ins[0]
+            } else {
+                tree(out, base, ins)?
+            };
+            out.add_gate(GateKind::Prim(PrimOp::Not), &[inner], None)
+        }
+    }
+}
+
+/// One matched pattern: the cell to instantiate and its leaf nets in pin
+/// order.
+struct Match {
+    cell: &'static str,
+    leaves: Vec<NetId>,
+}
+
+/// Covers the lowered netlist with library cells.
+fn cover(nl: &Netlist, lib: &Library) -> Result<Netlist, NetlistError> {
+    let matcher = Matcher { nl };
+    let mut out = Netlist::new(nl.name());
+    let mut newid: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in nl.inputs() {
+        newid.insert(pi, out.add_input(nl.net_label(pi)));
+    }
+    // Roots to realize, discovered backward from the POs; realized in a
+    // second forward pass so cell inputs exist before use.
+    let mut root_list: Vec<NetId> = Vec::new();
+    let mut seen: Vec<bool> = vec![false; nl.num_nets()];
+    let mut matches: HashMap<NetId, Match> = HashMap::new();
+    let mut stack: Vec<NetId> = nl.outputs().to_vec();
+    while let Some(net) = stack.pop() {
+        if seen[net.index()] {
+            continue;
+        }
+        seen[net.index()] = true;
+        if nl.net(net).is_input() {
+            continue;
+        }
+        let m = matcher.best_match(net);
+        for &leaf in &m.leaves {
+            stack.push(leaf);
+        }
+        matches.insert(net, m);
+        root_list.push(net);
+    }
+    // Topologically order the roots by lowered-net level.
+    let levels = nl.levelize();
+    root_list.sort_by_key(|n| levels[n.index()]);
+    for root in root_list {
+        let m = &matches[&root];
+        let cell = lib
+            .cell_by_name(m.cell)
+            .unwrap_or_else(|| panic!("mapper references unknown cell {}", m.cell));
+        let ins: Vec<NetId> = m.leaves.iter().map(|l| newid[l]).collect();
+        let id = out.add_gate(
+            GateKind::Cell(cell.id()),
+            &ins,
+            Some(&nl.net_label(root)),
+        )?;
+        newid.insert(root, id);
+    }
+    for &po in nl.outputs() {
+        out.mark_output(newid[&po]);
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+struct Matcher<'a> {
+    nl: &'a Netlist,
+}
+
+impl Matcher<'_> {
+    /// The driver op and inputs of `net`, if `net` may be absorbed as an
+    /// internal node of a pattern (single fanout, not a PO, not a PI).
+    fn internal(&self, net: NetId, root: bool) -> Option<(PrimOp, Vec<NetId>)> {
+        let n = self.nl.net(net);
+        if !root && (n.fanout().len() != 1 || self.nl.outputs().contains(&net)) {
+            return None;
+        }
+        let driver = n.driver()?;
+        let g = self.nl.gate(driver);
+        match g.kind() {
+            GateKind::Prim(op) => Some((op, g.inputs().to_vec())),
+            GateKind::Cell(_) => None,
+        }
+    }
+
+    /// Like [`Matcher::internal`], but refuses to absorb a child that is
+    /// itself the root of a 22-type pattern (`OP(DUAL(·,·), DUAL(·,·))`).
+    /// Ripping such a child apart to feed a smaller pattern would destroy
+    /// an AO22/OA22 match one level down — and those complex gates are
+    /// the whole point of this library.
+    fn absorbable(&self, net: NetId) -> Option<(PrimOp, Vec<NetId>)> {
+        let (op, ins) = self.internal(net, false)?;
+        if self.is_22_root(op, &ins) {
+            return None;
+        }
+        Some((op, ins))
+    }
+
+    fn is_22_root(&self, op: PrimOp, ins: &[NetId]) -> bool {
+        if !matches!(op, PrimOp::And | PrimOp::Or) || ins.len() != 2 {
+            return false;
+        }
+        let dual = dual_of(op);
+        ins.iter().all(|&n| {
+            matches!(self.internal(n, false), Some((k, k_ins)) if k == dual && k_ins.len() == 2)
+        })
+    }
+
+    /// Finds the largest cell pattern rooted at `net`.
+    fn best_match(&self, net: NetId) -> Match {
+        let (op, ins) = self
+            .internal(net, true)
+            .expect("roots are driven by primitive gates");
+        match op {
+            PrimOp::Not => self.match_under_not(ins[0]),
+            PrimOp::Buf => Match {
+                cell: "BUF",
+                leaves: ins,
+            },
+            PrimOp::Xor => Match {
+                cell: "XOR2",
+                leaves: ins,
+            },
+            PrimOp::And | PrimOp::Or => self.match_and_or(net, false),
+            other => unreachable!("lowered netlists have no {other}"),
+        }
+    }
+
+    /// Matches AND/OR-rooted patterns; `negated` selects the inverting
+    /// cell family (reached through a NOT root).
+    fn match_and_or(&self, net: NetId, negated: bool) -> Match {
+        let (op, ins) = self.internal(net, true).expect("driven root");
+        debug_assert!(matches!(op, PrimOp::And | PrimOp::Or));
+        let (same, dual) = (op, dual_of(op));
+        // Child decompositions (only if absorbable without destroying a
+        // 22-pattern below).
+        let kids: Vec<Option<(PrimOp, Vec<NetId>)>> =
+            ins.iter().map(|&n| self.absorbable(n)).collect();
+        let both_dual = |a: &Option<(PrimOp, Vec<NetId>)>, b: &Option<(PrimOp, Vec<NetId>)>| {
+            matches!((a, b), (Some((x, _)), Some((y, _))) if *x == dual && *y == dual)
+        };
+        // MUX2: OR(AND(x, NOT s), AND(y, s)) — only for the positive OR root.
+        if !negated && op == PrimOp::Or {
+            if let Some(m) = self.match_mux(&ins, &kids) {
+                return m;
+            }
+        }
+        // Four-leaf patterns: OP(DUAL(a,b), DUAL(c,d)) → AO22/OA22 family.
+        if ins.len() == 2 && both_dual(&kids[0], &kids[1]) {
+            let (a, b) = {
+                let (_, k) = kids[0].as_ref().expect("checked");
+                (k[0], k[1])
+            };
+            let (c, d) = {
+                let (_, k) = kids[1].as_ref().expect("checked");
+                (k[0], k[1])
+            };
+            let cell = match (op, negated) {
+                (PrimOp::Or, false) => "AO22",
+                (PrimOp::Or, true) => "AOI22",
+                (PrimOp::And, false) => "OA22",
+                (PrimOp::And, true) => "OAI22",
+                _ => unreachable!(),
+            };
+            return Match {
+                cell,
+                leaves: vec![a, b, c, d],
+            };
+        }
+        // Same-op trees: AND(AND(a,b), AND(c,d)) → AND4 etc.
+        if let Some(m) = self.match_same_tree(op, &ins, &kids, negated) {
+            return m;
+        }
+        // Three-leaf: OP(DUAL(a,b), c) → AO21/OA12 family.
+        if ins.len() == 2 {
+            for (first, second) in [(0usize, 1usize), (1, 0)] {
+                if let Some((k_op, k_ins)) = &kids[first] {
+                    if *k_op == dual && k_ins.len() == 2 {
+                        let cell = match (op, negated) {
+                            (PrimOp::Or, false) => "AO21",
+                            (PrimOp::Or, true) => "AOI21",
+                            (PrimOp::And, false) => "OA12",
+                            (PrimOp::And, true) => "OAI12",
+                            _ => unreachable!(),
+                        };
+                        return Match {
+                            cell,
+                            leaves: vec![k_ins[0], k_ins[1], ins[second]],
+                        };
+                    }
+                }
+            }
+        }
+        // Plain 2-input cell.
+        let cell = match (same, negated) {
+            (PrimOp::And, false) => "AND2",
+            (PrimOp::And, true) => "NAND2",
+            (PrimOp::Or, false) => "OR2",
+            (PrimOp::Or, true) => "NOR2",
+            _ => unreachable!(),
+        };
+        Match {
+            cell,
+            leaves: ins,
+        }
+    }
+
+    /// Flattens same-operator chains into the wide simple cells:
+    /// AND(AND(a,b),c) → AND3, AND(AND(a,b),AND(c,d)) → AND4, nested
+    /// chains up to four leaves (and the OR/NAND/NOR counterparts).
+    fn match_same_tree(
+        &self,
+        op: PrimOp,
+        ins: &[NetId],
+        kids: &[Option<(PrimOp, Vec<NetId>)>],
+        negated: bool,
+    ) -> Option<Match> {
+        if ins.len() != 2 {
+            return None;
+        }
+        let _ = kids;
+        // Greedy flattening with a four-leaf cap.
+        let mut leaves: Vec<NetId> = ins.to_vec();
+        let mut expanded = true;
+        while expanded && leaves.len() < 4 {
+            expanded = false;
+            for i in 0..leaves.len() {
+                if leaves.len() >= 4 {
+                    break;
+                }
+                if let Some((k_op, k_ins)) = self.absorbable(leaves[i]) {
+                    if k_op == op && k_ins.len() == 2 {
+                        leaves.splice(i..=i, k_ins);
+                        expanded = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let cell = match (op, negated, leaves.len()) {
+            (PrimOp::And, false, 3) => "AND3",
+            (PrimOp::And, false, 4) => "AND4",
+            (PrimOp::And, true, 3) => "NAND3",
+            (PrimOp::And, true, 4) => "NAND4",
+            (PrimOp::Or, false, 3) => "OR3",
+            (PrimOp::Or, false, 4) => "OR4",
+            (PrimOp::Or, true, 3) => "NOR3",
+            (PrimOp::Or, true, 4) => "NOR4",
+            _ => return None,
+        };
+        Some(Match { cell, leaves })
+    }
+
+    fn match_mux(
+        &self,
+        ins: &[NetId],
+        kids: &[Option<(PrimOp, Vec<NetId>)>],
+    ) -> Option<Match> {
+        if ins.len() != 2 {
+            return None;
+        }
+        let and = |i: usize| -> Option<&[NetId]> {
+            match &kids[i] {
+                Some((PrimOp::And, k)) if k.len() == 2 => Some(k),
+                _ => None,
+            }
+        };
+        let (k0, k1) = (and(0)?, and(1)?);
+        // Look for NOT(s) in one AND and a bare s in the other.
+        for (inv_side, pos_side) in [(k0, k1), (k1, k0)] {
+            for (ni, &maybe_inv) in inv_side.iter().enumerate() {
+                if let Some((PrimOp::Not, not_in)) = self.internal(maybe_inv, false) {
+                    let s = not_in[0];
+                    for (pi, &cand_s) in pos_side.iter().enumerate() {
+                        if cand_s == s {
+                            let a = inv_side[1 - ni];
+                            let b = pos_side[1 - pi];
+                            return Some(Match {
+                                cell: "MUX2",
+                                leaves: vec![a, b, s],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Patterns rooted at a NOT gate: inverting complex cells, NAND/NOR
+    /// trees, XNOR2, or a plain INV.
+    fn match_under_not(&self, inner: NetId) -> Match {
+        if let Some((op, ins)) = self.internal(inner, false) {
+            match op {
+                PrimOp::And | PrimOp::Or => {
+                    // Reuse the AND/OR matcher in negated mode, rooted at
+                    // the absorbed inner node.
+                    return self.match_and_or_at(op, ins);
+                }
+                PrimOp::Xor if ins.len() == 2 => {
+                    return Match {
+                        cell: "XNOR2",
+                        leaves: ins,
+                    };
+                }
+                _ => {}
+            }
+        }
+        Match {
+            cell: "INV",
+            leaves: vec![inner],
+        }
+    }
+
+    fn match_and_or_at(&self, op: PrimOp, ins: Vec<NetId>) -> Match {
+        // Same logic as match_and_or but with the (op, ins) already
+        // resolved from an absorbed internal node.
+        let dual = dual_of(op);
+        let kids: Vec<Option<(PrimOp, Vec<NetId>)>> =
+            ins.iter().map(|&n| self.absorbable(n)).collect();
+        let both_dual = kids.len() == 2
+            && matches!(
+                (&kids[0], &kids[1]),
+                (Some((x, _)), Some((y, _))) if *x == dual && *y == dual
+            );
+        if both_dual {
+            let (_, k0) = kids[0].as_ref().expect("checked");
+            let (_, k1) = kids[1].as_ref().expect("checked");
+            let cell = match op {
+                PrimOp::Or => "AOI22",
+                _ => "OAI22",
+            };
+            return Match {
+                cell,
+                leaves: vec![k0[0], k0[1], k1[0], k1[1]],
+            };
+        }
+        if let Some(m) = self.match_same_tree(op, &ins, &kids, true) {
+            return m;
+        }
+        if ins.len() == 2 {
+            for (first, second) in [(0usize, 1usize), (1, 0)] {
+                if let Some((k_op, k_ins)) = &kids[first] {
+                    if *k_op == dual && k_ins.len() == 2 {
+                        let cell = match op {
+                            PrimOp::Or => "AOI21",
+                            _ => "OAI12",
+                        };
+                        return Match {
+                            cell,
+                            leaves: vec![k_ins[0], k_ins[1], ins[second]],
+                        };
+                    }
+                }
+            }
+        }
+        let cell = match op {
+            PrimOp::And => "NAND2",
+            _ => "NOR2",
+        };
+        Match {
+            cell,
+            leaves: ins,
+        }
+    }
+}
+
+fn dual_of(op: PrimOp) -> PrimOp {
+    match op {
+        PrimOp::And => PrimOp::Or,
+        PrimOp::Or => PrimOp::And,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_netlist::bench_fmt;
+
+    fn lib() -> Library {
+        Library::standard()
+    }
+
+    fn map_src(src: &str) -> (Netlist, Netlist) {
+        let raw = bench_fmt::parse(src, "t").unwrap();
+        let mapped = map_netlist(&raw, &lib()).unwrap();
+        (raw, mapped)
+    }
+
+    fn assert_equivalent(raw: &Netlist, mapped: &Netlist) {
+        let l = lib();
+        let n = raw.inputs().len();
+        assert!(n <= 16, "exhaustive check limited to 16 inputs");
+        for bits in 0..(1u32 << n) {
+            let v: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(
+                raw.eval_prim(&v),
+                l.eval_netlist(mapped, &v),
+                "mismatch at {bits:b}"
+            );
+        }
+    }
+
+    fn cell_names(mapped: &Netlist) -> Vec<String> {
+        let l = lib();
+        mapped
+            .gate_ids()
+            .map(|g| match mapped.gate(g).kind() {
+                GateKind::Cell(c) => l.cell(c).name().to_string(),
+                GateKind::Prim(op) => op.to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sop_maps_to_ao22() {
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n\
+             x = AND(a, b)\ny = AND(c, d)\nz = OR(x, y)\n",
+        );
+        assert_eq!(cell_names(&mapped), vec!["AO22"]);
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn inverted_sop_maps_to_aoi22() {
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n\
+             x = AND(a, b)\ny = AND(c, d)\nw = OR(x, y)\nz = NOT(w)\n",
+        );
+        assert_eq!(cell_names(&mapped), vec!["AOI22"]);
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn oa12_pattern() {
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\n\
+             x = OR(a, b)\nz = AND(x, c)\n",
+        );
+        assert_eq!(cell_names(&mapped), vec!["OA12"]);
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn wide_nand_becomes_nand4() {
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n\
+             z = NAND(a, b, c, d)\n",
+        );
+        assert_eq!(cell_names(&mapped), vec!["NAND4"]);
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn mux_is_recognized() {
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nINPUT(s)\nOUTPUT(z)\n\
+             ns = NOT(s)\nx = AND(a, ns)\ny = AND(b, s)\nz = OR(x, y)\n",
+        );
+        assert_eq!(cell_names(&mapped), vec!["MUX2"]);
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn fanout_blocks_absorption() {
+        // The inner AND feeds two gates: it must stay a separate cell.
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\nOUTPUT(w)\n\
+             x = AND(a, b)\ny = AND(c, d)\nz = OR(x, y)\nw = NOT(x)\n",
+        );
+        let names = cell_names(&mapped);
+        assert!(names.contains(&"AND2".to_string()), "{names:?}");
+        assert!(!names.contains(&"AO22".to_string()), "{names:?}");
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn xor_and_xnor() {
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(w)\n\
+             z = XOR(a, b)\nw = XNOR(a, b)\n",
+        );
+        let mut names = cell_names(&mapped);
+        names.sort();
+        assert_eq!(names, vec!["XNOR2", "XOR2"]);
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn c17_maps_and_stays_equivalent() {
+        let (raw, mapped) = map_src(
+            "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\n\
+             OUTPUT(22)\nOUTPUT(23)\n\
+             10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n\
+             19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
+        );
+        assert_eq!(mapped.num_gates(), 6, "each NAND2 maps to one cell");
+        assert_equivalent(&raw, &mapped);
+    }
+
+    #[test]
+    fn wide_gates_and_random_equivalence() {
+        let (raw, mapped) = map_src(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nINPUT(g)\n\
+             OUTPUT(z)\n\
+             p = AND(a, b, c, d, e)\nq = NOR(e, f, g)\nr = XOR(a, d, g)\n\
+             s = OR(p, q)\nz = AND(s, r)\n",
+        );
+        assert_equivalent(&raw, &mapped);
+    }
+}

@@ -1,0 +1,178 @@
+//! Array multiplier generator — the structure-faithful surrogate for
+//! ISCAS-85 c6288 (a 16×16 array multiplier).
+//!
+//! Partial products feed a carry-save reduction tree of half/full adders
+//! and a final ripple adder. The full-adder carry (`a·b + (a⊕b)·cin`) is a
+//! textbook sum-of-products the technology mapper covers with an AO22 —
+//! exactly the complex-gate-rich fabric the paper's experiments need.
+
+use sta_netlist::{GateKind, NetId, Netlist, PrimOp};
+
+/// Generates an `n × n` array multiplier (`2n` inputs, `2n` outputs).
+///
+/// # Panics
+///
+/// Panics if `n < 2` (a 1×1 "multiplier" is a single AND gate, not a
+/// benchmark).
+pub fn array_multiplier(n: usize) -> Netlist {
+    assert!(n >= 2, "multiplier width must be at least 2");
+    let mut nl = Netlist::new(format!("mult{n}x{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let gate = |nl: &mut Netlist, op: PrimOp, ins: &[NetId]| -> NetId {
+        nl.add_gate(GateKind::Prim(op), ins, None)
+            .expect("generator produces valid gates")
+    };
+    // Partial products, bucketed by weight.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = gate(&mut nl, PrimOp::And, &[ai, bj]);
+            columns[i + j].push(pp);
+        }
+    }
+    // Carry-save reduction: full/half adders until every column has ≤ 2
+    // bits.
+    loop {
+        let needs_work = columns.iter().any(|c| c.len() > 2);
+        if !needs_work {
+            break;
+        }
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); columns.len() + 1];
+        for (w, col) in columns.iter().enumerate() {
+            let mut bits = col.clone();
+            while bits.len() >= 3 {
+                let (x, y, z) = (bits.remove(0), bits.remove(0), bits.remove(0));
+                let (s, c) = full_adder(&mut nl, x, y, z);
+                next[w].push(s);
+                next[w + 1].push(c);
+            }
+            if bits.len() == 2 && col.len() > 2 {
+                let (x, y) = (bits.remove(0), bits.remove(0));
+                let (s, c) = half_adder(&mut nl, x, y);
+                next[w].push(s);
+                next[w + 1].push(c);
+            }
+            next[w].append(&mut bits);
+        }
+        while next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        columns = next;
+    }
+    // Final ripple adder over the remaining two rows.
+    let mut carry: Option<NetId> = None;
+    let mut product = Vec::with_capacity(2 * n);
+    for col in &columns {
+        let sum = match (col.len(), carry) {
+            (0, None) => continue,
+            (0, Some(c)) => {
+                carry = None;
+                c
+            }
+            (1, None) => col[0],
+            (1, Some(c)) => {
+                let (s, co) = half_adder(&mut nl, col[0], c);
+                carry = Some(co);
+                s
+            }
+            (2, None) => {
+                let (s, co) = half_adder(&mut nl, col[0], col[1]);
+                carry = Some(co);
+                s
+            }
+            (2, Some(c)) => {
+                let (s, co) = full_adder(&mut nl, col[0], col[1], c);
+                carry = Some(co);
+                s
+            }
+            _ => unreachable!("columns reduced to ≤ 2 bits"),
+        };
+        product.push(sum);
+    }
+    if let Some(c) = carry {
+        product.push(c);
+    }
+    for &p in product.iter().take(2 * n) {
+        nl.mark_output(p);
+    }
+    nl.validate().expect("generated multiplier is a valid DAG");
+    nl
+}
+
+/// Full adder: `s = a ⊕ b ⊕ cin`, `cout = a·b + (a⊕b)·cin`.
+fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+    let g = |nl: &mut Netlist, op: PrimOp, ins: &[NetId]| -> NetId {
+        nl.add_gate(GateKind::Prim(op), ins, None).expect("valid")
+    };
+    let x = g(nl, PrimOp::Xor, &[a, b]);
+    let s = g(nl, PrimOp::Xor, &[x, cin]);
+    let p1 = g(nl, PrimOp::And, &[a, b]);
+    let p2 = g(nl, PrimOp::And, &[x, cin]);
+    let cout = g(nl, PrimOp::Or, &[p1, p2]);
+    (s, cout)
+}
+
+/// Half adder: `s = a ⊕ b`, `cout = a·b`.
+fn half_adder(nl: &mut Netlist, a: NetId, b: NetId) -> (NetId, NetId) {
+    let s = nl
+        .add_gate(GateKind::Prim(PrimOp::Xor), &[a, b], None)
+        .expect("valid");
+    let c = nl
+        .add_gate(GateKind::Prim(PrimOp::And), &[a, b], None)
+        .expect("valid");
+    (s, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_mult(nl: &Netlist, n: usize, a: u64, b: u64) -> u64 {
+        let mut assignment = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            assignment.push(a >> i & 1 == 1);
+        }
+        for i in 0..n {
+            assignment.push(b >> i & 1 == 1);
+        }
+        let out = nl.eval_prim(&assignment);
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+    }
+
+    #[test]
+    fn four_bit_multiplier_is_exact() {
+        let nl = array_multiplier(4);
+        assert_eq!(nl.inputs().len(), 8);
+        assert_eq!(nl.outputs().len(), 8);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(eval_mult(&nl, 4, a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_spot_checks() {
+        let nl = array_multiplier(16);
+        assert_eq!(nl.inputs().len(), 32);
+        assert_eq!(nl.outputs().len(), 32);
+        for (a, b) in [
+            (0u64, 0u64),
+            (65535, 65535),
+            (12345, 54321),
+            (40000, 3),
+            (256, 256),
+        ] {
+            assert_eq!(eval_mult(&nl, 16, a, b), a * b, "{a}*{b}");
+        }
+        // Size in the c6288 ballpark (c6288: 2406 gates).
+        let gates = nl.num_gates();
+        assert!(
+            (1200..4000).contains(&gates),
+            "unexpected gate count {gates}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Priority interrupt controller generator — the structure-faithful
+//! surrogate for ISCAS-85 c432 (a 27-channel interrupt controller with
+//! 36 inputs and 7 outputs).
+//!
+//! Channels are organized as `groups × width` (3 × 9 for the c432-like
+//! instance): each channel has a request line and each (group, bit)
+//! position shares an enable line. The controller grants the
+//! highest-priority enabled request (group-major priority) and encodes
+//! the winning bit position.
+
+use sta_netlist::{GateKind, NetId, Netlist, PrimOp};
+
+/// Generates a priority interrupt controller with `groups` groups of
+/// `width` channels.
+///
+/// Inputs: `groups·width` request lines + `width` enables
+/// (3·9 + 9 = 36 for the c432-like configuration). Outputs: one grant per
+/// group plus a binary encode of the winning bit (7 outputs at 3 × 9).
+///
+/// # Panics
+///
+/// Panics if `groups == 0` or `width == 0`.
+pub fn interrupt_controller(groups: usize, width: usize) -> Netlist {
+    assert!(groups > 0 && width > 0, "dimensions must be positive");
+    let mut nl = Netlist::new(format!("intctl{groups}x{width}"));
+    let req: Vec<Vec<NetId>> = (0..groups)
+        .map(|gi| {
+            (0..width)
+                .map(|b| nl.add_input(format!("r{gi}_{b}")))
+                .collect()
+        })
+        .collect();
+    let enable: Vec<NetId> = (0..width).map(|b| nl.add_input(format!("e{b}"))).collect();
+    let g = |nl: &mut Netlist, op: PrimOp, ins: &[NetId]| -> NetId {
+        nl.add_gate(GateKind::Prim(op), ins, None).expect("valid")
+    };
+    // Masked requests.
+    let masked: Vec<Vec<NetId>> = req
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&enable)
+                .map(|(&r, &e)| g(&mut nl, PrimOp::And, &[r, e]))
+                .collect()
+        })
+        .collect();
+    // Group activity and group-major priority: group gi wins iff it has a
+    // masked request and no earlier group does.
+    let any: Vec<NetId> = masked
+        .iter()
+        .map(|row| g(&mut nl, PrimOp::Or, row))
+        .collect();
+    let mut blocked: Option<NetId> = None;
+    let mut grants = Vec::with_capacity(groups);
+    for (gi, &a) in any.iter().enumerate() {
+        let grant = match blocked {
+            None => g(&mut nl, PrimOp::Buf, &[a]),
+            Some(b) => {
+                let nb = g(&mut nl, PrimOp::Not, &[b]);
+                g(&mut nl, PrimOp::And, &[a, nb])
+            }
+        };
+        let grant = {
+            let named = nl
+                .add_gate(GateKind::Prim(PrimOp::Buf), &[grant], Some(&format!("g{gi}")))
+                .expect("valid");
+            nl.mark_output(named);
+            grant
+        };
+        blocked = Some(match blocked {
+            None => a,
+            Some(b) => g(&mut nl, PrimOp::Or, &[b, a]),
+        });
+        grants.push(grant);
+    }
+    // Within the winning group, bit-level priority then binary encode.
+    // sel[b] = OR over groups of (grant_g AND masked_g[b] AND no earlier
+    // masked bit in that group).
+    let mut winning_bit = Vec::with_capacity(width);
+    for b in 0..width {
+        let mut terms = Vec::with_capacity(groups);
+        for (gi, row) in masked.iter().enumerate() {
+            let mut term = g(&mut nl, PrimOp::And, &[grants[gi], row[b]]);
+            if b > 0 {
+                let earlier = g(&mut nl, PrimOp::Or, &row[..b]);
+                let ne = g(&mut nl, PrimOp::Not, &[earlier]);
+                term = g(&mut nl, PrimOp::And, &[term, ne]);
+            }
+            terms.push(term);
+        }
+        winning_bit.push(g(&mut nl, PrimOp::Or, &terms));
+    }
+    // Binary encoder over the one-hot winning bit.
+    let code_bits = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+    for k in 0..code_bits.max(1) {
+        let members: Vec<NetId> = winning_bit
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| b & (1 << k) != 0)
+            .map(|(_, &n)| n)
+            .collect();
+        let bit = if members.is_empty() {
+            // Constant-0 code bit: realized as AND(x, !x) over bit 0.
+            let n0 = g(&mut nl, PrimOp::Not, &[winning_bit[0]]);
+            g(&mut nl, PrimOp::And, &[winning_bit[0], n0])
+        } else {
+            g(&mut nl, PrimOp::Or, &members)
+        };
+        let named = nl
+            .add_gate(GateKind::Prim(PrimOp::Buf), &[bit], Some(&format!("code{k}")))
+            .expect("valid");
+        nl.mark_output(named);
+    }
+    nl.validate().expect("generated controller is valid");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nl: &Netlist, groups: usize, width: usize, req: &[u32], enable: u32) -> Vec<bool> {
+        let mut v = Vec::new();
+        for &row in req.iter().take(groups) {
+            for b in 0..width {
+                v.push(row >> b & 1 == 1);
+            }
+        }
+        for b in 0..width {
+            v.push(enable >> b & 1 == 1);
+        }
+        nl.eval_prim(&v)
+    }
+
+    #[test]
+    fn c432_like_shape() {
+        let nl = interrupt_controller(3, 9);
+        assert_eq!(nl.inputs().len(), 36, "matches c432's input count");
+        assert_eq!(nl.outputs().len(), 7, "matches c432's output count");
+    }
+
+    #[test]
+    fn highest_priority_group_wins() {
+        let (groups, width) = (3, 9);
+        let nl = interrupt_controller(groups, width);
+        // Requests in groups 1 and 2; group 1 must win.
+        let out = run(&nl, groups, width, &[0, 0b1000, 0b0001], 0x1FF);
+        assert!(!out[0] && out[1] && !out[2]);
+        // code = 3 (bit 3 of group 1).
+        let code = out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2
+            | (out[6] as u32) << 3;
+        assert_eq!(code, 3);
+    }
+
+    #[test]
+    fn disabled_channels_are_ignored() {
+        let (groups, width) = (3, 9);
+        let nl = interrupt_controller(groups, width);
+        // Group 0 requests bit 2, but bit 2 is masked off; group 2 bit 5
+        // is enabled.
+        let out = run(&nl, groups, width, &[0b100, 0, 0b100000], !0b100 & 0x1FF);
+        assert!(!out[0] && !out[1] && out[2]);
+        let code = out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2
+            | (out[6] as u32) << 3;
+        assert_eq!(code, 5);
+    }
+
+    #[test]
+    fn lowest_bit_wins_within_group() {
+        let (groups, width) = (3, 9);
+        let nl = interrupt_controller(groups, width);
+        let out = run(&nl, groups, width, &[0b101000, 0, 0], 0x1FF);
+        let code = out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2
+            | (out[6] as u32) << 3;
+        assert_eq!(code, 3, "bit 3 outranks bit 5");
+    }
+}

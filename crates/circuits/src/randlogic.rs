@@ -1,0 +1,178 @@
+//! Seeded random-logic generator — surrogate for the ISCAS-85 circuits
+//! without a crisp arithmetic structure (c1908, c2670, c3540, c5315,
+//! c7552).
+//!
+//! The generator reproduces what the experiments need from those
+//! benchmarks: DAG shape (bounded depth growth, heavy reconvergent
+//! fanout), a realistic operator mix (NAND/NOR-dominated with AND-OR
+//! clusters that the technology mapper covers with complex gates), and
+//! the gate-count spread from ~900 to ~3500. Generation is fully
+//! deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sta_netlist::{GateKind, NetId, Netlist, PrimOp};
+
+/// Parameters of a random circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RandParams {
+    /// Design name.
+    pub name: String,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate count target (exact).
+    pub gates: usize,
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+    /// Locality window: gate inputs are drawn from the most recent
+    /// `window` nets, which controls depth and reconvergence.
+    pub window: usize,
+}
+
+/// Generates a random combinational netlist.
+///
+/// Every net is guaranteed to be used (dangling nets are collected into
+/// the primary outputs), and the result always validates.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero.
+pub fn random_logic(params: &RandParams) -> Netlist {
+    assert!(
+        params.inputs > 0 && params.outputs > 0 && params.gates > 0 && params.window > 0,
+        "parameters must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut nl = Netlist::new(&params.name);
+    let mut pool: Vec<NetId> = (0..params.inputs)
+        .map(|i| nl.add_input(format!("i{i}")))
+        .collect();
+    // Operator mix: NAND/NOR-heavy like synthesized ISCAS netlists, with
+    // AND/OR pairs that fold into AO/OA complex cells, some XOR, few
+    // inverters.
+    const OPS: [(PrimOp, u32); 7] = [
+        (PrimOp::Nand, 24),
+        (PrimOp::Nor, 16),
+        (PrimOp::And, 22),
+        (PrimOp::Or, 20),
+        (PrimOp::Xor, 6),
+        (PrimOp::Not, 8),
+        (PrimOp::Buf, 4),
+    ];
+    let total_weight: u32 = OPS.iter().map(|(_, w)| w).sum();
+    for _ in 0..params.gates {
+        let mut pick = rng.gen_range(0..total_weight);
+        let op = OPS
+            .iter()
+            .find(|(_, w)| {
+                if pick < *w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .expect("weights cover the range")
+            .0;
+        let fanin = if op.is_unary() {
+            1
+        } else {
+            // Mostly 2-input, some 3/4-input.
+            match rng.gen_range(0..10) {
+                0 => 4,
+                1 | 2 => 3,
+                _ => 2,
+            }
+        };
+        let lo = pool.len().saturating_sub(params.window);
+        let mut ins = Vec::with_capacity(fanin);
+        for _ in 0..fanin {
+            let idx = rng.gen_range(lo..pool.len());
+            let candidate = pool[idx];
+            if ins.contains(&candidate) && pool.len() > fanin {
+                // Retry once for distinct inputs; duplicates are legal but
+                // degenerate.
+                let idx2 = rng.gen_range(lo..pool.len());
+                ins.push(pool[idx2]);
+            } else {
+                ins.push(candidate);
+            }
+        }
+        let out = nl
+            .add_gate(GateKind::Prim(op), &ins, None)
+            .expect("generator produces valid gates");
+        pool.push(out);
+    }
+    // Outputs: dangling nets first (so everything is observable), then the
+    // most recent nets.
+    let mut po: Vec<NetId> = nl
+        .net_ids()
+        .filter(|&n| nl.net(n).fanout().is_empty() && !nl.net(n).is_input())
+        .collect();
+    let mut cursor = pool.len();
+    while po.len() < params.outputs && cursor > 0 {
+        cursor -= 1;
+        let n = pool[cursor];
+        if !po.contains(&n) && !nl.net(n).is_input() {
+            po.push(n);
+        }
+    }
+    for n in po {
+        nl.mark_output(n);
+    }
+    nl.validate().expect("generated logic is a valid DAG");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_netlist::stats::NetlistStats;
+
+    fn params(gates: usize, seed: u64) -> RandParams {
+        RandParams {
+            name: format!("r{gates}"),
+            inputs: 33,
+            outputs: 25,
+            gates,
+            seed,
+            window: 120,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_logic(&params(500, 7));
+        let b = random_logic(&params(500, 7));
+        assert_eq!(a, b);
+        let c = random_logic(&params(500, 8));
+        assert_ne!(a, c, "different seeds give different circuits");
+    }
+
+    #[test]
+    fn meets_size_targets_and_validates() {
+        let nl = random_logic(&params(880, 42));
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.gates, 880);
+        assert_eq!(stats.inputs, 33);
+        assert!(stats.outputs >= 25);
+        assert!(stats.depth > 5, "depth {} too shallow", stats.depth);
+        assert!(stats.stems > 50, "wants reconvergent fanout");
+    }
+
+    #[test]
+    fn no_dangling_internal_nets() {
+        let nl = random_logic(&params(300, 3));
+        for n in nl.net_ids() {
+            let net = nl.net(n);
+            if !net.is_input() && net.fanout().is_empty() {
+                assert!(
+                    nl.outputs().contains(&n),
+                    "net {n} is neither used nor a PO"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Netlist-to-netlist transformations used by the benchmark generators.
+
+use std::collections::HashMap;
+
+use sta_netlist::{GateKind, NetId, Netlist, PrimOp};
+
+/// Rewrites every XOR/XNOR into the classic four-NAND structure (the
+/// relationship between ISCAS-85 c499 and c1355). Wide XORs are first
+/// split into 2-input trees.
+///
+/// ```text
+/// a ⊕ b:  n1 = NAND(a, b); n2 = NAND(a, n1); n3 = NAND(b, n1);
+///         z = NAND(n2, n3)
+/// ```
+pub fn expand_xor(nl: &Netlist) -> Netlist {
+    let mut out = Netlist::new(format!("{}_nand", nl.name()));
+    let mut newid: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in nl.inputs() {
+        newid.insert(pi, out.add_input(nl.net_label(pi)));
+    }
+    let g = |out: &mut Netlist, op: PrimOp, ins: &[NetId]| -> NetId {
+        out.add_gate(GateKind::Prim(op), ins, None).expect("valid")
+    };
+    let xor2 = |out: &mut Netlist, a: NetId, b: NetId| -> NetId {
+        let n1 = g(out, PrimOp::Nand, &[a, b]);
+        let n2 = g(out, PrimOp::Nand, &[a, n1]);
+        let n3 = g(out, PrimOp::Nand, &[b, n1]);
+        g(out, PrimOp::Nand, &[n2, n3])
+    };
+    for gid in nl.topo_gates() {
+        let gate = nl.gate(gid);
+        let op = match gate.kind() {
+            GateKind::Prim(op) => op,
+            GateKind::Cell(_) => panic!("expand_xor operates on primitive netlists"),
+        };
+        let ins: Vec<NetId> = gate.inputs().iter().map(|n| newid[n]).collect();
+        let result = match op {
+            PrimOp::Xor | PrimOp::Xnor => {
+                let mut acc = ins[0];
+                for &i in &ins[1..] {
+                    acc = xor2(&mut out, acc, i);
+                }
+                if op == PrimOp::Xnor {
+                    g(&mut out, PrimOp::Not, &[acc])
+                } else {
+                    acc
+                }
+            }
+            other => g(&mut out, other, &ins),
+        };
+        newid.insert(gate.output(), result);
+    }
+    for &po in nl.outputs() {
+        out.mark_output(newid[&po]);
+    }
+    out.validate().expect("expansion preserves validity");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_preserves_parity_function() {
+        let mut nl = Netlist::new("p");
+        let ins: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::Xor), &ins, Some("z"))
+            .unwrap();
+        let w = nl
+            .add_gate(GateKind::Prim(PrimOp::Xnor), &[ins[0], ins[1]], Some("w"))
+            .unwrap();
+        nl.mark_output(z);
+        nl.mark_output(w);
+        let expanded = expand_xor(&nl);
+        assert!(expanded
+            .gate_ids()
+            .all(|g| !matches!(
+                expanded.gate(g).kind(),
+                GateKind::Prim(PrimOp::Xor | PrimOp::Xnor)
+            )));
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(nl.eval_prim(&v), expanded.eval_prim(&v), "{bits:04b}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Classic levelized static timing analysis.
+//!
+//! Used in two places: as the pruning bound of the N-worst true-path
+//! search (`remaining_bound`) and as stage one of the commercial-style
+//! baseline (structural arrival times, no sensitization).
+
+use sta_cells::{Corner, Edge};
+use sta_charlib::TimingLibrary;
+use sta_netlist::{GateKind, Netlist};
+
+/// Per-net static timing quantities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaticTiming {
+    /// Worst-case structural arrival time per net, ps (0 at PIs).
+    pub arrival: Vec<f64>,
+    /// Worst-case structural delay from each net to any primary output, ps
+    /// (0 at POs without fanout).
+    pub remaining: Vec<f64>,
+}
+
+/// The largest modelled delay of any arc through (`cell`, `pin`): max over
+/// sensitization vectors and edges of the largest characterization sample.
+/// A conservative per-arc bound for structural analyses.
+pub fn arc_delay_bound(tlib: &TimingLibrary, cell: sta_netlist::CellId, pin: u8) -> f64 {
+    let ct = tlib.cell(cell);
+    (0..ct.num_vectors(pin))
+        .map(|v| {
+            let var = ct.variant(pin, v);
+            var.rise.max_sample_delay.max(var.fall.max_sample_delay)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Computes structural arrival and remaining-delay bounds with worst-case
+/// per-arc delays evaluated at `default_slew` (plus the tabulated sample
+/// maxima as a safety net) and the real per-net fanout loads.
+///
+/// `margin` scales every arc bound (≥ 1.0 recommended — the bound is used
+/// to prune the N-worst search and should stay conservative with respect
+/// to slew effects the static pass cannot see).
+///
+/// # Panics
+///
+/// Panics if the netlist contains unmapped primitive gates or a cycle.
+pub fn static_bounds(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    corner: Corner,
+    default_slew: f64,
+    margin: f64,
+) -> StaticTiming {
+    let order = nl.topo_gates();
+    assert_eq!(order.len(), nl.num_gates(), "netlist has a cycle");
+    // Per-gate worst arc delay (max over input pins, vectors, edges).
+    let gate_bound: Vec<f64> = nl
+        .gate_ids()
+        .map(|g| {
+            let gate = nl.gate(g);
+            let cell = match gate.kind() {
+                GateKind::Cell(c) => c,
+                GateKind::Prim(op) => panic!("static_bounds on unmapped primitive {op}"),
+            };
+            let fo = tlib.equivalent_fanout(nl, gate.output(), cell);
+            let ct = tlib.cell(cell);
+            let mut worst: f64 = 0.0;
+            for pin in 0..gate.fanin() as u8 {
+                for v in 0..ct.num_vectors(pin) {
+                    for edge in Edge::BOTH {
+                        let (d, _) = ct
+                            .variant(pin, v)
+                            .for_edge(edge)
+                            .eval(fo, default_slew, corner);
+                        worst = worst.max(d);
+                    }
+                }
+                worst = worst.max(arc_delay_bound(tlib, cell, pin));
+            }
+            worst * margin
+        })
+        .collect();
+
+    let mut arrival = vec![0.0; nl.num_nets()];
+    for &g in &order {
+        let gate = nl.gate(g);
+        let worst_in = gate
+            .inputs()
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0, f64::max);
+        arrival[gate.output().index()] = worst_in + gate_bound[g.index()];
+    }
+
+    let mut remaining = vec![0.0; nl.num_nets()];
+    for &g in order.iter().rev() {
+        let gate = nl.gate(g);
+        let through = remaining[gate.output().index()] + gate_bound[g.index()];
+        for n in gate.inputs() {
+            let slot = &mut remaining[n.index()];
+            if through > *slot {
+                *slot = through;
+            }
+        }
+    }
+    StaticTiming { arrival, remaining }
+}
+
+impl StaticTiming {
+    /// The worst structural arrival over the primary outputs.
+    pub fn worst_arrival(&self, nl: &Netlist) -> f64 {
+        nl.outputs()
+            .iter()
+            .map(|o| self.arrival[o.index()])
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::{Library, Technology};
+    use sta_charlib::{characterize, CharConfig};
+    use sta_netlist::GateKind;
+
+    fn small_mapped() -> (Netlist, Library) {
+        let lib = Library::standard();
+        let inv = lib.cell_by_name("INV").unwrap().id();
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate(GateKind::Cell(inv), &[a], None).unwrap();
+        let y = nl.add_gate(GateKind::Cell(nand2), &[x, b], None).unwrap();
+        let z = nl.add_gate(GateKind::Cell(inv), &[y], None).unwrap();
+        nl.mark_output(z);
+        (nl, lib)
+    }
+
+    #[test]
+    fn bounds_are_monotone_and_consistent() {
+        let (nl, lib) = small_mapped();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let corner = Corner::nominal(&tech);
+        let st = static_bounds(&nl, &tlib, corner, 60.0, 1.1);
+        let z = nl.outputs()[0];
+        let a = nl.inputs()[0];
+        // Arrival grows along the chain; remaining shrinks.
+        assert!(st.arrival[z.index()] > 0.0);
+        assert_eq!(st.arrival[a.index()], 0.0);
+        assert!(st.remaining[a.index()] >= st.arrival[z.index()] - 1e-9);
+        assert_eq!(st.remaining[z.index()], 0.0);
+        // Worst arrival at outputs equals arrival of z here.
+        assert!((st.worst_arrival(&nl) - st.arrival[z.index()]).abs() < 1e-9);
+        // arrival(PI) + remaining(PI) bounds the whole path.
+        assert!(st.remaining[a.index()] >= st.worst_arrival(&nl) - 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Stand-alone path delay calculation with the polynomial model.
+//!
+//! The enumerator accumulates delay incrementally during traversal; this
+//! module recomputes a [`TruePath`]'s delay from scratch — used by the
+//! repro harness (Tables 7–9 compare per-gate model delays against golden
+//! electrical simulation) and as an independent cross-check of the
+//! enumerator's bookkeeping.
+
+use sta_cells::{Corner, Edge};
+use sta_charlib::TimingLibrary;
+use sta_netlist::{GateKind, Netlist};
+
+use crate::path::TruePath;
+
+/// Per-gate delay breakdown of one launch polarity of a path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathDelayBreakdown {
+    /// The launch edge this breakdown describes.
+    pub launch: Edge,
+    /// (delay, output slew) per traversed gate, in path order, ps.
+    pub stages: Vec<(f64, f64)>,
+    /// Total path delay, ps.
+    pub total: f64,
+}
+
+/// Recomputes the polynomial-model delay of `path` for the given launch
+/// edge.
+///
+/// # Panics
+///
+/// Panics if the path references unmapped gates.
+pub fn path_delay(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    path: &TruePath,
+    launch: Edge,
+    input_slew: f64,
+    corner: Corner,
+) -> PathDelayBreakdown {
+    let mut stages = Vec::with_capacity(path.arcs.len());
+    let mut edge = launch;
+    let mut slew = input_slew;
+    let mut total = 0.0;
+    for arc in &path.arcs {
+        let gate = nl.gate(arc.gate);
+        let cell = match gate.kind() {
+            GateKind::Cell(c) => c,
+            GateKind::Prim(op) => panic!("path through unmapped primitive {op}"),
+        };
+        let fo = tlib.equivalent_fanout(nl, gate.output(), cell);
+        let (d, s) = tlib.delay_slew(cell, arc.pin, arc.vector, edge, fo, slew, corner);
+        let d = d.max(0.1);
+        let s = s.max(0.5);
+        stages.push((d, s));
+        total += d;
+        slew = s;
+        edge = edge.through(arc.polarity);
+    }
+    PathDelayBreakdown {
+        launch,
+        stages,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::Library;
+    use crate::enumerate::{EnumerationConfig, PathEnumerator};
+    use sta_cells::Technology;
+    use sta_charlib::{characterize, CharConfig};
+    use sta_netlist::GateKind;
+
+    /// The standalone calculator agrees with the enumerator's incremental
+    /// accumulation.
+    #[test]
+    fn matches_enumerator_accumulation() {
+        let lib = Library::standard();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let ao22 = lib.cell_by_name("AO22").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let x = nl.add_gate(GateKind::Cell(nand2), &[a, b], None).unwrap();
+        let y = nl
+            .add_gate(GateKind::Cell(ao22), &[x, b, c, d], None)
+            .unwrap();
+        nl.mark_output(y);
+        let corner = Corner::nominal(&tech);
+        let cfg = EnumerationConfig::new(corner);
+        let input_slew = cfg.input_slew;
+        let (paths, _) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        assert!(!paths.is_empty());
+        for p in &paths {
+            for (launch, timing) in [(Edge::Rise, &p.rise), (Edge::Fall, &p.fall)] {
+                if let Some(t) = timing {
+                    let bd = path_delay(&nl, &tlib, p, launch, input_slew, corner);
+                    assert!(
+                        (bd.total - t.arrival).abs() < 1e-6,
+                        "standalone {} vs incremental {}",
+                        bd.total,
+                        t.arrival
+                    );
+                    assert_eq!(bd.stages.len(), t.gate_delays.len());
+                    for ((d, _), gd) in bd.stages.iter().zip(&t.gate_delays) {
+                        assert!((d - gd).abs() < 1e-6);
+                    }
+                }
+            }
+        }
+    }
+}

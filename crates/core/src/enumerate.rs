@@ -1,0 +1,939 @@
+//! Single-pass sensitization-aware true-path enumeration (paper §IV.B).
+//!
+//! The algorithm starts at a circuit input and advances node to node. For
+//! every fanout gate and every sensitization vector of the traversed pin it
+//! saves the process state (an implication-trail mark), assigns the
+//! vector's side values, propagates implications forward through the whole
+//! circuit (early conflict detection with semi-undetermined values), and
+//! checks that the accumulated requirements are justifiable from the
+//! primary inputs. On a conflict all paths sharing the current sub-path are
+//! discarded and the search jumps back to the last saved state. Reaching an
+//! output emits a [`TruePath`] carrying a witness input vector and the
+//! polynomial-model delay accumulated *during* the traversal — the
+//! "single-pass" property: no second sensitization step is ever needed.
+//!
+//! Both launch polarities are traced simultaneously through the dual-value
+//! logic system (`sta-logic`), so each path is traversed once.
+
+use sta_cells::{Corner, Edge, Library, Polarity};
+use sta_charlib::TimingLibrary;
+use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle, TriVal, V9};
+
+use crate::justify::{JustifyBudget, JustifyOutcome};
+use sta_netlist::{GateId, GateKind, NetId, Netlist};
+
+use crate::arrival::static_bounds;
+use crate::path::{LaunchTiming, PathArc, PiValue, TruePath};
+
+/// Configuration of a true-path enumeration run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnumerationConfig {
+    /// Operating corner for delay evaluation.
+    pub corner: Corner,
+    /// Transition time applied at the primary inputs, ps.
+    pub input_slew: f64,
+    /// Keep only the N worst paths and prune the search with static
+    /// bounds; `None` enumerates everything.
+    pub n_worst: Option<usize>,
+    /// Safety margin of the static pruning bound (only used with
+    /// `n_worst`).
+    pub prune_margin: f64,
+    /// Abort the run after this many search decisions (0 = unlimited).
+    /// When hit, [`EnumerationStats::truncated`] is set.
+    pub max_decisions: u64,
+    /// Stop after this many emitted paths (safety valve for pathological
+    /// circuits).
+    pub max_paths: Option<usize>,
+    /// Effort cap per justification call (0 = unlimited). Refutations of
+    /// unsatisfiable requirement sets over reconvergent XOR logic are
+    /// exponential; when a call exceeds this many candidate decisions the
+    /// branch is dropped and counted in
+    /// [`EnumerationStats::justify_aborts`].
+    pub justify_decision_limit: u64,
+}
+
+impl EnumerationConfig {
+    /// A reasonable default at the given corner: 60 ps input slew, full
+    /// enumeration, 50 M decision budget.
+    pub fn new(corner: Corner) -> Self {
+        EnumerationConfig {
+            corner,
+            input_slew: 60.0,
+            n_worst: None,
+            prune_margin: 1.25,
+            max_decisions: 50_000_000,
+            max_paths: None,
+            justify_decision_limit: 20_000,
+        }
+    }
+
+    /// Restricts the run to the N worst paths (enables pruning).
+    pub fn with_n_worst(mut self, n: usize) -> Self {
+        self.n_worst = Some(n);
+        self
+    }
+}
+
+/// Counters describing an enumeration run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Emitted paths (path × vector combinations).
+    pub paths: usize,
+    /// Emitted input vectors (each surviving launch polarity of each path
+    /// counts once — the paper's "Input vectors" column).
+    pub input_vectors: usize,
+    /// Search decisions taken (arc choices + justification candidates).
+    pub decisions: u64,
+    /// Conflicts encountered (subtrees discarded).
+    pub conflicts: u64,
+    /// Subtrees pruned by the static N-worst bound.
+    pub pruned: u64,
+    /// Justification calls dropped at the per-call effort cap (their
+    /// subtrees are conservatively discarded).
+    pub justify_aborts: u64,
+    /// Whether a budget cut the run short.
+    pub truncated: bool,
+}
+
+/// The true-path enumeration engine.
+///
+/// # Example
+///
+/// See the crate-level documentation of `sta-core`.
+pub struct PathEnumerator<'a> {
+    nl: &'a Netlist,
+    lib: &'a Library,
+    tlib: &'a TimingLibrary,
+    cfg: EnumerationConfig,
+}
+
+impl<'a> PathEnumerator<'a> {
+    /// Creates an enumerator over a mapped netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains unmapped primitive gates (run the
+    /// technology mapper first) or a combinational cycle.
+    pub fn new(
+        nl: &'a Netlist,
+        lib: &'a Library,
+        tlib: &'a TimingLibrary,
+        cfg: EnumerationConfig,
+    ) -> Self {
+        assert_eq!(nl.topo_gates().len(), nl.num_gates(), "netlist has a cycle");
+        assert!(
+            nl.gate_ids()
+                .all(|g| matches!(nl.gate(g).kind(), GateKind::Cell(_))),
+            "netlist must be technology-mapped"
+        );
+        PathEnumerator { nl, lib, tlib, cfg }
+    }
+
+    /// Runs the enumeration and returns the discovered true paths (sorted
+    /// by descending worst arrival) together with run statistics.
+    pub fn run(&self) -> (Vec<TruePath>, EnumerationStats) {
+        let mut collected: Vec<TruePath> = Vec::new();
+        let stats = self.run_with(|p| collected.push(p));
+        collected.sort_by(|a, b| b.worst_arrival().total_cmp(&a.worst_arrival()));
+        if let Some(n) = self.cfg.n_worst {
+            collected.truncate(n);
+        }
+        (collected, stats)
+    }
+
+    /// Streaming variant of [`PathEnumerator::run`]: every emitted path is
+    /// handed to `sink` instead of being stored (essential for full
+    /// enumerations that produce hundreds of thousands of vectors, where
+    /// the caller only wants counts or per-structural-path aggregates).
+    ///
+    /// With `n_worst` configured, the admission threshold still prunes the
+    /// search, but paths below the final threshold may reach the sink —
+    /// the sink sees a superset of the N worst.
+    pub fn run_with(&self, mut sink: impl FnMut(TruePath)) -> EnumerationStats {
+        let remaining = self.cfg.n_worst.map(|_| {
+            static_bounds(
+                self.nl,
+                self.tlib,
+                self.cfg.corner,
+                self.cfg.input_slew,
+                self.cfg.prune_margin,
+            )
+            .remaining
+        });
+        let fanouts: Vec<f64> = self
+            .nl
+            .gate_ids()
+            .map(|g| {
+                let gate = self.nl.gate(g);
+                let cell = cell_of(self.nl, g);
+                self.tlib.equivalent_fanout(self.nl, gate.output(), cell)
+            })
+            .collect();
+        let is_output: Vec<bool> = {
+            let mut v = vec![false; self.nl.num_nets()];
+            for &o in self.nl.outputs() {
+                v[o.index()] = true;
+            }
+            v
+        };
+        let mut search = Search {
+            nl: self.nl,
+            lib: self.lib,
+            tlib: self.tlib,
+            cfg: &self.cfg,
+            eng: ImplicationEngine::new(self.nl, self.lib),
+            remaining,
+            fanouts,
+            is_output,
+            reach: Vec::new(),
+            obligations: Vec::new(),
+            delays_r: Vec::new(),
+            delays_f: Vec::new(),
+            sink: &mut sink,
+            emitted: 0,
+            worst_arrivals: Vec::new(),
+            threshold: f64::NEG_INFINITY,
+            stats: EnumerationStats::default(),
+        };
+        for &src in self.nl.inputs() {
+            if search.stats.truncated {
+                break;
+            }
+            // Per-source static toggle analysis: O(1) refutation of
+            // stable-value requirements on nets that provably toggle
+            // (crucial on reconvergent XOR logic).
+            let deltas = toggle_analysis(self.nl, self.lib, src);
+            search.reach =
+                sensitizable_reach(self.nl, self.lib, &deltas, &search.is_output);
+            search.eng.set_toggles(Some(deltas));
+            if !search.reach[src.index()] {
+                search.eng.set_toggles(None);
+                continue;
+            }
+            let mark = search.eng.mark();
+            let conflicts = search
+                .eng
+                .assign(src, Dual::transition(false), Mask::BOTH);
+            let mask = Mask::BOTH.minus(conflicts);
+            if mask.any() {
+                let timing = PolTimings::launch(self.cfg.input_slew);
+                search.dfs(src, false, mask, timing);
+            }
+            search.eng.rollback(mark);
+            search.eng.set_toggles(None);
+            search.obligations.clear();
+        }
+        search.stats
+    }
+}
+
+fn cell_of(nl: &Netlist, g: GateId) -> sta_netlist::CellId {
+    match nl.gate(g).kind() {
+        GateKind::Cell(c) => c,
+        GateKind::Prim(_) => unreachable!("checked at construction"),
+    }
+}
+
+/// Per-source static reachability: can a transition at a net still reach a
+/// primary output through arcs whose side requirements do not contradict
+/// the toggle analysis? An arc is *potentially sensitizable* iff some
+/// vector of the traversed pin requires no stable side value on a net
+/// that provably toggles. Sound (necessary-condition) pruning: a net with
+/// `reach = false` has no true continuation, so the DFS never forks into
+/// it — this is what keeps reconvergent XOR fabrics (c499/c1355) from
+/// exploding into 2^depth refuted sub-paths.
+fn sensitizable_reach(
+    nl: &Netlist,
+    lib: &Library,
+    deltas: &[Toggle],
+    is_output: &[bool],
+) -> Vec<bool> {
+    let mut reach = vec![false; nl.num_nets()];
+    for (i, &po) in is_output.iter().enumerate() {
+        if po {
+            reach[i] = true;
+        }
+    }
+    let order = nl.topo_gates();
+    for &g in order.iter().rev() {
+        let gate = nl.gate(g);
+        if !reach[gate.output().index()] {
+            continue;
+        }
+        let cell = lib.cell(cell_of(nl, g));
+        for pin in 0..gate.fanin() as u8 {
+            let input = gate.inputs()[pin as usize];
+            if reach[input.index()] {
+                continue;
+            }
+            let arc_ok = cell.vectors_of(pin).iter().any(|v| {
+                (0..gate.fanin() as u8).all(|p| {
+                    p == pin
+                        || v.side_value(p).is_none()
+                        || deltas[gate.inputs()[p as usize].index()] != Toggle::One
+                })
+            });
+            if arc_ok {
+                reach[input.index()] = true;
+            }
+        }
+    }
+    reach
+}
+
+/// Arrival/slew of one launch polarity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct EdgeState {
+    arrival: f64,
+    slew: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct PolTimings {
+    r: EdgeState,
+    f: EdgeState,
+}
+
+impl PolTimings {
+    fn launch(input_slew: f64) -> Self {
+        let e = EdgeState {
+            arrival: 0.0,
+            slew: input_slew,
+        };
+        PolTimings { r: e, f: e }
+    }
+
+    fn worst_alive(&self, mask: Mask) -> f64 {
+        let mut w = f64::NEG_INFINITY;
+        if mask.r {
+            w = w.max(self.r.arrival);
+        }
+        if mask.f {
+            w = w.max(self.f.arrival);
+        }
+        w
+    }
+}
+
+struct Search<'a, 'b> {
+    nl: &'a Netlist,
+    lib: &'a Library,
+    tlib: &'a TimingLibrary,
+    cfg: &'a EnumerationConfig,
+    eng: ImplicationEngine<'a>,
+    remaining: Option<Vec<f64>>,
+    /// Equivalent fanout per gate (precomputed).
+    fanouts: Vec<f64>,
+    is_output: Vec<bool>,
+    /// Per-source sensitizable reachability (see [`sensitizable_reach`]).
+    reach: Vec<bool>,
+    /// Nets whose values were assigned (not implied) and therefore need
+    /// justification from the PIs.
+    obligations: Vec<NetId>,
+    /// Per-gate delays along the current partial path, per polarity.
+    delays_r: Vec<f64>,
+    delays_f: Vec<f64>,
+    /// Where emitted paths go.
+    sink: &'b mut dyn FnMut(TruePath),
+    /// Paths handed to the sink so far.
+    emitted: usize,
+    /// Worst arrivals of admitted paths (threshold bookkeeping in N-worst
+    /// mode).
+    worst_arrivals: Vec<f64>,
+    /// N-worst admission threshold (−∞ until the set is full).
+    threshold: f64,
+    stats: EnumerationStats,
+}
+
+impl Search<'_, '_> {
+    fn budget_exhausted(&mut self) -> bool {
+        if self.cfg.max_decisions != 0 && self.stats.decisions >= self.cfg.max_decisions {
+            self.stats.truncated = true;
+        }
+        if let Some(mp) = self.cfg.max_paths {
+            if self.emitted >= mp {
+                self.stats.truncated = true;
+            }
+        }
+        self.stats.truncated
+    }
+
+    fn dfs(&mut self, net: NetId, parity: bool, mask: Mask, timing: PolTimings) {
+        self.dfs_inner(net, parity, mask, timing, &mut Vec::new(), &mut Vec::new());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_inner(
+        &mut self,
+        net: NetId,
+        parity: bool,
+        mask: Mask,
+        timing: PolTimings,
+        nodes: &mut Vec<NetId>,
+        arcs: &mut Vec<PathArc>,
+    ) {
+        if self.budget_exhausted() {
+            return;
+        }
+        nodes.push(net);
+        let mut mask = mask;
+        if self.is_output[net.index()] && !arcs.is_empty() {
+            mask = self.emit(mask, &timing, nodes, arcs);
+        }
+        if mask.any() {
+            // Pruning against the N-worst threshold.
+            let prune = if let Some(rem) = &self.remaining {
+                self.cfg.n_worst.is_some()
+                    && self.threshold > f64::NEG_INFINITY
+                    && timing.worst_alive(mask) + rem[net.index()] < self.threshold
+            } else {
+                false
+            };
+            if prune {
+                self.stats.pruned += 1;
+            } else {
+                let fanout: Vec<_> = self.nl.net(net).fanout().to_vec();
+                for pr in fanout {
+                    if !self.reach[self.nl.gate(pr.gate).output().index()]
+                        && !self.is_output[self.nl.gate(pr.gate).output().index()]
+                    {
+                        continue;
+                    }
+                    let cell_id = cell_of(self.nl, pr.gate);
+                    let n_vectors = self.lib.cell(cell_id).vectors_of(pr.pin as u8).len();
+                    for vector in 0..n_vectors {
+                        if self.budget_exhausted() {
+                            break;
+                        }
+                        self.try_arc(
+                            pr.gate, pr.pin as u8, vector, parity, mask, timing, nodes, arcs,
+                        );
+                    }
+                }
+            }
+        }
+        nodes.pop();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_arc(
+        &mut self,
+        gate: GateId,
+        pin: u8,
+        vector: usize,
+        parity: bool,
+        mask: Mask,
+        timing: PolTimings,
+        nodes: &mut Vec<NetId>,
+        arcs: &mut Vec<PathArc>,
+    ) {
+        self.stats.decisions += 1;
+        let cell_id = cell_of(self.nl, gate);
+        let cell = self.lib.cell(cell_id);
+        let sv = &cell.vectors_of(pin)[vector];
+        let polarity = sv.polarity;
+        let mark = self.eng.mark();
+        let obligations_before = self.obligations.len();
+
+        // Assign the vector's side values and propagate.
+        let mut alive = mask;
+        let side_assignments: Vec<(NetId, bool)> = {
+            let g = self.nl.gate(gate);
+            (0..g.fanin() as u8)
+                .filter(|&p| p != pin)
+                .filter_map(|p| sv.side_value(p).map(|v| (g.inputs()[p as usize], v)))
+                .collect()
+        };
+        for &(side_net, value) in &side_assignments {
+            let conflicts = self.eng.assign(side_net, Dual::stable(value), alive);
+            alive = alive.minus(conflicts);
+            if !alive.any() {
+                break;
+            }
+        }
+        if alive.any() {
+            for &(side_net, _) in &side_assignments {
+                self.obligations.push(side_net);
+            }
+            // Feasibility: the values just assigned must be justifiable
+            // from the PIs (the paper: "justify the logic values assigned
+            // until the inputs of the circuit are reached"). This is an
+            // incremental check — joint satisfiability of *all*
+            // accumulated requirements is re-established at emission. The
+            // witness is rolled back; only the requirements and their
+            // forward implications persist on the trail.
+            let justified = if side_assignments.is_empty() {
+                Some(alive)
+            } else {
+                let witness_mark = self.eng.mark();
+                let nets: Vec<NetId> =
+                    side_assignments.iter().map(|&(n, _)| n).collect();
+                let out = self.justify_nets(nets, alive);
+                self.eng.rollback(witness_mark);
+                out
+            };
+            if let Some(m3) = justified {
+                if m3.any() {
+                    let new_timing = self.advance_timing(
+                        gate, cell_id, pin, vector, parity, m3, timing,
+                    );
+                    let out = self.nl.gate(gate).output();
+                    arcs.push(PathArc {
+                        gate,
+                        pin,
+                        vector,
+                        polarity,
+                    });
+                    let inverted = polarity == Polarity::Inverting;
+                    self.dfs_inner(out, parity ^ inverted, m3, new_timing, nodes, arcs);
+                    arcs.pop();
+                    self.delays_r.pop();
+                    self.delays_f.pop();
+                }
+            } else {
+                self.stats.conflicts += 1;
+            }
+        } else {
+            self.stats.conflicts += 1;
+        }
+        self.obligations.truncate(obligations_before);
+        self.eng.rollback(mark);
+    }
+
+    /// Adds the arc's polynomial delay/slew per alive polarity and pushes
+    /// the per-gate delay entries.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_timing(
+        &mut self,
+        _gate: GateId,
+        cell_id: sta_netlist::CellId,
+        pin: u8,
+        vector: usize,
+        parity: bool,
+        mask: Mask,
+        timing: PolTimings,
+    ) -> PolTimings {
+        let fo = self.fanouts[_gate.index()];
+        let mut out = timing;
+        let step = |state: &mut EdgeState, launch: Edge, alive: bool| -> f64 {
+            if !alive {
+                return 0.0;
+            }
+            let in_edge = if parity { launch.invert() } else { launch };
+            let (d, s) = self.tlib.delay_slew(
+                cell_id,
+                pin,
+                vector,
+                in_edge,
+                fo,
+                state.slew,
+                self.cfg.corner,
+            );
+            // Clamp against degenerate extrapolation: delays and slews are
+            // physical quantities.
+            let d = d.max(0.1);
+            let s = s.max(0.5);
+            state.arrival += d;
+            state.slew = s;
+            d
+        };
+        let dr = step(&mut out.r, Edge::Rise, mask.r);
+        let df = step(&mut out.f, Edge::Fall, mask.f);
+        self.delays_r.push(dr);
+        self.delays_f.push(df);
+        out
+    }
+
+    /// Emits a path ending at `net` if the accumulated requirements are
+    /// justifiable; returns the (possibly reduced) alive mask.
+    fn emit(
+        &mut self,
+        mask: Mask,
+        timing: &PolTimings,
+        nodes: &[NetId],
+        arcs: &[PathArc],
+    ) -> Mask {
+        let witness_mark = self.eng.mark();
+        let justified = self.justify(mask);
+        let m3 = match justified {
+            Some(m) if m.any() => m,
+            _ => {
+                self.eng.rollback(witness_mark);
+                self.stats.conflicts += 1;
+                return Mask::NONE;
+            }
+        };
+        // Witness is active: extract the PI vector.
+        let source = nodes[0];
+        let input_vector: Vec<PiValue> = self
+            .nl
+            .inputs()
+            .iter()
+            .map(|&pi| {
+                if pi == source {
+                    return PiValue::Transition;
+                }
+                let d = self.eng.value(pi);
+                let v = if m3.r { d.r } else { d.f };
+                match (v.init(), v.fin()) {
+                    (TriVal::X, TriVal::X) => PiValue::X,
+                    _ if v == V9::S0 => PiValue::Zero,
+                    _ if v == V9::S1 => PiValue::One,
+                    // Semi-undetermined at a PI: only the settled frame is
+                    // constrained; report that.
+                    (_, TriVal::Zero) => PiValue::Zero,
+                    (_, TriVal::One) => PiValue::One,
+                    _ => PiValue::X,
+                }
+            })
+            .collect();
+        self.eng.rollback(witness_mark);
+
+        let parity_edge = |launch: Edge, gate_count: usize| -> Edge {
+            let inversions = arcs[..gate_count]
+                .iter()
+                .filter(|a| a.polarity == Polarity::Inverting)
+                .count();
+            if inversions % 2 == 1 {
+                launch.invert()
+            } else {
+                launch
+            }
+        };
+        let mk = |launch: Edge, st: &EdgeState, delays: &[f64]| LaunchTiming {
+            launch_edge: launch,
+            arrival: st.arrival,
+            slew: st.slew,
+            final_edge: parity_edge(launch, arcs.len()),
+            gate_delays: delays.to_vec(),
+        };
+        let path = TruePath {
+            source,
+            nodes: nodes.to_vec(),
+            arcs: arcs.to_vec(),
+            rise: m3.r.then(|| mk(Edge::Rise, &timing.r, &self.delays_r)),
+            fall: m3.f.then(|| mk(Edge::Fall, &timing.f, &self.delays_f)),
+            input_vector,
+        };
+        self.record(path);
+        m3
+    }
+
+    fn record(&mut self, path: TruePath) {
+        self.stats.paths += 1;
+        self.stats.input_vectors += path.num_polarities();
+        if let Some(n) = self.cfg.n_worst {
+            let w = path.worst_arrival();
+            if self.worst_arrivals.len() >= n && w <= self.threshold {
+                return;
+            }
+            self.worst_arrivals.push(w);
+            self.emitted += 1;
+            (self.sink)(path);
+            // Keep the threshold set loosely bounded; refresh the
+            // admission threshold from the current N-th worst.
+            if self.worst_arrivals.len() >= 2 * n {
+                self.worst_arrivals
+                    .sort_by(|a, b| b.total_cmp(a));
+                self.worst_arrivals.truncate(n);
+            }
+            if self.worst_arrivals.len() >= n {
+                let mut arrivals = self.worst_arrivals.clone();
+                arrivals.sort_by(f64::total_cmp);
+                self.threshold = arrivals[arrivals.len() - n];
+            }
+        } else {
+            self.emitted += 1;
+            (self.sink)(path);
+        }
+    }
+
+    /// Complete backward justification of every pending obligation.
+    /// On success the witness assignments are left on the trail (the
+    /// caller rolls back to its own mark) and the surviving mask is
+    /// returned; `None` means no witness exists for any alive polarity
+    /// (or the decision budget ran out — `stats.truncated` is set then).
+    fn justify(&mut self, mask: Mask) -> Option<Mask> {
+        let todo: Vec<NetId> = self.obligations.clone();
+        self.justify_nets(todo, mask)
+    }
+
+    fn justify_nets(&mut self, todo: Vec<NetId>, mask: Mask) -> Option<Mask> {
+        let mut budget = if self.cfg.justify_decision_limit == 0 {
+            JustifyBudget::unbounded()
+        } else {
+            JustifyBudget::with_decision_limit(self.cfg.justify_decision_limit)
+        };
+        let out = crate::justify::justify(&mut self.eng, self.nl, todo, mask, &mut budget);
+        self.stats.decisions += budget.decisions;
+        if self.cfg.max_decisions != 0 && self.stats.decisions >= self.cfg.max_decisions {
+            self.stats.truncated = true;
+        }
+        match out {
+            JustifyOutcome::Satisfied(m) => Some(m),
+            JustifyOutcome::BudgetExhausted => {
+                self.stats.justify_aborts += 1;
+                if std::env::var_os("STA_DEBUG_JUSTIFY").is_some() {
+                    eprintln!(
+                        "justify abort: {} backtracks, obligations {:?}",
+                        budget.backtracks,
+                        self.obligations
+                            .iter()
+                            .map(|n| self.nl.net_label(*n))
+                            .collect::<Vec<_>>()
+                    );
+                }
+                None
+            }
+            JustifyOutcome::Unsatisfiable => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::Technology;
+    use sta_charlib::{characterize, CharConfig};
+    use sta_netlist::GateKind;
+
+    fn setup(tech: &Technology) -> (&'static Library, &'static TimingLibrary) {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static LIB: OnceLock<Library> = OnceLock::new();
+        static TLIBS: OnceLock<Mutex<HashMap<String, &'static TimingLibrary>>> =
+            OnceLock::new();
+        let lib = LIB.get_or_init(Library::standard);
+        let mut map = TLIBS.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap();
+        let tlib = *map.entry(tech.name.clone()).or_insert_with(|| {
+            Box::leak(Box::new(
+                characterize(lib, tech, &CharConfig::fast()).unwrap(),
+            ))
+        });
+        (lib, tlib)
+    }
+
+    /// An inverter chain has exactly one path per polarity pair.
+    #[test]
+    fn inverter_chain_single_path() {
+        let tech = Technology::n90();
+        let (lib, tlib) = setup(&tech);
+        let inv = lib.cell_by_name("INV").unwrap().id();
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let x = nl.add_gate(GateKind::Cell(inv), &[a], None).unwrap();
+        let y = nl.add_gate(GateKind::Cell(inv), &[x], None).unwrap();
+        nl.mark_output(y);
+        let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+        let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(stats.input_vectors, 2); // both polarities survive
+        let p = &paths[0];
+        assert!(p.rise.is_some() && p.fall.is_some());
+        assert_eq!(p.nodes.len(), 3);
+        assert!(p.worst_arrival() > 0.0);
+        // Gate delays sum to the arrival.
+        let r = p.rise.as_ref().unwrap();
+        let sum: f64 = r.gate_delays.iter().sum();
+        assert!((sum - r.arrival).abs() < 1e-9);
+        assert_eq!(r.final_edge, Edge::Rise); // two inversions
+    }
+
+    /// AND2 with both inputs: each input yields one path; the side input
+    /// must be justified to 1 and is reported in the witness vector.
+    #[test]
+    fn and2_paths_with_witness() {
+        let tech = Technology::n90();
+        let (lib, tlib) = setup(&tech);
+        let and2 = lib.cell_by_name("AND2").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_gate(GateKind::Cell(and2), &[a, b], None).unwrap();
+        nl.mark_output(z);
+        let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+        let (paths, _) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.num_polarities(), 2);
+            // The side input must be 1 in the witness.
+            let side_idx = if p.source == a { 1 } else { 0 };
+            assert_eq!(p.input_vector[side_idx], PiValue::One);
+        }
+    }
+
+    /// AO22 contributes one path per sensitization vector: 3 per input.
+    #[test]
+    fn ao22_emits_one_path_per_vector() {
+        let tech = Technology::n90();
+        let (lib, tlib) = setup(&tech);
+        let ao22 = lib.cell_by_name("AO22").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let ins: Vec<_> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let z = nl.add_gate(GateKind::Cell(ao22), &ins, None).unwrap();
+        nl.mark_output(z);
+        let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+        let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        // 4 inputs × 3 vectors.
+        assert_eq!(paths.len(), 12, "{stats:?}");
+        // Vector-specific delays differ between cases of the same pin.
+        let through_a: Vec<&TruePath> =
+            paths.iter().filter(|p| p.source == ins[0]).collect();
+        assert_eq!(through_a.len(), 3);
+        let d: Vec<f64> = through_a
+            .iter()
+            .map(|p| p.fall.as_ref().unwrap().arrival)
+            .collect();
+        assert!(
+            (d[0] - d[1]).abs() > 1e-6 || (d[0] - d[2]).abs() > 1e-6,
+            "case delays should differ: {d:?}"
+        );
+    }
+
+    /// A blocked path (constant side input cannot be justified) is not
+    /// reported: NAND(a, b) with b also required 0 through another cone.
+    #[test]
+    fn false_path_is_rejected() {
+        let tech = Technology::n90();
+        let (lib, tlib) = setup(&tech);
+        let and2 = lib.cell_by_name("AND2").unwrap().id();
+        let nor2 = lib.cell_by_name("NOR2").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        // x = AND(a, a) fine; y = NOR(a, a) = !a; z = AND(x, y) = a & !a = 0.
+        let x = nl.add_gate(GateKind::Cell(and2), &[a, a], None).unwrap();
+        let y = nl.add_gate(GateKind::Cell(nor2), &[a, a], None).unwrap();
+        let z = nl.add_gate(GateKind::Cell(and2), &[x, y], None).unwrap();
+        nl.mark_output(z);
+        let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+        let (paths, _stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        // z is constant 0: no transition can reach it. The static toggle /
+        // reachability analyses typically refute the whole cone before a
+        // single engine conflict is even raised.
+        assert!(paths.is_empty(), "{:?}", paths.len());
+    }
+
+    /// Reconvergent c17: every reported path must be electrically sound —
+    /// cross-check the witness vector by three-valued evaluation.
+    #[test]
+    fn c17_paths_have_consistent_witnesses() {
+        let tech = Technology::n90();
+        let (lib, tlib) = setup(&tech);
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let mut nl = Netlist::new("c17");
+        let i1 = nl.add_input("1");
+        let i2 = nl.add_input("2");
+        let i3 = nl.add_input("3");
+        let i6 = nl.add_input("6");
+        let i7 = nl.add_input("7");
+        let n10 = nl.add_gate(GateKind::Cell(nand2), &[i1, i3], None).unwrap();
+        let n11 = nl.add_gate(GateKind::Cell(nand2), &[i3, i6], None).unwrap();
+        let n16 = nl.add_gate(GateKind::Cell(nand2), &[i2, n11], None).unwrap();
+        let n19 = nl.add_gate(GateKind::Cell(nand2), &[n11, i7], None).unwrap();
+        let n22 = nl
+            .add_gate(GateKind::Cell(nand2), &[n10, n16], None)
+            .unwrap();
+        let n23 = nl
+            .add_gate(GateKind::Cell(nand2), &[n16, n19], None)
+            .unwrap();
+        nl.mark_output(n22);
+        nl.mark_output(n23);
+        let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+        let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        assert!(!paths.is_empty());
+        assert!(!stats.truncated);
+        // Verify every witness by two-pattern simulation: flipping the
+        // source value must flip the path endpoint.
+        for p in &paths {
+            let launches = [
+                p.rise.as_ref().map(|_| Edge::Rise),
+                p.fall.as_ref().map(|_| Edge::Fall),
+            ];
+            for launch in launches.into_iter().flatten() {
+                let assign = |source_val: bool| -> Vec<bool> {
+                    nl.inputs()
+                        .iter()
+                        .zip(&p.input_vector)
+                        .map(|(_, v)| match v {
+                            PiValue::Transition => source_val,
+                            PiValue::One => true,
+                            // Don't-cares: 0 is as good as any for a
+                            // *static* sensitization check.
+                            PiValue::Zero | PiValue::X => false,
+                        })
+                        .collect()
+                };
+                let (init, fin) = match launch {
+                    Edge::Rise => (false, true),
+                    Edge::Fall => (true, false),
+                };
+                let before = lib.eval_netlist(&nl, &assign(init));
+                let after = lib.eval_netlist(&nl, &assign(fin));
+                let endpoint = p.endpoint();
+                let po_idx = nl.outputs().iter().position(|&o| o == endpoint).unwrap();
+                assert_ne!(
+                    before[po_idx], after[po_idx],
+                    "witness fails to toggle endpoint for {:?}",
+                    p.describe(&nl, &lib)
+                );
+            }
+        }
+    }
+
+    /// The streaming sink sees exactly the paths the collecting API
+    /// returns (full enumeration), and never allocates the result vector.
+    #[test]
+    fn run_with_streams_every_emission() {
+        let tech = Technology::n90();
+        let (lib, tlib) = setup(&tech);
+        let ao22 = lib.cell_by_name("AO22").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let ins: Vec<_> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let z = nl.add_gate(GateKind::Cell(ao22), &ins, None).unwrap();
+        nl.mark_output(z);
+        let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+        let (collected, stats_a) =
+            PathEnumerator::new(&nl, lib, tlib, cfg.clone()).run();
+        let mut streamed = 0usize;
+        let stats_b = PathEnumerator::new(&nl, lib, tlib, cfg).run_with(|_| streamed += 1);
+        assert_eq!(collected.len(), streamed);
+        assert_eq!(stats_a, stats_b, "deterministic search");
+    }
+
+    /// N-worst mode returns the same top paths as full enumeration.
+    #[test]
+    fn n_worst_agrees_with_full_enumeration() {
+        let tech = Technology::n90();
+        let (lib, tlib) = setup(&tech);
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let oa12 = lib.cell_by_name("OA12").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.add_gate(GateKind::Cell(nand2), &[a, b], None).unwrap();
+        let y = nl.add_gate(GateKind::Cell(oa12), &[x, b, c], None).unwrap();
+        let z = nl.add_gate(GateKind::Cell(nand2), &[y, a], None).unwrap();
+        nl.mark_output(z);
+        let corner = Corner::nominal(&tech);
+        let (all_paths, _) =
+            PathEnumerator::new(&nl, &lib, &tlib, EnumerationConfig::new(corner)).run();
+        let (top, _) = PathEnumerator::new(
+            &nl,
+            &lib,
+            &tlib,
+            EnumerationConfig::new(corner).with_n_worst(3),
+        )
+        .run();
+        assert!(top.len() <= 3);
+        let full_top: Vec<f64> = all_paths
+            .iter()
+            .take(top.len())
+            .map(TruePath::worst_arrival)
+            .collect();
+        let got: Vec<f64> = top.iter().map(TruePath::worst_arrival).collect();
+        for (a, b) in full_top.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-6, "full {full_top:?} vs nworst {got:?}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! SDF (Standard Delay Format) export of instance delays.
+//!
+//! Downstream gate-level simulators consume per-instance `IOPATH` delays.
+//! SDF — like Liberty — has no notion of sensitization vectors, so the
+//! writer exposes the choice the paper forces tools to make explicit:
+//!
+//! * [`SdfVectorPolicy::Reference`] — annotate every arc with its Case-1
+//!   (easiest) vector delay: what a vector-blind flow effectively ships;
+//! * [`SdfVectorPolicy::Worst`] — annotate with the per-arc worst vector
+//!   delay: conservative, never optimistic.
+//!
+//! The delta between the two files *is* the paper's headline phenomenon,
+//! instance by instance.
+
+use std::fmt::Write as _;
+
+use sta_cells::{Corner, Edge, Library};
+use sta_charlib::TimingLibrary;
+use sta_netlist::{GateKind, Netlist};
+
+/// Which sensitization vector annotates each SDF arc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdfVectorPolicy {
+    /// The reference (Case 1) vector — vector-blind flows' implicit pick.
+    Reference,
+    /// The per-arc worst vector — conservative annotation.
+    Worst,
+}
+
+/// Writes a minimal SDF 3.0 file annotating every gate instance's
+/// `IOPATH` rise/fall delays at the given corner and input slew.
+///
+/// # Panics
+///
+/// Panics if the netlist contains unmapped primitives.
+pub fn write_sdf(
+    nl: &Netlist,
+    lib: &Library,
+    tlib: &TimingLibrary,
+    corner: Corner,
+    input_slew: f64,
+    policy: SdfVectorPolicy,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(DELAYFILE");
+    let _ = writeln!(out, "  (SDFVERSION \"3.0\")");
+    let _ = writeln!(out, "  (DESIGN \"{}\")", nl.name());
+    let _ = writeln!(out, "  (TIMESCALE 1ps)");
+    let _ = writeln!(
+        out,
+        "  (VOLTAGE {:.2}) (TEMPERATURE {:.0})",
+        corner.vdd, corner.temperature
+    );
+    for g in nl.topo_gates() {
+        let gate = nl.gate(g);
+        let cell_id = match gate.kind() {
+            GateKind::Cell(c) => c,
+            GateKind::Prim(op) => panic!("write_sdf on unmapped primitive {op}"),
+        };
+        let cell = lib.cell(cell_id);
+        let ct = tlib.cell(cell_id);
+        let fo = tlib.equivalent_fanout(nl, gate.output(), cell_id);
+        let _ = writeln!(out, "  (CELL");
+        let _ = writeln!(out, "    (CELLTYPE \"{}\")", cell.name());
+        let _ = writeln!(out, "    (INSTANCE {})", nl.net_label(gate.output()));
+        let _ = writeln!(out, "    (DELAY (ABSOLUTE");
+        for pin in 0..gate.fanin() as u8 {
+            // Per the policy, pick the vector whose delay annotates the arc.
+            let delay_for = |edge: Edge| -> f64 {
+                let n = ct.num_vectors(pin);
+                let eval = |v: usize| {
+                    ct.variant(pin, v)
+                        .for_edge(edge)
+                        .eval(fo, input_slew, corner)
+                        .0
+                };
+                match policy {
+                    SdfVectorPolicy::Reference => eval(0),
+                    SdfVectorPolicy::Worst => {
+                        (0..n).map(eval).fold(f64::NEG_INFINITY, f64::max)
+                    }
+                }
+            };
+            // SDF convention: the pair annotates output-rise / output-fall.
+            // Map through the reference polarity of the arc.
+            let pol = ct.variant(pin, 0).polarity;
+            let (in_for_rise, in_for_fall) = match pol {
+                sta_cells::Polarity::NonInverting => (Edge::Rise, Edge::Fall),
+                sta_cells::Polarity::Inverting => (Edge::Fall, Edge::Rise),
+            };
+            let _ = writeln!(
+                out,
+                "      (IOPATH {} Z ({:.1}) ({:.1}))",
+                cell.pin_names()[pin as usize],
+                delay_for(in_for_rise),
+                delay_for(in_for_fall),
+            );
+        }
+        let _ = writeln!(out, "    ))");
+        let _ = writeln!(out, "  )");
+    }
+    let _ = writeln!(out, ")");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::Technology;
+    use sta_charlib::{characterize, CharConfig};
+    use sta_netlist::Netlist;
+
+    #[test]
+    fn sdf_worst_annotations_dominate_reference() {
+        let lib = Library::standard();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let ao22 = lib.cell_by_name("AO22").unwrap().id();
+        let mut nl = Netlist::new("sdf_t");
+        let ins: Vec<_> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let z = nl.add_gate(GateKind::Cell(ao22), &ins, Some("z")).unwrap();
+        nl.mark_output(z);
+        let corner = Corner::nominal(&tech);
+        let reference = write_sdf(&nl, &lib, &tlib, corner, 60.0, SdfVectorPolicy::Reference);
+        let worst = write_sdf(&nl, &lib, &tlib, corner, 60.0, SdfVectorPolicy::Worst);
+        assert!(reference.contains("(DELAYFILE"));
+        assert!(reference.contains("CELLTYPE \"AO22\""));
+        assert_eq!(reference.matches("IOPATH").count(), 4);
+        // Extract all numbers; worst must dominate reference pairwise.
+        let nums = |text: &str| -> Vec<f64> {
+            text.lines()
+                .filter(|l| l.contains("IOPATH"))
+                .flat_map(|l| {
+                    l.split(['(', ')'])
+                        .filter_map(|t| t.trim().parse::<f64>().ok())
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let (r, w) = (nums(&reference), nums(&worst));
+        assert_eq!(r.len(), w.len());
+        assert!(!r.is_empty());
+        let mut strictly_larger = 0;
+        for (a, b) in r.iter().zip(&w) {
+            assert!(*b >= *a - 1e-9, "worst {b} must dominate reference {a}");
+            if *b > a + 1e-9 {
+                strictly_larger += 1;
+            }
+        }
+        assert!(
+            strictly_larger > 0,
+            "AO22 arcs must show a vector-dependent delta"
+        );
+    }
+}

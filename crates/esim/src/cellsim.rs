@@ -1,0 +1,496 @@
+//! Cell-level electrical simulation: building the RC network of a cell
+//! instance and measuring sensitized transitions.
+
+use sta_cells::topology::Signal;
+use sta_cells::{Cell, Corner, Edge, SensVector, SpNet, Technology};
+
+use crate::network::{MosType, NodeKind, SimDevice, SimNetwork, SimNodeId};
+use crate::solver::{dc_operating_point, simulate, TransientConfig};
+use crate::waveform::Waveform;
+use crate::EsimError;
+
+/// A cell instance's RC network plus the node bookkeeping needed to drive
+/// and observe it.
+#[derive(Clone, Debug)]
+pub struct CellNetwork {
+    /// The electrical network.
+    pub net: SimNetwork,
+    /// Ground node.
+    pub gnd: SimNodeId,
+    /// Supply node.
+    pub vdd: SimNodeId,
+    /// One driven node per cell input pin.
+    pub pin_nodes: Vec<SimNodeId>,
+    /// Output node of each stage; the last one is the cell output.
+    pub stage_outputs: Vec<SimNodeId>,
+    /// Initial-guess voltage per node for DC settling: rails at their
+    /// levels, PDN internal nodes low, PUN internal nodes high.
+    pub init_guess: Vec<f64>,
+}
+
+impl CellNetwork {
+    /// The cell output node.
+    pub fn output(&self) -> SimNodeId {
+        *self
+            .stage_outputs
+            .last()
+            .expect("cells have at least one stage")
+    }
+}
+
+/// Builds the switch-level network of `cell` in `tech` at supply `vdd_v`.
+///
+/// Capacitances attached: gate capacitance (`width · c_gate`) on every
+/// internal gating node, junction capacitance (`width · c_drain`) on both
+/// channel terminals of every device, and a small floor capacitance on
+/// every internal node so the nodal matrix stays regular.
+pub fn build_cell_network(cell: &Cell, tech: &Technology, vdd_v: f64) -> CellNetwork {
+    let topo = cell.topology();
+    let mut net = SimNetwork::new();
+    let gnd = net.add_node(NodeKind::Ground, 0.0, "gnd");
+    let vdd = net.add_node(NodeKind::Supply, 0.0, "vdd");
+    let mut init_guess = vec![0.0, vdd_v];
+    let pin_nodes: Vec<SimNodeId> = (0..cell.num_pins())
+        .map(|p| {
+            init_guess.push(0.0);
+            net.add_node(
+                NodeKind::Driven(Waveform::constant(0.0)),
+                0.0,
+                cell.pin_names()[p as usize].clone(),
+            )
+        })
+        .collect();
+    let mut stage_outputs: Vec<SimNodeId> = Vec::new();
+    for (si, stage) in topo.stages.iter().enumerate() {
+        let label = if si + 1 == topo.stages.len() {
+            "Z".to_string()
+        } else {
+            format!("s{si}")
+        };
+        let out = net.add_node(NodeKind::Internal, 0.01, &label);
+        init_guess.push(vdd_v); // refined below by DC settling
+        let resolve = |s: Signal| -> SimNodeId {
+            match s {
+                Signal::Pin(p) => pin_nodes[p as usize],
+                Signal::Stage(i) => stage_outputs[i],
+            }
+        };
+        // PDN between output and ground.
+        flatten(
+            &mut net,
+            &mut init_guess,
+            &stage.pulldown,
+            out,
+            gnd,
+            MosType::N,
+            stage.nmos_width,
+            &resolve,
+            &format!("{label}.pdn"),
+            0.0,
+        );
+        // PUN between supply and output (dual network).
+        flatten(
+            &mut net,
+            &mut init_guess,
+            &stage.pullup(),
+            vdd,
+            out,
+            MosType::P,
+            stage.pmos_width,
+            &resolve,
+            &format!("{label}.pun"),
+            vdd_v,
+        );
+        stage_outputs.push(out);
+    }
+    // Gate and junction capacitances.
+    for di in 0..net.num_devices() {
+        let (gate, a, b, width) = {
+            let d = &net.devices[di];
+            (d.gate, d.a, d.b, d.width)
+        };
+        if matches!(net.node(gate).kind, NodeKind::Internal) {
+            net.add_cap(gate, width * tech.c_gate);
+        }
+        for term in [a, b] {
+            if matches!(net.node(term).kind, NodeKind::Internal) {
+                net.add_cap(term, width * tech.c_drain);
+            }
+        }
+    }
+    CellNetwork {
+        net,
+        gnd,
+        vdd,
+        pin_nodes,
+        stage_outputs,
+        init_guess,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flatten(
+    net: &mut SimNetwork,
+    init_guess: &mut Vec<f64>,
+    sp: &SpNet,
+    top: SimNodeId,
+    bot: SimNodeId,
+    mos: MosType,
+    width: f64,
+    resolve: &dyn Fn(Signal) -> SimNodeId,
+    prefix: &str,
+    internal_guess: f64,
+) {
+    match sp {
+        SpNet::Device(s) => net.add_device(SimDevice {
+            gate: resolve(*s),
+            a: top,
+            b: bot,
+            mos,
+            width,
+        }),
+        SpNet::Parallel(children) => {
+            for c in children {
+                flatten(
+                    net, init_guess, c, top, bot, mos, width, resolve, prefix,
+                    internal_guess,
+                );
+            }
+        }
+        SpNet::Series(children) => {
+            let mut upper = top;
+            for (i, c) in children.iter().enumerate() {
+                let lower = if i + 1 == children.len() {
+                    bot
+                } else {
+                    let mid = net.add_node(
+                        NodeKind::Internal,
+                        0.01,
+                        format!("{prefix}.x{}", net.num_nodes()),
+                    );
+                    init_guess.push(internal_guess);
+                    mid
+                };
+                flatten(
+                    net, init_guess, c, upper, lower, mos, width, resolve, prefix,
+                    internal_guess,
+                );
+                upper = lower;
+            }
+        }
+    }
+}
+
+/// The electrically derived input capacitance of a cell pin: total gate
+/// width attached to the pin times the per-width gate capacitance.
+///
+/// (The paper obtains the same quantity by integrating the input current
+/// during a transition and dividing by VDD; in a lumped-C model that
+/// integral is exactly the attached capacitance, so the closed form is
+/// used.)
+pub fn input_capacitance(cell: &Cell, tech: &Technology, pin: u8) -> f64 {
+    let mut c = 0.0;
+    for stage in &cell.topology().stages {
+        for s in stage.pulldown.signals() {
+            if s == Signal::Pin(pin) {
+                c += (stage.nmos_width + stage.pmos_width) * tech.c_gate;
+            }
+        }
+    }
+    c
+}
+
+/// Average input capacitance over all pins — the per-cell-type `Cin` used
+/// in the paper's equivalent-fanout definition `Fo = Cout / Cin`.
+pub fn cell_input_cap(cell: &Cell, tech: &Technology) -> f64 {
+    let n = cell.num_pins();
+    (0..n).map(|p| input_capacitance(cell, tech, p)).sum::<f64>() / f64::from(n)
+}
+
+/// How the switching pin is driven.
+#[derive(Clone, Debug)]
+pub enum Drive<'a> {
+    /// A linear full-swing ramp with the given transition time (ps).
+    Ramp {
+        /// Transition time, ps.
+        transition: f64,
+    },
+    /// An explicit waveform (e.g. the measured output of the previous
+    /// stage of a path). It is shifted so its 50 % crossing lands at a
+    /// comfortable offset inside the simulation window.
+    Wave(&'a Waveform),
+}
+
+/// Measured outcome of one sensitized transition through a cell.
+#[derive(Clone, Debug)]
+pub struct ArcSimOutcome {
+    /// 50 %-to-50 % propagation delay, ps.
+    pub delay: f64,
+    /// Output transition time, ps (20–80 % rescaled).
+    pub output_slew: f64,
+    /// The output edge direction.
+    pub output_edge: Edge,
+    /// The full output waveform (local time axis).
+    pub wave: Waveform,
+}
+
+/// Simulates a transition of `input_edge` on `vector.pin` of `cell`, with
+/// the side inputs held at the vector's values and `load_ff` of load on the
+/// output.
+///
+/// # Errors
+///
+/// Returns [`EsimError::NoTransition`] if the output never completes the
+/// expected transition (e.g. the vector does not sensitize the pin), and
+/// [`EsimError::NoInputTransition`] if the drive waveform has no crossing.
+pub fn simulate_arc(
+    cell: &Cell,
+    tech: &Technology,
+    corner: Corner,
+    vector: &SensVector,
+    input_edge: Edge,
+    drive: Drive<'_>,
+    load_ff: f64,
+) -> Result<ArcSimOutcome, EsimError> {
+    let mut cn = build_cell_network(cell, tech, corner.vdd);
+    cn.net.add_cap(cn.output(), load_ff);
+    let pin = vector.pin;
+    // Drive side pins at their DC values; the switching pin starts at its
+    // pre-transition level.
+    let initial_level = match input_edge {
+        Edge::Rise => 0.0,
+        Edge::Fall => corner.vdd,
+    };
+    for p in 0..cell.num_pins() {
+        let node = cn.pin_nodes[p as usize];
+        if p == pin {
+            cn.net.set_drive(node, Waveform::constant(initial_level));
+            cn.init_guess[node.index()] = initial_level;
+        } else {
+            let v = if vector.side_value(p).unwrap_or(false) {
+                corner.vdd
+            } else {
+                0.0
+            };
+            cn.net.set_drive(node, Waveform::constant(v));
+            cn.init_guess[node.index()] = v;
+        }
+    }
+    // Settle to the pre-transition operating point (this also charges any
+    // exposed internal nodes — the charge-sharing mechanism of paper
+    // Fig. 2b).
+    let dc = dc_operating_point(&cn.net, tech, corner, &cn.init_guess);
+
+    // Install the transition waveform.
+    const T_START: f64 = 25.0;
+    let (input_wave, t_in_est) = match drive {
+        Drive::Ramp { transition } => (
+            Waveform::ramp(T_START, transition, corner.vdd, input_edge),
+            transition.max(1.0),
+        ),
+        Drive::Wave(w) => {
+            let t50 = w
+                .t50(corner.vdd, input_edge)
+                .ok_or(EsimError::NoInputTransition)?;
+            let slew = w.transition_time(corner.vdd, input_edge).unwrap_or(50.0);
+            (w.shifted(T_START + slew - t50), slew.max(1.0))
+        }
+    };
+    let in_t50 = input_wave
+        .t50(corner.vdd, input_edge)
+        .ok_or(EsimError::NoInputTransition)?;
+    cn.net
+        .set_drive(cn.pin_nodes[pin as usize], input_wave);
+
+    let cfg = TransientConfig::for_transition(t_in_est);
+    let out_node = cn.output();
+    let outcome = simulate(&cn.net, tech, corner, &dc, &[out_node], &cfg);
+    let wave = outcome.waves[0].1.clone();
+    let output_edge = input_edge.through(vector.polarity);
+    let out_t50 = wave.t50(corner.vdd, output_edge).ok_or_else(|| {
+        EsimError::NoTransition {
+            cell: cell.name().to_string(),
+            node: "Z".to_string(),
+        }
+    })?;
+    let output_slew =
+        wave.transition_time(corner.vdd, output_edge)
+            .ok_or_else(|| EsimError::NoTransition {
+                cell: cell.name().to_string(),
+                node: "Z".to_string(),
+            })?;
+    Ok(ArcSimOutcome {
+        delay: out_t50 - in_t50,
+        output_slew,
+        output_edge,
+        wave,
+    })
+}
+
+impl Waveform {
+    /// Returns a copy shifted by `dt` ps (may be negative; samples ending
+    /// before t = 0 are clamped by dropping to the first remaining point's
+    /// value — simulation windows always start at 0).
+    pub fn shifted(&self, dt: f64) -> Waveform {
+        let pts: Vec<(f64, f64)> = self
+            .points()
+            .iter()
+            .map(|&(t, v)| (t + dt, v))
+            .filter(|&(t, _)| t >= 0.0)
+            .collect();
+        if pts.is_empty() {
+            Waveform::constant(self.final_value())
+        } else {
+            Waveform::new(pts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::Library;
+
+    #[test]
+    fn inverter_arc_simulates() {
+        let lib = Library::standard();
+        let inv = lib.cell_by_name("INV").unwrap();
+        let tech = Technology::n130();
+        let corner = Corner::nominal(&tech);
+        let v = &inv.vectors_of(0)[0];
+        let out = simulate_arc(
+            inv,
+            &tech,
+            corner,
+            v,
+            Edge::Rise,
+            Drive::Ramp { transition: 50.0 },
+            4.0,
+        )
+        .unwrap();
+        assert_eq!(out.output_edge, Edge::Fall);
+        assert!(out.delay > 0.0 && out.delay < 400.0, "delay {}", out.delay);
+        assert!(out.output_slew > 0.0 && out.output_slew < 1000.0);
+    }
+
+    /// The headline phenomenon (paper Tables 3–4): AO22 input-A *fall*
+    /// delay is larger for Case 2 (C=1, D=0) than Case 1 (C=0, D=0), and
+    /// Case 2 exceeds Case 3.
+    #[test]
+    fn ao22_fall_delay_depends_on_vector() {
+        let lib = Library::standard();
+        let ao22 = lib.cell_by_name("AO22").unwrap();
+        let tech = Technology::n130();
+        let corner = Corner::nominal(&tech);
+        let load = 4.0 * cell_input_cap(ao22, &tech);
+        let delay = |case: usize| {
+            let v = &ao22.vectors_of(0)[case - 1];
+            simulate_arc(
+                ao22,
+                &tech,
+                corner,
+                v,
+                Edge::Fall,
+                Drive::Ramp { transition: 60.0 },
+                load,
+            )
+            .unwrap()
+            .delay
+        };
+        let (d1, d2, d3) = (delay(1), delay(2), delay(3));
+        assert!(d2 > d1, "case2 {d2} should exceed case1 {d1}");
+        assert!(d3 > d1, "case3 {d3} should exceed case1 {d1}");
+        assert!(d2 > d3, "case2 {d2} should exceed case3 {d3}");
+        // Magnitude in a plausible band (paper: 12-22% for In Fall).
+        let spread = (d2 - d1) / d1;
+        assert!(
+            spread > 0.02 && spread < 0.5,
+            "spread {spread} out of band (d1={d1}, d2={d2})"
+        );
+    }
+
+    /// OA12 input-C rise: Case 3 (A=B=1, both parallel nMOS on) is the
+    /// fastest (paper Table 4 shows negative %diff for Cases 2/3).
+    #[test]
+    fn oa12_rise_case3_is_fastest() {
+        let lib = Library::standard();
+        let oa12 = lib.cell_by_name("OA12").unwrap();
+        let tech = Technology::n90();
+        let corner = Corner::nominal(&tech);
+        let load = 4.0 * cell_input_cap(oa12, &tech);
+        let delay = |case: usize| {
+            let v = &oa12.vectors_of(2)[case - 1];
+            simulate_arc(
+                oa12,
+                &tech,
+                corner,
+                v,
+                Edge::Rise,
+                Drive::Ramp { transition: 60.0 },
+                load,
+            )
+            .unwrap()
+            .delay
+        };
+        let (d1, d2, d3) = (delay(1), delay(2), delay(3));
+        assert!(d3 < d1, "case3 {d3} should beat case1 {d1}");
+        assert!(d3 < d2, "case3 {d3} should beat case2 {d2}");
+    }
+
+    #[test]
+    fn shifted_waveform_clamps_at_zero() {
+        let w = Waveform::new(vec![(10.0, 0.0), (20.0, 0.5), (30.0, 1.0)]);
+        let forward = w.shifted(5.0);
+        assert_eq!(forward.points()[0], (15.0, 0.0));
+        // Shifting left past zero drops clipped samples.
+        let back = w.shifted(-15.0);
+        assert_eq!(back.points().len(), 2);
+        assert_eq!(back.points()[0], (5.0, 0.5));
+        // Shifting everything out of range degrades to a constant.
+        let gone = w.shifted(-100.0);
+        assert_eq!(gone.final_value(), 1.0);
+    }
+
+    #[test]
+    fn input_capacitance_is_positive_and_additive() {
+        let lib = Library::standard();
+        let tech = Technology::n130();
+        let nand2 = lib.cell_by_name("NAND2").unwrap();
+        let c = input_capacitance(nand2, &tech, 0);
+        // NAND2: nMOS width 2 + pMOS width 2 → 4 units of gate cap.
+        assert!((c - 4.0 * tech.c_gate).abs() < 1e-12);
+        assert!((cell_input_cap(nand2, &tech) - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_drive_matches_ramp_drive_roughly() {
+        let lib = Library::standard();
+        let inv = lib.cell_by_name("INV").unwrap();
+        let tech = Technology::n90();
+        let corner = Corner::nominal(&tech);
+        let v = &inv.vectors_of(0)[0];
+        let ramp_out = simulate_arc(
+            inv,
+            &tech,
+            corner,
+            v,
+            Edge::Rise,
+            Drive::Ramp { transition: 80.0 },
+            3.0,
+        )
+        .unwrap();
+        let ramp_wave = Waveform::ramp(0.0, 80.0, corner.vdd, Edge::Rise);
+        let wave_out = simulate_arc(
+            inv,
+            &tech,
+            corner,
+            v,
+            Edge::Rise,
+            Drive::Wave(&ramp_wave),
+            3.0,
+        )
+        .unwrap();
+        let rel = (ramp_out.delay - wave_out.delay).abs() / ramp_out.delay;
+        assert!(rel < 0.05, "ramp {} vs wave {}", ramp_out.delay, wave_out.delay);
+    }
+}

@@ -1,0 +1,116 @@
+//! Switch-level RC electrical simulator — the reproduction's substitute for
+//! the SPICE/Spectre runs of the paper.
+//!
+//! The paper characterizes cells and validates paths with transistor-level
+//! electrical simulation of foundry libraries. Those models are not
+//! available here, so this crate implements the closest synthetic
+//! equivalent that preserves the phenomenon under study: a switch-level RC
+//! transient simulator in which every transistor of a cell's derived
+//! topology (see `sta-cells`) is a voltage-controlled conductance and every
+//! internal series node carries parasitic capacitance. That is precisely
+//! the physics the paper identifies as the root cause of
+//! sensitization-vector-dependent delay (§III): parallel ON devices reduce
+//! the effective charging resistance, and ON devices of the opposite
+//! network expose internal charge that must also be (dis)charged.
+//!
+//! * [`waveform`] — sampled waveforms and 50 % / 20–80 % measurements;
+//! * [`network`] — the RC network representation;
+//! * [`solver`] — backward-Euler transient and DC engines;
+//! * [`cellsim`] — building and simulating one cell instance;
+//! * [`pathsim`] — golden stage-by-stage path simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use sta_cells::{Corner, Edge, Library, Technology};
+//! use sta_esim::cellsim::{simulate_arc, Drive};
+//!
+//! # fn main() -> Result<(), sta_esim::EsimError> {
+//! let lib = Library::standard();
+//! let ao22 = lib.cell_by_name("AO22").expect("standard cell");
+//! let tech = Technology::n65();
+//! let corner = Corner::nominal(&tech);
+//! // Falling transition through input A, sensitized by Case 1 (B=1, C=0, D=0).
+//! let outcome = simulate_arc(
+//!     ao22,
+//!     &tech,
+//!     corner,
+//!     &ao22.vectors_of(0)[0],
+//!     Edge::Fall,
+//!     Drive::Ramp { transition: 60.0 },
+//!     5.0,
+//! )?;
+//! assert!(outcome.delay > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cellsim;
+pub mod network;
+pub mod pathsim;
+pub mod solver;
+pub mod vcd;
+pub mod waveform;
+
+pub use cellsim::{build_cell_network, cell_input_cap, input_capacitance, ArcSimOutcome, Drive};
+pub use network::{MosType, NodeKind, SimDevice, SimNetwork, SimNodeId};
+pub use pathsim::{simulate_path, PathMeasurement, PathStage};
+pub use solver::{dc_operating_point, simulate, TransientConfig, TransientOutcome};
+pub use vcd::write_vcd;
+pub use waveform::{propagation_delay, Waveform};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from electrical simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EsimError {
+    /// The observed node never completed the expected transition (the
+    /// applied vector may not sensitize the pin, or the horizon was too
+    /// short).
+    NoTransition {
+        /// Cell being simulated.
+        cell: String,
+        /// Node that failed to transition.
+        node: String,
+    },
+    /// The drive waveform contains no transition of the requested edge.
+    NoInputTransition,
+}
+
+impl fmt::Display for EsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EsimError::NoTransition { cell, node } => {
+                write!(
+                    f,
+                    "node {node} of cell {cell} never completed the expected transition"
+                )
+            }
+            EsimError::NoInputTransition => {
+                write!(f, "drive waveform has no transition of the requested edge")
+            }
+        }
+    }
+}
+
+impl Error for EsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = EsimError::NoTransition {
+            cell: "AO22".into(),
+            node: "Z".into(),
+        };
+        assert!(e.to_string().contains("AO22"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EsimError>();
+    }
+}

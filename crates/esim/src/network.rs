@@ -1,0 +1,188 @@
+//! Switch-level RC network representation.
+//!
+//! A [`SimNetwork`] is a set of electrical nodes connected by MOS devices
+//! modelled as voltage-controlled conductances. Units are chosen so that
+//! all arithmetic is unit-consistent without conversion factors:
+//! volts, kΩ (conductance mS), fF, ps — since 1 kΩ · 1 fF = 1 ps.
+
+use crate::waveform::Waveform;
+
+/// Index of an electrical node within a [`SimNetwork`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SimNodeId(pub(crate) usize);
+
+impl SimNodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What fixes (or does not fix) a node's voltage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// Ground: 0 V.
+    Ground,
+    /// The supply rail, at the operating VDD.
+    Supply,
+    /// An externally driven node following a [`Waveform`] (cell inputs).
+    Driven(Waveform),
+    /// A floating node solved by the transient engine.
+    Internal,
+}
+
+/// One electrical node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimNode {
+    /// Drive kind.
+    pub kind: NodeKind,
+    /// Lumped capacitance to ground, fF.
+    pub cap: f64,
+    /// Debug label (e.g. `"Z"`, `"s0"`, `"s0.pdn.1"`).
+    pub label: String,
+}
+
+/// MOS device channel type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MosType {
+    /// n-channel: conducts when the gate is high.
+    N,
+    /// p-channel: conducts when the gate is low.
+    P,
+}
+
+/// A transistor: a conductance between `a` and `b` controlled by the
+/// voltage at `gate`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimDevice {
+    /// Controlling node.
+    pub gate: SimNodeId,
+    /// First channel terminal.
+    pub a: SimNodeId,
+    /// Second channel terminal.
+    pub b: SimNodeId,
+    /// Channel type.
+    pub mos: MosType,
+    /// Width in unit widths (divides the technology on-resistance).
+    pub width: f64,
+}
+
+/// A switch-level RC network.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimNetwork {
+    pub(crate) nodes: Vec<SimNode>,
+    pub(crate) devices: Vec<SimDevice>,
+}
+
+impl SimNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        SimNetwork::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, cap: f64, label: impl Into<String>) -> SimNodeId {
+        let id = SimNodeId(self.nodes.len());
+        self.nodes.push(SimNode {
+            kind,
+            cap,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Adds capacitance to an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn add_cap(&mut self, node: SimNodeId, cap: f64) {
+        self.nodes[node.0].cap += cap;
+    }
+
+    /// Adds a device.
+    pub fn add_device(&mut self, device: SimDevice) {
+        self.devices.push(device);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: SimNodeId) -> &SimNode {
+        &self.nodes[id.0]
+    }
+
+    /// Looks a node up by label.
+    pub fn node_by_label(&self, label: &str) -> Option<SimNodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.label == label)
+            .map(SimNodeId)
+    }
+
+    /// Replaces the waveform of a driven node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not [`NodeKind::Driven`].
+    pub fn set_drive(&mut self, node: SimNodeId, wave: Waveform) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Driven(w) => *w = wave,
+            other => panic!("node {:?} is not driven (kind {:?})", node, other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut net = SimNetwork::new();
+        let gnd = net.add_node(NodeKind::Ground, 0.0, "gnd");
+        let vdd = net.add_node(NodeKind::Supply, 0.0, "vdd");
+        let inp = net.add_node(NodeKind::Driven(Waveform::constant(0.0)), 0.0, "A");
+        let out = net.add_node(NodeKind::Internal, 2.0, "Z");
+        net.add_device(SimDevice {
+            gate: inp,
+            a: out,
+            b: gnd,
+            mos: MosType::N,
+            width: 1.0,
+        });
+        net.add_device(SimDevice {
+            gate: inp,
+            a: vdd,
+            b: out,
+            mos: MosType::P,
+            width: 2.0,
+        });
+        net.add_cap(out, 1.5);
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.num_devices(), 2);
+        assert_eq!(net.node(out).cap, 3.5);
+        assert_eq!(net.node_by_label("Z"), Some(out));
+        assert_eq!(net.node_by_label("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not driven")]
+    fn set_drive_requires_driven_node() {
+        let mut net = SimNetwork::new();
+        let n = net.add_node(NodeKind::Internal, 1.0, "x");
+        net.set_drive(n, Waveform::constant(1.0));
+    }
+}

@@ -1,0 +1,525 @@
+//! Backward-Euler transient engine for switch-level RC networks.
+//!
+//! Each timestep solves the nodal equation
+//! `(C/Δt + G(v)) · v(t) = C/Δt · v(t−Δt) + I_fixed`
+//! over the internal nodes, where `G` collects device conductances
+//! evaluated at the previous step's voltages (semi-implicit) and `I_fixed`
+//! the currents injected through devices tied to rails or driven nodes.
+//! Backward Euler is unconditionally stable, so large steps double as a DC
+//! solver (see [`dc_operating_point`]).
+//!
+//! The conductance law is a velocity-saturated switch:
+//! `g = (w / R_on) · clamp((V_ov / (VDD − Vt)), 0, 1)^α` with the overdrive
+//! `V_ov = Vgs − Vt` (nMOS) or `Vsg − |Vt|` (pMOS). This is deliberately
+//! simple — the paper's vector-dependence phenomenon is topological (which
+//! devices are ON, what internal charge is exposed), and this model keeps
+//! exactly that physics while staying fast enough to characterize whole
+//! libraries.
+
+use sta_cells::{Corner, Technology};
+
+use crate::network::{MosType, NodeKind, SimNetwork, SimNodeId};
+use crate::waveform::Waveform;
+
+/// Configuration of a transient run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransientConfig {
+    /// Timestep, ps.
+    pub dt: f64,
+    /// Simulate at least this long, ps.
+    pub t_min: f64,
+    /// Hard stop, ps.
+    pub t_max: f64,
+    /// Consider the network settled when no internal node moved more than
+    /// [`TransientConfig::settle_tol`] volts over this window, ps.
+    pub settle_window: f64,
+    /// Settle tolerance, volts.
+    pub settle_tol: f64,
+}
+
+impl TransientConfig {
+    /// A reasonable default for a transition of the given input slew: step
+    /// fine enough to resolve the ramp, horizon long enough to settle.
+    ///
+    /// `t_min` must cover the stimulus onset *and* the full input ramp plus
+    /// slack, otherwise a slow-starting input looks "settled" before it
+    /// ever moves — cell simulations start their ramps a few tens of ps
+    /// into the window.
+    pub fn for_transition(t_in: f64) -> Self {
+        let dt = (t_in / 60.0).clamp(0.25, 4.0);
+        TransientConfig {
+            dt,
+            t_min: 2.0 * t_in + 150.0,
+            t_max: t_in * 4.0 + 40_000.0,
+            settle_window: 40.0 * dt,
+            // Per-step motion threshold. An exponential tail with time
+            // constant τ still moves (ΔV/τ)·dt per step, so stopping at a
+            // *fixed* per-step threshold would abandon slow nodes far from
+            // the rail. Scaling with dt bounds the remaining swing at
+            // stop to ΔV < τ · tol / dt ≈ 1 % for τ up to ~2 ns.
+            settle_tol: 5e-6 * dt,
+        }
+    }
+}
+
+/// Result of a transient run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransientOutcome {
+    /// Recorded node waveforms, in the order requested.
+    pub waves: Vec<(SimNodeId, Waveform)>,
+    /// Final voltage of every node.
+    pub end_voltages: Vec<f64>,
+    /// Time reached, ps.
+    pub end_time: f64,
+}
+
+/// Runs a transient analysis from the given initial node voltages.
+///
+/// `init` must provide one voltage per node (rail and driven entries are
+/// overwritten from their definitions). The waveforms of nodes listed in
+/// `record` are sampled every step.
+///
+/// # Panics
+///
+/// Panics if `init.len() != net.num_nodes()` or the nodal matrix is
+/// singular (an internal node with neither capacitance nor any conducting
+/// path — the cell builder always attaches capacitance, so this indicates
+/// a malformed hand-built network).
+pub fn simulate(
+    net: &SimNetwork,
+    tech: &Technology,
+    corner: Corner,
+    init: &[f64],
+    record: &[SimNodeId],
+    cfg: &TransientConfig,
+) -> TransientOutcome {
+    assert_eq!(init.len(), net.num_nodes(), "one initial voltage per node");
+    let mut state = State::new(net, tech, corner, init.to_vec());
+    let mut traces: Vec<Vec<(f64, f64)>> = record
+        .iter()
+        .map(|&id| vec![(0.0, state.v[id.index()])])
+        .collect();
+
+    let window_steps = ((cfg.settle_window / cfg.dt).ceil() as usize).max(2);
+    let mut recent_motion: Vec<f64> = Vec::new();
+    let mut t = 0.0;
+    let mut dt = cfg.dt;
+    // Tail acceleration: once past the stimulus window the network decays
+    // exponentially, so the (unconditionally stable) backward-Euler step
+    // can grow geometrically without hurting the 20/50/80 % crossing
+    // accuracy that was resolved during the fine phase.
+    let coarse_after = 0.8 * cfg.t_min;
+    let dt_cap = (cfg.dt * 24.0).min(16.0);
+    while t < cfg.t_max {
+        if t > coarse_after && dt < dt_cap {
+            dt = (dt * 1.06).min(dt_cap);
+        }
+        t += dt;
+        let motion = state.step(t, dt);
+        for (trace, &id) in traces.iter_mut().zip(record) {
+            trace.push((t, state.v[id.index()]));
+        }
+        // Normalize the motion to the nominal step so the settle
+        // criterion is step-size independent.
+        recent_motion.push(motion * cfg.dt / dt);
+        if recent_motion.len() > window_steps {
+            recent_motion.remove(0);
+        }
+        let settled = recent_motion.len() == window_steps
+            && recent_motion.iter().all(|&m| m < cfg.settle_tol);
+        if t >= cfg.t_min && settled {
+            break;
+        }
+    }
+    TransientOutcome {
+        waves: record
+            .iter()
+            .copied()
+            .zip(traces.into_iter().map(Waveform::new))
+            .collect(),
+        end_voltages: state.v,
+        end_time: t,
+    }
+}
+
+/// Computes a DC operating point by running backward Euler with a huge
+/// timestep until the voltages stop moving (each giant step is one fixed
+/// point iteration of the nonlinear DC problem).
+///
+/// Nodes with no conducting path to any fixed node keep their `init_guess`
+/// voltage — that is the physically right behaviour for isolated internal
+/// nodes holding charge.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn dc_operating_point(
+    net: &SimNetwork,
+    tech: &Technology,
+    corner: Corner,
+    init_guess: &[f64],
+) -> Vec<f64> {
+    assert_eq!(init_guess.len(), net.num_nodes());
+    let mut state = State::new(net, tech, corner, init_guess.to_vec());
+    // Waveform time 0 values are used for driven nodes.
+    for iter in 0..200 {
+        let motion = state.step(0.0, 1e9);
+        if motion < 1e-7 && iter >= 3 {
+            break;
+        }
+    }
+    state.v
+}
+
+struct State<'a> {
+    net: &'a SimNetwork,
+    tech: &'a Technology,
+    corner: Corner,
+    /// Current node voltages.
+    v: Vec<f64>,
+    /// Dense index of internal nodes (usize::MAX for fixed nodes).
+    int_index: Vec<usize>,
+    internals: Vec<usize>,
+    /// Scratch matrices for the solve.
+    a: Vec<f64>,
+    rhs: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl<'a> State<'a> {
+    fn new(net: &'a SimNetwork, tech: &'a Technology, corner: Corner, mut v: Vec<f64>) -> Self {
+        let mut int_index = vec![usize::MAX; net.num_nodes()];
+        let mut internals = Vec::new();
+        for (i, node) in net.nodes.iter().enumerate() {
+            match &node.kind {
+                NodeKind::Internal => {
+                    int_index[i] = internals.len();
+                    internals.push(i);
+                }
+                NodeKind::Ground => v[i] = 0.0,
+                NodeKind::Supply => v[i] = corner.vdd,
+                NodeKind::Driven(w) => v[i] = w.at(0.0),
+            }
+        }
+        let n = internals.len();
+        State {
+            net,
+            tech,
+            corner,
+            v,
+            int_index,
+            internals,
+            a: vec![0.0; n * n],
+            rhs: vec![0.0; n],
+            perm: vec![0; n],
+        }
+    }
+
+    fn device_conductance(&self, di: usize) -> f64 {
+        let dev = &self.net.devices[di];
+        let vg = self.v[dev.gate.index()];
+        let va = self.v[dev.a.index()];
+        let vb = self.v[dev.b.index()];
+        let t = self.corner.temperature;
+        let (overdrive, vt, r_on) = match dev.mos {
+            MosType::N => {
+                let vt = self.tech.vt_n_at(t);
+                (vg - va.min(vb) - vt, vt, self.tech.r_n_eff(dev.width, t))
+            }
+            MosType::P => {
+                let vt = self.tech.vt_p_at(t);
+                (va.max(vb) - vg - vt, vt, self.tech.r_p_eff(dev.width, t))
+            }
+        };
+        if overdrive <= 0.0 {
+            return 0.0;
+        }
+        let span = (self.corner.vdd - vt).max(0.05);
+        let x = (overdrive / span).min(1.0);
+        x.powf(self.tech.alpha) / r_on
+    }
+
+    /// One backward-Euler step to time `t`; returns the maximum voltage
+    /// change over internal nodes.
+    fn step(&mut self, t: f64, dt: f64) -> f64 {
+        // Update driven nodes.
+        for (i, node) in self.net.nodes.iter().enumerate() {
+            if let NodeKind::Driven(w) = &node.kind {
+                self.v[i] = w.at(t);
+            }
+        }
+        let n = self.internals.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.a.iter_mut().for_each(|x| *x = 0.0);
+        self.rhs.iter_mut().for_each(|x| *x = 0.0);
+        // Capacitive terms.
+        for (k, &ni) in self.internals.iter().enumerate() {
+            let c_over_dt = self.net.nodes[ni].cap / dt;
+            self.a[k * n + k] += c_over_dt;
+            self.rhs[k] += c_over_dt * self.v[ni];
+        }
+        // Device conductances.
+        for di in 0..self.net.devices.len() {
+            let g = self.device_conductance(di);
+            if g == 0.0 {
+                continue;
+            }
+            let dev = &self.net.devices[di];
+            let (ia, ib) = (dev.a.index(), dev.b.index());
+            let (ka, kb) = (self.int_index[ia], self.int_index[ib]);
+            match (ka != usize::MAX, kb != usize::MAX) {
+                (true, true) => {
+                    self.a[ka * n + ka] += g;
+                    self.a[kb * n + kb] += g;
+                    self.a[ka * n + kb] -= g;
+                    self.a[kb * n + ka] -= g;
+                }
+                (true, false) => {
+                    self.a[ka * n + ka] += g;
+                    self.rhs[ka] += g * self.v[ib];
+                }
+                (false, true) => {
+                    self.a[kb * n + kb] += g;
+                    self.rhs[kb] += g * self.v[ia];
+                }
+                (false, false) => {}
+            }
+        }
+        let solution = solve_dense(&mut self.a, &mut self.rhs, &mut self.perm, n);
+        let mut max_delta: f64 = 0.0;
+        for (k, &ni) in self.internals.iter().enumerate() {
+            max_delta = max_delta.max((solution[k] - self.v[ni]).abs());
+            self.v[ni] = solution[k];
+        }
+        max_delta
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting on a dense `n × n`
+/// system. Returns the solution (stored back into `rhs`).
+fn solve_dense<'b>(a: &mut [f64], rhs: &'b mut [f64], perm: &mut [usize], n: usize) -> &'b [f64] {
+    for (i, p) in perm.iter_mut().enumerate().take(n) {
+        *p = i;
+    }
+    for col in 0..n {
+        // Pivot.
+        let mut best = col;
+        let mut best_abs = a[perm[col] * n + col].abs();
+        for row in col + 1..n {
+            let v = a[perm[row] * n + col].abs();
+            if v > best_abs {
+                best = row;
+                best_abs = v;
+            }
+        }
+        assert!(best_abs > 1e-18, "singular nodal matrix");
+        perm.swap(col, best);
+        let prow = perm[col];
+        let pivot = a[prow * n + col];
+        for row in col + 1..n {
+            let r = perm[row];
+            let factor = a[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            a[r * n + col] = 0.0;
+            for k in col + 1..n {
+                a[r * n + k] -= factor * a[prow * n + k];
+            }
+            rhs[r] -= factor * rhs[prow];
+        }
+    }
+    // Back substitution into a scratch ordering, then write back.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let r = perm[col];
+        let mut acc = rhs[r];
+        for k in col + 1..n {
+            acc -= a[r * n + k] * x[k];
+        }
+        x[col] = acc / a[r * n + col];
+    }
+    rhs[..n].copy_from_slice(&x);
+    rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{MosType, NodeKind, SimDevice, SimNetwork};
+    use sta_cells::Edge;
+
+    fn inverter_net(tech: &Technology) -> (SimNetwork, SimNodeId, SimNodeId) {
+        let mut net = SimNetwork::new();
+        let gnd = net.add_node(NodeKind::Ground, 0.0, "gnd");
+        let vdd = net.add_node(NodeKind::Supply, 0.0, "vdd");
+        let a = net.add_node(
+            NodeKind::Driven(Waveform::constant(0.0)),
+            0.0,
+            "A",
+        );
+        let z = net.add_node(NodeKind::Internal, 0.0, "Z");
+        net.add_cap(z, 2.0 * tech.c_drain + 3.0); // self + load
+        net.add_device(SimDevice {
+            gate: a,
+            a: z,
+            b: gnd,
+            mos: MosType::N,
+            width: 1.0,
+        });
+        net.add_device(SimDevice {
+            gate: a,
+            a: vdd,
+            b: z,
+            mos: MosType::P,
+            width: 2.0,
+        });
+        (net, a, z)
+    }
+
+    #[test]
+    fn dc_inverter_levels() {
+        let tech = Technology::n130();
+        let corner = Corner::nominal(&tech);
+        let (net, _, z) = inverter_net(&tech);
+        // Input low -> output high.
+        let v = dc_operating_point(&net, &tech, corner, &vec![0.0; net.num_nodes()]);
+        assert!((v[z.index()] - corner.vdd).abs() < 1e-3, "Z = {}", v[z.index()]);
+    }
+
+    #[test]
+    fn transient_inverter_switches_and_settles() {
+        let tech = Technology::n130();
+        let corner = Corner::nominal(&tech);
+        let (mut net, a, z) = inverter_net(&tech);
+        // Start with input low, output high; ramp the input up.
+        net.set_drive(a, Waveform::ramp(50.0, 60.0, corner.vdd, Edge::Rise));
+        let mut init = vec![0.0; net.num_nodes()];
+        init[z.index()] = corner.vdd;
+        let cfg = TransientConfig::for_transition(60.0);
+        let out = simulate(&net, &tech, corner, &init, &[z], &cfg);
+        let wave = &out.waves[0].1;
+        // Output must fall to (near) 0 after the input rise.
+        assert!(wave.final_value() < 0.02, "final {}", wave.final_value());
+        let t50 = wave.t50(corner.vdd, Edge::Fall).expect("output fell");
+        assert!(t50 > 50.0, "output switches after the input starts");
+        // Delay from input 50% (80 ps) should be positive and modest.
+        let delay = t50 - 80.0;
+        assert!(delay > 0.0 && delay < 500.0, "delay = {delay}");
+    }
+
+    #[test]
+    fn heavier_load_is_slower() {
+        let tech = Technology::n90();
+        let corner = Corner::nominal(&tech);
+        let delay_with_load = |load: f64| {
+            let (mut net, a, z) = inverter_net(&tech);
+            net.add_cap(z, load);
+            net.set_drive(a, Waveform::ramp(20.0, 40.0, corner.vdd, Edge::Rise));
+            let mut init = vec![0.0; net.num_nodes()];
+            init[z.index()] = corner.vdd;
+            let cfg = TransientConfig::for_transition(40.0);
+            let out = simulate(&net, &tech, corner, &init, &[z], &cfg);
+            out.waves[0].1.t50(corner.vdd, Edge::Fall).unwrap() - 40.0
+        };
+        let d1 = delay_with_load(1.0);
+        let d2 = delay_with_load(8.0);
+        assert!(d2 > d1 * 1.5, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn hot_is_slower_than_cold() {
+        let tech = Technology::n65();
+        let delay_at = |temperature: f64| {
+            let corner = Corner {
+                temperature,
+                vdd: tech.vdd,
+            };
+            let (mut net, a, z) = inverter_net(&tech);
+            net.set_drive(a, Waveform::ramp(20.0, 40.0, corner.vdd, Edge::Rise));
+            let mut init = vec![0.0; net.num_nodes()];
+            init[z.index()] = corner.vdd;
+            let cfg = TransientConfig::for_transition(40.0);
+            let out = simulate(&net, &tech, corner, &init, &[z], &cfg);
+            out.waves[0].1.t50(corner.vdd, Edge::Fall).unwrap() - 40.0
+        };
+        assert!(delay_at(125.0) > delay_at(25.0));
+    }
+
+    #[test]
+    fn isolated_node_holds_charge() {
+        let tech = Technology::n90();
+        let corner = Corner::nominal(&tech);
+        let mut net = SimNetwork::new();
+        let _gnd = net.add_node(NodeKind::Ground, 0.0, "gnd");
+        let x = net.add_node(NodeKind::Internal, 1.0, "x");
+        let mut init = vec![0.0; net.num_nodes()];
+        init[x.index()] = 0.7;
+        let v = dc_operating_point(&net, &tech, corner, &init);
+        assert!((v[x.index()] - 0.7).abs() < 1e-12);
+    }
+
+    /// Numerical anchor: discharging a capacitor through a fully-on
+    /// transistor must follow the analytic RC exponential within the
+    /// backward-Euler error bound.
+    #[test]
+    fn transient_matches_analytic_rc_decay() {
+        let tech = Technology::n130();
+        let corner = Corner::nominal(&tech);
+        let mut net = SimNetwork::new();
+        let gnd = net.add_node(NodeKind::Ground, 0.0, "gnd");
+        // Gate held at VDD: the nMOS is fully on for the whole decay.
+        let gate = net.add_node(
+            NodeKind::Driven(Waveform::constant(corner.vdd)),
+            0.0,
+            "g",
+        );
+        let x = net.add_node(NodeKind::Internal, 10.0, "x"); // 10 fF
+        net.add_device(SimDevice {
+            gate,
+            a: x,
+            b: gnd,
+            mos: MosType::N,
+            width: 1.0,
+        });
+        let mut init = vec![0.0; net.num_nodes()];
+        // Start the capacitor at a LOW voltage so Vgs stays >> Vt and the
+        // conductance is the constant on-value throughout the decay.
+        let v0 = 0.2 * corner.vdd;
+        init[x.index()] = v0;
+        let cfg = TransientConfig {
+            dt: 0.5,
+            t_min: 300.0,
+            t_max: 2_000.0,
+            settle_window: 50.0,
+            settle_tol: 1e-9,
+        };
+        let out = simulate(&net, &tech, corner, &init, &[x], &cfg);
+        let wave = &out.waves[0].1;
+        // Conductance at Vg=VDD, source near 0: g = (1/r_n)·x^alpha with
+        // x = (VDD − Vt)/(VDD − Vt) = 1 → g = 1/r_n → τ = r_n · C.
+        let tau = tech.r_n * 10.0; // kΩ·fF = ps
+        for &t in &[20.0, 60.0, 120.0] {
+            let analytic = v0 * (-t / tau).exp();
+            let got = wave.at(t);
+            let err = (got - analytic).abs() / v0;
+            assert!(
+                err < 0.05,
+                "t={t}: got {got:.4}, analytic {analytic:.4} (tau {tau})"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_dense_solves_known_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut rhs = vec![5.0, 10.0];
+        let mut perm = vec![0, 0];
+        let x = solve_dense(&mut a, &mut rhs, &mut perm, 2);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

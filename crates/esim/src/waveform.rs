@@ -1,0 +1,205 @@
+//! Sampled voltage waveforms and timing measurements.
+//!
+//! All times are picoseconds, voltages are volts. Delay is measured at the
+//! 50 % supply crossing; transition time follows the common 20–80 %
+//! convention, rescaled to the full swing (a linear full-swing ramp of
+//! duration `D` therefore reports a transition time of exactly `D`).
+
+use sta_cells::Edge;
+
+/// A voltage waveform sampled at (time, voltage) points with strictly
+/// increasing times. Between samples the waveform is linear; outside the
+/// sampled range it holds the first/last value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Waveform {
+    points: Vec<(f64, f64)>,
+}
+
+impl Waveform {
+    /// Creates a waveform from sample points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or times are not strictly increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "waveform needs at least one sample");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "times must be strictly increasing");
+        }
+        Waveform { points }
+    }
+
+    /// A constant waveform.
+    pub fn constant(v: f64) -> Self {
+        Waveform {
+            points: vec![(0.0, v)],
+        }
+    }
+
+    /// A linear full-swing ramp starting at `t0` with duration
+    /// `transition` ps: rising from 0 to `vdd` or falling from `vdd` to 0.
+    pub fn ramp(t0: f64, transition: f64, vdd: f64, edge: Edge) -> Self {
+        let (v0, v1) = match edge {
+            Edge::Rise => (0.0, vdd),
+            Edge::Fall => (vdd, 0.0),
+        };
+        if transition <= 0.0 {
+            // An ideal step, represented with a 1 fs ramp.
+            return Waveform::new(vec![(t0, v0), (t0 + 1e-3, v1)]);
+        }
+        Waveform::new(vec![(t0, v0), (t0 + transition, v1)])
+    }
+
+    /// The sampled points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The voltage at time `t` (linear interpolation, flat extrapolation).
+    pub fn at(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the surrounding segment.
+        let mut lo = 0;
+        let mut hi = pts.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid].0 <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, v0) = pts[lo];
+        let (t1, v1) = pts[hi];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The final (settled) voltage.
+    pub fn final_value(&self) -> f64 {
+        self.points[self.points.len() - 1].1
+    }
+
+    /// The last time the waveform crosses `level` in the direction of
+    /// `edge` (upward for [`Edge::Rise`]), with linear interpolation.
+    ///
+    /// Returns `None` if no such crossing exists.
+    pub fn last_crossing(&self, level: f64, edge: Edge) -> Option<f64> {
+        let mut found = None;
+        for w in self.points.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            let crosses = match edge {
+                Edge::Rise => v0 < level && v1 >= level,
+                Edge::Fall => v0 > level && v1 <= level,
+            };
+            if crosses {
+                let f = (level - v0) / (v1 - v0);
+                found = Some(t0 + f * (t1 - t0));
+            }
+        }
+        found
+    }
+
+    /// Measures the transition time around the final `edge` transition:
+    /// `(t₈₀ − t₂₀) / 0.6` for a rise (mirror-image for a fall), scaled to
+    /// full swing.
+    ///
+    /// Returns `None` if the waveform never completes the transition.
+    pub fn transition_time(&self, vdd: f64, edge: Edge) -> Option<f64> {
+        let (lo, hi) = (0.2 * vdd, 0.8 * vdd);
+        let (t_start, t_end) = match edge {
+            Edge::Rise => (
+                self.last_crossing(lo, Edge::Rise)?,
+                self.last_crossing(hi, Edge::Rise)?,
+            ),
+            Edge::Fall => (
+                self.last_crossing(hi, Edge::Fall)?,
+                self.last_crossing(lo, Edge::Fall)?,
+            ),
+        };
+        if t_end < t_start {
+            return None; // non-monotone tail; no clean transition
+        }
+        Some((t_end - t_start) / 0.6)
+    }
+
+    /// The 50 %-VDD crossing time of the final `edge` transition.
+    pub fn t50(&self, vdd: f64, edge: Edge) -> Option<f64> {
+        self.last_crossing(0.5 * vdd, edge)
+    }
+}
+
+/// Measures the propagation delay between an input and an output waveform:
+/// difference of their 50 % crossings for the respective edges.
+pub fn propagation_delay(
+    input: &Waveform,
+    in_edge: Edge,
+    output: &Waveform,
+    out_edge: Edge,
+    vdd: f64,
+) -> Option<f64> {
+    Some(output.t50(vdd, out_edge)? - input.t50(vdd, in_edge)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_measurements() {
+        let w = Waveform::ramp(100.0, 60.0, 1.2, Edge::Rise);
+        assert!((w.t50(1.2, Edge::Rise).unwrap() - 130.0).abs() < 1e-9);
+        assert!((w.transition_time(1.2, Edge::Rise).unwrap() - 60.0).abs() < 1e-9);
+        assert_eq!(w.at(50.0), 0.0);
+        assert_eq!(w.at(1000.0), 1.2);
+        assert!((w.at(130.0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falling_ramp() {
+        let w = Waveform::ramp(0.0, 100.0, 1.0, Edge::Fall);
+        assert!((w.t50(1.0, Edge::Fall).unwrap() - 50.0).abs() < 1e-9);
+        assert!((w.transition_time(1.0, Edge::Fall).unwrap() - 100.0).abs() < 1e-9);
+        assert!(w.t50(1.0, Edge::Rise).is_none());
+    }
+
+    #[test]
+    fn last_crossing_picks_final_transition() {
+        // A glitch up then the real rise.
+        let w = Waveform::new(vec![
+            (0.0, 0.0),
+            (10.0, 0.7),
+            (20.0, 0.1),
+            (30.0, 1.0),
+        ]);
+        let t = w.last_crossing(0.5, Edge::Rise).unwrap();
+        assert!(t > 20.0 && t < 30.0, "t = {t}");
+    }
+
+    #[test]
+    fn delay_between_waveforms() {
+        let input = Waveform::ramp(0.0, 40.0, 1.0, Edge::Rise);
+        let output = Waveform::ramp(75.0, 80.0, 1.0, Edge::Fall);
+        let d = propagation_delay(&input, Edge::Rise, &output, Edge::Fall, 1.0).unwrap();
+        assert!((d - (115.0 - 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_has_no_crossings() {
+        let w = Waveform::constant(1.0);
+        assert!(w.t50(1.0, Edge::Rise).is_none());
+        assert_eq!(w.at(123.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_points_panic() {
+        let _ = Waveform::new(vec![(1.0, 0.0), (1.0, 1.0)]);
+    }
+}

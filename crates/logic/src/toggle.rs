@@ -1,0 +1,253 @@
+//! Static toggle (parity-delta) analysis.
+//!
+//! During path enumeration exactly one primary input carries a transition;
+//! every other PI is stable. Under that premise each net has a *delta* —
+//! whether its final value differs from its initial value:
+//!
+//! * `Zero` — the net provably keeps its value for **every** stable
+//!   assignment of the non-source PIs;
+//! * `One` — the net provably toggles for every such assignment;
+//! * `Unknown` — value-dependent.
+//!
+//! Deltas propagate exactly through XOR/XNOR/NOT/BUF (`delta_out = ⊕
+//! delta_in`), and conservatively through AND/OR-style logic (all-zero ⇒
+//! zero, otherwise unknown). The payoff is on reconvergent XOR logic
+//! (the c499/c1355 family): a side-input requirement of a *stable* value
+//! on a `One` net is unsatisfiable, and proving that by chronological
+//! backtracking over the XOR trees is exponential — the delta check
+//! refutes it in O(1).
+
+use sta_cells::func::Expr;
+use sta_cells::Library;
+use sta_netlist::{GateKind, NetId, Netlist, PrimOp};
+
+use crate::value::V9;
+
+/// The parity delta of a net between the two timeframes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Toggle {
+    /// Final value provably equals the initial value.
+    Zero,
+    /// Final value provably differs from the initial value.
+    One,
+    /// Value-dependent.
+    Unknown,
+}
+
+impl Toggle {
+    /// Exact XOR of two deltas (`Unknown` absorbs).
+    pub fn xor(self, o: Toggle) -> Toggle {
+        match (self, o) {
+            (Toggle::Unknown, _) | (_, Toggle::Unknown) => Toggle::Unknown,
+            (a, b) if a == b => Toggle::Zero,
+            _ => Toggle::One,
+        }
+    }
+
+    /// Whether a nine-valued requirement is compatible with this delta:
+    /// a `One` net can never hold a value with equal concrete frames, and
+    /// a `Zero` net can never hold a transition.
+    pub fn compatible(self, v: V9) -> bool {
+        use crate::value::TriVal;
+        let (i, f) = (v.init(), v.fin());
+        match self {
+            Toggle::Unknown => true,
+            Toggle::One => !(i != TriVal::X && i == f),
+            Toggle::Zero => !(i != TriVal::X && f != TriVal::X && i != f),
+        }
+    }
+}
+
+/// Computes the per-net delta for a transition launched at `source`, with
+/// every other primary input held stable.
+///
+/// # Panics
+///
+/// Panics if the netlist has a cycle.
+pub fn toggle_analysis(nl: &Netlist, lib: &Library, source: NetId) -> Vec<Toggle> {
+    let mut delta = vec![Toggle::Zero; nl.num_nets()];
+    delta[source.index()] = Toggle::One;
+    let order = nl.topo_gates();
+    assert_eq!(order.len(), nl.num_gates(), "netlist has a cycle");
+    for g in order {
+        let gate = nl.gate(g);
+        let out_net = gate.output();
+        // Structural XOR recognition: the classic four-NAND XOR
+        // (z = NAND(NAND(a, m), NAND(b, m)) with m = NAND(a, b)) computes
+        // a ⊕ b, so its delta is exactly delta(a) ⊕ delta(b). Without this
+        // peephole the NAND-expanded parity circuits (c1355) lose every
+        // exact delta and with it all static pruning.
+        if let Some((a, b)) = match_nand_xor(nl, lib, g) {
+            delta[out_net.index()] = delta[a.index()].xor(delta[b.index()]);
+            continue;
+        }
+        let ins: Vec<Toggle> = gate
+            .inputs()
+            .iter()
+            .map(|n| delta[n.index()])
+            .collect();
+        let out = match gate.kind() {
+            GateKind::Prim(op) => prim_delta(op, &ins),
+            GateKind::Cell(c) => expr_delta(lib.cell(c).expr(), &ins),
+        };
+        delta[out_net.index()] = out;
+    }
+    delta
+}
+
+/// Whether `gate` computes `NAND(x, y)` of exactly two inputs.
+fn nand2_inputs(nl: &Netlist, lib: &Library, g: sta_netlist::GateId) -> Option<(NetId, NetId)> {
+    let gate = nl.gate(g);
+    if gate.fanin() != 2 {
+        return None;
+    }
+    let is_nand = match gate.kind() {
+        GateKind::Prim(PrimOp::Nand) => true,
+        GateKind::Prim(_) => false,
+        GateKind::Cell(c) => {
+            use sta_cells::func::Expr;
+            matches!(
+                lib.cell(c).expr(),
+                Expr::Not(inner) if matches!(
+                    &**inner,
+                    Expr::And(kids) if kids.len() == 2
+                        && matches!(kids[0], Expr::Pin(_))
+                        && matches!(kids[1], Expr::Pin(_))
+                )
+            )
+        }
+    };
+    is_nand.then(|| (gate.inputs()[0], gate.inputs()[1]))
+}
+
+/// Matches the four-NAND XOR block rooted at `g`, returning its logical
+/// leaf inputs `(a, b)`.
+fn match_nand_xor(nl: &Netlist, lib: &Library, g: sta_netlist::GateId) -> Option<(NetId, NetId)> {
+    let (x, y) = nand2_inputs(nl, lib, g)?;
+    let gx = nl.net(x).driver()?;
+    let gy = nl.net(y).driver()?;
+    let (xa, xb) = nand2_inputs(nl, lib, gx)?;
+    let (ya, yb) = nand2_inputs(nl, lib, gy)?;
+    // Find the shared middle net m and the distinct leaves.
+    let (m, a, b) = if xa == ya {
+        (xa, xb, yb)
+    } else if xa == yb {
+        (xa, xb, ya)
+    } else if xb == ya {
+        (xb, xa, yb)
+    } else if xb == yb {
+        (xb, xa, ya)
+    } else {
+        return None;
+    };
+    let gm = nl.net(m).driver()?;
+    let (ma, mb) = nand2_inputs(nl, lib, gm)?;
+    ((ma == a && mb == b) || (ma == b && mb == a)).then_some((a, b))
+}
+
+fn prim_delta(op: PrimOp, ins: &[Toggle]) -> Toggle {
+    match op {
+        PrimOp::Not | PrimOp::Buf => ins[0],
+        PrimOp::Xor | PrimOp::Xnor => ins.iter().copied().fold(Toggle::Zero, Toggle::xor),
+        PrimOp::And | PrimOp::Or | PrimOp::Nand | PrimOp::Nor => {
+            if ins.iter().all(|&t| t == Toggle::Zero) {
+                Toggle::Zero
+            } else {
+                Toggle::Unknown
+            }
+        }
+    }
+}
+
+fn expr_delta(expr: &Expr, pins: &[Toggle]) -> Toggle {
+    match expr {
+        Expr::Pin(p) => pins[*p as usize],
+        Expr::Not(e) => expr_delta(e, pins),
+        Expr::Xor(es) => es
+            .iter()
+            .map(|e| expr_delta(e, pins))
+            .fold(Toggle::Zero, Toggle::xor),
+        Expr::And(es) | Expr::Or(es) => {
+            if es.iter().all(|e| expr_delta(e, pins) == Toggle::Zero) {
+                Toggle::Zero
+            } else {
+                Toggle::Unknown
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn xor_chains_are_exact() {
+        let lib = Library::standard();
+        let xor2 = lib.cell_by_name("XOR2").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.add_gate(GateKind::Cell(xor2), &[a, b], None).unwrap();
+        let y = nl.add_gate(GateKind::Cell(xor2), &[x, c], None).unwrap();
+        // Reconvergence: z = y ⊕ a — the source's parity cancels.
+        let z = nl.add_gate(GateKind::Cell(xor2), &[y, a], None).unwrap();
+        nl.mark_output(z);
+        let d = toggle_analysis(&nl, &lib, a);
+        assert_eq!(d[x.index()], Toggle::One, "x toggles with a");
+        assert_eq!(d[y.index()], Toggle::One);
+        assert_eq!(d[z.index()], Toggle::Zero, "parity of a cancels in z");
+    }
+
+    #[test]
+    fn and_logic_is_conservative() {
+        let lib = Library::standard();
+        let and2 = lib.cell_by_name("AND2").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.add_gate(GateKind::Cell(and2), &[a, b], None).unwrap();
+        let y = nl.add_gate(GateKind::Cell(and2), &[b, c], None).unwrap();
+        nl.mark_output(x);
+        nl.mark_output(y);
+        let d = toggle_analysis(&nl, &lib, a);
+        assert_eq!(d[x.index()], Toggle::Unknown, "may or may not pass");
+        assert_eq!(d[y.index()], Toggle::Zero, "cone without the source");
+    }
+
+    /// The four-NAND XOR block is recognized and gets the exact parity
+    /// delta, both mapped (NAND2 cells) and primitive.
+    #[test]
+    fn nand_xor_block_is_exact() {
+        let lib = Library::standard();
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let m = nl.add_gate(GateKind::Cell(nand2), &[a, b], None).unwrap();
+        let x = nl.add_gate(GateKind::Cell(nand2), &[a, m], None).unwrap();
+        let y = nl.add_gate(GateKind::Cell(nand2), &[m, b], None).unwrap();
+        let z = nl.add_gate(GateKind::Cell(nand2), &[x, y], None).unwrap();
+        nl.mark_output(z);
+        let d = toggle_analysis(&nl, &lib, a);
+        assert_eq!(d[z.index()], Toggle::One, "z = a XOR b toggles with a");
+        // A plain NAND pair without the shared-middle structure stays
+        // conservative.
+        assert_eq!(d[x.index()], Toggle::Unknown);
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        assert!(Toggle::One.compatible(V9::R));
+        assert!(Toggle::One.compatible(V9::XX));
+        assert!(Toggle::One.compatible(V9::X0));
+        assert!(!Toggle::One.compatible(V9::S0));
+        assert!(!Toggle::One.compatible(V9::S1));
+        assert!(Toggle::Zero.compatible(V9::S1));
+        assert!(!Toggle::Zero.compatible(V9::R));
+        assert!(Toggle::Unknown.compatible(V9::F));
+    }
+}

@@ -1,0 +1,304 @@
+//! Reader and writer for the ISCAS-85 `.bench` netlist format.
+//!
+//! The format, as used by the published ISCAS-85 benchmark set:
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Gate keywords are parsed
+//! case-insensitively (`BUFF` is accepted for `BUF`). Signals referenced
+//! before definition are allowed — the reader resolves forward references.
+
+use std::collections::HashMap;
+
+use crate::{GateKind, NetId, Netlist, NetlistError, PrimOp};
+
+/// Parses `.bench` text into a primitive-gate [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UnknownOperator`] for unknown gate keywords,
+/// [`NetlistError::MultipleDrivers`] / [`NetlistError::Undriven`] /
+/// [`NetlistError::Cycle`] if the described circuit is not a single-driver
+/// DAG.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sta_netlist::NetlistError> {
+/// let nl = sta_netlist::bench_fmt::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n", "inv")?;
+/// assert_eq!(nl.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str, design_name: &str) -> Result<Netlist, NetlistError> {
+    let mut nl = Netlist::new(design_name);
+    // First pass: declare inputs and collect gate lines so forward
+    // references resolve.
+    struct GateLine<'a> {
+        line_no: usize,
+        out: &'a str,
+        op: PrimOp,
+        ins: Vec<&'a str>,
+    }
+    let mut gate_lines: Vec<GateLine<'_>> = Vec::new();
+    let mut outputs: Vec<(usize, &str)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        // A declaration is `INPUT(name)` / `OUTPUT(name)`: keyword directly
+        // followed by a parenthesized name (a signal that merely *starts*
+        // with "input" would appear on the left of an '=' instead).
+        let decl = |kw: &str| -> Option<&str> {
+            upper
+                .strip_prefix(kw)
+                .filter(|rest| rest.trim_start().starts_with('('))
+                .map(|_| &line[kw.len()..])
+        };
+        if let Some(rest) = decl("INPUT") {
+            let name = strip_parens(rest, line_no)?;
+            if nl.net_by_name(name).is_some() {
+                return Err(NetlistError::DuplicateName(name.to_string()));
+            }
+            nl.add_input(name);
+        } else if let Some(rest) = decl("OUTPUT") {
+            outputs.push((line_no, strip_parens(rest, line_no)?));
+        } else if let Some(eq) = line.find('=') {
+            let out = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: "expected '(' after gate keyword".into(),
+            })?;
+            let close = rhs.rfind(')').ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: "missing closing ')'".into(),
+            })?;
+            let op: PrimOp = rhs[..open].trim().parse()?;
+            let ins: Vec<&str> = rhs[open + 1..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if ins.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "gate with no inputs".into(),
+                });
+            }
+            gate_lines.push(GateLine {
+                line_no,
+                out,
+                op,
+                ins,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized statement {line:?}"),
+            });
+        }
+    }
+
+    // Create all gate output nets up front so forward references resolve;
+    // the map covers both inputs and gate outputs.
+    let mut nets: HashMap<String, NetId> = nl
+        .inputs()
+        .iter()
+        .map(|&i| (nl.net(i).name().expect("named").to_string(), i))
+        .collect();
+    for gl in &gate_lines {
+        if nets.contains_key(gl.out) {
+            return Err(NetlistError::MultipleDrivers(gl.out.to_string()));
+        }
+        let id = nl.add_named_net(gl.out);
+        nets.insert(gl.out.to_string(), id);
+    }
+    // Wire the gates.
+    for gl in &gate_lines {
+        let out = nets[gl.out];
+        let mut ins = Vec::with_capacity(gl.ins.len());
+        for name in &gl.ins {
+            let id = nets
+                .get(*name)
+                .copied()
+                .ok_or_else(|| NetlistError::Parse {
+                    line: gl.line_no,
+                    message: format!("undefined signal {name:?}"),
+                })?;
+            ins.push(id);
+        }
+        nl.add_gate_driving(GateKind::Prim(gl.op), &ins, out)?;
+    }
+    for (line_no, name) in outputs {
+        let id = nets.get(name).copied().ok_or(NetlistError::Parse {
+            line: line_no,
+            message: format!("OUTPUT references undefined signal {name:?}"),
+        })?;
+        nl.mark_output(id);
+    }
+    nl.validate()?;
+    Ok(nl)
+}
+
+fn strip_parens(s: &str, line: usize) -> Result<&str, NetlistError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('(')
+        .and_then(|x| x.strip_suffix(')'))
+        .ok_or_else(|| NetlistError::Parse {
+            line,
+            message: "expected parenthesized name".into(),
+        })?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Err(NetlistError::Parse {
+            line,
+            message: "empty name".into(),
+        });
+    }
+    Ok(inner)
+}
+
+/// Serializes a primitive-gate netlist back to `.bench` text.
+///
+/// # Panics
+///
+/// Panics if the netlist contains [`GateKind::Cell`] instances (mapped
+/// netlists have no `.bench` representation).
+pub fn write(nl: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", nl.name()));
+    for &i in nl.inputs() {
+        out.push_str(&format!("INPUT({})\n", nl.net_label(i)));
+    }
+    for &o in nl.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", nl.net_label(o)));
+    }
+    out.push('\n');
+    for g in nl.topo_gates() {
+        let gate = nl.gate(g);
+        let op = match gate.kind() {
+            GateKind::Prim(op) => op,
+            GateKind::Cell(_) => panic!("cannot write a mapped netlist as .bench"),
+        };
+        let ins: Vec<String> = gate.inputs().iter().map(|&n| nl.net_label(n)).collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            nl.net_label(gate.output()),
+            op.keyword(),
+            ins.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 — the canonical tiny ISCAS-85 circuit
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let nl = parse(C17, "c17").unwrap();
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.num_gates(), 6);
+        assert_eq!(nl.depth(), 3);
+    }
+
+    #[test]
+    fn c17_logic_is_correct() {
+        let nl = parse(C17, "c17").unwrap();
+        // Inputs in declaration order: 1,2,3,6,7.
+        for bits in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|i| bits & (1 << i) != 0).collect();
+            let (i1, i2, i3, i6, i7) = (v[0], v[1], v[2], v[3], v[4]);
+            let n10 = !(i1 && i3);
+            let n11 = !(i3 && i6);
+            let n16 = !(i2 && n11);
+            let n19 = !(n11 && i7);
+            let o22 = !(n10 && n16);
+            let o23 = !(n16 && n19);
+            assert_eq!(nl.eval_prim(&v), vec![o22, o23], "bits={bits:05b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let nl = parse(C17, "c17").unwrap();
+        let text = write(&nl);
+        let back = parse(&text, "c17").unwrap();
+        assert_eq!(back.num_gates(), nl.num_gates());
+        assert_eq!(back.inputs().len(), nl.inputs().len());
+        for bits in [0u32, 5, 13, 31] {
+            let v: Vec<bool> = (0..5).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(back.eval_prim(&v), nl.eval_prim(&v));
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let nl = parse(
+            "INPUT(a)\nOUTPUT(z)\nz = NOT(m)\nm = BUF(a)\n",
+            "fwd",
+        )
+        .unwrap();
+        assert_eq!(nl.eval_prim(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let err = parse("INPUT(a)\nOUTPUT(z)\nz = NOT(q)\n", "bad").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let err =
+            parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n", "bad").unwrap_err();
+        assert_eq!(err, NetlistError::MultipleDrivers("z".into()));
+    }
+
+    #[test]
+    fn comments_and_case_are_tolerated() {
+        let nl = parse(
+            "# hi\nINPUT(x) # inline\noutput(y)\ny = nand(x, x)\n",
+            "t",
+        )
+        .unwrap();
+        assert_eq!(nl.eval_prim(&[true]), vec![false]);
+    }
+}

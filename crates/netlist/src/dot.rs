@@ -1,0 +1,121 @@
+//! Graphviz (`dot`) export of netlists, with optional highlighting of a
+//! path's nodes — handy for debugging mappers, generators and reported
+//! critical paths.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::{GateKind, NetId, Netlist};
+
+/// Options for the dot rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Nets to highlight (e.g. a critical path), drawn in bold red.
+    pub highlight: Vec<NetId>,
+    /// Resolves a cell id to a display name; primitives use their keyword.
+    /// When absent, cells render as `cell<N>`.
+    pub cell_names: Option<fn(crate::CellId) -> String>,
+}
+
+/// Renders the netlist as a Graphviz digraph. Gates are boxes, primary
+/// inputs/outputs are ellipses.
+pub fn to_dot(nl: &Netlist, opts: &DotOptions) -> String {
+    let highlighted: HashSet<usize> = opts.highlight.iter().map(|n| n.index()).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", nl.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for &pi in nl.inputs() {
+        let style = if highlighted.contains(&pi.index()) {
+            ", color=red, penwidth=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=ellipse{style}];",
+            nl.net_label(pi)
+        );
+    }
+    for g in nl.gate_ids() {
+        let gate = nl.gate(g);
+        let label = match gate.kind() {
+            GateKind::Prim(op) => op.keyword().to_string(),
+            GateKind::Cell(c) => match opts.cell_names {
+                Some(f) => f(c),
+                None => format!("{c}"),
+            },
+        };
+        let out_net = gate.output();
+        let node = format!("g{}", g.index());
+        let style = if highlighted.contains(&out_net.index()) {
+            ", color=red, penwidth=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"{node}\" [shape=box, label=\"{label}\\n{}\"{style}];",
+            nl.net_label(out_net)
+        );
+        for &inp in gate.inputs() {
+            let src = match nl.net(inp).driver() {
+                None => format!("\"{}\"", nl.net_label(inp)),
+                Some(d) => format!("\"g{}\"", d.index()),
+            };
+            let edge_style = if highlighted.contains(&inp.index())
+                && highlighted.contains(&out_net.index())
+            {
+                " [color=red, penwidth=2]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {src} -> \"{node}\"{edge_style};");
+        }
+    }
+    for &po in nl.outputs() {
+        let sink = format!("\"{}_out\"", nl.net_label(po));
+        let _ = writeln!(out, "  {sink} [shape=ellipse, label=\"{}\"];", nl.net_label(po));
+        let src = match nl.net(po).driver() {
+            None => format!("\"{}\"", nl.net_label(po)),
+            Some(d) => format!("\"g{}\"", d.index()),
+        };
+        let _ = writeln!(out, "  {src} -> {sink};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Netlist, PrimOp};
+
+    #[test]
+    fn dot_export_mentions_every_gate_and_port() {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[a, b], Some("x"))
+            .unwrap();
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::Not), &[x], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        let dot = to_dot(
+            &nl,
+            &DotOptions {
+                highlight: vec![a, x, z],
+                cell_names: None,
+            },
+        );
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("NAND"));
+        assert!(dot.contains("NOT"));
+        assert!(dot.contains("color=red"), "{dot}");
+        assert_eq!(dot.matches("shape=box").count(), 2);
+        // Two inputs + one output ellipse.
+        assert_eq!(dot.matches("shape=ellipse").count(), 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for netlist construction, validation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was created with no inputs, or a unary gate with the wrong
+    /// arity.
+    BadArity {
+        /// Description of the offending gate.
+        gate: String,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// A net was driven by two gates (or by a gate and a primary input).
+    MultipleDrivers(String),
+    /// A net is used but never driven and is not a primary input.
+    Undriven(String),
+    /// The netlist contains a combinational cycle through the named net.
+    Cycle(String),
+    /// A `.bench`/Verilog keyword did not name a known operator.
+    UnknownOperator(String),
+    /// Generic parse failure with line number (1-based) and message.
+    Parse {
+        /// Line the failure occurred on, 1-based.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A name was referenced before/without declaration.
+    UnknownName(String),
+    /// A duplicate declaration of a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { gate, got } => {
+                write!(f, "gate {gate} has invalid fan-in {got}")
+            }
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::Undriven(n) => write!(f, "net {n} is used but never driven"),
+            NetlistError::Cycle(n) => write!(f, "combinational cycle through net {n}"),
+            NetlistError::UnknownOperator(s) => write!(f, "unknown gate operator {s:?}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::UnknownName(n) => write!(f, "unknown name {n:?}"),
+            NetlistError::DuplicateName(n) => write!(f, "duplicate declaration of {n:?}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "expected '='".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: expected '='");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

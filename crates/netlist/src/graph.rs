@@ -1,0 +1,607 @@
+//! The core netlist graph: nets, gates, builders and DAG utilities.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::{CellId, GateId, NetId, NetlistError, PrimOp};
+
+/// What a gate instance computes: a primitive operator or a library cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// A primitive Boolean operator (raw `.bench`-style netlists).
+    Prim(PrimOp),
+    /// An instance of a standard-cell type from an external library.
+    Cell(CellId),
+}
+
+/// A reference to one input pin of one gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PinRef {
+    /// The gate owning the pin.
+    pub gate: GateId,
+    /// Zero-based input pin position within the gate.
+    pub pin: usize,
+}
+
+/// A gate instance: its kind, ordered input nets and single output net.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// The gate's function.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Ordered input nets.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The net this gate drives.
+    #[inline]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Number of input pins.
+    #[inline]
+    pub fn fanin(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns the pin position(s) at which `net` feeds this gate.
+    pub fn pins_of(&self, net: NetId) -> impl Iterator<Item = usize> + '_ {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &n)| n == net)
+            .map(|(i, _)| i)
+    }
+}
+
+/// A net: a single-driver signal with a fan-out list.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    name: Option<String>,
+    driver: Option<GateId>,
+    fanout: Vec<PinRef>,
+    is_input: bool,
+}
+
+impl Net {
+    /// Optional user-visible name.
+    #[inline]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The gate driving this net, or `None` for primary inputs.
+    #[inline]
+    pub fn driver(&self) -> Option<GateId> {
+        self.driver
+    }
+
+    /// The gate input pins this net feeds.
+    #[inline]
+    pub fn fanout(&self) -> &[PinRef] {
+        &self.fanout
+    }
+
+    /// Whether this net is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        self.is_input
+    }
+
+    /// Whether the net is a fanout stem (feeds more than one pin).
+    #[inline]
+    pub fn is_stem(&self) -> bool {
+        self.fanout.len() > 1
+    }
+}
+
+/// A combinational gate-level netlist.
+///
+/// Nets are single-driver; primary inputs are undriven nets; primary outputs
+/// are an ordered list of nets. The structure is append-only: gates and nets
+/// can be added but not removed (rebuild instead — netlists here are
+/// produced by parsers and generators, not edited interactively).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    #[serde(skip)]
+    name_index: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design (generators build under descriptive names and
+    /// catalogs expose benchmark aliases).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of nets (including primary inputs).
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gate instances.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Primary input nets, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets, in declaration order.
+    #[inline]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Immutable access to a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Immutable access to a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl ExactSizeIterator<Item = NetId> {
+        (0..self.nets.len()).map(NetId::from_index)
+    }
+
+    /// Iterates over all gate ids.
+    pub fn gate_ids(&self) -> impl ExactSizeIterator<Item = GateId> {
+        (0..self.gates.len()).map(GateId::from_index)
+    }
+
+    /// Looks a net up by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// A printable name for a net: its declared name, or `n<index>`.
+    pub fn net_label(&self, id: NetId) -> String {
+        self.net(id)
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("{id}"))
+    }
+
+    /// Adds a primary input net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (inputs are created by generators
+    /// and parsers which control their namespaces; a duplicate is a logic
+    /// error there).
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let id = self.new_net(Some(name), true);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds an anonymous internal net (to be driven by a later gate).
+    pub fn add_net(&mut self) -> NetId {
+        self.new_net(None, false)
+    }
+
+    /// Adds a named internal net (to be driven by a later gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_named_net(&mut self, name: impl Into<String>) -> NetId {
+        self.new_net(Some(name.into()), false)
+    }
+
+    fn new_net(&mut self, name: Option<String>, is_input: bool) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        if let Some(ref n) = name {
+            let prev = self.name_index.insert(n.clone(), id);
+            assert!(prev.is_none(), "duplicate net name {n:?}");
+        }
+        self.nets.push(Net {
+            name,
+            driver: None,
+            fanout: Vec::new(),
+            is_input,
+        });
+        id
+    }
+
+    /// Adds a gate driving a fresh net and returns that output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if the fan-in is invalid for the
+    /// kind (empty, or ≠ 1 for unary primitives).
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output_name: Option<&str>,
+    ) -> Result<NetId, NetlistError> {
+        let out = match output_name {
+            Some(n) => self.add_named_net(n),
+            None => self.add_net(),
+        };
+        self.add_gate_driving(kind, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Adds a gate that drives an existing (so far undriven) net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] for an invalid fan-in and
+    /// [`NetlistError::MultipleDrivers`] if `output` is already driven or is
+    /// a primary input.
+    pub fn add_gate_driving(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, NetlistError> {
+        let arity_ok = match kind {
+            GateKind::Prim(op) if op.is_unary() => inputs.len() == 1,
+            _ => !inputs.is_empty(),
+        };
+        if !arity_ok {
+            return Err(NetlistError::BadArity {
+                gate: format!("{kind:?}"),
+                got: inputs.len(),
+            });
+        }
+        {
+            let net = &self.nets[output.index()];
+            if net.driver.is_some() || net.is_input {
+                return Err(NetlistError::MultipleDrivers(self.net_label(output)));
+            }
+        }
+        let gid = GateId::from_index(self.gates.len());
+        for (pin, &inp) in inputs.iter().enumerate() {
+            self.nets[inp.index()].fanout.push(PinRef { gate: gid, pin });
+        }
+        self.nets[output.index()].driver = Some(gid);
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(gid)
+    }
+
+    /// Declares a net as a primary output. A net may be declared at most
+    /// once; repeated declarations are ignored.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Checks structural sanity: every non-input net is driven, and the
+    /// gate graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Undriven`] or [`NetlistError::Cycle`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for id in self.net_ids() {
+            let net = self.net(id);
+            if !net.is_input && net.driver.is_none() {
+                return Err(NetlistError::Undriven(self.net_label(id)));
+            }
+        }
+        // Kahn's algorithm over gates; leftover in-degree means a cycle.
+        let order = self.topo_gates();
+        if order.len() != self.gates.len() {
+            let in_order: Vec<bool> = {
+                let mut v = vec![false; self.gates.len()];
+                for g in &order {
+                    v[g.index()] = true;
+                }
+                v
+            };
+            let culprit = self
+                .gate_ids()
+                .find(|g| !in_order[g.index()])
+                .expect("some gate must be outside the order");
+            return Err(NetlistError::Cycle(
+                self.net_label(self.gate(culprit).output()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns the gates in topological order (inputs before users).
+    ///
+    /// If the netlist contains a cycle the returned order is partial; use
+    /// [`Netlist::validate`] to detect that case.
+    pub fn topo_gates(&self) -> Vec<GateId> {
+        let mut indeg: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|n| self.net(**n).driver.is_some())
+                    .count()
+            })
+            .collect();
+        let mut ready: Vec<GateId> = self
+            .gate_ids()
+            .filter(|g| indeg[g.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(g) = ready.pop() {
+            order.push(g);
+            let out = self.gate(g).output();
+            for pr in self.net(out).fanout() {
+                let d = &mut indeg[pr.gate.index()];
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(pr.gate);
+                }
+            }
+        }
+        order
+    }
+
+    /// Computes per-net logic levels: primary inputs are level 0, every
+    /// other net is 1 + the maximum level of its driver's inputs.
+    ///
+    /// Nets on combinational cycles keep level `usize::MAX`; validate first.
+    pub fn levelize(&self) -> Vec<usize> {
+        let mut level = vec![usize::MAX; self.nets.len()];
+        for &i in &self.inputs {
+            level[i.index()] = 0;
+        }
+        for g in self.topo_gates() {
+            let gate = self.gate(g);
+            let max_in = gate
+                .inputs()
+                .iter()
+                .map(|n| level[n.index()])
+                .max()
+                .unwrap_or(0);
+            if max_in != usize::MAX {
+                level[gate.output().index()] = max_in + 1;
+            }
+        }
+        level
+    }
+
+    /// The logic depth: maximum level over primary outputs (0 for an empty
+    /// or input-only netlist).
+    pub fn depth(&self) -> usize {
+        let levels = self.levelize();
+        self.outputs
+            .iter()
+            .map(|o| levels[o.index()])
+            .filter(|&l| l != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the netlist on a Boolean input assignment.
+    ///
+    /// Only valid for netlists whose gates are all primitives; mapped
+    /// netlists are evaluated through the cell library instead (see
+    /// `sta-cells`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != self.inputs().len()`, if the netlist
+    /// has a cycle, or if a gate is a [`GateKind::Cell`].
+    pub fn eval_prim(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            assignment.len(),
+            self.inputs.len(),
+            "assignment length must match the number of primary inputs"
+        );
+        let mut value = vec![false; self.nets.len()];
+        for (&net, &v) in self.inputs.iter().zip(assignment) {
+            value[net.index()] = v;
+        }
+        let order = self.topo_gates();
+        assert_eq!(order.len(), self.gates.len(), "netlist has a cycle");
+        let mut buf = Vec::new();
+        for g in order {
+            let gate = self.gate(g);
+            let op = match gate.kind() {
+                GateKind::Prim(op) => op,
+                GateKind::Cell(_) => panic!("eval_prim on a mapped netlist"),
+            };
+            buf.clear();
+            buf.extend(gate.inputs().iter().map(|n| value[n.index()]));
+            value[gate.output().index()] = op.eval(&buf);
+        }
+        self.outputs.iter().map(|o| value[o.index()]).collect()
+    }
+
+    /// Rebuilds the name index after deserialization.
+    ///
+    /// `serde` skips the index; call this once on a deserialized netlist if
+    /// name lookups are needed.
+    pub fn rebuild_name_index(&mut self) {
+        self.name_index.clear();
+        for id in 0..self.nets.len() {
+            if let Some(name) = self.nets[id].name.clone() {
+                self.name_index.insert(name, NetId::from_index(id));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c17ish() -> Netlist {
+        // A small reconvergent NAND network.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[a, b], Some("g1"))
+            .unwrap();
+        let g2 = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[b, c], Some("g2"))
+            .unwrap();
+        let g3 = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[g1, g2], Some("g3"))
+            .unwrap();
+        nl.mark_output(g3);
+        nl
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let nl = c17ish();
+        nl.validate().unwrap();
+        assert_eq!(nl.num_gates(), 3);
+        assert_eq!(nl.num_nets(), 6);
+        assert_eq!(nl.depth(), 2);
+    }
+
+    #[test]
+    fn fanout_lists_are_consistent() {
+        let nl = c17ish();
+        let b = nl.net_by_name("b").unwrap();
+        // b feeds both first-level NANDs.
+        assert_eq!(nl.net(b).fanout().len(), 2);
+        assert!(nl.net(b).is_stem());
+        for pr in nl.net(b).fanout() {
+            assert_eq!(nl.gate(pr.gate).inputs()[pr.pin], b);
+        }
+    }
+
+    #[test]
+    fn eval_matches_nand_logic() {
+        let nl = c17ish();
+        // g3 = NAND(NAND(a,b), NAND(b,c))
+        for bits in 0..8u32 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let expect = !(!(a && b) && !(b && c));
+            assert_eq!(nl.eval_prim(&[a, b, c]), vec![expect]);
+        }
+    }
+
+    #[test]
+    fn undriven_net_is_rejected() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let dangling = nl.add_named_net("x");
+        let g = nl
+            .add_gate(GateKind::Prim(PrimOp::And), &[a, dangling], Some("g"))
+            .unwrap();
+        nl.mark_output(g);
+        assert_eq!(nl.validate(), Err(NetlistError::Undriven("x".into())));
+    }
+
+    #[test]
+    fn double_drive_is_rejected() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let x = nl.add_named_net("x");
+        nl.add_gate_driving(GateKind::Prim(PrimOp::Not), &[a], x)
+            .unwrap();
+        let err = nl
+            .add_gate_driving(GateKind::Prim(PrimOp::Buf), &[a], x)
+            .unwrap_err();
+        assert_eq!(err, NetlistError::MultipleDrivers("x".into()));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_input("a");
+        let x = nl.add_named_net("x");
+        let y = nl.add_named_net("y");
+        nl.add_gate_driving(GateKind::Prim(PrimOp::And), &[a, y], x)
+            .unwrap();
+        nl.add_gate_driving(GateKind::Prim(PrimOp::Not), &[x], y)
+            .unwrap();
+        nl.mark_output(y);
+        assert!(matches!(nl.validate(), Err(NetlistError::Cycle(_))));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let nl = c17ish();
+        let order = nl.topo_gates();
+        let pos: Vec<usize> = {
+            let mut v = vec![0; nl.num_gates()];
+            for (i, g) in order.iter().enumerate() {
+                v[g.index()] = i;
+            }
+            v
+        };
+        for g in nl.gate_ids() {
+            for &inp in nl.gate(g).inputs() {
+                if let Some(d) = nl.net(inp).driver() {
+                    assert!(pos[d.index()] < pos[g.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_with_name_index_rebuild() {
+        let nl = c17ish();
+        let json = serde_json::to_string(&nl).unwrap();
+        let mut back: Netlist = serde_json::from_str(&json).unwrap();
+        back.rebuild_name_index();
+        assert_eq!(back.net_by_name("g3"), nl.net_by_name("g3"));
+        assert_eq!(back.num_gates(), nl.num_gates());
+    }
+}

@@ -1,0 +1,86 @@
+//! Index newtypes for nets, gates and library cells.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_newtype {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("index exceeds u32::MAX"))
+            }
+
+            /// Returns the dense index this id wraps.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// Identifier of a net (a signal node; the paper's "node").
+    NetId,
+    "n"
+);
+index_newtype!(
+    /// Identifier of a gate instance.
+    GateId,
+    "g"
+);
+index_newtype!(
+    /// Opaque identifier of a standard-cell *type* in an external library.
+    ///
+    /// The netlist crate never interprets this value; the `sta-cells` crate
+    /// assigns it and resolves it back to a cell description.
+    CellId,
+    "cell"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(GateId::from_index(1) < GateId::from_index(2));
+        assert_eq!(CellId::from_index(7), CellId::from_index(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "index exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = NetId::from_index(u32::MAX as usize + 1);
+    }
+}

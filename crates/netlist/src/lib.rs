@@ -1,0 +1,53 @@
+//! Gate-level netlist data model for combinational circuits.
+//!
+//! This crate is the structural substrate of the STA reproduction: a compact
+//! directed-acyclic netlist of gates and nets, together with
+//!
+//! * builders and validation ([`Netlist`]),
+//! * topological ordering and levelization ([`Netlist::topo_gates`],
+//!   [`Netlist::levelize`]),
+//! * an ISCAS-85 `.bench` reader/writer ([`bench_fmt`]),
+//! * a structural-Verilog subset reader/writer ([`verilog`]),
+//! * netlist statistics ([`stats`]).
+//!
+//! Gates are either *primitive* Boolean operators ([`PrimOp`]) as found in
+//! `.bench` files, or *library cell* instances identified by an opaque
+//! [`CellId`] that an external standard-cell library assigns (see the
+//! `sta-cells` crate). Keeping [`CellId`] opaque here avoids a dependency
+//! cycle while letting mapped netlists and raw netlists share one data model.
+//!
+//! # Example
+//!
+//! ```
+//! use sta_netlist::{Netlist, GateKind, PrimOp};
+//!
+//! # fn main() -> Result<(), sta_netlist::NetlistError> {
+//! let mut nl = Netlist::new("half_adder");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let sum = nl.add_gate(GateKind::Prim(PrimOp::Xor), &[a, b], Some("sum"))?;
+//! let carry = nl.add_gate(GateKind::Prim(PrimOp::And), &[a, b], Some("carry"))?;
+//! nl.mark_output(sum);
+//! nl.mark_output(carry);
+//! nl.validate()?;
+//! assert_eq!(nl.num_gates(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench_fmt;
+pub mod cone;
+pub mod dot;
+mod error;
+mod graph;
+mod id;
+mod prim;
+pub mod stats;
+pub mod verilog;
+
+pub use error::NetlistError;
+pub use graph::{Gate, GateKind, Net, Netlist, PinRef};
+pub use id::{CellId, GateId, NetId};
+pub use prim::PrimOp;

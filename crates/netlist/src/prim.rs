@@ -1,0 +1,168 @@
+//! Primitive Boolean operators used by raw (unmapped) netlists.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::NetlistError;
+
+/// A primitive Boolean operator, as found in ISCAS-85 `.bench` files.
+///
+/// All operators except [`PrimOp::Not`] and [`PrimOp::Buf`] accept an
+/// arbitrary fan-in of two or more.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimOp {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Inverted AND.
+    Nand,
+    /// Inverted OR.
+    Nor,
+    /// Inverter (fan-in exactly 1).
+    Not,
+    /// Buffer (fan-in exactly 1).
+    Buf,
+    /// Exclusive OR (odd parity).
+    Xor,
+    /// Inverted exclusive OR (even parity).
+    Xnor,
+}
+
+impl PrimOp {
+    /// All primitive operators, in a stable order.
+    pub const ALL: [PrimOp; 8] = [
+        PrimOp::And,
+        PrimOp::Or,
+        PrimOp::Nand,
+        PrimOp::Nor,
+        PrimOp::Not,
+        PrimOp::Buf,
+        PrimOp::Xor,
+        PrimOp::Xnor,
+    ];
+
+    /// Evaluates the operator over the given input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or if a single-input operator receives
+    /// more than one input.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "primitive gate with no inputs");
+        match self {
+            PrimOp::And => inputs.iter().all(|&b| b),
+            PrimOp::Or => inputs.iter().any(|&b| b),
+            PrimOp::Nand => !inputs.iter().all(|&b| b),
+            PrimOp::Nor => !inputs.iter().any(|&b| b),
+            PrimOp::Not => {
+                assert_eq!(inputs.len(), 1, "NOT takes exactly one input");
+                !inputs[0]
+            }
+            PrimOp::Buf => {
+                assert_eq!(inputs.len(), 1, "BUF takes exactly one input");
+                inputs[0]
+            }
+            PrimOp::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            PrimOp::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+        }
+    }
+
+    /// Returns `true` for the two unary operators ([`PrimOp::Not`],
+    /// [`PrimOp::Buf`]).
+    pub fn is_unary(self) -> bool {
+        matches!(self, PrimOp::Not | PrimOp::Buf)
+    }
+
+    /// Returns `true` if the operator inverts its "natural" polarity
+    /// (NAND, NOR, NOT, XNOR).
+    pub fn is_inverting(self) -> bool {
+        matches!(self, PrimOp::Nand | PrimOp::Nor | PrimOp::Not | PrimOp::Xnor)
+    }
+
+    /// The canonical upper-case `.bench` keyword for this operator.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            PrimOp::And => "AND",
+            PrimOp::Or => "OR",
+            PrimOp::Nand => "NAND",
+            PrimOp::Nor => "NOR",
+            PrimOp::Not => "NOT",
+            PrimOp::Buf => "BUF",
+            PrimOp::Xor => "XOR",
+            PrimOp::Xnor => "XNOR",
+        }
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+impl FromStr for PrimOp {
+    type Err = NetlistError;
+
+    /// Parses a `.bench` keyword, case-insensitively. `BUFF` is accepted as
+    /// an alias for `BUF` (both appear in published ISCAS files).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let up = s.to_ascii_uppercase();
+        Ok(match up.as_str() {
+            "AND" => PrimOp::And,
+            "OR" => PrimOp::Or,
+            "NAND" => PrimOp::Nand,
+            "NOR" => PrimOp::Nor,
+            "NOT" | "INV" => PrimOp::Not,
+            "BUF" | "BUFF" => PrimOp::Buf,
+            "XOR" => PrimOp::Xor,
+            "XNOR" => PrimOp::Xnor,
+            _ => return Err(NetlistError::UnknownOperator(s.to_string())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_truth_tables() {
+        let cases: &[(PrimOp, &[bool], bool)] = &[
+            (PrimOp::And, &[true, true, true], true),
+            (PrimOp::And, &[true, false], false),
+            (PrimOp::Or, &[false, false], false),
+            (PrimOp::Or, &[false, true], true),
+            (PrimOp::Nand, &[true, true], false),
+            (PrimOp::Nor, &[false, false], true),
+            (PrimOp::Not, &[true], false),
+            (PrimOp::Buf, &[false], false),
+            (PrimOp::Xor, &[true, true, true], true),
+            (PrimOp::Xor, &[true, true], false),
+            (PrimOp::Xnor, &[true, false], false),
+        ];
+        for &(op, ins, expect) in cases {
+            assert_eq!(op.eval(ins), expect, "{op} {ins:?}");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for op in PrimOp::ALL {
+            assert_eq!(op.keyword().parse::<PrimOp>().unwrap(), op);
+            assert_eq!(
+                op.keyword().to_lowercase().parse::<PrimOp>().unwrap(),
+                op
+            );
+        }
+        assert_eq!("BUFF".parse::<PrimOp>().unwrap(), PrimOp::Buf);
+        assert!("MAJ".parse::<PrimOp>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "NOT takes exactly one input")]
+    fn unary_arity_enforced() {
+        PrimOp::Not.eval(&[true, false]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Summary statistics for netlists (used by reports and the repro harness).
+
+use std::fmt;
+
+use crate::{GateKind, Netlist};
+
+/// Aggregate statistics of a netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of gate instances.
+    pub gates: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Logic depth in gate levels.
+    pub depth: usize,
+    /// Number of fanout stems (nets feeding more than one pin).
+    pub stems: usize,
+    /// Maximum fanout over all nets.
+    pub max_fanout: usize,
+    /// Number of library-cell (mapped) gates; the rest are primitives.
+    pub cell_gates: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `nl`.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut stems = 0;
+        let mut max_fanout = 0;
+        for n in nl.net_ids() {
+            let f = nl.net(n).fanout().len();
+            if f > 1 {
+                stems += 1;
+            }
+            max_fanout = max_fanout.max(f);
+        }
+        let cell_gates = nl
+            .gate_ids()
+            .filter(|&g| matches!(nl.gate(g).kind(), GateKind::Cell(_)))
+            .count();
+        NetlistStats {
+            inputs: nl.inputs().len(),
+            outputs: nl.outputs().len(),
+            gates: nl.num_gates(),
+            nets: nl.num_nets(),
+            depth: nl.depth(),
+            stems,
+            max_fanout,
+            cell_gates,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PI={} PO={} gates={} (mapped {}) nets={} depth={} stems={} maxFO={}",
+            self.inputs,
+            self.outputs,
+            self.gates,
+            self.cell_gates,
+            self.nets,
+            self.depth,
+            self.stems,
+            self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Netlist, PrimOp};
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[a, b], None)
+            .unwrap();
+        let y = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[a, x], None)
+            .unwrap();
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[x, y], None)
+            .unwrap();
+        nl.mark_output(z);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.stems, 2); // a and x both feed two pins
+        assert_eq!(s.max_fanout, 2);
+        assert_eq!(s.cell_gates, 0);
+        assert!(format!("{s}").contains("gates=3"));
+    }
+}

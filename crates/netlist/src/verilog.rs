@@ -1,0 +1,435 @@
+//! Reader and writer for a structural-Verilog subset.
+//!
+//! Mapped netlists (gates are standard-cell instances) are interchanged as
+//! structural Verilog with named port connections:
+//!
+//! ```text
+//! module top (a, b, z);
+//!   input a, b;
+//!   output z;
+//!   wire n1;
+//!   AO22 u1 (.Z(n1), .A(a), .B(b), .C(a), .D(b));
+//!   INV  u2 (.Z(z), .A(n1));
+//! endmodule
+//! ```
+//!
+//! Because this crate does not know cell types, parsing is a two-stage
+//! affair: [`parse_module`] produces a [`StructuralModule`] with *string*
+//! cell names, and [`StructuralModule::into_netlist`] resolves those names
+//! through a caller-supplied [`CellResolver`] (implemented by the cell
+//! library in `sta-cells`).
+
+use std::collections::HashMap;
+
+use crate::{CellId, GateKind, NetId, Netlist, NetlistError};
+
+/// Resolves a cell name to its library id and ordered input pin names.
+///
+/// Returns `(cell id, input pin names in netlist pin order, output pin name)`.
+pub trait CellResolver {
+    /// Looks up a cell by name.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`NetlistError::UnknownName`] for cells the
+    /// library does not contain.
+    fn resolve(&self, cell_name: &str) -> Result<ResolvedCell, NetlistError>;
+}
+
+/// A resolved cell interface, as reported by a [`CellResolver`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedCell {
+    /// The library id to store in [`GateKind::Cell`].
+    pub id: CellId,
+    /// Input pin names, in the pin order the netlist gate will use.
+    pub input_pins: Vec<String>,
+    /// The output pin name.
+    pub output_pin: String,
+}
+
+/// One parsed cell instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Cell type name, e.g. `"AO22"`.
+    pub cell: String,
+    /// Instance name, e.g. `"u1"`.
+    pub name: String,
+    /// Named connections `(.PIN(net))`, in source order.
+    pub connections: Vec<(String, String)>,
+}
+
+/// A parsed structural module before cell-name resolution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StructuralModule {
+    /// Module name.
+    pub name: String,
+    /// Declared inputs, in order.
+    pub inputs: Vec<String>,
+    /// Declared outputs, in order.
+    pub outputs: Vec<String>,
+    /// Declared wires.
+    pub wires: Vec<String>,
+    /// Cell instances, in source order.
+    pub instances: Vec<Instance>,
+}
+
+impl StructuralModule {
+    /// Resolves the module into a mapped [`Netlist`] using `resolver` for
+    /// cell lookups.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a cell or pin is unknown, a net is multiply driven or
+    /// undriven, or the result has a cycle.
+    pub fn into_netlist(self, resolver: &dyn CellResolver) -> Result<Netlist, NetlistError> {
+        let mut nl = Netlist::new(&self.name);
+        let mut nets: HashMap<String, NetId> = HashMap::new();
+        for name in &self.inputs {
+            if nets.contains_key(name) {
+                return Err(NetlistError::DuplicateName(name.clone()));
+            }
+            nets.insert(name.clone(), nl.add_input(name));
+        }
+        for name in self.outputs.iter().chain(&self.wires) {
+            if !nets.contains_key(name) {
+                nets.insert(name.clone(), nl.add_named_net(name));
+            }
+        }
+        for inst in &self.instances {
+            let resolved = resolver.resolve(&inst.cell)?;
+            let conn: HashMap<&str, &str> = inst
+                .connections
+                .iter()
+                .map(|(p, n)| (p.as_str(), n.as_str()))
+                .collect();
+            let lookup = |net_name: &str| -> Result<NetId, NetlistError> {
+                nets.get(net_name)
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownName(net_name.to_string()))
+            };
+            let out_name = conn
+                .get(resolved.output_pin.as_str())
+                .ok_or_else(|| NetlistError::UnknownName(resolved.output_pin.clone()))?;
+            let out = lookup(out_name)?;
+            let mut ins = Vec::with_capacity(resolved.input_pins.len());
+            for pin in &resolved.input_pins {
+                let net_name = conn
+                    .get(pin.as_str())
+                    .ok_or_else(|| NetlistError::UnknownName(pin.clone()))?;
+                ins.push(lookup(net_name)?);
+            }
+            nl.add_gate_driving(GateKind::Cell(resolved.id), &ins, out)?;
+        }
+        for name in &self.outputs {
+            nl.mark_output(nets[name]);
+        }
+        nl.validate()?;
+        Ok(nl)
+    }
+}
+
+/// Parses one structural-Verilog module.
+///
+/// Supported constructs: `module`/`endmodule`, `input`/`output`/`wire`
+/// declarations (comma-separated scalar names), and cell instances with
+/// named port connections. `//` line comments and `/* */` block comments are
+/// stripped.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for anything outside the subset.
+pub fn parse_module(text: &str) -> Result<StructuralModule, NetlistError> {
+    let text = strip_comments(text);
+    let mut module = StructuralModule::default();
+    let mut seen_module = false;
+    for (stmt, line_no) in split_statements(&text) {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let mut words = stmt.split_whitespace();
+        let head = words.next().unwrap_or_default();
+        match head {
+            "module" => {
+                let rest = stmt["module".len()..].trim();
+                let name_end = rest
+                    .find(|c: char| c == '(' || c.is_whitespace())
+                    .unwrap_or(rest.len());
+                module.name = rest[..name_end].to_string();
+                seen_module = true;
+            }
+            "endmodule" => break,
+            "input" | "output" | "wire" => {
+                if !seen_module {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: "declaration before module header".into(),
+                    });
+                }
+                let names = stmt[head.len()..]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty());
+                match head {
+                    "input" => module.inputs.extend(names),
+                    "output" => module.outputs.extend(names),
+                    _ => module.wires.extend(names),
+                }
+            }
+            _ => {
+                // Cell instance: `CELL name ( .P(n), ... )`
+                let inst = parse_instance(stmt, line_no)?;
+                module.instances.push(inst);
+            }
+        }
+    }
+    if !seen_module {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: "no module header found".into(),
+        });
+    }
+    Ok(module)
+}
+
+fn parse_instance(stmt: &str, line: usize) -> Result<Instance, NetlistError> {
+    let open = stmt.find('(').ok_or_else(|| NetlistError::Parse {
+        line,
+        message: format!("expected instance port list in {stmt:?}"),
+    })?;
+    let close = stmt.rfind(')').ok_or_else(|| NetlistError::Parse {
+        line,
+        message: "missing ')' in instance".into(),
+    })?;
+    if close <= open {
+        return Err(NetlistError::Parse {
+            line,
+            message: "')' precedes '(' in instance".into(),
+        });
+    }
+    let header: Vec<&str> = stmt[..open].split_whitespace().collect();
+    if header.len() != 2 {
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("expected 'CELL name (...)', got {stmt:?}"),
+        });
+    }
+    let mut connections = Vec::new();
+    for part in stmt[open + 1..close].split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let pin_net = part
+            .strip_prefix('.')
+            .and_then(|p| {
+                let o = p.find('(')?;
+                let c = p.rfind(')')?;
+                (c > o).then(|| {
+                    (p[..o].trim().to_string(), p[o + 1..c].trim().to_string())
+                })
+            })
+            .ok_or_else(|| NetlistError::Parse {
+                line,
+                message: format!("expected named connection '.PIN(net)', got {part:?}"),
+            })?;
+        connections.push(pin_net);
+    }
+    Ok(Instance {
+        cell: header[0].to_string(),
+        name: header[1].to_string(),
+        connections,
+    })
+}
+
+/// Splits text on `;`, keeping `module ... ;` style statements together and
+/// tracking the 1-based line each statement starts on.
+fn split_statements(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1;
+    let mut line = 1;
+    for ch in text.chars() {
+        if ch == '\n' {
+            line += 1;
+        }
+        if ch == ';' {
+            out.push((std::mem::take(&mut current), start_line));
+            start_line = line;
+        } else {
+            if current.trim().is_empty() && !ch.is_whitespace() {
+                start_line = line;
+            }
+            current.push(ch);
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push((current, start_line));
+    }
+    out
+}
+
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    out.push('\n'); // keep line numbers aligned
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Pretty-prints a mapped netlist as structural Verilog.
+///
+/// `cell_name` maps a [`CellId`] to its library name and pin names (inputs
+/// in netlist pin order, then the output pin name).
+pub fn write_module(
+    nl: &Netlist,
+    mut cell_name: impl FnMut(CellId) -> (String, Vec<String>, String),
+) -> String {
+    let mut out = String::new();
+    let ports: Vec<String> = nl
+        .inputs()
+        .iter()
+        .chain(nl.outputs())
+        .map(|&n| nl.net_label(n))
+        .collect();
+    out.push_str(&format!("module {} ({});\n", nl.name(), ports.join(", ")));
+    let ins: Vec<String> = nl.inputs().iter().map(|&n| nl.net_label(n)).collect();
+    let outs: Vec<String> = nl.outputs().iter().map(|&n| nl.net_label(n)).collect();
+    out.push_str(&format!("  input {};\n", ins.join(", ")));
+    out.push_str(&format!("  output {};\n", outs.join(", ")));
+    let wires: Vec<String> = nl
+        .net_ids()
+        .filter(|&n| !nl.net(n).is_input() && !nl.outputs().contains(&n))
+        .map(|n| nl.net_label(n))
+        .collect();
+    if !wires.is_empty() {
+        out.push_str(&format!("  wire {};\n", wires.join(", ")));
+    }
+    for (idx, g) in nl.topo_gates().into_iter().enumerate() {
+        let gate = nl.gate(g);
+        let (name, in_pins, out_pin) = match gate.kind() {
+            GateKind::Cell(c) => cell_name(c),
+            GateKind::Prim(op) => (
+                op.keyword().to_string(),
+                (0..gate.fanin()).map(|i| format!("I{i}")).collect(),
+                "Z".to_string(),
+            ),
+        };
+        let mut conns = vec![format!(".{}({})", out_pin, nl.net_label(gate.output()))];
+        for (pin, &inp) in gate.inputs().iter().enumerate() {
+            conns.push(format!(".{}({})", in_pins[pin], nl.net_label(inp)));
+        }
+        out.push_str(&format!("  {} u{} ({});\n", name, idx, conns.join(", ")));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TwoCellLib;
+
+    impl CellResolver for TwoCellLib {
+        fn resolve(&self, cell_name: &str) -> Result<ResolvedCell, NetlistError> {
+            match cell_name {
+                "INV" => Ok(ResolvedCell {
+                    id: CellId::from_index(0),
+                    input_pins: vec!["A".into()],
+                    output_pin: "Z".into(),
+                }),
+                "NAND2" => Ok(ResolvedCell {
+                    id: CellId::from_index(1),
+                    input_pins: vec!["A".into(), "B".into()],
+                    output_pin: "Z".into(),
+                }),
+                other => Err(NetlistError::UnknownName(other.to_string())),
+            }
+        }
+    }
+
+    const SRC: &str = "\
+// a tiny mapped design
+module tiny (a, b, z);
+  input a, b;
+  output z;
+  wire n1; /* internal */
+  NAND2 u1 (.Z(n1), .A(a), .B(b));
+  INV u2 (.Z(z), .A(n1));
+endmodule
+";
+
+    #[test]
+    fn parse_and_resolve() {
+        let module = parse_module(SRC).unwrap();
+        assert_eq!(module.name, "tiny");
+        assert_eq!(module.inputs, vec!["a", "b"]);
+        assert_eq!(module.instances.len(), 2);
+        let nl = module.into_netlist(&TwoCellLib).unwrap();
+        assert_eq!(nl.num_gates(), 2);
+        assert_eq!(nl.outputs().len(), 1);
+        let g_out = nl.net(nl.outputs()[0]).driver().unwrap();
+        assert_eq!(nl.gate(g_out).kind(), GateKind::Cell(CellId::from_index(0)));
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let module = parse_module(SRC).unwrap();
+        let nl = module.into_netlist(&TwoCellLib).unwrap();
+        let text = write_module(&nl, |c| {
+            let (name, pins) = match c.index() {
+                0 => ("INV", vec!["A"]),
+                _ => ("NAND2", vec!["A", "B"]),
+            };
+            (
+                name.to_string(),
+                pins.into_iter().map(String::from).collect(),
+                "Z".to_string(),
+            )
+        });
+        let back = parse_module(&text).unwrap().into_netlist(&TwoCellLib).unwrap();
+        assert_eq!(back.num_gates(), nl.num_gates());
+        assert_eq!(back.inputs().len(), nl.inputs().len());
+    }
+
+    #[test]
+    fn unknown_cell_is_reported() {
+        let src = "module m (a, z); input a; output z; XYZ u (.Z(z), .A(a)); endmodule";
+        let module = parse_module(src).unwrap();
+        let err = module.into_netlist(&TwoCellLib).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownName("XYZ".into()));
+    }
+
+    #[test]
+    fn missing_connection_is_reported() {
+        let src = "module m (a, z); input a; output z; NAND2 u (.Z(z), .A(a)); endmodule";
+        let module = parse_module(src).unwrap();
+        let err = module.into_netlist(&TwoCellLib).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownName("B".into()));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let module = parse_module("/* x */ module m (); // y\nendmodule").unwrap();
+        assert_eq!(module.name, "m");
+    }
+}

@@ -1,0 +1,42 @@
+//! Process-corner analysis — the paper's §V future-work item
+//! ("considering parameter variations on the delay model"), made cheap by
+//! the analytical model: each corner is a derated technology
+//! characterized once.
+//!
+//! Run with: `cargo run --release --example corner_analysis [circuit]`
+
+use sta_cells::{Corner, Library, Technology};
+use sta_charlib::variation::{three_corners, ProcessSpread};
+use sta_charlib::{characterize, CharConfig};
+use sta_circuits::catalog;
+use sta_core::{EnumerationConfig, PathEnumerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = std::env::args().nth(1).unwrap_or_else(|| "sample".into());
+    let lib = Library::standard();
+    let nl = catalog::mapped(&circuit, &lib)?
+        .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
+    let spread = ProcessSpread::nominal();
+    let corners = three_corners(&Technology::n90(), &spread);
+    println!(
+        "{circuit}: worst true path across process corners (fast −3σ / typical / slow +3σ)\n"
+    );
+    let mut rows = Vec::new();
+    for tech in &corners {
+        let tlib = characterize(&lib, tech, &CharConfig::fast())?;
+        let mut cfg = EnumerationConfig::new(Corner::nominal(tech)).with_n_worst(3);
+        cfg.max_decisions = 3_000_000;
+        let (paths, _) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        let worst = paths.first().map(|p| p.worst_arrival()).unwrap_or(f64::NAN);
+        println!("  {:<12} worst path {:>8.1} ps", tech.name, worst);
+        rows.push(worst);
+    }
+    if let [fast, typ, slow] = rows[..] {
+        println!(
+            "\nspread: fast {:.1}% / slow +{:.1}% around typical",
+            (fast - typ) / typ * 100.0,
+            (slow - typ) / typ * 100.0
+        );
+    }
+    Ok(())
+}

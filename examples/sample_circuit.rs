@@ -1,0 +1,72 @@
+//! The paper's Fig. 4 sample circuit end to end: technology-map it, find
+//! every sensitization vector of the critical path, and show that the
+//! slowest vector is *not* the easiest one (the vector a commercial-style
+//! two-step tool commits to).
+//!
+//! Run with: `cargo run --release --example sample_circuit`
+
+use sta_baseline::{run_baseline, BaselineConfig, Classification};
+use sta_cells::{Corner, Edge, Library, Technology};
+use sta_charlib::{characterize, CharConfig};
+use sta_circuits::{map_netlist, sample_circuit};
+use sta_core::{EnumerationConfig, PathEnumerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::standard();
+    let tech = Technology::n130();
+    let tlib = characterize(&lib, &tech, &CharConfig::fast())?;
+
+    let raw = sample_circuit();
+    let nl = map_netlist(&raw, &lib)?;
+    println!("sample circuit mapped to {} cells:", nl.num_gates());
+    for g in nl.topo_gates() {
+        let gate = nl.gate(g);
+        if let sta_netlist::GateKind::Cell(c) = gate.kind() {
+            println!(
+                "  {} -> {}",
+                lib.cell(c).name(),
+                nl.net_label(gate.output())
+            );
+        }
+    }
+
+    // The developed tool: every vector of every path.
+    let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+    let (paths, _) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+    let n1 = nl.net_by_name("N1").expect("sample input N1");
+    println!("\ndeveloped tool, paths from N1 (falling launch):");
+    let mut from_n1: Vec<_> = paths.iter().filter(|p| p.source == n1).collect();
+    from_n1.sort_by(|a, b| b.worst_arrival().total_cmp(&a.worst_arrival()));
+    for p in &from_n1 {
+        if let Some(fall) = &p.fall {
+            println!(
+                "  {:>7.1} ps  {}",
+                fall.arrival,
+                p.input_vector_string(&nl, Edge::Fall)
+            );
+        }
+    }
+
+    // The baseline: one vector per path, the easiest to justify.
+    let report = run_baseline(&nl, &lib, &tlib, &BaselineConfig::new(20, 1000));
+    println!("\ncommercial-style baseline:");
+    for bp in report
+        .paths
+        .iter()
+        .filter(|bp| bp.sens.classification == Classification::True)
+        .take(3)
+    {
+        println!(
+            "  {:>7.1} ps  vectors {:?}",
+            bp.worst_delay(),
+            bp.sens.chosen_vectors
+        );
+    }
+    println!(
+        "\nThe baseline reports one vector per path; the developed tool shows the\n\
+         same gate sequence sensitized {} different ways with different delays —\n\
+         the slowest of which the baseline never sees (paper Table 5).",
+        from_n1.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Vector explorer: for any library cell, enumerate the sensitization
+//! vectors of every pin and electrically measure the per-vector delay —
+//! the cell-level analysis behind the paper's Tables 1–4.
+//!
+//! Run with: `cargo run --release --example vector_explorer [cell] [tech]`
+
+use sta_cells::{Corner, Edge, Library, Technology};
+use sta_esim::cellsim::{cell_input_cap, simulate_arc, Drive};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let cell_name = args.next().unwrap_or_else(|| "AO22".to_string());
+    let tech = args
+        .next()
+        .and_then(|s| Technology::by_name(&s))
+        .unwrap_or_else(Technology::n65);
+
+    let lib = Library::standard();
+    let cell = lib
+        .cell_by_name(&cell_name)
+        .ok_or_else(|| format!("unknown cell {cell_name:?}"))?;
+    println!(
+        "{} : Z = {}   ({} transistors, {} stages), {tech}",
+        cell.name(),
+        cell.expr().display(),
+        cell.topology().transistor_count(),
+        cell.topology().stages.len()
+    );
+    let corner = Corner::nominal(&tech);
+    let load = cell_input_cap(cell, &tech); // one gate of the same type
+    for pin in 0..cell.num_pins() {
+        let vectors = cell.vectors_of(pin);
+        println!(
+            "\npin {} — {} sensitization vector{}:",
+            sta_cells::func::pin_name(pin),
+            vectors.len(),
+            if vectors.len() == 1 { "" } else { "s" }
+        );
+        for v in vectors {
+            let mut delays = Vec::new();
+            for edge in Edge::BOTH {
+                let out = simulate_arc(
+                    cell,
+                    &tech,
+                    corner,
+                    v,
+                    edge,
+                    Drive::Ramp { transition: 50.0 },
+                    load,
+                )?;
+                delays.push(format!(
+                    "in-{edge}: {:.1} ps (slew {:.1})",
+                    out.delay, out.output_slew
+                ));
+            }
+            println!("  {}  {}", v, delays.join("   "));
+        }
+        if vectors.len() > 1 {
+            // Spread of the falling-input delay across vectors.
+            let ds: Vec<f64> = vectors
+                .iter()
+                .map(|v| {
+                    simulate_arc(
+                        cell,
+                        &tech,
+                        corner,
+                        v,
+                        Edge::Fall,
+                        Drive::Ramp { transition: 50.0 },
+                        load,
+                    )
+                    .map(|o| o.delay)
+                    .unwrap_or(f64::NAN)
+                })
+                .collect();
+            let (min, max) = ds
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &d| {
+                    (a.min(d), b.max(d))
+                });
+            println!(
+                "  → vector-to-vector spread (in-fall): {:.1} %",
+                (max - min) / min * 100.0
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+#!/bin/bash
+# Assembles repro_report.txt from the individual experiment outputs.
+cd /root/repo
+{
+  echo "================================================================"
+  echo " sta-repro — measured reproduction report"
+  echo " (regenerate: see EXPERIMENTS.md)"
+  echo "================================================================"
+  echo
+  echo "=== E1: Tables 1-2 ==="
+  cat repro-data/table1_2.txt
+  echo "=== E2: Figs. 2-3 ==="
+  cat repro-data/fig2_3.txt
+  echo "=== E3: Tables 3-4 ==="
+  cat repro-data/table3_4.txt
+  echo "=== E4: Fig. 4 + Table 5 ==="
+  cat repro-data/table5.txt
+  echo
+  echo "=== E5: Table 6 (130nm) ==="
+  echo "per-circuit rows (from the run logs; * = budget hit):"
+  grep -hE '^\s+c[0-9]+' repro-data/table6_part1.log repro-data/table6_part2a.log \
+       repro-data/table6_part3.log repro-data/table6_part4.log \
+       repro-data/table6_part5.log 2>/dev/null | awk '!seen[$1]++'
+  echo
+  echo "rendered table for the c6288/c7552 backtrack-limit sweeps:"
+  cat repro-data/table6_part5.txt 2>/dev/null
+  echo
+  echo "=== E6-E8: Tables 7-9 ==="
+  cat repro-data/table7_8_9.txt
+  echo
+  echo "=== E9: model ablation ==="
+  cat repro-data/ablation.txt
+} > repro_report.txt
+wc -l repro_report.txt

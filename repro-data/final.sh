@@ -1,0 +1,13 @@
+#!/bin/bash
+# Final sequence: wait for all experiment runs, assemble the report, then
+# run the full test suite and benches with tee'd outputs.
+cd /root/repo
+until grep -q EXIT repro-data/table7_8_9.log 2>/dev/null \
+   && grep -q EXIT repro-data/table6_part4.log 2>/dev/null \
+   && grep -q EXIT repro-data/table6_part5.log 2>/dev/null; do sleep 120; done
+./repro-data/assemble_report.sh
+echo "=== report assembled ==="
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E 'test result|FAILED|error\[' | tail -30
+echo "=== tests done ==="
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5
+echo "=== FINAL_DONE ==="

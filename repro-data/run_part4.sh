@@ -1,0 +1,6 @@
+#!/bin/bash
+# After part3: revalidate c1355 with the XOR-peephole binary + new cache.
+cd /root/repo
+until grep -q EXIT repro-data/table6_part3.log; do sleep 60; done
+cargo build --release -p sta-bench >/dev/null 2>&1
+(target/release/repro_table6 130 c1355 > repro-data/table6_part4.txt 2> repro-data/table6_part4.log; echo EXIT=$? >> repro-data/table6_part4.log)

@@ -1,0 +1,4 @@
+#!/bin/bash
+cd /root/repo
+until grep -q EXIT repro-data/table6_part4.log 2>/dev/null; do sleep 60; done
+(target/release/repro_table6 130 c6288 c7552 > repro-data/table6_part5.txt 2> repro-data/table6_part5.log; echo EXIT=$? >> repro-data/table6_part5.log)

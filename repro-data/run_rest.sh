@@ -1,0 +1,11 @@
+#!/bin/bash
+# Serialized experiment runs (single-core box); waits for table6 to finish.
+cd /root/repo
+while pgrep -x repro_table6 >/dev/null; do sleep 10; done
+target/release/repro_table1_2   > repro-data/table1_2.txt 2>&1
+target/release/repro_fig2_3     > repro-data/fig2_3.txt 2>&1
+target/release/repro_table3_4   > repro-data/table3_4.txt 2>&1
+target/release/repro_table5     > repro-data/table5.txt 2> repro-data/table5.log
+target/release/repro_ablation_model > repro-data/ablation.txt 2>&1
+target/release/repro_table7_8_9 > repro-data/table7_8_9.txt 2> repro-data/table7_8_9.log
+echo ALL_DONE

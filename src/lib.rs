@@ -1,0 +1,33 @@
+//! `sta-repro` — a from-scratch Rust reproduction of the DATE 2011 paper
+//! *"An efficient and scalable STA tool with direct path estimation and
+//! exhaustive sensitization vector exploration for optimal delay
+//! computation"* (Barceló, Gili, Bota, Segura).
+//!
+//! This umbrella crate re-exports the workspace's nine member crates under
+//! short aliases for the examples, the integration tests and the CLI
+//! binary. Library users should depend on the member crates directly:
+//!
+//! | alias | crate | role |
+//! |---|---|---|
+//! | [`netlist`] | `sta-netlist` | netlist model, `.bench`/Verilog I/O |
+//! | [`cells`] | `sta-cells` | cell functions, sensitization vectors, CMOS topologies, technologies |
+//! | [`esim`] | `sta-esim` | switch-level RC electrical simulator (golden reference) |
+//! | [`charlib`] | `sta-charlib` | polynomial/LUT characterization, Liberty export, corners |
+//! | [`logic`] | `sta-logic` | dual-value logic system, implication engine, toggle analysis |
+//! | [`core_sta`] | `sta-core` | the paper's single-pass true-path STA engine |
+//! | [`baseline`] | `sta-baseline` | commercial-style two-step comparison tool |
+//! | [`circuits`] | `sta-circuits` | ISCAS-85 surrogates + technology mapper |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+
+#![warn(missing_docs)]
+
+pub use sta_baseline as baseline;
+pub use sta_cells as cells;
+pub use sta_charlib as charlib;
+pub use sta_circuits as circuits;
+pub use sta_core as core_sta;
+pub use sta_esim as esim;
+pub use sta_logic as logic;
+pub use sta_netlist as netlist;

@@ -1,0 +1,298 @@
+//! `sta-repro` — command-line front end for the sensitization-vector-aware
+//! STA reproduction.
+//!
+//! ```text
+//! sta-repro list                                  # catalog benchmarks
+//! sta-repro analyze  <circuit> [--tech T] [--nworst N]
+//! sta-repro baseline <circuit> [--tech T] [--k K] [--limit B]
+//! sta-repro cell     <name>    [--tech T]         # vectors + delays
+//! sta-repro liberty  [--tech T] [--out FILE]      # export .lib
+//! ```
+
+use std::io::Write as _;
+
+use sta_baseline::{run_baseline, BaselineConfig, Classification};
+use sta_cells::{Corner, Edge, Library, Technology};
+use sta_charlib::{characterize_cached, CharConfig, TimingLibrary};
+use sta_circuits::catalog;
+use sta_core::{EnumerationConfig, PathEnumerator};
+use sta_esim::cellsim::{cell_input_cap, simulate_arc, Drive};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let opts = Opts::parse(&args[1..]);
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "analyze" => cmd_analyze(&opts),
+        "slack" => cmd_slack(&opts),
+        "baseline" => cmd_baseline(&opts),
+        "cell" => cmd_cell(&opts),
+        "liberty" => cmd_liberty(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `sta-repro help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "sta-repro — sensitization-vector-aware STA (DATE'11 reproduction)\n\
+         \n\
+         commands:\n\
+           list                                  list catalog benchmarks\n\
+           analyze  <circuit> [--tech T] [--nworst N]   run the single-pass true-path STA\n\
+           slack    <circuit> [--tech T] [--required PS]   structural slack report\n\
+           baseline <circuit> [--tech T] [--k K] [--limit B]   run the two-step baseline\n\
+           cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
+           liberty  [--tech T] [--out FILE]      export the characterized library as .lib\n\
+         \n\
+         T is one of 130nm | 90nm | 65nm (default 90nm)."
+    );
+}
+
+struct Opts {
+    positional: Vec<String>,
+    tech: Technology,
+    nworst: Option<usize>,
+    k: usize,
+    limit: u64,
+    out: Option<String>,
+    required: Option<f64>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut opts = Opts {
+            positional: Vec::new(),
+            tech: Technology::n90(),
+            nworst: None,
+            k: 1000,
+            limit: 1000,
+            out: None,
+            required: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--tech" => {
+                    if let Some(t) = it.next().and_then(|s| Technology::by_name(s)) {
+                        opts.tech = t;
+                    }
+                }
+                "--nworst" => opts.nworst = it.next().and_then(|s| s.parse().ok()),
+                "--k" => {
+                    if let Some(k) = it.next().and_then(|s| s.parse().ok()) {
+                        opts.k = k;
+                    }
+                }
+                "--limit" => {
+                    if let Some(l) = it.next().and_then(|s| s.parse().ok()) {
+                        opts.limit = l;
+                    }
+                }
+                "--out" => opts.out = it.next().cloned(),
+                "--required" => opts.required = it.next().and_then(|s| s.parse().ok()),
+                other => opts.positional.push(other.to_string()),
+            }
+        }
+        opts
+    }
+}
+
+fn load_timing(lib: &Library, tech: &Technology) -> Result<TimingLibrary, String> {
+    eprintln!("characterizing / loading cache for {} ...", tech.name);
+    characterize_cached(
+        lib,
+        tech,
+        &CharConfig::standard(),
+        std::path::Path::new(".char-cache"),
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<8} {:>12}  description", "name", "ISCAS gates");
+    for b in catalog::BENCHMARKS {
+        println!("{:<8} {:>12}  {}", b.name, b.iscas_gates, b.description);
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let circuit = opts
+        .positional
+        .first()
+        .ok_or("analyze needs a circuit name")?;
+    let lib = Library::standard();
+    let nl = catalog::mapped(circuit, &lib)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
+    let tlib = load_timing(&lib, &opts.tech)?;
+    let mut cfg = EnumerationConfig::new(Corner::nominal(&opts.tech));
+    if let Some(n) = opts.nworst {
+        cfg = cfg.with_n_worst(n);
+    } else {
+        cfg.max_paths = Some(500_000);
+    }
+    let t0 = std::time::Instant::now();
+    let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+    println!(
+        "{circuit} ({} cells): {} paths / {} input vectors in {:.2} s{}",
+        nl.num_gates(),
+        stats.paths,
+        stats.input_vectors,
+        t0.elapsed().as_secs_f64(),
+        if stats.truncated { " (budget hit)" } else { "" }
+    );
+    for (i, p) in paths.iter().take(opts.nworst.unwrap_or(10)).enumerate() {
+        println!(
+            "{:>3}. {:>9.1} ps  {} gates  {} -> {}",
+            i + 1,
+            p.worst_arrival(),
+            p.arcs.len(),
+            nl.net_label(p.source),
+            nl.net_label(p.endpoint())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_slack(opts: &Opts) -> Result<(), String> {
+    let circuit = opts
+        .positional
+        .first()
+        .ok_or("slack needs a circuit name")?;
+    let lib = Library::standard();
+    let nl = catalog::mapped(circuit, &lib)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
+    let tlib = load_timing(&lib, &opts.tech)?;
+    let corner = Corner::nominal(&opts.tech);
+    // Default requirement: 90 % of the structural worst — guaranteed to
+    // show the critical region.
+    let probe = sta_core::slack_report(&nl, &tlib, corner, 60.0, 0.0);
+    let structural_worst = probe.timing.worst_arrival(&nl);
+    let required = opts.required.unwrap_or(structural_worst * 0.9);
+    let report = sta_core::slack_report(&nl, &tlib, corner, 60.0, required);
+    println!(
+        "{circuit}: structural worst arrival {:.1} ps, requirement {:.1} ps — {}",
+        structural_worst,
+        required,
+        if report.passes() { "PASS" } else { "FAIL" }
+    );
+    for (net, slack) in report.violations().into_iter().take(10) {
+        println!("  {:>9.1} ps  {}", slack, nl.net_label(net));
+    }
+    Ok(())
+}
+
+fn cmd_baseline(opts: &Opts) -> Result<(), String> {
+    let circuit = opts
+        .positional
+        .first()
+        .ok_or("baseline needs a circuit name")?;
+    let lib = Library::standard();
+    let nl = catalog::mapped(circuit, &lib)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
+    let tlib = load_timing(&lib, &opts.tech)?;
+    let t0 = std::time::Instant::now();
+    let report = run_baseline(&nl, &lib, &tlib, &BaselineConfig::new(opts.k, opts.limit));
+    println!(
+        "{circuit}: explored {} structural paths in {:.2} s — true {}, false {}, abandoned {} (false ratio {:.1} %)",
+        report.paths.len(),
+        t0.elapsed().as_secs_f64(),
+        report.num_true,
+        report.num_false,
+        report.num_backtrack_limited,
+        report.false_path_ratio() * 100.0
+    );
+    for bp in report
+        .paths
+        .iter()
+        .filter(|bp| bp.sens.classification == Classification::True)
+        .take(10)
+    {
+        println!(
+            "  {:>9.1} ps  {} gates  (vectors {:?})",
+            bp.worst_delay(),
+            bp.path.arcs.len(),
+            bp.sens.chosen_vectors
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cell(opts: &Opts) -> Result<(), String> {
+    let name = opts.positional.first().ok_or("cell needs a cell name")?;
+    let lib = Library::standard();
+    let cell = lib
+        .cell_by_name(name)
+        .ok_or_else(|| format!("unknown cell {name:?}"))?;
+    println!(
+        "{} : Z = {}   ({} transistors)",
+        cell.name(),
+        cell.expr().display(),
+        cell.topology().transistor_count()
+    );
+    let corner = Corner::nominal(&opts.tech);
+    let load = cell_input_cap(cell, &opts.tech);
+    for pin in 0..cell.num_pins() {
+        for v in cell.vectors_of(pin) {
+            let mut cols = Vec::new();
+            for edge in Edge::BOTH {
+                match simulate_arc(
+                    cell,
+                    &opts.tech,
+                    corner,
+                    v,
+                    edge,
+                    Drive::Ramp { transition: 50.0 },
+                    load,
+                ) {
+                    Ok(o) => cols.push(format!("in-{edge} {:.1}ps", o.delay)),
+                    Err(e) => cols.push(format!("in-{edge} ERR({e})")),
+                }
+            }
+            println!(
+                "  pin {} {}  {}",
+                sta_cells::func::pin_name(pin),
+                v,
+                cols.join("  ")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_liberty(opts: &Opts) -> Result<(), String> {
+    let lib = Library::standard();
+    let tlib = load_timing(&lib, &opts.tech)?;
+    let text = sta_charlib::liberty::write_liberty(&lib, &tlib);
+    match &opts.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            f.write_all(text.as_bytes()).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -256,9 +256,7 @@ mod tests {
         let x = nl.add_gate(GateKind::Cell(xor2), &[p, q], None).unwrap();
         let t = nl.add_gate(GateKind::Cell(and2), &[p, q], None).unwrap();
         let w = nl.add_gate(GateKind::Cell(or2), &[t, r], None).unwrap();
-        let z = nl
-            .add_gate(GateKind::Cell(and3), &[a, x, w], None)
-            .unwrap();
+        let z = nl.add_gate(GateKind::Cell(and3), &[a, x, w], None).unwrap();
         nl.mark_output(z);
         let gz = nl.net(z).driver().unwrap();
         let path = path_of(&nl, vec![a, z], vec![(gz, 0)]);

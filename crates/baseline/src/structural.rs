@@ -116,8 +116,7 @@ struct Collector<'a> {
 
 impl Collector<'_> {
     fn dfs(&mut self, net: NetId, delay: f64, is_output: &[bool]) {
-        if self.found.len() >= self.k && delay + self.remaining[net.index()] <= self.threshold
-        {
+        if self.found.len() >= self.k && delay + self.remaining[net.index()] <= self.threshold {
             return;
         }
         self.nodes.push(net);

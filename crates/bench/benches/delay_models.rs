@@ -19,10 +19,7 @@ fn training_samples() -> Vec<Sample> {
                         t_in,
                         temperature,
                         vdd,
-                        value: 20.0
-                            + 9.0 * fo
-                            + 0.2 * t_in
-                            + 0.02 * temperature
+                        value: 20.0 + 9.0 * fo + 0.2 * t_in + 0.02 * temperature
                             - 28.0 * (vdd - 1.0)
                             + 0.01 * fo * t_in,
                     });

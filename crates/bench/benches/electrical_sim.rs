@@ -51,9 +51,7 @@ fn bench_esim(c: &mut Criterion) {
                 }
             })
             .collect();
-        b.iter(|| {
-            simulate_path(&stages, &tech, corner, Edge::Rise, 60.0).expect("path simulates")
-        })
+        b.iter(|| simulate_path(&stages, &tech, corner, Edge::Rise, 60.0).expect("path simulates"))
     });
     group.finish();
 }

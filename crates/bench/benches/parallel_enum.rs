@@ -1,0 +1,42 @@
+//! Criterion bench for the parallel enumeration engine: the same
+//! N-worst workload at 1/2/4/8 worker threads.
+//!
+//! On a multi-core host the root-task sharding should scale the
+//! wall-clock near-linearly until the task count or the serial merge
+//! dominates; on a single-core host (CI containers) the thread counts
+//! all degenerate to the serial runtime plus pool overhead, which this
+//! bench then quantifies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sta_bench::{benchmark, library, timing_library};
+use sta_cells::{Corner, Technology};
+use sta_core::{EnumerationConfig, PathEnumerator};
+
+fn bench_parallel(c: &mut Criterion) {
+    let tech = Technology::n130();
+    let lib = library();
+    let tlib = timing_library(&tech);
+    let corner = Corner::nominal(&tech);
+    let mut group = c.benchmark_group("parallel_enum");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let nl = benchmark(name).mapped.clone();
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let mut cfg = EnumerationConfig::new(corner)
+                        .with_n_worst(50)
+                        .with_threads(threads);
+                    cfg.max_paths = Some(5_000);
+                    cfg.max_decisions = 2_000_000;
+                    PathEnumerator::new(&nl, lib, tlib, cfg).run()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

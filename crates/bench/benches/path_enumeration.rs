@@ -21,17 +21,13 @@ fn bench_enumeration(c: &mut Criterion) {
     for name in ["c17", "sample"] {
         let bench = benchmark(name);
         let nl = bench.mapped.clone();
-        group.bench_with_input(
-            BenchmarkId::new("developed_full", name),
-            &nl,
-            |b, nl| {
-                b.iter(|| {
-                    let mut cfg = EnumerationConfig::new(corner);
-                    cfg.max_paths = Some(200_000);
-                    PathEnumerator::new(nl, lib, tlib, cfg).run()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("developed_full", name), &nl, |b, nl| {
+            b.iter(|| {
+                let mut cfg = EnumerationConfig::new(corner);
+                cfg.max_paths = Some(200_000);
+                PathEnumerator::new(nl, lib, tlib, cfg).run()
+            })
+        });
     }
     // Matched-workload comparison on the mid-size circuits: the developed
     // tool restricted to the N worst paths versus the baseline exploring
@@ -39,25 +35,17 @@ fn bench_enumeration(c: &mut Criterion) {
     for name in ["c432", "c880"] {
         let bench = benchmark(name);
         let nl = bench.mapped.clone();
-        group.bench_with_input(
-            BenchmarkId::new("developed_n50", name),
-            &nl,
-            |b, nl| {
-                b.iter(|| {
-                    let mut cfg = EnumerationConfig::new(corner).with_n_worst(50);
-                    cfg.max_paths = Some(5_000);
-                    cfg.max_decisions = 2_000_000;
-                    PathEnumerator::new(nl, lib, tlib, cfg).run()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("baseline_k50", name),
-            &nl,
-            |b, nl| {
-                b.iter(|| run_baseline(nl, lib, tlib, &BaselineConfig::new(50, 1000)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("developed_n50", name), &nl, |b, nl| {
+            b.iter(|| {
+                let mut cfg = EnumerationConfig::new(corner).with_n_worst(50);
+                cfg.max_paths = Some(5_000);
+                cfg.max_decisions = 2_000_000;
+                PathEnumerator::new(nl, lib, tlib, cfg).run()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_k50", name), &nl, |b, nl| {
+            b.iter(|| run_baseline(nl, lib, tlib, &BaselineConfig::new(50, 1000)))
+        });
     }
     group.finish();
 }

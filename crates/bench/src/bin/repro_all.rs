@@ -60,8 +60,8 @@ fn main() {
     let cfg = errors::ErrorConfig::default();
     for tech in Technology::all() {
         let circuits = [
-            "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315",
-            "c6288", "c7552",
+            "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
+            "c7552",
         ];
         let rows: Vec<_> = circuits
             .iter()

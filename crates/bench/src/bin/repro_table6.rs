@@ -100,7 +100,10 @@ fn main() {
     }
     let mut rows = Vec::new();
     for (name, cfg) in &plan {
-        eprintln!("running {name} (backtrack limit {})...", cfg.backtrack_limit);
+        eprintln!(
+            "running {name} (backtrack limit {})...",
+            cfg.backtrack_limit
+        );
         let row = run_circuit(name, &tech, cfg);
         eprintln!(
             "  {name}: vectors={}{} multi={} devCPU={:.1}s | base: {}p {}T {}F {}L in {:.1}s pred={:.2}",

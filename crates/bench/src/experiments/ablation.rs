@@ -166,7 +166,14 @@ pub fn render(tech: &Technology) -> String {
              hypothetical vector-aware LUT)",
             tech.name
         ),
-        &["Arc", "PolyAuto", "PolyOrder1", "LUTref4x4", "LUTsame4x4", "coeffs"],
+        &[
+            "Arc",
+            "PolyAuto",
+            "PolyOrder1",
+            "LUTref4x4",
+            "LUTsame4x4",
+            "coeffs",
+        ],
         &body,
     )
 }
@@ -201,8 +208,7 @@ mod tests {
             );
         }
         // The auto-order model is accurate in absolute terms too.
-        let mean_auto: f64 =
-            multi.iter().map(|r| r.poly_auto).sum::<f64>() / multi.len() as f64;
+        let mean_auto: f64 = multi.iter().map(|r| r.poly_auto).sum::<f64>() / multi.len() as f64;
         assert!(mean_auto < 0.05, "auto-order MAPE {mean_auto}");
     }
 

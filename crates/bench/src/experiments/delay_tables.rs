@@ -86,10 +86,7 @@ pub fn table3_4(t_in: f64) -> String {
         let body: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
-                let mut cells = vec![
-                    r.tech.clone(),
-                    format!("In {:?}", r.edge),
-                ];
+                let mut cells = vec![r.tech.clone(), format!("In {:?}", r.edge)];
                 cells.extend(r.delays.iter().map(|d| format!("{d:.2}")));
                 cells.extend((2..=n_cases).map(|k| format!("{:+.2}%", r.diff_pct(k))));
                 cells

@@ -208,10 +208,7 @@ impl Accum {
 
 /// Renders a Table 7/8/9 for the given circuits and technology.
 pub fn render(circuits: &[&str], tech: &Technology, cfg: &ErrorConfig) -> String {
-    let rows: Vec<ErrorRow> = circuits
-        .iter()
-        .map(|c| run_circuit(c, tech, cfg))
-        .collect();
+    let rows: Vec<ErrorRow> = circuits.iter().map(|c| run_circuit(c, tech, cfg)).collect();
     render_rows(&rows, tech)
 }
 
@@ -231,8 +228,15 @@ pub fn render_rows(rows: &[ErrorRow], tech: &Technology) -> String {
                 pct(r.commercial.max_path),
                 pct(r.commercial.mean_gate),
                 pct(r.commercial.max_gate),
-                format!("{}{}", r.paths_measured,
-                    if r.paths_skipped > 0 { format!("(-{})", r.paths_skipped) } else { String::new() }),
+                format!(
+                    "{}{}",
+                    r.paths_measured,
+                    if r.paths_skipped > 0 {
+                        format!("(-{})", r.paths_skipped)
+                    } else {
+                        String::new()
+                    }
+                ),
             ]
         })
         .collect();
@@ -272,7 +276,11 @@ mod tests {
             max_decisions: 5_000_000,
         };
         let row = run_circuit("sample", &tech, &cfg);
-        assert!(row.paths_measured >= 2, "paths measured {}", row.paths_measured);
+        assert!(
+            row.paths_measured >= 2,
+            "paths measured {}",
+            row.paths_measured
+        );
         assert!(
             row.developed.mean_path < row.commercial.mean_path,
             "dev {:?} vs com {:?}",

@@ -57,9 +57,10 @@ pub fn run(tech: &Technology) -> Table5 {
     // Baseline for comparison.
     let baseline = run_baseline(nl, lib, tlib, &BaselineConfig::new(50, 1000));
     let base_for_path = |p: &TruePath| {
-        baseline.paths.iter().find(|bp| {
-            bp.sens.classification == Classification::True && bp.path.nodes == p.nodes
-        })
+        baseline
+            .paths
+            .iter()
+            .find(|bp| bp.sens.classification == Classification::True && bp.path.nodes == p.nodes)
     };
 
     let mut rows = Vec::new();
@@ -116,8 +117,7 @@ pub fn run(tech: &Technology) -> Table5 {
             reported_by_baseline: base.is_some_and(|bp| {
                 // Baseline reports one vector; does it match this row's
                 // vector choice at every arc?
-                bp.sens.chosen_vectors
-                    == p.arcs.iter().map(|a| a.vector).collect::<Vec<_>>()
+                bp.sens.chosen_vectors == p.arcs.iter().map(|a| a.vector).collect::<Vec<_>>()
             }),
         });
     }
@@ -155,7 +155,13 @@ pub fn render(tech: &Technology) -> String {
             "Table 5: sample-circuit critical path, delay vs input vector ({})",
             tech.name
         ),
-        &["Input vector", "AO22 case", "Model (ps)", "Spice-level (ps)", "Baseline reports"],
+        &[
+            "Input vector",
+            "AO22 case",
+            "Model (ps)",
+            "Spice-level (ps)",
+            "Baseline reports",
+        ],
         &rows,
     );
     out.push_str(&format!(

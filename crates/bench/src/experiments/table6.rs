@@ -143,8 +143,7 @@ pub fn run_circuit(name: &str, tech: &Technology, cfg: &Table6Config) -> Table6R
         .paths
         .iter()
         .filter(|bp| {
-            bp.sens.classification == Classification::False
-                && groups.contains_key(&bp.path.nodes)
+            bp.sens.classification == Classification::False && groups.contains_key(&bp.path.nodes)
         })
         .count();
 

@@ -140,7 +140,10 @@ mod tests {
         let t = render_table(
             "T",
             &["a", "bbb"],
-            &[vec!["1".into(), "2".into()], vec!["10".into(), "2000".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "2000".into()],
+            ],
         );
         assert!(t.contains("bbb"));
         assert!(t.lines().count() >= 6);

@@ -39,6 +39,7 @@ impl Expr {
     }
 
     /// Wraps `self` in a complement.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
@@ -156,7 +157,7 @@ impl TruthTable {
     /// Panics if `num_pins` exceeds [`MAX_PINS`] or the expression
     /// references a pin outside the range.
     pub fn from_expr(expr: &Expr, num_pins: u8) -> Self {
-        assert!(num_pins >= 1 && num_pins <= MAX_PINS, "1..=6 pins supported");
+        assert!((1..=MAX_PINS).contains(&num_pins), "1..=6 pins supported");
         if let Some(mp) = expr.max_pin() {
             assert!(mp < num_pins, "expression references pin out of range");
         }

@@ -44,9 +44,7 @@ pub use tech::{Corner, Technology};
 pub use topology::{CellTopology, SpNet, Stage};
 
 /// Edge direction of a signal transition.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Edge {
     /// 0 → 1.
     Rise,

@@ -168,21 +168,13 @@ impl Library {
             ("OR4", 4, Expr::or_pins(&[0, 1, 2, 3])),
             ("XOR2", 2, Xor(vec![p(0), p(1)])),
             ("XNOR2", 2, Xor(vec![p(0), p(1)]).not()),
-            (
-                "AOI21",
-                3,
-                Or(vec![Expr::and_pins(&[0, 1]), p(2)]).not(),
-            ),
+            ("AOI21", 3, Or(vec![Expr::and_pins(&[0, 1]), p(2)]).not()),
             (
                 "AOI22",
                 4,
                 Or(vec![Expr::and_pins(&[0, 1]), Expr::and_pins(&[2, 3])]).not(),
             ),
-            (
-                "OAI12",
-                3,
-                And(vec![Expr::or_pins(&[0, 1]), p(2)]).not(),
-            ),
+            ("OAI12", 3, And(vec![Expr::or_pins(&[0, 1]), p(2)]).not()),
             (
                 "OAI22",
                 4,
@@ -203,10 +195,7 @@ impl Library {
             (
                 "MUX2",
                 3,
-                Or(vec![
-                    And(vec![p(0), p(2).not()]),
-                    And(vec![p(1), p(2)]),
-                ]),
+                Or(vec![And(vec![p(0), p(2).not()]), And(vec![p(1), p(2)])]),
             ),
         ];
         for (name, pins, expr) in defs {
@@ -321,11 +310,7 @@ impl Library {
 
     /// Rebuilds the name index after deserialization.
     pub fn rebuild_name_index(&mut self) {
-        self.by_name = self
-            .cells
-            .iter()
-            .map(|c| (c.name.clone(), c.id))
-            .collect();
+        self.by_name = self.cells.iter().map(|c| (c.name.clone(), c.id)).collect();
     }
 }
 

@@ -210,7 +210,7 @@ mod tests {
         assert_eq!(side_tuple(&a[0]), vec![-1, 1, 0, 0]); // Case 1: B=1 C=0 D=0
         assert_eq!(side_tuple(&a[1]), vec![-1, 1, 1, 0]); // Case 2: B=1 C=1 D=0
         assert_eq!(side_tuple(&a[2]), vec![-1, 1, 0, 1]); // Case 3: B=1 C=0 D=1
-        // Input C by symmetry: (A,B,D) rows from the paper: (0,0,·,1),(1,0,·,1),(0,1,·,1)
+                                                          // Input C by symmetry: (A,B,D) rows from the paper: (0,0,·,1),(1,0,·,1),(0,1,·,1)
         let c = &arcs[2].vectors;
         assert_eq!(side_tuple(&c[0]), vec![0, 0, -1, 1]);
         assert_eq!(side_tuple(&c[1]), vec![1, 0, -1, 1]);

@@ -184,11 +184,7 @@ mod tests {
         // 90 nm must be the fastest node, 65 nm slower than 90 nm (paper
         // Tables 3–4), judged by the intrinsic R·C product.
         let rc = |t: &Technology| t.r_n * t.c_gate;
-        let (t130, t90, t65) = (
-            Technology::n130(),
-            Technology::n90(),
-            Technology::n65(),
-        );
+        let (t130, t90, t65) = (Technology::n130(), Technology::n90(), Technology::n65());
         assert!(rc(&t90) < rc(&t65), "90nm faster than 65nm");
         assert!(rc(&t90) < rc(&t130), "90nm faster than 130nm");
     }

@@ -72,9 +72,7 @@ impl SpNet {
     pub fn device_count(&self) -> usize {
         match self {
             SpNet::Device(_) => 1,
-            SpNet::Series(cs) | SpNet::Parallel(cs) => {
-                cs.iter().map(SpNet::device_count).sum()
-            }
+            SpNet::Series(cs) | SpNet::Parallel(cs) => cs.iter().map(SpNet::device_count).sum(),
         }
     }
 
@@ -236,7 +234,6 @@ impl CellTopology {
         }
         *values.last().expect("at least one stage")
     }
-
 }
 
 /// Negation-normal-form view of an expression: AND/OR tree over possibly
@@ -506,7 +503,12 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing device {label}"))
         };
         // Case 1: A falls (initial 1), B=1, C=0, D=0.
-        let r1 = device_states(&topo, 0, true, &[None, Some(true), Some(false), Some(false)]);
+        let r1 = device_states(
+            &topo,
+            0,
+            true,
+            &[None, Some(true), Some(false), Some(false)],
+        );
         assert_eq!(find(&r1, "pA"), DeviceState::TurnsOn);
         assert_eq!(find(&r1, "pC"), DeviceState::On);
         assert_eq!(find(&r1, "pD"), DeviceState::On);

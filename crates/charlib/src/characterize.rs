@@ -394,7 +394,10 @@ mod tests {
         assert_eq!(ct.luts.len(), 1);
         let corner = Corner::nominal(&tech);
         // Model predictions close to fresh simulations at an off-grid point.
-        let (d, s) = ct.variant(0, 0).for_edge(Edge::Rise).eval(2.0, 50.0, corner);
+        let (d, s) = ct
+            .variant(0, 0)
+            .for_edge(Edge::Rise)
+            .eval(2.0, 50.0, corner);
         let sim = simulate_arc(
             inv,
             &tech,

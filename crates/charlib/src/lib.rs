@@ -43,6 +43,6 @@ pub use characterize::{
     characterize, characterize_cached, characterize_cell, CharConfig, CharError,
 };
 pub use lut::Lut2d;
+pub use model::{ArcModel, ArcRef, ArcVariant, CellTiming, LutArc, ModelCache, TimingLibrary};
 pub use montecarlo::{DelayDistribution, VariationSampler};
-pub use model::{ArcModel, ArcVariant, CellTiming, LutArc, TimingLibrary};
 pub use poly::{PolyModel, Sample};

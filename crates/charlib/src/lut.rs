@@ -27,7 +27,10 @@ impl Lut2d {
     /// Panics if an axis has fewer than two strictly increasing points or
     /// the value count does not match the grid.
     pub fn new(fo_axis: Vec<f64>, tin_axis: Vec<f64>, values: Vec<f64>) -> Self {
-        assert!(fo_axis.len() >= 2 && tin_axis.len() >= 2, "axes need ≥ 2 points");
+        assert!(
+            fo_axis.len() >= 2 && tin_axis.len() >= 2,
+            "axes need ≥ 2 points"
+        );
         for axis in [&fo_axis, &tin_axis] {
             for w in axis.windows(2) {
                 assert!(w[0] < w[1], "axes must be strictly increasing");
@@ -80,7 +83,10 @@ impl Lut2d {
 
     /// The largest tabulated value (used for conservative bounds).
     pub fn max_value(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

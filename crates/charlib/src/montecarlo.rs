@@ -48,6 +48,7 @@ impl<'a> VariationSampler<'a> {
     }
 
     /// Arc delay at process sample `k ∈ [−1, 1]`.
+    #[allow(clippy::too_many_arguments)]
     pub fn delay_at(
         &self,
         k: f64,
@@ -59,8 +60,16 @@ impl<'a> VariationSampler<'a> {
         t_in: f64,
     ) -> f64 {
         let eval = |lib: &TimingLibrary| {
-            lib.delay_slew(cell, pin, vector, edge, fo, t_in, Corner::nominal(&lib.tech))
-                .0
+            lib.delay_slew(
+                cell,
+                pin,
+                vector,
+                edge,
+                fo,
+                t_in,
+                Corner::nominal(&lib.tech),
+            )
+            .0
         };
         let typ = eval(self.typical);
         if k >= 0.0 {
@@ -92,8 +101,7 @@ impl<'a> VariationSampler<'a> {
                 // Box-Muller Gaussian from two uniforms.
                 let u1: f64 = rng.gen_range(1e-12..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
-                let g = (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos();
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 let k = (g / 3.0).clamp(-1.0, 1.0);
                 self.delay_at(k, cell, pin, vector, edge, fo, t_in)
             })

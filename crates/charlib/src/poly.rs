@@ -127,7 +127,7 @@ impl PolyModel {
                     continue;
                 }
                 let cand = PolyModel::fit(samples, orders);
-                if best.as_ref().map_or(true, |b| cand.rms < b.rms) {
+                if best.as_ref().is_none_or(|b| cand.rms < b.rms) {
                     best = Some(cand);
                 }
             }
@@ -163,8 +163,8 @@ impl PolyModel {
         let mut total = 0.0;
         let mut idx = [0usize; NUM_VARS];
         for c in &self.coeffs {
-            let term = powers[0][idx[0]] * powers[1][idx[1]] * powers[2][idx[2]]
-                * powers[3][idx[3]];
+            let term =
+                powers[0][idx[0]] * powers[1][idx[1]] * powers[2][idx[2]] * powers[3][idx[3]];
             total += c * term;
             // Increment mixed-radix counter (variable 3 fastest).
             for v in (0..NUM_VARS).rev() {
@@ -194,7 +194,10 @@ impl PolyModel {
     }
 }
 
-fn normalization(samples: &[Sample], orders: &[usize; NUM_VARS]) -> ([f64; NUM_VARS], [f64; NUM_VARS]) {
+fn normalization(
+    samples: &[Sample],
+    orders: &[usize; NUM_VARS],
+) -> ([f64; NUM_VARS], [f64; NUM_VARS]) {
     let mut lo = [f64::INFINITY; NUM_VARS];
     let mut hi = [f64::NEG_INFINITY; NUM_VARS];
     for s in samples {
@@ -278,9 +281,10 @@ mod tests {
     #[test]
     fn recovers_polynomial_ground_truth() {
         // A function exactly representable at orders (2,1,1,1).
-        let truth =
-            |fo: f64, t: f64, temp: f64, v: f64| 20.0 + 8.0 * fo + 0.4 * fo * fo + 0.15 * t
-                + 0.02 * temp - 30.0 * (v - 1.0) + 0.01 * fo * t;
+        let truth = |fo: f64, t: f64, temp: f64, v: f64| {
+            20.0 + 8.0 * fo + 0.4 * fo * fo + 0.15 * t + 0.02 * temp - 30.0 * (v - 1.0)
+                + 0.01 * fo * t
+        };
         let samples = synth(truth);
         let m = PolyModel::fit(&samples, [2, 1, 1, 1]);
         assert!(m.training_rms() < 1e-8, "rms = {}", m.training_rms());
@@ -334,7 +338,10 @@ mod tests {
         let js = serde_json::to_string(&m).unwrap();
         let back: PolyModel = serde_json::from_str(&js).unwrap();
         assert_eq!(back, m);
-        assert_eq!(back.eval(2.0, 50.0, 25.0, 1.0), m.eval(2.0, 50.0, 25.0, 1.0));
+        assert_eq!(
+            back.eval(2.0, 50.0, 25.0, 1.0),
+            m.eval(2.0, 50.0, 25.0, 1.0)
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@
 pub fn least_squares(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Vec<f64> {
     assert_eq!(x.len(), rows * cols, "design matrix shape mismatch");
     assert_eq!(y.len(), rows, "rhs length mismatch");
-    assert!(rows >= cols, "underdetermined system ({rows} rows, {cols} cols)");
+    assert!(
+        rows >= cols,
+        "underdetermined system ({rows} rows, {cols} cols)"
+    );
     // Normal matrix A = XᵀX (cols × cols) and b = Xᵀy.
     let mut a = vec![0.0; cols * cols];
     let mut b = vec![0.0; cols];
@@ -65,8 +68,7 @@ pub fn solve(a: &mut [f64], b: &mut [f64], n: usize) {
         perm.swap(col, best);
         let prow = perm[col];
         let pivot = a[prow * n + col];
-        for r in col + 1..n {
-            let row = perm[r];
+        for &row in &perm[col + 1..n] {
             let f = a[row * n + col] / pivot;
             if f == 0.0 {
                 continue;

@@ -46,7 +46,12 @@ pub fn derated(tech: &Technology, spread: &ProcessSpread, k_sigma: f64) -> Techn
     t.c_drain *= c;
     t.vt_n = (t.vt_n + spread.sigma_vt * k_sigma).max(0.05);
     t.vt_p = (t.vt_p + spread.sigma_vt * k_sigma).max(0.05);
-    t.name = format!("{}{}{:.1}s", tech.name, if k_sigma >= 0.0 { "+" } else { "" }, k_sigma);
+    t.name = format!(
+        "{}{}{:.1}s",
+        tech.name,
+        if k_sigma >= 0.0 { "+" } else { "" },
+        k_sigma
+    );
     t
 }
 

@@ -59,7 +59,11 @@ pub fn alu(n: usize) -> Netlist {
         let u0 = g(&mut nl, PrimOp::Or, &[t0, t1]);
         let u1 = g(&mut nl, PrimOp::Or, &[t2, t3]);
         let r = nl
-            .add_gate(GateKind::Prim(PrimOp::Or), &[u0, u1], Some(&format!("r{i}")))
+            .add_gate(
+                GateKind::Prim(PrimOp::Or),
+                &[u0, u1],
+                Some(&format!("r{i}")),
+            )
             .expect("valid");
         results.push(r);
         nl.mark_output(r);

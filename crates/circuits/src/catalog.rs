@@ -268,11 +268,7 @@ mod tests {
         let dir = std::env::temp_dir().join("sta_catalog_override");
         let _ = std::fs::create_dir_all(&dir);
         // A fake "c17" with a single inverter.
-        std::fs::write(
-            dir.join("c17.bench"),
-            "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
-        )
-        .unwrap();
+        std::fs::write(dir.join("c17.bench"), "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
         let nl = primitive_with_overrides("c17", &dir).unwrap().unwrap();
         assert_eq!(nl.num_gates(), 1, "override wins");
         // Unknown names still fall through to the catalog (None).

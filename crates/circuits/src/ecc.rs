@@ -79,7 +79,11 @@ pub fn sec_circuit() -> Netlist {
             .collect();
         let hit = g(&mut nl, PrimOp::And, &literals);
         let corrected = nl
-            .add_gate(GateKind::Prim(PrimOp::Xor), &[d, hit], Some(&format!("o{i}")))
+            .add_gate(
+                GateKind::Prim(PrimOp::Xor),
+                &[d, hit],
+                Some(&format!("o{i}")),
+            )
             .expect("valid");
         nl.mark_output(corrected);
     }

@@ -44,8 +44,7 @@ pub mod sample;
 pub mod transforms;
 
 pub use catalog::{
-    from_bench_file, mapped, names, primitive, primitive_with_overrides, BenchmarkInfo,
-    BENCHMARKS,
+    from_bench_file, mapped, names, primitive, primitive_with_overrides, BenchmarkInfo, BENCHMARKS,
 };
 pub use mapper::map_netlist;
 pub use sample::sample_circuit;

@@ -161,11 +161,7 @@ fn cover(nl: &Netlist, lib: &Library) -> Result<Netlist, NetlistError> {
             .cell_by_name(m.cell)
             .unwrap_or_else(|| panic!("mapper references unknown cell {}", m.cell));
         let ins: Vec<NetId> = m.leaves.iter().map(|l| newid[l]).collect();
-        let id = out.add_gate(
-            GateKind::Cell(cell.id()),
-            &ins,
-            Some(&nl.net_label(root)),
-        )?;
+        let id = out.add_gate(GateKind::Cell(cell.id()), &ins, Some(&nl.net_label(root)))?;
         newid.insert(root, id);
     }
     for &po in nl.outputs() {
@@ -248,9 +244,7 @@ impl Matcher<'_> {
         // 22-pattern below).
         let kids: Vec<Option<(PrimOp, Vec<NetId>)>> =
             ins.iter().map(|&n| self.absorbable(n)).collect();
-        let both_dual = |a: &Option<(PrimOp, Vec<NetId>)>, b: &Option<(PrimOp, Vec<NetId>)>| {
-            matches!((a, b), (Some((x, _)), Some((y, _))) if *x == dual && *y == dual)
-        };
+        let both_dual = |a: &Option<(PrimOp, Vec<NetId>)>, b: &Option<(PrimOp, Vec<NetId>)>| matches!((a, b), (Some((x, _)), Some((y, _))) if *x == dual && *y == dual);
         // MUX2: OR(AND(x, NOT s), AND(y, s)) — only for the positive OR root.
         if !negated && op == PrimOp::Or {
             if let Some(m) = self.match_mux(&ins, &kids) {
@@ -311,10 +305,7 @@ impl Matcher<'_> {
             (PrimOp::Or, true) => "NOR2",
             _ => unreachable!(),
         };
-        Match {
-            cell,
-            leaves: ins,
-        }
+        Match { cell, leaves: ins }
     }
 
     /// Flattens same-operator chains into the wide simple cells:
@@ -363,11 +354,7 @@ impl Matcher<'_> {
         Some(Match { cell, leaves })
     }
 
-    fn match_mux(
-        &self,
-        ins: &[NetId],
-        kids: &[Option<(PrimOp, Vec<NetId>)>],
-    ) -> Option<Match> {
+    fn match_mux(&self, ins: &[NetId], kids: &[Option<(PrimOp, Vec<NetId>)>]) -> Option<Match> {
         if ins.len() != 2 {
             return None;
         }
@@ -470,10 +457,7 @@ impl Matcher<'_> {
             PrimOp::And => "NAND2",
             _ => "NOR2",
         };
-        Match {
-            cell,
-            leaves: ins,
-        }
+        Match { cell, leaves: ins }
     }
 }
 

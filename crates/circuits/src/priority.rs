@@ -62,7 +62,11 @@ pub fn interrupt_controller(groups: usize, width: usize) -> Netlist {
         };
         let grant = {
             let named = nl
-                .add_gate(GateKind::Prim(PrimOp::Buf), &[grant], Some(&format!("g{gi}")))
+                .add_gate(
+                    GateKind::Prim(PrimOp::Buf),
+                    &[grant],
+                    Some(&format!("g{gi}")),
+                )
                 .expect("valid");
             nl.mark_output(named);
             grant
@@ -107,7 +111,11 @@ pub fn interrupt_controller(groups: usize, width: usize) -> Netlist {
             g(&mut nl, PrimOp::Or, &members)
         };
         let named = nl
-            .add_gate(GateKind::Prim(PrimOp::Buf), &[bit], Some(&format!("code{k}")))
+            .add_gate(
+                GateKind::Prim(PrimOp::Buf),
+                &[bit],
+                Some(&format!("code{k}")),
+            )
             .expect("valid");
         nl.mark_output(named);
     }
@@ -147,8 +155,8 @@ mod tests {
         let out = run(&nl, groups, width, &[0, 0b1000, 0b0001], 0x1FF);
         assert!(!out[0] && out[1] && !out[2]);
         // code = 3 (bit 3 of group 1).
-        let code = out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2
-            | (out[6] as u32) << 3;
+        let code =
+            out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2 | (out[6] as u32) << 3;
         assert_eq!(code, 3);
     }
 
@@ -160,8 +168,8 @@ mod tests {
         // is enabled.
         let out = run(&nl, groups, width, &[0b100, 0, 0b100000], !0b100 & 0x1FF);
         assert!(!out[0] && !out[1] && out[2]);
-        let code = out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2
-            | (out[6] as u32) << 3;
+        let code =
+            out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2 | (out[6] as u32) << 3;
         assert_eq!(code, 5);
     }
 
@@ -170,8 +178,8 @@ mod tests {
         let (groups, width) = (3, 9);
         let nl = interrupt_controller(groups, width);
         let out = run(&nl, groups, width, &[0b101000, 0, 0], 0x1FF);
-        let code = out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2
-            | (out[6] as u32) << 3;
+        let code =
+            out[3] as u32 | (out[4] as u32) << 1 | (out[5] as u32) << 2 | (out[6] as u32) << 3;
         assert_eq!(code, 3, "bit 3 outranks bit 5");
     }
 }

@@ -74,12 +74,10 @@ mod tests {
         nl.mark_output(z);
         nl.mark_output(w);
         let expanded = expand_xor(&nl);
-        assert!(expanded
-            .gate_ids()
-            .all(|g| !matches!(
-                expanded.gate(g).kind(),
-                GateKind::Prim(PrimOp::Xor | PrimOp::Xnor)
-            )));
+        assert!(expanded.gate_ids().all(|g| !matches!(
+            expanded.gate(g).kind(),
+            GateKind::Prim(PrimOp::Xor | PrimOp::Xnor)
+        )));
         for bits in 0..16u32 {
             let v: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
             assert_eq!(nl.eval_prim(&v), expanded.eval_prim(&v), "{bits:04b}");

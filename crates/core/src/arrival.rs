@@ -66,10 +66,10 @@ pub fn static_bounds(
             for pin in 0..gate.fanin() as u8 {
                 for v in 0..ct.num_vectors(pin) {
                     for edge in Edge::BOTH {
-                        let (d, _) = ct
-                            .variant(pin, v)
-                            .for_edge(edge)
-                            .eval(fo, default_slew, corner);
+                        let (d, _) =
+                            ct.variant(pin, v)
+                                .for_edge(edge)
+                                .eval(fo, default_slew, corner);
                         worst = worst.max(d);
                     }
                 }

@@ -6,9 +6,11 @@
 //! electrical simulation) and as an independent cross-check of the
 //! enumerator's bookkeeping.
 
+use std::fmt;
+
 use sta_cells::{Corner, Edge};
 use sta_charlib::TimingLibrary;
-use sta_netlist::{GateKind, Netlist};
+use sta_netlist::{GateId, GateKind, Netlist, PrimOp};
 
 use crate::path::TruePath;
 
@@ -23,12 +25,41 @@ pub struct PathDelayBreakdown {
     pub total: f64,
 }
 
+/// Why a stand-alone delay calculation could not be carried out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelayCalcError {
+    /// The path traverses a gate that is still a technology-independent
+    /// primitive; the netlist must be technology-mapped before any delay
+    /// model applies.
+    UnmappedGate {
+        /// The offending gate.
+        gate: GateId,
+        /// Its primitive operator.
+        op: PrimOp,
+    },
+}
+
+impl fmt::Display for DelayCalcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayCalcError::UnmappedGate { gate, op } => write!(
+                f,
+                "path traverses unmapped primitive {op} (gate #{}); run map_netlist first",
+                gate.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DelayCalcError {}
+
 /// Recomputes the polynomial-model delay of `path` for the given launch
 /// edge.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the path references unmapped gates.
+/// Returns [`DelayCalcError::UnmappedGate`] if the path references gates
+/// that are not technology-mapped.
 pub fn path_delay(
     nl: &Netlist,
     tlib: &TimingLibrary,
@@ -36,7 +67,7 @@ pub fn path_delay(
     launch: Edge,
     input_slew: f64,
     corner: Corner,
-) -> PathDelayBreakdown {
+) -> Result<PathDelayBreakdown, DelayCalcError> {
     let mut stages = Vec::with_capacity(path.arcs.len());
     let mut edge = launch;
     let mut slew = input_slew;
@@ -45,7 +76,7 @@ pub fn path_delay(
         let gate = nl.gate(arc.gate);
         let cell = match gate.kind() {
             GateKind::Cell(c) => c,
-            GateKind::Prim(op) => panic!("path through unmapped primitive {op}"),
+            GateKind::Prim(op) => return Err(DelayCalcError::UnmappedGate { gate: arc.gate, op }),
         };
         let fo = tlib.equivalent_fanout(nl, gate.output(), cell);
         let (d, s) = tlib.delay_slew(cell, arc.pin, arc.vector, edge, fo, slew, corner);
@@ -56,18 +87,18 @@ pub fn path_delay(
         slew = s;
         edge = edge.through(arc.polarity);
     }
-    PathDelayBreakdown {
+    Ok(PathDelayBreakdown {
         launch,
         stages,
         total,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sta_cells::Library;
     use crate::enumerate::{EnumerationConfig, PathEnumerator};
+    use sta_cells::Library;
     use sta_cells::Technology;
     use sta_charlib::{characterize, CharConfig};
     use sta_netlist::GateKind;
@@ -99,7 +130,8 @@ mod tests {
         for p in &paths {
             for (launch, timing) in [(Edge::Rise, &p.rise), (Edge::Fall, &p.fall)] {
                 if let Some(t) = timing {
-                    let bd = path_delay(&nl, &tlib, p, launch, input_slew, corner);
+                    let bd = path_delay(&nl, &tlib, p, launch, input_slew, corner)
+                        .expect("mapped netlist");
                     assert!(
                         (bd.total - t.arrival).abs() < 1e-6,
                         "standalone {} vs incremental {}",
@@ -113,5 +145,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// An unmapped primitive in the path is reported as an error, not a
+    /// panic.
+    #[test]
+    fn unmapped_primitive_is_an_error() {
+        use crate::path::PathArc;
+        use sta_cells::Polarity;
+        use sta_netlist::PrimOp;
+
+        let lib = Library::standard();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::Not), &[a], None)
+            .unwrap();
+        nl.mark_output(z);
+        let gate = nl.net(z).driver().unwrap();
+        let path = TruePath {
+            source: a,
+            nodes: vec![a, z],
+            arcs: vec![PathArc {
+                gate,
+                pin: 0,
+                vector: 0,
+                polarity: Polarity::Inverting,
+            }],
+            rise: None,
+            fall: None,
+            input_vector: vec![crate::path::PiValue::Transition],
+        };
+        let corner = Corner::nominal(&tech);
+        let err = path_delay(&nl, &tlib, &path, Edge::Rise, 40.0, corner).unwrap_err();
+        assert_eq!(
+            err,
+            DelayCalcError::UnmappedGate {
+                gate,
+                op: PrimOp::Not
+            }
+        );
+        assert!(err.to_string().contains("unmapped"));
     }
 }

@@ -15,11 +15,14 @@
 //! Both launch polarities are traced simultaneously through the dual-value
 //! logic system (`sta-logic`), so each path is traversed once.
 
+use std::sync::atomic::AtomicU64;
+
+use serde::Serialize;
 use sta_cells::{Corner, Edge, Library, Polarity};
-use sta_charlib::TimingLibrary;
+use sta_charlib::{ModelCache, TimingLibrary};
 use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle, TriVal, V9};
 
-use crate::justify::{JustifyBudget, JustifyOutcome};
+use crate::justify::{JustifyBudget, JustifyCache, JustifyOutcome};
 use sta_netlist::{GateId, GateKind, NetId, Netlist};
 
 use crate::arrival::static_bounds;
@@ -50,6 +53,15 @@ pub struct EnumerationConfig {
     /// branch is dropped and counted in
     /// [`EnumerationStats::justify_aborts`].
     pub justify_decision_limit: u64,
+    /// Worker threads for the enumeration (1 = the serial engine). With
+    /// more than one thread the search roots — (primary input, launch
+    /// gate, sensitization vector) triples — are distributed over a
+    /// work-stealing pool; the emitted path set of
+    /// [`PathEnumerator::run`] is identical to the serial one at any
+    /// thread count (see the `parallel` module). `max_decisions` /
+    /// `max_paths` budgets apply per root task rather than globally in
+    /// parallel mode.
+    pub threads: usize,
 }
 
 impl EnumerationConfig {
@@ -64,6 +76,7 @@ impl EnumerationConfig {
             max_decisions: 50_000_000,
             max_paths: None,
             justify_decision_limit: 20_000,
+            threads: 1,
         }
     }
 
@@ -72,10 +85,16 @@ impl EnumerationConfig {
         self.n_worst = Some(n);
         self
     }
+
+    /// Sets the worker thread count (values below 1 mean serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 /// Counters describing an enumeration run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct EnumerationStats {
     /// Emitted paths (path × vector combinations).
     pub paths: usize,
@@ -91,8 +110,31 @@ pub struct EnumerationStats {
     /// Justification calls dropped at the per-call effort cap (their
     /// subtrees are conservatively discarded).
     pub justify_aborts: u64,
+    /// Justification candidate enumerations answered from the per-worker
+    /// memo table (see `sta_core::justify::JustifyCache`).
+    pub justify_cache_hits: u64,
+    /// Delay-model evaluations answered from the per-worker memo table
+    /// (see `sta_charlib::ModelCache`).
+    pub model_cache_hits: u64,
     /// Whether a budget cut the run short.
     pub truncated: bool,
+}
+
+impl EnumerationStats {
+    /// Folds another run's (or worker's) counters into this one. All
+    /// counters are sums; `truncated` is an OR. Used to aggregate
+    /// per-worker statistics after a parallel run.
+    pub fn merge(&mut self, other: &EnumerationStats) {
+        self.paths += other.paths;
+        self.input_vectors += other.input_vectors;
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.pruned += other.pruned;
+        self.justify_aborts += other.justify_aborts;
+        self.justify_cache_hits += other.justify_cache_hits;
+        self.model_cache_hits += other.model_cache_hits;
+        self.truncated |= other.truncated;
+    }
 }
 
 /// The true-path enumeration engine.
@@ -101,10 +143,10 @@ pub struct EnumerationStats {
 ///
 /// See the crate-level documentation of `sta-core`.
 pub struct PathEnumerator<'a> {
-    nl: &'a Netlist,
-    lib: &'a Library,
-    tlib: &'a TimingLibrary,
-    cfg: EnumerationConfig,
+    pub(crate) nl: &'a Netlist,
+    pub(crate) lib: &'a Library,
+    pub(crate) tlib: &'a TimingLibrary,
+    pub(crate) cfg: EnumerationConfig,
 }
 
 impl<'a> PathEnumerator<'a> {
@@ -130,11 +172,14 @@ impl<'a> PathEnumerator<'a> {
     }
 
     /// Runs the enumeration and returns the discovered true paths (sorted
-    /// by descending worst arrival) together with run statistics.
+    /// by the canonical order of [`TruePath::canonical_cmp`]: descending
+    /// worst arrival with deterministic tie-breaking) together with run
+    /// statistics. The returned path set is identical at any
+    /// [`EnumerationConfig::threads`] setting.
     pub fn run(&self) -> (Vec<TruePath>, EnumerationStats) {
         let mut collected: Vec<TruePath> = Vec::new();
         let stats = self.run_with(|p| collected.push(p));
-        collected.sort_by(|a, b| b.worst_arrival().total_cmp(&a.worst_arrival()));
+        collected.sort_by(TruePath::canonical_cmp);
         if let Some(n) = self.cfg.n_worst {
             collected.truncate(n);
         }
@@ -150,41 +195,18 @@ impl<'a> PathEnumerator<'a> {
     /// search, but paths below the final threshold may reach the sink —
     /// the sink sees a superset of the N worst.
     pub fn run_with(&self, mut sink: impl FnMut(TruePath)) -> EnumerationStats {
-        let remaining = self.cfg.n_worst.map(|_| {
-            static_bounds(
-                self.nl,
-                self.tlib,
-                self.cfg.corner,
-                self.cfg.input_slew,
-                self.cfg.prune_margin,
-            )
-            .remaining
-        });
-        let fanouts: Vec<f64> = self
-            .nl
-            .gate_ids()
-            .map(|g| {
-                let gate = self.nl.gate(g);
-                let cell = cell_of(self.nl, g);
-                self.tlib.equivalent_fanout(self.nl, gate.output(), cell)
-            })
-            .collect();
-        let is_output: Vec<bool> = {
-            let mut v = vec![false; self.nl.num_nets()];
-            for &o in self.nl.outputs() {
-                v[o.index()] = true;
-            }
-            v
-        };
+        if self.cfg.threads > 1 {
+            return crate::parallel::run_parallel(self, &mut sink);
+        }
         let mut search = Search {
             nl: self.nl,
             lib: self.lib,
             tlib: self.tlib,
             cfg: &self.cfg,
             eng: ImplicationEngine::new(self.nl, self.lib),
-            remaining,
-            fanouts,
-            is_output,
+            remaining: self.prune_bounds(),
+            fanouts: self.fanouts(),
+            is_output: self.output_flags(),
             reach: Vec::new(),
             obligations: Vec::new(),
             delays_r: Vec::new(),
@@ -193,6 +215,9 @@ impl<'a> PathEnumerator<'a> {
             emitted: 0,
             worst_arrivals: Vec::new(),
             threshold: f64::NEG_INFINITY,
+            shared_bound: None,
+            justify_cache: JustifyCache::new(),
+            model_cache: ModelCache::new(),
             stats: EnumerationStats::default(),
         };
         for &src in self.nl.inputs() {
@@ -203,17 +228,14 @@ impl<'a> PathEnumerator<'a> {
             // stable-value requirements on nets that provably toggle
             // (crucial on reconvergent XOR logic).
             let deltas = toggle_analysis(self.nl, self.lib, src);
-            search.reach =
-                sensitizable_reach(self.nl, self.lib, &deltas, &search.is_output);
+            search.reach = sensitizable_reach(self.nl, self.lib, &deltas, &search.is_output);
             search.eng.set_toggles(Some(deltas));
             if !search.reach[src.index()] {
                 search.eng.set_toggles(None);
                 continue;
             }
             let mark = search.eng.mark();
-            let conflicts = search
-                .eng
-                .assign(src, Dual::transition(false), Mask::BOTH);
+            let conflicts = search.eng.assign(src, Dual::transition(false), Mask::BOTH);
             let mask = Mask::BOTH.minus(conflicts);
             if mask.any() {
                 let timing = PolTimings::launch(self.cfg.input_slew);
@@ -223,11 +245,50 @@ impl<'a> PathEnumerator<'a> {
             search.eng.set_toggles(None);
             search.obligations.clear();
         }
+        search.stats.justify_cache_hits = search.justify_cache.hits;
+        search.stats.model_cache_hits = search.model_cache.hits;
         search.stats
+    }
+
+    /// Static pruning bounds for N-worst mode (`None` in full
+    /// enumeration).
+    pub(crate) fn prune_bounds(&self) -> Option<Vec<f64>> {
+        self.cfg.n_worst.map(|_| {
+            static_bounds(
+                self.nl,
+                self.tlib,
+                self.cfg.corner,
+                self.cfg.input_slew,
+                self.cfg.prune_margin,
+            )
+            .remaining
+        })
+    }
+
+    /// Equivalent fanout per gate, precomputed once per run and shared
+    /// read-only by every worker.
+    pub(crate) fn fanouts(&self) -> Vec<f64> {
+        self.nl
+            .gate_ids()
+            .map(|g| {
+                let gate = self.nl.gate(g);
+                let cell = cell_of(self.nl, g);
+                self.tlib.equivalent_fanout(self.nl, gate.output(), cell)
+            })
+            .collect()
+    }
+
+    /// Primary-output flag per net.
+    pub(crate) fn output_flags(&self) -> Vec<bool> {
+        let mut v = vec![false; self.nl.num_nets()];
+        for &o in self.nl.outputs() {
+            v[o.index()] = true;
+        }
+        v
     }
 }
 
-fn cell_of(nl: &Netlist, g: GateId) -> sta_netlist::CellId {
+pub(crate) fn cell_of(nl: &Netlist, g: GateId) -> sta_netlist::CellId {
     match nl.gate(g).kind() {
         GateKind::Cell(c) => c,
         GateKind::Prim(_) => unreachable!("checked at construction"),
@@ -242,7 +303,7 @@ fn cell_of(nl: &Netlist, g: GateId) -> sta_netlist::CellId {
 /// `reach = false` has no true continuation, so the DFS never forks into
 /// it — this is what keeps reconvergent XOR fabrics (c499/c1355) from
 /// exploding into 2^depth refuted sub-paths.
-fn sensitizable_reach(
+pub(crate) fn sensitizable_reach(
     nl: &Netlist,
     lib: &Library,
     deltas: &[Toggle],
@@ -289,13 +350,13 @@ struct EdgeState {
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
-struct PolTimings {
+pub(crate) struct PolTimings {
     r: EdgeState,
     f: EdgeState,
 }
 
 impl PolTimings {
-    fn launch(input_slew: f64) -> Self {
+    pub(crate) fn launch(input_slew: f64) -> Self {
         let e = EdgeState {
             arrival: 0.0,
             slew: input_slew,
@@ -303,7 +364,7 @@ impl PolTimings {
         PolTimings { r: e, f: e }
     }
 
-    fn worst_alive(&self, mask: Mask) -> f64 {
+    pub(crate) fn worst_alive(&self, mask: Mask) -> f64 {
         let mut w = f64::NEG_INFINITY;
         if mask.r {
             w = w.max(self.r.arrival);
@@ -315,38 +376,73 @@ impl PolTimings {
     }
 }
 
-struct Search<'a, 'b> {
-    nl: &'a Netlist,
-    lib: &'a Library,
-    tlib: &'a TimingLibrary,
-    cfg: &'a EnumerationConfig,
-    eng: ImplicationEngine<'a>,
-    remaining: Option<Vec<f64>>,
+pub(crate) struct Search<'a, 'b> {
+    pub(crate) nl: &'a Netlist,
+    pub(crate) lib: &'a Library,
+    pub(crate) tlib: &'a TimingLibrary,
+    pub(crate) cfg: &'a EnumerationConfig,
+    pub(crate) eng: ImplicationEngine<'a>,
+    pub(crate) remaining: Option<Vec<f64>>,
     /// Equivalent fanout per gate (precomputed).
-    fanouts: Vec<f64>,
-    is_output: Vec<bool>,
+    pub(crate) fanouts: Vec<f64>,
+    pub(crate) is_output: Vec<bool>,
     /// Per-source sensitizable reachability (see [`sensitizable_reach`]).
-    reach: Vec<bool>,
+    pub(crate) reach: Vec<bool>,
     /// Nets whose values were assigned (not implied) and therefore need
     /// justification from the PIs.
-    obligations: Vec<NetId>,
+    pub(crate) obligations: Vec<NetId>,
     /// Per-gate delays along the current partial path, per polarity.
-    delays_r: Vec<f64>,
-    delays_f: Vec<f64>,
+    pub(crate) delays_r: Vec<f64>,
+    pub(crate) delays_f: Vec<f64>,
     /// Where emitted paths go.
-    sink: &'b mut dyn FnMut(TruePath),
+    pub(crate) sink: &'b mut dyn FnMut(TruePath),
     /// Paths handed to the sink so far.
-    emitted: usize,
+    pub(crate) emitted: usize,
     /// Worst arrivals of admitted paths (threshold bookkeeping in N-worst
     /// mode).
-    worst_arrivals: Vec<f64>,
+    pub(crate) worst_arrivals: Vec<f64>,
     /// N-worst admission threshold (−∞ until the set is full).
-    threshold: f64,
-    stats: EnumerationStats,
+    pub(crate) threshold: f64,
+    /// Globally-tightest published N-worst threshold, shared by all
+    /// workers of a parallel run (total-order f64 encoding, monotone
+    /// `fetch_max`; see the `parallel` module). `None` in serial runs.
+    pub(crate) shared_bound: Option<&'a AtomicU64>,
+    /// Memo table over justification candidate enumeration.
+    pub(crate) justify_cache: JustifyCache,
+    /// Memo table over delay-model evaluations.
+    pub(crate) model_cache: ModelCache,
+    pub(crate) stats: EnumerationStats,
 }
 
 impl Search<'_, '_> {
-    fn budget_exhausted(&mut self) -> bool {
+    /// The N-worst admission threshold in force: the worker-local one,
+    /// tightened by the shared bound published by other workers. Every
+    /// published value is some worker's N-th-largest admitted arrival,
+    /// which never exceeds the global N-th-largest (a subset's N-th
+    /// largest is at most the superset's), so tightening with it never
+    /// drops a path that belongs in the final N — see the `parallel`
+    /// module docs for the full argument.
+    pub(crate) fn effective_threshold(&self) -> f64 {
+        match self.shared_bound {
+            Some(bound) => self.threshold.max(crate::parallel::decode_bound(
+                bound.load(std::sync::atomic::Ordering::Relaxed),
+            )),
+            None => self.threshold,
+        }
+    }
+
+    fn publish_threshold(&self) {
+        if let Some(bound) = self.shared_bound {
+            if self.threshold > f64::NEG_INFINITY {
+                bound.fetch_max(
+                    crate::parallel::encode_bound(self.threshold),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
+        }
+    }
+
+    pub(crate) fn budget_exhausted(&mut self) -> bool {
         if self.cfg.max_decisions != 0 && self.stats.decisions >= self.cfg.max_decisions {
             self.stats.truncated = true;
         }
@@ -383,9 +479,10 @@ impl Search<'_, '_> {
         if mask.any() {
             // Pruning against the N-worst threshold.
             let prune = if let Some(rem) = &self.remaining {
+                let threshold = self.effective_threshold();
                 self.cfg.n_worst.is_some()
-                    && self.threshold > f64::NEG_INFINITY
-                    && timing.worst_alive(mask) + rem[net.index()] < self.threshold
+                    && threshold > f64::NEG_INFINITY
+                    && timing.worst_alive(mask) + rem[net.index()] < threshold
             } else {
                 false
             };
@@ -406,7 +503,14 @@ impl Search<'_, '_> {
                             break;
                         }
                         self.try_arc(
-                            pr.gate, pr.pin as u8, vector, parity, mask, timing, nodes, arcs,
+                            pr.gate,
+                            pr.pin as u8,
+                            vector,
+                            parity,
+                            mask,
+                            timing,
+                            nodes,
+                            arcs,
                         );
                     }
                 }
@@ -416,7 +520,7 @@ impl Search<'_, '_> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn try_arc(
+    pub(crate) fn try_arc(
         &mut self,
         gate: GateId,
         pin: u8,
@@ -466,17 +570,15 @@ impl Search<'_, '_> {
                 Some(alive)
             } else {
                 let witness_mark = self.eng.mark();
-                let nets: Vec<NetId> =
-                    side_assignments.iter().map(|&(n, _)| n).collect();
+                let nets: Vec<NetId> = side_assignments.iter().map(|&(n, _)| n).collect();
                 let out = self.justify_nets(nets, alive);
                 self.eng.rollback(witness_mark);
                 out
             };
             if let Some(m3) = justified {
                 if m3.any() {
-                    let new_timing = self.advance_timing(
-                        gate, cell_id, pin, vector, parity, m3, timing,
-                    );
+                    let new_timing =
+                        self.advance_timing(gate, cell_id, pin, vector, parity, m3, timing);
                     let out = self.nl.gate(gate).output();
                     arcs.push(PathArc {
                         gate,
@@ -515,20 +617,16 @@ impl Search<'_, '_> {
     ) -> PolTimings {
         let fo = self.fanouts[_gate.index()];
         let mut out = timing;
-        let step = |state: &mut EdgeState, launch: Edge, alive: bool| -> f64 {
+        let tlib = self.tlib;
+        let corner = self.cfg.corner;
+        let cache = &mut self.model_cache;
+        let mut step = |state: &mut EdgeState, launch: Edge, alive: bool| -> f64 {
             if !alive {
                 return 0.0;
             }
             let in_edge = if parity { launch.invert() } else { launch };
-            let (d, s) = self.tlib.delay_slew(
-                cell_id,
-                pin,
-                vector,
-                in_edge,
-                fo,
-                state.slew,
-                self.cfg.corner,
-            );
+            let (d, s) = tlib
+                .delay_slew_cached(cache, cell_id, pin, vector, in_edge, fo, state.slew, corner);
             // Clamp against degenerate extrapolation: delays and slews are
             // physical quantities.
             let d = d.max(0.1);
@@ -546,13 +644,7 @@ impl Search<'_, '_> {
 
     /// Emits a path ending at `net` if the accumulated requirements are
     /// justifiable; returns the (possibly reduced) alive mask.
-    fn emit(
-        &mut self,
-        mask: Mask,
-        timing: &PolTimings,
-        nodes: &[NetId],
-        arcs: &[PathArc],
-    ) -> Mask {
+    fn emit(&mut self, mask: Mask, timing: &PolTimings, nodes: &[NetId], arcs: &[PathArc]) -> Mask {
         let witness_mark = self.eng.mark();
         let justified = self.justify(mask);
         let m3 = match justified {
@@ -624,7 +716,14 @@ impl Search<'_, '_> {
         self.stats.input_vectors += path.num_polarities();
         if let Some(n) = self.cfg.n_worst {
             let w = path.worst_arrival();
-            if self.worst_arrivals.len() >= n && w <= self.threshold {
+            // Ties with the threshold are admitted (strict `<`): the final
+            // cutoff arrival may be shared by several paths, and the
+            // deterministic truncation in `run` needs all of them in the
+            // sink to pick the same N regardless of discovery order (and
+            // of thread count). The local threshold stays −∞ until N
+            // local admissions, so the shared bound alone can also reject
+            // (any published bound is ≤ the global N-th largest arrival).
+            if w < self.effective_threshold() {
                 return;
             }
             self.worst_arrivals.push(w);
@@ -633,14 +732,14 @@ impl Search<'_, '_> {
             // Keep the threshold set loosely bounded; refresh the
             // admission threshold from the current N-th worst.
             if self.worst_arrivals.len() >= 2 * n {
-                self.worst_arrivals
-                    .sort_by(|a, b| b.total_cmp(a));
+                self.worst_arrivals.sort_by(|a, b| b.total_cmp(a));
                 self.worst_arrivals.truncate(n);
             }
             if self.worst_arrivals.len() >= n {
                 let mut arrivals = self.worst_arrivals.clone();
                 arrivals.sort_by(f64::total_cmp);
                 self.threshold = arrivals[arrivals.len() - n];
+                self.publish_threshold();
             }
         } else {
             self.emitted += 1;
@@ -664,7 +763,14 @@ impl Search<'_, '_> {
         } else {
             JustifyBudget::with_decision_limit(self.cfg.justify_decision_limit)
         };
-        let out = crate::justify::justify(&mut self.eng, self.nl, todo, mask, &mut budget);
+        let out = crate::justify::justify_with_cache(
+            &mut self.eng,
+            self.nl,
+            todo,
+            mask,
+            &mut budget,
+            Some(&mut self.justify_cache),
+        );
         self.stats.decisions += budget.decisions;
         if self.cfg.max_decisions != 0 && self.stats.decisions >= self.cfg.max_decisions {
             self.stats.truncated = true;
@@ -701,10 +807,12 @@ mod tests {
         use std::collections::HashMap;
         use std::sync::{Mutex, OnceLock};
         static LIB: OnceLock<Library> = OnceLock::new();
-        static TLIBS: OnceLock<Mutex<HashMap<String, &'static TimingLibrary>>> =
-            OnceLock::new();
+        static TLIBS: OnceLock<Mutex<HashMap<String, &'static TimingLibrary>>> = OnceLock::new();
         let lib = LIB.get_or_init(Library::standard);
-        let mut map = TLIBS.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap();
+        let mut map = TLIBS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .unwrap();
         let tlib = *map.entry(tech.name.clone()).or_insert_with(|| {
             Box::leak(Box::new(
                 characterize(lib, tech, &CharConfig::fast()).unwrap(),
@@ -725,7 +833,7 @@ mod tests {
         let y = nl.add_gate(GateKind::Cell(inv), &[x], None).unwrap();
         nl.mark_output(y);
         let cfg = EnumerationConfig::new(Corner::nominal(&tech));
-        let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        let (paths, stats) = PathEnumerator::new(&nl, lib, tlib, cfg).run();
         assert_eq!(paths.len(), 1);
         assert_eq!(stats.input_vectors, 2); // both polarities survive
         let p = &paths[0];
@@ -752,7 +860,7 @@ mod tests {
         let z = nl.add_gate(GateKind::Cell(and2), &[a, b], None).unwrap();
         nl.mark_output(z);
         let cfg = EnumerationConfig::new(Corner::nominal(&tech));
-        let (paths, _) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        let (paths, _) = PathEnumerator::new(&nl, lib, tlib, cfg).run();
         assert_eq!(paths.len(), 2);
         for p in &paths {
             assert_eq!(p.num_polarities(), 2);
@@ -773,12 +881,11 @@ mod tests {
         let z = nl.add_gate(GateKind::Cell(ao22), &ins, None).unwrap();
         nl.mark_output(z);
         let cfg = EnumerationConfig::new(Corner::nominal(&tech));
-        let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        let (paths, stats) = PathEnumerator::new(&nl, lib, tlib, cfg).run();
         // 4 inputs × 3 vectors.
         assert_eq!(paths.len(), 12, "{stats:?}");
         // Vector-specific delays differ between cases of the same pin.
-        let through_a: Vec<&TruePath> =
-            paths.iter().filter(|p| p.source == ins[0]).collect();
+        let through_a: Vec<&TruePath> = paths.iter().filter(|p| p.source == ins[0]).collect();
         assert_eq!(through_a.len(), 3);
         let d: Vec<f64> = through_a
             .iter()
@@ -806,7 +913,7 @@ mod tests {
         let z = nl.add_gate(GateKind::Cell(and2), &[x, y], None).unwrap();
         nl.mark_output(z);
         let cfg = EnumerationConfig::new(Corner::nominal(&tech));
-        let (paths, _stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        let (paths, _stats) = PathEnumerator::new(&nl, lib, tlib, cfg).run();
         // z is constant 0: no transition can reach it. The static toggle /
         // reachability analyses typically refute the whole cone before a
         // single engine conflict is even raised.
@@ -828,8 +935,12 @@ mod tests {
         let i7 = nl.add_input("7");
         let n10 = nl.add_gate(GateKind::Cell(nand2), &[i1, i3], None).unwrap();
         let n11 = nl.add_gate(GateKind::Cell(nand2), &[i3, i6], None).unwrap();
-        let n16 = nl.add_gate(GateKind::Cell(nand2), &[i2, n11], None).unwrap();
-        let n19 = nl.add_gate(GateKind::Cell(nand2), &[n11, i7], None).unwrap();
+        let n16 = nl
+            .add_gate(GateKind::Cell(nand2), &[i2, n11], None)
+            .unwrap();
+        let n19 = nl
+            .add_gate(GateKind::Cell(nand2), &[n11, i7], None)
+            .unwrap();
         let n22 = nl
             .add_gate(GateKind::Cell(nand2), &[n10, n16], None)
             .unwrap();
@@ -839,7 +950,7 @@ mod tests {
         nl.mark_output(n22);
         nl.mark_output(n23);
         let cfg = EnumerationConfig::new(Corner::nominal(&tech));
-        let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        let (paths, stats) = PathEnumerator::new(&nl, lib, tlib, cfg).run();
         assert!(!paths.is_empty());
         assert!(!stats.truncated);
         // Verify every witness by two-pattern simulation: flipping the
@@ -872,9 +983,10 @@ mod tests {
                 let endpoint = p.endpoint();
                 let po_idx = nl.outputs().iter().position(|&o| o == endpoint).unwrap();
                 assert_ne!(
-                    before[po_idx], after[po_idx],
+                    before[po_idx],
+                    after[po_idx],
                     "witness fails to toggle endpoint for {:?}",
-                    p.describe(&nl, &lib)
+                    p.describe(&nl, lib)
                 );
             }
         }
@@ -892,8 +1004,7 @@ mod tests {
         let z = nl.add_gate(GateKind::Cell(ao22), &ins, None).unwrap();
         nl.mark_output(z);
         let cfg = EnumerationConfig::new(Corner::nominal(&tech));
-        let (collected, stats_a) =
-            PathEnumerator::new(&nl, lib, tlib, cfg.clone()).run();
+        let (collected, stats_a) = PathEnumerator::new(&nl, lib, tlib, cfg.clone()).run();
         let mut streamed = 0usize;
         let stats_b = PathEnumerator::new(&nl, lib, tlib, cfg).run_with(|_| streamed += 1);
         assert_eq!(collected.len(), streamed);
@@ -917,11 +1028,11 @@ mod tests {
         nl.mark_output(z);
         let corner = Corner::nominal(&tech);
         let (all_paths, _) =
-            PathEnumerator::new(&nl, &lib, &tlib, EnumerationConfig::new(corner)).run();
+            PathEnumerator::new(&nl, lib, tlib, EnumerationConfig::new(corner)).run();
         let (top, _) = PathEnumerator::new(
             &nl,
-            &lib,
-            &tlib,
+            lib,
+            tlib,
             EnumerationConfig::new(corner).with_n_worst(3),
         )
         .run();

@@ -15,9 +15,66 @@
 //! avoids the exponential thrash of full-pattern enumeration on wide
 //! gates.
 
+use std::collections::HashMap;
+
 use sta_cells::Library;
 use sta_logic::{eval_expr_v9, eval_prim_v9, Dual, ImplicationEngine, Mask, V9};
 use sta_netlist::{GateId, GateKind, NetId, Netlist};
+
+/// One alternative side-input assignment set justifying an obligation.
+type Candidate = Vec<(NetId, bool)>;
+/// All subset-minimal candidate sets of one obligation.
+type Candidates = Vec<Candidate>;
+
+/// Cache key for one [`minimal_candidates`] evaluation: the gate, the
+/// requirement on its output, the alive mask, and the current values of
+/// its inputs. The candidate set is a pure function of these — it never
+/// consults the engine's toggle deltas or any net outside the gate — so a
+/// cached entry is valid across launch sources and search branches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CandKey {
+    gate: u32,
+    req: Dual,
+    mask: Mask,
+    ins: [Dual; CandKey::MAX_FANIN],
+    fanin: u8,
+}
+
+impl CandKey {
+    /// Gates wider than this bypass the cache (none exist in the mapped
+    /// standard-cell library; primitives can be wide).
+    const MAX_FANIN: usize = 8;
+}
+
+/// Memo table over [`minimal_candidates`]: branching candidates for a
+/// (gate, requirement, input values) situation. The subset-minimal
+/// candidate enumeration walks up to `2^k` input patterns per call; the
+/// same situations recur constantly across the enumeration DFS (sibling
+/// arcs re-justify the same side-input obligations), so one per-worker
+/// cache removes most of that work.
+#[derive(Clone, Default)]
+pub struct JustifyCache {
+    map: HashMap<CandKey, Candidates>,
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that fell through to candidate enumeration.
+    pub misses: u64,
+}
+
+impl JustifyCache {
+    /// Entry cap; the table is cleared wholesale when full.
+    const CAPACITY: usize = 1 << 18;
+
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all memoized entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
 
 /// Search budget and counters for one justification run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,10 +153,25 @@ pub fn justify(
     mask: Mask,
     budget: &mut JustifyBudget,
 ) -> JustifyOutcome {
+    justify_with_cache(eng, nl, todo, mask, budget, None)
+}
+
+/// [`justify`] with an optional candidate memo table (see
+/// [`JustifyCache`]). The cache only memoizes pure candidate enumeration,
+/// so the search outcome and the witness left on the trail are identical
+/// with and without it.
+pub fn justify_with_cache(
+    eng: &mut ImplicationEngine<'_>,
+    nl: &Netlist,
+    todo: Vec<NetId>,
+    mask: Mask,
+    budget: &mut JustifyBudget,
+    mut cache: Option<&mut JustifyCache>,
+) -> JustifyOutcome {
     let mark = eng.mark();
     let lib = eng.library();
     let ctx = Ctx { nl, lib };
-    let out = justify_rec(eng, &ctx, todo, mask, budget);
+    let out = justify_rec(eng, &ctx, todo, mask, budget, &mut cache);
     if !matches!(out, JustifyOutcome::Satisfied(_)) {
         eng.rollback(mark);
     }
@@ -111,12 +183,55 @@ struct Ctx<'a> {
     lib: &'a Library,
 }
 
+/// [`minimal_candidates`] through the optional memo table.
+fn cached_candidates(
+    eng: &ImplicationEngine<'_>,
+    ctx: &Ctx<'_>,
+    gate: GateId,
+    free: &[NetId],
+    mask: Mask,
+    cache: &mut Option<&mut JustifyCache>,
+) -> Vec<Vec<(NetId, bool)>> {
+    let g = ctx.nl.gate(gate);
+    let key = match cache {
+        Some(_) if g.fanin() <= CandKey::MAX_FANIN => {
+            let mut ins = [Dual::XX; CandKey::MAX_FANIN];
+            for (slot, n) in ins.iter_mut().zip(g.inputs()) {
+                *slot = eng.value(*n);
+            }
+            Some(CandKey {
+                gate: gate.index() as u32,
+                req: eng.value(g.output()),
+                mask,
+                ins,
+                fanin: g.fanin() as u8,
+            })
+        }
+        _ => None,
+    };
+    if let (Some(c), Some(key)) = (cache.as_deref_mut(), key) {
+        if let Some(hit) = c.map.get(&key) {
+            c.hits += 1;
+            return hit.clone();
+        }
+        c.misses += 1;
+        let cands = minimal_candidates(eng, ctx, gate, free, mask);
+        if c.map.len() >= JustifyCache::CAPACITY {
+            c.map.clear();
+        }
+        c.map.insert(key, cands.clone());
+        return cands;
+    }
+    minimal_candidates(eng, ctx, gate, free, mask)
+}
+
 fn justify_rec(
     eng: &mut ImplicationEngine<'_>,
     ctx: &Ctx<'_>,
     mut todo: Vec<NetId>,
     mask: Mask,
     budget: &mut JustifyBudget,
+    cache: &mut Option<&mut JustifyCache>,
 ) -> JustifyOutcome {
     let nl = ctx.nl;
     let mut alive = mask;
@@ -149,14 +264,14 @@ fn justify_rec(
         }
         // Candidate counts; apply forced ones immediately, branch on the
         // most constrained otherwise (MRV).
-        let mut branch: Option<(NetId, sta_netlist::GateId, Vec<Vec<(NetId, bool)>>)> = None;
-        let mut forced: Option<(NetId, sta_netlist::GateId, Vec<(NetId, bool)>)> = None;
+        let mut branch: Option<(NetId, sta_netlist::GateId, Candidates)> = None;
+        let mut forced: Option<(NetId, sta_netlist::GateId, Candidate)> = None;
         for &(net, gate) in &pending {
             let free = free_inputs(eng, nl, gate, alive);
             if free.is_empty() {
                 return JustifyOutcome::Unsatisfiable;
             }
-            let cands = minimal_candidates(eng, ctx, gate, &free, alive);
+            let cands = cached_candidates(eng, ctx, gate, &free, alive, cache);
             match cands.len() {
                 0 => return JustifyOutcome::Unsatisfiable,
                 1 => {
@@ -166,7 +281,7 @@ fn justify_rec(
                 _ => {
                     if branch
                         .as_ref()
-                        .map_or(true, |(_, _, b)| cands.len() < b.len())
+                        .is_none_or(|(_, _, b)| cands.len() < b.len())
                     {
                         branch = Some((net, gate, cands));
                     }
@@ -214,7 +329,7 @@ fn justify_rec(
                     let mut next = todo.clone();
                     next.push(out_net);
                     next.extend(cand.iter().map(|&(n, _)| n));
-                    match justify_rec(eng, ctx, next, alive2, budget) {
+                    match justify_rec(eng, ctx, next, alive2, budget, cache) {
                         JustifyOutcome::Satisfied(m) if m.any() => {
                             return JustifyOutcome::Satisfied(m)
                         }
@@ -237,12 +352,7 @@ fn justify_rec(
 }
 
 /// The still-unknown inputs of a gate (deduplicated, pin order).
-fn free_inputs(
-    eng: &ImplicationEngine<'_>,
-    nl: &Netlist,
-    gate: GateId,
-    mask: Mask,
-) -> Vec<NetId> {
+fn free_inputs(eng: &ImplicationEngine<'_>, nl: &Netlist, gate: GateId, mask: Mask) -> Vec<NetId> {
     let mut f: Vec<NetId> = nl
         .gate(gate)
         .inputs()
@@ -369,7 +479,6 @@ pub(crate) fn refines(general: V9, specific: V9) -> bool {
     general.meet(specific) == Some(specific)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +573,39 @@ mod tests {
             "expected linear work, took {} decisions",
             budget.decisions
         );
+    }
+
+    /// The candidate memo table changes neither the outcome nor the
+    /// witness, and repeated situations hit the cache.
+    #[test]
+    fn cache_is_transparent() {
+        let lib = Library::standard();
+        let and2 = lib.cell_by_name("AND2").unwrap().id();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_gate(GateKind::Cell(and2), &[a, b], None).unwrap();
+        nl.mark_output(z);
+        let mut cache = JustifyCache::new();
+        for round in 0..2 {
+            let mut eng = ImplicationEngine::new(&nl, &lib);
+            eng.assign(z, Dual::stable(true), Mask::BOTH);
+            let mut budget = JustifyBudget::unbounded();
+            let out = justify_with_cache(
+                &mut eng,
+                &nl,
+                vec![z],
+                Mask::BOTH,
+                &mut budget,
+                Some(&mut cache),
+            );
+            assert_eq!(out, JustifyOutcome::Satisfied(Mask::BOTH));
+            assert_eq!(eng.value(a), Dual::stable(true));
+            assert_eq!(eng.value(b), Dual::stable(true));
+            if round == 1 {
+                assert!(cache.hits >= 1, "second round should hit the memo table");
+            }
+        }
     }
 
     /// A zero backtrack limit makes a search that needs genuine branching

@@ -53,6 +53,7 @@ pub mod arrival;
 pub mod delaycalc;
 pub mod enumerate;
 pub mod justify;
+mod parallel;
 pub mod path;
 pub mod report;
 pub mod sdc;
@@ -60,9 +61,9 @@ pub mod sdf;
 pub mod slack;
 
 pub use arrival::{arc_delay_bound, static_bounds, StaticTiming};
-pub use delaycalc::{path_delay, PathDelayBreakdown};
+pub use delaycalc::{path_delay, DelayCalcError, PathDelayBreakdown};
 pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
-pub use justify::{justify, JustifyBudget, JustifyOutcome};
+pub use justify::{justify, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome};
 pub use path::{group_by_structure, LaunchTiming, PathArc, PathGroup, PiValue, TruePath};
 pub use report::{path_report, summary_report, worst_path_report};
 pub use sdc::{parse_sdc, Constraints, SdcError};

@@ -1,0 +1,413 @@
+//! Parallel true-path enumeration over a work-stealing pool.
+//!
+//! The search space of the single-pass algorithm shards naturally into
+//! **root tasks**: one per (primary input, launch-gate, sensitization
+//! vector) triple, i.e. one per first arc out of a source. Each subtree is
+//! independent given a private implication engine, so the tasks are
+//! distributed over a crossbeam deque pool (global FIFO injector,
+//! per-worker deques, random-victim stealing) and every worker runs the
+//! unchanged serial [`Search`] machinery with its own engine and its own
+//! justification / delay-model memo tables.
+//!
+//! # Deterministic merge
+//!
+//! Tasks are generated in the exact order the serial engine would open
+//! them and carry a sequence number. Workers buffer the paths of one task
+//! and send `(seq, paths)` over a channel; the coordinator releases
+//! buffers to the caller's sink strictly in sequence order. In full
+//! enumeration this makes the `run_with` stream — and therefore the
+//! `run` result — byte-identical to the serial engine at any thread
+//! count.
+//!
+//! # Shared pruning bound (N-worst mode)
+//!
+//! Each worker keeps the serial engine's local admission threshold (its
+//! N-th-largest admitted arrival) and additionally publishes it to an
+//! `AtomicU64` holding a total-order encoding of the `f64` bound
+//! (monotone `fetch_max`, relaxed ordering — the bound is a pure
+//! performance hint and never affects correctness). Soundness: a worker's
+//! N-th-largest admitted arrival never exceeds the global N-th-largest
+//! `T` (its admissions are a subset of all paths), so the effective
+//! threshold `max(local, shared)` is always ≤ `T`; with tie-inclusive
+//! admission (`w < threshold` rejects, ties pass) every path with
+//! arrival ≥ `T` reaches the sink under any schedule. `run` then sorts by
+//! the canonical total order of [`TruePath::canonical_cmp`] and truncates
+//! to N — identical output to serial, though the *superset* streamed by
+//! `run_with` (and the search-effort counters) may differ with the
+//! schedule.
+//!
+//! # Budgets
+//!
+//! `max_decisions` / `max_paths` are enforced **per root task** here (the
+//! serial engine enforces them globally); a parallel run is still
+//! deterministic for a fixed configuration, but when a budget actually
+//! bites, the truncation point differs from the serial engine's.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use sta_cells::Library;
+use sta_charlib::{ModelCache, TimingLibrary};
+use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle};
+use sta_netlist::{GateId, NetId, Netlist};
+
+use crate::enumerate::{
+    cell_of, sensitizable_reach, EnumerationConfig, EnumerationStats, PathEnumerator, PolTimings,
+    Search,
+};
+use crate::justify::JustifyCache;
+use crate::path::TruePath;
+
+/// Total-order encoding of an `f64` into a `u64`: `encode` is strictly
+/// monotone over the reals (including infinities), so `fetch_max` on the
+/// encoded value implements an atomic floating-point maximum.
+pub(crate) fn encode_bound(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`encode_bound`].
+pub(crate) fn decode_bound(e: u64) -> f64 {
+    f64::from_bits(if e >> 63 == 1 { e & !(1 << 63) } else { !e })
+}
+
+/// One shard of the search: the first arc out of a source, identified by
+/// its position in the serial engine's opening order.
+struct RootTask {
+    /// Position in serial order — the merge key.
+    seq: usize,
+    /// Index into the plan list.
+    src: usize,
+    gate: GateId,
+    pin: u8,
+    vector: usize,
+}
+
+/// Per-source state every task of that source needs, computed once by the
+/// coordinator.
+struct SrcPlan {
+    src: NetId,
+    deltas: Vec<Toggle>,
+    reach: Vec<bool>,
+}
+
+/// Read-only context shared by all workers.
+struct WorkerCtx<'a> {
+    nl: &'a Netlist,
+    lib: &'a Library,
+    tlib: &'a TimingLibrary,
+    cfg: &'a EnumerationConfig,
+    plans: &'a [SrcPlan],
+    remaining: &'a Option<Vec<f64>>,
+    fanouts: &'a [f64],
+    is_output: &'a [bool],
+    injector: &'a Injector<RootTask>,
+    shared_bound: &'a AtomicU64,
+}
+
+/// Runs the enumeration of `enumr` over `cfg.threads` workers, streaming
+/// emitted paths to `sink` in the serial engine's order.
+pub(crate) fn run_parallel(
+    enumr: &PathEnumerator<'_>,
+    sink: &mut dyn FnMut(TruePath),
+) -> EnumerationStats {
+    let nl = enumr.nl;
+    let lib = enumr.lib;
+    let is_output = enumr.output_flags();
+    let remaining = enumr.prune_bounds();
+    let fanouts = enumr.fanouts();
+
+    // Plan phase: replicate the serial per-source setup and enumerate the
+    // root arcs in serial order.
+    let mut plans: Vec<SrcPlan> = Vec::new();
+    let mut tasks: Vec<RootTask> = Vec::new();
+    let mut eng = ImplicationEngine::new(nl, lib);
+    for &src in nl.inputs() {
+        let deltas = toggle_analysis(nl, lib, src);
+        let reach = sensitizable_reach(nl, lib, &deltas, &is_output);
+        if !reach[src.index()] {
+            continue;
+        }
+        eng.set_toggles(Some(deltas.clone()));
+        let mark = eng.mark();
+        let conflicts = eng.assign(src, Dual::transition(false), Mask::BOTH);
+        let mask = Mask::BOTH.minus(conflicts);
+        eng.rollback(mark);
+        eng.set_toggles(None);
+        if !mask.any() {
+            continue;
+        }
+        let src_idx = plans.len();
+        for pr in nl.net(src).fanout() {
+            let out = nl.gate(pr.gate).output();
+            if !reach[out.index()] && !is_output[out.index()] {
+                continue;
+            }
+            let cell_id = cell_of(nl, pr.gate);
+            let n_vectors = lib.cell(cell_id).vectors_of(pr.pin as u8).len();
+            for vector in 0..n_vectors {
+                tasks.push(RootTask {
+                    seq: tasks.len(),
+                    src: src_idx,
+                    gate: pr.gate,
+                    pin: pr.pin as u8,
+                    vector,
+                });
+            }
+        }
+        plans.push(SrcPlan { src, deltas, reach });
+    }
+    let n_tasks = tasks.len();
+    if n_tasks == 0 {
+        return EnumerationStats::default();
+    }
+
+    let threads = enumr.cfg.threads.clamp(1, n_tasks);
+    let injector = Injector::new();
+    for t in tasks {
+        injector.push(t);
+    }
+    let locals: Vec<Worker<RootTask>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<RootTask>> = locals.iter().map(Worker::stealer).collect();
+    let shared_bound = AtomicU64::new(encode_bound(f64::NEG_INFINITY));
+    let ctx = WorkerCtx {
+        nl,
+        lib,
+        tlib: enumr.tlib,
+        cfg: &enumr.cfg,
+        plans: &plans,
+        remaining: &remaining,
+        fanouts: &fanouts,
+        is_output: &is_output,
+        injector: &injector,
+        shared_bound: &shared_bound,
+    };
+
+    let (tx, rx) = mpsc::channel::<(usize, Vec<TruePath>)>();
+    let result = crossbeam::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for local in locals {
+            let tx = tx.clone();
+            let ctx = &ctx;
+            let stealers = &stealers;
+            handles.push(s.spawn(move |_| worker_loop(ctx, local, stealers, tx)));
+        }
+        drop(tx);
+
+        // Reorder window: release task buffers to the sink strictly in
+        // serial (seq) order.
+        let mut pending: BTreeMap<usize, Vec<TruePath>> = BTreeMap::new();
+        let mut next = 0usize;
+        let mut received = 0usize;
+        while received < n_tasks {
+            let Ok((seq, paths)) = rx.recv() else {
+                // Senders gone early: a worker died; the scope will
+                // re-raise its panic after the joins below.
+                break;
+            };
+            received += 1;
+            pending.insert(seq, paths);
+            while let Some(batch) = pending.remove(&next) {
+                for p in batch {
+                    sink(p);
+                }
+                next += 1;
+            }
+        }
+        for (_, batch) in std::mem::take(&mut pending) {
+            for p in batch {
+                sink(p);
+            }
+        }
+
+        let mut total = EnumerationStats::default();
+        for h in handles {
+            match h.join() {
+                Ok(ws) => total.merge(&ws),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        total
+    });
+    match result {
+        Ok(stats) => stats,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Claims the next task: own deque first, then a batch from the global
+/// injector, then stealing from a sibling.
+fn next_task(
+    local: &Worker<RootTask>,
+    injector: &Injector<RootTask>,
+    stealers: &[Stealer<RootTask>],
+) -> Option<RootTask> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for s in stealers {
+        loop {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(
+    ctx: &WorkerCtx<'_>,
+    local: Worker<RootTask>,
+    stealers: &[Stealer<RootTask>],
+    tx: mpsc::Sender<(usize, Vec<TruePath>)>,
+) -> EnumerationStats {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    // The task buffer the Search sink writes into; drained after every
+    // task and shipped to the coordinator with the task's sequence number.
+    let buf: Rc<RefCell<Vec<TruePath>>> = Rc::new(RefCell::new(Vec::new()));
+    let buf_sink = Rc::clone(&buf);
+    let mut sink = move |p: TruePath| buf_sink.borrow_mut().push(p);
+    let mut search = Search {
+        nl: ctx.nl,
+        lib: ctx.lib,
+        tlib: ctx.tlib,
+        cfg: ctx.cfg,
+        eng: ImplicationEngine::new(ctx.nl, ctx.lib),
+        remaining: ctx.remaining.clone(),
+        fanouts: ctx.fanouts.to_vec(),
+        is_output: ctx.is_output.to_vec(),
+        reach: Vec::new(),
+        obligations: Vec::new(),
+        delays_r: Vec::new(),
+        delays_f: Vec::new(),
+        sink: &mut sink,
+        emitted: 0,
+        worst_arrivals: Vec::new(),
+        threshold: f64::NEG_INFINITY,
+        shared_bound: Some(ctx.shared_bound),
+        justify_cache: JustifyCache::new(),
+        model_cache: ModelCache::new(),
+        stats: EnumerationStats::default(),
+    };
+    let mut total = EnumerationStats::default();
+    let mut current_src: Option<usize> = None;
+    let mut mask = Mask::NONE;
+    while let Some(task) = next_task(&local, ctx.injector, stealers) {
+        let plan = &ctx.plans[task.src];
+        if current_src != Some(task.src) {
+            // Install the per-source state: toggle deltas, the launched
+            // transition (whose trail entries persist across this
+            // source's tasks — each try_arc rolls back to its own mark),
+            // and the reachability map.
+            search.eng.reset();
+            search.eng.set_toggles(Some(plan.deltas.clone()));
+            let conflicts = search
+                .eng
+                .assign(plan.src, Dual::transition(false), Mask::BOTH);
+            mask = Mask::BOTH.minus(conflicts);
+            search.reach.clone_from(&plan.reach);
+            search.obligations.clear();
+            search.delays_r.clear();
+            search.delays_f.clear();
+            current_src = Some(task.src);
+        }
+        // Budgets apply per root task (see the module docs).
+        search.stats = EnumerationStats::default();
+        search.emitted = 0;
+        let timing = PolTimings::launch(ctx.cfg.input_slew);
+        // Mirror of the serial root-node prune check.
+        let prune = match &search.remaining {
+            Some(rem) => {
+                let threshold = search.effective_threshold();
+                ctx.cfg.n_worst.is_some()
+                    && threshold > f64::NEG_INFINITY
+                    && timing.worst_alive(mask) + rem[plan.src.index()] < threshold
+            }
+            None => false,
+        };
+        if prune {
+            search.stats.pruned += 1;
+        } else if mask.any() {
+            let mut nodes = vec![plan.src];
+            let mut arcs = Vec::new();
+            search.try_arc(
+                task.gate,
+                task.pin,
+                task.vector,
+                false,
+                mask,
+                timing,
+                &mut nodes,
+                &mut arcs,
+            );
+        }
+        total.merge(&search.stats);
+        let paths = std::mem::take(&mut *buf.borrow_mut());
+        if tx.send((task.seq, paths)).is_err() {
+            break;
+        }
+    }
+    total.justify_cache_hits = search.justify_cache.hits;
+    total.model_cache_hits = search.model_cache.hits;
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_encoding_round_trips_and_orders() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-12,
+            3.25,
+            1e300,
+            f64::INFINITY,
+        ];
+        for &x in &samples {
+            assert_eq!(decode_bound(encode_bound(x)).to_bits(), x.to_bits(), "{x}");
+        }
+        for w in samples.windows(2) {
+            assert!(
+                encode_bound(w[0]) <= encode_bound(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Strictly monotone away from the −0.0/0.0 pair.
+        assert!(encode_bound(-2.5) < encode_bound(3.25));
+    }
+
+    #[test]
+    fn fetch_max_implements_float_max() {
+        let bound = AtomicU64::new(encode_bound(f64::NEG_INFINITY));
+        for x in [-3.0, 7.5, 2.0, 7.0] {
+            bound.fetch_max(encode_bound(x), std::sync::atomic::Ordering::Relaxed);
+        }
+        let got = decode_bound(bound.load(std::sync::atomic::Ordering::Relaxed));
+        assert_eq!(got, 7.5);
+    }
+}

@@ -106,6 +106,30 @@ impl TruePath {
         self.nodes.clone()
     }
 
+    /// A canonical total order on emitted paths: descending worst
+    /// arrival, then source, node sequence, and traversed arcs
+    /// (pin/vector). Two distinct emissions never compare equal — the
+    /// (nodes, arcs) pair identifies one search branch — so sorting a
+    /// result set by this order is deterministic regardless of the order
+    /// the paths were discovered in. This is what makes parallel
+    /// enumeration byte-identical to serial after the final sort.
+    pub fn canonical_cmp(&self, other: &TruePath) -> std::cmp::Ordering {
+        other
+            .worst_arrival()
+            .total_cmp(&self.worst_arrival())
+            .then_with(|| self.source.index().cmp(&other.source.index()))
+            .then_with(|| {
+                self.nodes
+                    .iter()
+                    .map(|n| n.index())
+                    .cmp(other.nodes.iter().map(|n| n.index()))
+            })
+            .then_with(|| {
+                let key = |a: &PathArc| (a.gate.index(), a.pin, a.vector);
+                self.arcs.iter().map(key).cmp(other.arcs.iter().map(key))
+            })
+    }
+
     /// Human-readable one-line description.
     pub fn describe(&self, nl: &Netlist, lib: &Library) -> String {
         let nodes: Vec<String> = self.nodes.iter().map(|&n| nl.net_label(n)).collect();
@@ -272,6 +296,24 @@ mod tests {
         assert!(multi.vector_spread() > 0.2);
         // Sorted worst-first.
         assert!(groups[0].worst_arrival() >= groups[1].worst_arrival());
+    }
+
+    #[test]
+    fn canonical_order_is_total_on_distinct_emissions() {
+        use std::cmp::Ordering;
+        let a = dummy();
+        // Same path compares equal to itself.
+        assert_eq!(a.canonical_cmp(&a), Ordering::Equal);
+        // Larger arrival sorts first.
+        let mut slower = dummy();
+        slower.rise.as_mut().unwrap().arrival = 200.0;
+        assert_eq!(slower.canonical_cmp(&a), Ordering::Less);
+        assert_eq!(a.canonical_cmp(&slower), Ordering::Greater);
+        // Equal arrivals: the vector index breaks the tie deterministically.
+        let mut other_vector = dummy();
+        other_vector.arcs[0].vector = 0;
+        assert_eq!(other_vector.canonical_cmp(&a), Ordering::Less);
+        assert_eq!(a.canonical_cmp(&other_vector), Ordering::Greater);
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub fn path_report(
     );
     let _ = writeln!(
         out,
-        " {:>2}  {:<7} {:<6} {:>4} {:>7} {:>7} {:>8}  {:<5}  {}",
-        "#", "cell", "arc", "case", "delay", "arrive", "fanout", "edge", "node"
+        " {:>2}  {:<7} {:<6} {:>4} {:>7} {:>7} {:>8}  {:<5}  node",
+        "#", "cell", "arc", "case", "delay", "arrive", "fanout", "edge"
     );
     let mut arrival = 0.0;
     let mut edge = launch;
@@ -62,10 +62,7 @@ pub fn path_report(
             " {:>2}  {:<7} {:<6} {:>4} {:>7.1} {:>7.1} {:>8.2}  {:<5}  {}",
             i,
             cell.name(),
-            format!(
-                "{}->Z",
-                cell.pin_names()[arc.pin as usize]
-            ),
+            format!("{}->Z", cell.pin_names()[arc.pin as usize]),
             arc.vector + 1,
             delay,
             arrival,

@@ -104,12 +104,11 @@ pub fn parse_sdc(text: &str, nl: &Netlist) -> Result<Constraints, SdcError> {
         let cmd = tokens.first().map(String::as_str).unwrap_or("");
         match cmd {
             "create_clock" => {
-                let period = value_after(&tokens, "-period").ok_or_else(|| {
-                    SdcError::Unsupported {
+                let period =
+                    value_after(&tokens, "-period").ok_or_else(|| SdcError::Unsupported {
                         line,
                         message: "create_clock requires -period".into(),
-                    }
-                })?;
+                    })?;
                 out.clock_period = Some(period);
             }
             "set_input_delay" | "set_output_delay" => {
@@ -122,19 +121,17 @@ pub fn parse_sdc(text: &str, nl: &Netlist) -> Result<Constraints, SdcError> {
                 }
             }
             "set_max_delay" => {
-                let value: f64 = tokens
-                    .get(1)
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| SdcError::Unsupported {
-                        line,
-                        message: "set_max_delay requires a numeric value".into(),
-                    })?;
-                let port = value_token_after(&tokens, "-to").ok_or_else(|| {
+                let value: f64 = tokens.get(1).and_then(|t| t.parse().ok()).ok_or_else(|| {
                     SdcError::Unsupported {
                         line,
-                        message: "set_max_delay supports only the -to form".into(),
+                        message: "set_max_delay requires a numeric value".into(),
                     }
                 })?;
+                let port =
+                    value_token_after(&tokens, "-to").ok_or_else(|| SdcError::Unsupported {
+                        line,
+                        message: "set_max_delay supports only the -to form".into(),
+                    })?;
                 let net = resolve_port(nl, &port, line)?;
                 out.max_delays.insert(net, value);
             }
@@ -170,13 +167,14 @@ fn value_token_after(tokens: &[String], flag: &str) -> Option<String> {
 }
 
 fn delay_and_port(tokens: &[String], line: usize) -> Result<(f64, String), SdcError> {
-    let value: f64 = tokens
-        .get(1)
-        .and_then(|t| t.parse().ok())
-        .ok_or_else(|| SdcError::Unsupported {
-            line,
-            message: "expected a numeric delay".into(),
-        })?;
+    let value: f64 =
+        tokens
+            .get(1)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| SdcError::Unsupported {
+                line,
+                message: "expected a numeric delay".into(),
+            })?;
     let port = tokens
         .iter()
         .skip(2)

@@ -76,9 +76,7 @@ pub fn write_sdf(
                 };
                 match policy {
                     SdfVectorPolicy::Reference => eval(0),
-                    SdfVectorPolicy::Worst => {
-                        (0..n).map(eval).fold(f64::NEG_INFINITY, f64::max)
-                    }
+                    SdfVectorPolicy::Worst => (0..n).map(eval).fold(f64::NEG_INFINITY, f64::max),
                 }
             };
             // SDF convention: the pair annotates output-rise / output-fall.

@@ -133,13 +133,12 @@ mod tests {
     /// Slack along a single path is constant: arrival + remaining is the
     /// same full-path delay at every net of the chain.
     #[test]
-    fn slack_is_constant_along_a_chain(){
+    fn slack_is_constant_along_a_chain() {
         let (nl, _lib, tlib, tech) = setup();
         let corner = Corner::nominal(&tech);
         let report = slack_report(&nl, &tlib, corner, 60.0, 500.0);
         let a = nl.net_by_name("a").unwrap();
-        let chain_total =
-            report.timing.arrival[a.index()] + report.timing.remaining[a.index()];
+        let chain_total = report.timing.arrival[a.index()] + report.timing.remaining[a.index()];
         let first_slack = report.of(a);
         assert!((first_slack - (500.0 - chain_total)).abs() < 1e-9);
     }

@@ -152,7 +152,15 @@ fn flatten(
         SpNet::Parallel(children) => {
             for c in children {
                 flatten(
-                    net, init_guess, c, top, bot, mos, width, resolve, prefix,
+                    net,
+                    init_guess,
+                    c,
+                    top,
+                    bot,
+                    mos,
+                    width,
+                    resolve,
+                    prefix,
                     internal_guess,
                 );
             }
@@ -172,7 +180,15 @@ fn flatten(
                     mid
                 };
                 flatten(
-                    net, init_guess, c, upper, lower, mos, width, resolve, prefix,
+                    net,
+                    init_guess,
+                    c,
+                    upper,
+                    lower,
+                    mos,
+                    width,
+                    resolve,
+                    prefix,
                     internal_guess,
                 );
                 upper = lower;
@@ -204,7 +220,10 @@ pub fn input_capacitance(cell: &Cell, tech: &Technology, pin: u8) -> f64 {
 /// in the paper's equivalent-fanout definition `Fo = Cout / Cin`.
 pub fn cell_input_cap(cell: &Cell, tech: &Technology) -> f64 {
     let n = cell.num_pins();
-    (0..n).map(|p| input_capacitance(cell, tech, p)).sum::<f64>() / f64::from(n)
+    (0..n)
+        .map(|p| input_capacitance(cell, tech, p))
+        .sum::<f64>()
+        / f64::from(n)
 }
 
 /// How the switching pin is driven.
@@ -299,26 +318,25 @@ pub fn simulate_arc(
     let in_t50 = input_wave
         .t50(corner.vdd, input_edge)
         .ok_or(EsimError::NoInputTransition)?;
-    cn.net
-        .set_drive(cn.pin_nodes[pin as usize], input_wave);
+    cn.net.set_drive(cn.pin_nodes[pin as usize], input_wave);
 
     let cfg = TransientConfig::for_transition(t_in_est);
     let out_node = cn.output();
     let outcome = simulate(&cn.net, tech, corner, &dc, &[out_node], &cfg);
     let wave = outcome.waves[0].1.clone();
     let output_edge = input_edge.through(vector.polarity);
-    let out_t50 = wave.t50(corner.vdd, output_edge).ok_or_else(|| {
-        EsimError::NoTransition {
+    let out_t50 = wave
+        .t50(corner.vdd, output_edge)
+        .ok_or_else(|| EsimError::NoTransition {
             cell: cell.name().to_string(),
             node: "Z".to_string(),
-        }
-    })?;
-    let output_slew =
-        wave.transition_time(corner.vdd, output_edge)
-            .ok_or_else(|| EsimError::NoTransition {
-                cell: cell.name().to_string(),
-                node: "Z".to_string(),
-            })?;
+        })?;
+    let output_slew = wave
+        .transition_time(corner.vdd, output_edge)
+        .ok_or_else(|| EsimError::NoTransition {
+            cell: cell.name().to_string(),
+            node: "Z".to_string(),
+        })?;
     Ok(ArcSimOutcome {
         delay: out_t50 - in_t50,
         output_slew,
@@ -491,6 +509,11 @@ mod tests {
         )
         .unwrap();
         let rel = (ramp_out.delay - wave_out.delay).abs() / ramp_out.delay;
-        assert!(rel < 0.05, "ramp {} vs wave {}", ramp_out.delay, wave_out.delay);
+        assert!(
+            rel < 0.05,
+            "ramp {} vs wave {}",
+            ramp_out.delay,
+            wave_out.delay
+        );
     }
 }

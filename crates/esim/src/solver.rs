@@ -318,8 +318,7 @@ fn solve_dense<'b>(a: &mut [f64], rhs: &'b mut [f64], perm: &mut [usize], n: usi
         perm.swap(col, best);
         let prow = perm[col];
         let pivot = a[prow * n + col];
-        for row in col + 1..n {
-            let r = perm[row];
+        for &r in &perm[col + 1..n] {
             let factor = a[r * n + col] / pivot;
             if factor == 0.0 {
                 continue;
@@ -355,11 +354,7 @@ mod tests {
         let mut net = SimNetwork::new();
         let gnd = net.add_node(NodeKind::Ground, 0.0, "gnd");
         let vdd = net.add_node(NodeKind::Supply, 0.0, "vdd");
-        let a = net.add_node(
-            NodeKind::Driven(Waveform::constant(0.0)),
-            0.0,
-            "A",
-        );
+        let a = net.add_node(NodeKind::Driven(Waveform::constant(0.0)), 0.0, "A");
         let z = net.add_node(NodeKind::Internal, 0.0, "Z");
         net.add_cap(z, 2.0 * tech.c_drain + 3.0); // self + load
         net.add_device(SimDevice {
@@ -386,7 +381,11 @@ mod tests {
         let (net, _, z) = inverter_net(&tech);
         // Input low -> output high.
         let v = dc_operating_point(&net, &tech, corner, &vec![0.0; net.num_nodes()]);
-        assert!((v[z.index()] - corner.vdd).abs() < 1e-3, "Z = {}", v[z.index()]);
+        assert!(
+            (v[z.index()] - corner.vdd).abs() < 1e-3,
+            "Z = {}",
+            v[z.index()]
+        );
     }
 
     #[test]
@@ -471,11 +470,7 @@ mod tests {
         let mut net = SimNetwork::new();
         let gnd = net.add_node(NodeKind::Ground, 0.0, "gnd");
         // Gate held at VDD: the nMOS is fully on for the whole decay.
-        let gate = net.add_node(
-            NodeKind::Driven(Waveform::constant(corner.vdd)),
-            0.0,
-            "g",
-        );
+        let gate = net.add_node(NodeKind::Driven(Waveform::constant(corner.vdd)), 0.0, "g");
         let x = net.add_node(NodeKind::Internal, 10.0, "x"); // 10 fF
         net.add_device(SimDevice {
             gate,

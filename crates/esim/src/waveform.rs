@@ -172,12 +172,7 @@ mod tests {
     #[test]
     fn last_crossing_picks_final_transition() {
         // A glitch up then the real rise.
-        let w = Waveform::new(vec![
-            (0.0, 0.0),
-            (10.0, 0.7),
-            (20.0, 0.1),
-            (30.0, 1.0),
-        ]);
+        let w = Waveform::new(vec![(0.0, 0.0), (10.0, 0.7), (20.0, 0.1), (30.0, 1.0)]);
         let t = w.last_crossing(0.5, Edge::Rise).unwrap();
         assert!(t > 20.0 && t < 30.0, "t = {t}");
     }

@@ -144,6 +144,25 @@ impl<'a> ImplicationEngine<'a> {
         self.toggles = toggles;
     }
 
+    /// A fresh engine over the same netlist and library, with every net
+    /// fully unknown. Cheaper to reason about than `Clone` (no trail or
+    /// queue state is carried over) and the building block for per-worker
+    /// engines in parallel enumeration.
+    pub fn fork(&self) -> ImplicationEngine<'a> {
+        ImplicationEngine::new(self.nl, self.lib)
+    }
+
+    /// Returns the engine to its post-construction state: every net
+    /// unknown, trail and propagation queue empty, toggle deltas cleared.
+    /// Equivalent to (but cheaper than) building a new engine when the
+    /// allocation is to be reused across launch sources.
+    pub fn reset(&mut self) {
+        self.values.fill(Dual::XX);
+        self.trail.clear();
+        self.queue.clear();
+        self.toggles = None;
+    }
+
     /// The current value of a net.
     #[inline]
     pub fn value(&self, net: NetId) -> Dual {
@@ -376,7 +395,9 @@ mod tests {
         let a = nl.add_input("a");
         let b = nl.add_input("b");
         let and2 = l.cell_by_name("AND2").unwrap().id();
-        let z = nl.add_gate(GateKind::Cell(and2), &[a, b], Some("z")).unwrap();
+        let z = nl
+            .add_gate(GateKind::Cell(and2), &[a, b], Some("z"))
+            .unwrap();
         nl.mark_output(z);
         let mut eng = ImplicationEngine::new(&nl, &l);
         let c = eng.assign(a, Dual::transition(false), Mask::BOTH);
@@ -400,7 +421,9 @@ mod tests {
         let a = nl.add_input("a");
         let b = nl.add_input("b");
         let and2 = l.cell_by_name("AND2").unwrap().id();
-        let z = nl.add_gate(GateKind::Cell(and2), &[a, b], Some("z")).unwrap();
+        let z = nl
+            .add_gate(GateKind::Cell(and2), &[a, b], Some("z"))
+            .unwrap();
         nl.mark_output(z);
         let mut eng = ImplicationEngine::new(&nl, &l);
         // Demand a transition at z (both analyses).
@@ -408,7 +431,10 @@ mod tests {
             eng.assign(z, Dual::transition(false), Mask::BOTH),
             Mask::NONE
         );
-        assert_eq!(eng.assign(a, Dual::transition(false), Mask::BOTH), Mask::NONE);
+        assert_eq!(
+            eng.assign(a, Dual::transition(false), Mask::BOTH),
+            Mask::NONE
+        );
         // B = 0 forces z to stable 0 — conflicting with the required
         // transition in both analyses.
         let conflicts = eng.assign(b, Dual::stable(false), Mask::BOTH);
@@ -425,7 +451,10 @@ mod tests {
         let z = nl.add_gate(GateKind::Cell(inv), &[a], Some("z")).unwrap();
         nl.mark_output(z);
         let mut eng = ImplicationEngine::new(&nl, &l);
-        assert_eq!(eng.assign(a, Dual::transition(false), Mask::BOTH), Mask::NONE);
+        assert_eq!(
+            eng.assign(a, Dual::transition(false), Mask::BOTH),
+            Mask::NONE
+        );
         // Demand z = R in both analyses. Rising launch gives z = F →
         // conflict in r only; falling launch gives z = R → fine.
         let conflicts = eng.assign(z, Dual { r: V9::R, f: V9::R }, Mask::BOTH);
@@ -452,6 +481,33 @@ mod tests {
         for n in [a, b, z] {
             assert_eq!(eng.value(n), Dual::XX, "{n:?}");
         }
+    }
+
+    /// `fork` yields an independent engine; `reset` restores the
+    /// post-construction state including toggle deltas.
+    #[test]
+    fn fork_and_reset_give_fresh_engines() {
+        let l = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let inv = l.cell_by_name("INV").unwrap().id();
+        let z = nl.add_gate(GateKind::Cell(inv), &[a], Some("z")).unwrap();
+        nl.mark_output(z);
+        let mut eng = ImplicationEngine::new(&nl, &l);
+        eng.assign(a, Dual::stable(true), Mask::BOTH);
+        assert_ne!(eng.value(z), Dual::XX);
+        // A fork sees none of the parent's assignments.
+        let forked = eng.fork();
+        assert_eq!(forked.value(a), Dual::XX);
+        assert_eq!(forked.value(z), Dual::XX);
+        // Reset clears values, trail, and toggles.
+        eng.reset();
+        assert_eq!(eng.value(a), Dual::XX);
+        assert_eq!(eng.mark(), 0);
+        // The trail is empty again, so toggles can be (re)installed.
+        eng.set_toggles(Some(vec![Toggle::Unknown; nl.num_nets()]));
+        eng.reset();
+        eng.set_toggles(None);
     }
 
     /// Propagation runs transitively through a cone (c17-like).
@@ -483,7 +539,9 @@ mod tests {
         let a = nl.add_input("a");
         let b = nl.add_input("b");
         let xor2 = l.cell_by_name("XOR2").unwrap().id();
-        let z = nl.add_gate(GateKind::Cell(xor2), &[a, b], Some("z")).unwrap();
+        let z = nl
+            .add_gate(GateKind::Cell(xor2), &[a, b], Some("z"))
+            .unwrap();
         nl.mark_output(z);
         let mut eng = ImplicationEngine::new(&nl, &l);
         eng.assign(a, Dual::transition(false), Mask::BOTH);

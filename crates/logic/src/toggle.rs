@@ -81,11 +81,7 @@ pub fn toggle_analysis(nl: &Netlist, lib: &Library, source: NetId) -> Vec<Toggle
             delta[out_net.index()] = delta[a.index()].xor(delta[b.index()]);
             continue;
         }
-        let ins: Vec<Toggle> = gate
-            .inputs()
-            .iter()
-            .map(|n| delta[n.index()])
-            .collect();
+        let ins: Vec<Toggle> = gate.inputs().iter().map(|n| delta[n.index()]).collect();
         let out = match gate.kind() {
             GateKind::Prim(op) => prim_delta(op, &ins),
             GateKind::Cell(c) => expr_delta(lib.cell(c).expr(), &ins),

@@ -43,6 +43,7 @@ impl TriVal {
     }
 
     /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> TriVal {
         use TriVal::*;
         match self {
@@ -182,6 +183,7 @@ impl V9 {
     }
 
     /// Componentwise NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> V9 {
         V9::new(self.init.not(), self.fin.not())
     }

@@ -271,11 +271,7 @@ OUTPUT(23)
 
     #[test]
     fn forward_references_resolve() {
-        let nl = parse(
-            "INPUT(a)\nOUTPUT(z)\nz = NOT(m)\nm = BUF(a)\n",
-            "fwd",
-        )
-        .unwrap();
+        let nl = parse("INPUT(a)\nOUTPUT(z)\nz = NOT(m)\nm = BUF(a)\n", "fwd").unwrap();
         assert_eq!(nl.eval_prim(&[true]), vec![false]);
     }
 
@@ -287,18 +283,13 @@ OUTPUT(23)
 
     #[test]
     fn rejects_double_definition() {
-        let err =
-            parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n", "bad").unwrap_err();
+        let err = parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n", "bad").unwrap_err();
         assert_eq!(err, NetlistError::MultipleDrivers("z".into()));
     }
 
     #[test]
     fn comments_and_case_are_tolerated() {
-        let nl = parse(
-            "# hi\nINPUT(x) # inline\noutput(y)\ny = nand(x, x)\n",
-            "t",
-        )
-        .unwrap();
+        let nl = parse("# hi\nINPUT(x) # inline\noutput(y)\ny = nand(x, x)\n", "t").unwrap();
         assert_eq!(nl.eval_prim(&[true]), vec![false]);
     }
 }

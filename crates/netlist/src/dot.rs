@@ -31,11 +31,7 @@ pub fn to_dot(nl: &Netlist, opts: &DotOptions) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape=ellipse{style}];",
-            nl.net_label(pi)
-        );
+        let _ = writeln!(out, "  \"{}\" [shape=ellipse{style}];", nl.net_label(pi));
     }
     for g in nl.gate_ids() {
         let gate = nl.gate(g);
@@ -63,19 +59,22 @@ pub fn to_dot(nl: &Netlist, opts: &DotOptions) -> String {
                 None => format!("\"{}\"", nl.net_label(inp)),
                 Some(d) => format!("\"g{}\"", d.index()),
             };
-            let edge_style = if highlighted.contains(&inp.index())
-                && highlighted.contains(&out_net.index())
-            {
-                " [color=red, penwidth=2]"
-            } else {
-                ""
-            };
+            let edge_style =
+                if highlighted.contains(&inp.index()) && highlighted.contains(&out_net.index()) {
+                    " [color=red, penwidth=2]"
+                } else {
+                    ""
+                };
             let _ = writeln!(out, "  {src} -> \"{node}\"{edge_style};");
         }
     }
     for &po in nl.outputs() {
         let sink = format!("\"{}_out\"", nl.net_label(po));
-        let _ = writeln!(out, "  {sink} [shape=ellipse, label=\"{}\"];", nl.net_label(po));
+        let _ = writeln!(
+            out,
+            "  {sink} [shape=ellipse, label=\"{}\"];",
+            nl.net_label(po)
+        );
         let src = match nl.net(po).driver() {
             None => format!("\"{}\"", nl.net_label(po)),
             Some(d) => format!("\"g{}\"", d.index()),

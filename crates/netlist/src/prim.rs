@@ -78,7 +78,10 @@ impl PrimOp {
     /// Returns `true` if the operator inverts its "natural" polarity
     /// (NAND, NOR, NOT, XNOR).
     pub fn is_inverting(self) -> bool {
-        matches!(self, PrimOp::Nand | PrimOp::Nor | PrimOp::Not | PrimOp::Xnor)
+        matches!(
+            self,
+            PrimOp::Nand | PrimOp::Nor | PrimOp::Not | PrimOp::Xnor
+        )
     }
 
     /// The canonical upper-case `.bench` keyword for this operator.
@@ -151,10 +154,7 @@ mod tests {
     fn parse_roundtrip() {
         for op in PrimOp::ALL {
             assert_eq!(op.keyword().parse::<PrimOp>().unwrap(), op);
-            assert_eq!(
-                op.keyword().to_lowercase().parse::<PrimOp>().unwrap(),
-                op
-            );
+            assert_eq!(op.keyword().to_lowercase().parse::<PrimOp>().unwrap(), op);
         }
         assert_eq!("BUFF".parse::<PrimOp>().unwrap(), PrimOp::Buf);
         assert!("MAJ".parse::<PrimOp>().is_err());

@@ -225,9 +225,7 @@ fn parse_instance(stmt: &str, line: usize) -> Result<Instance, NetlistError> {
             .and_then(|p| {
                 let o = p.find('(')?;
                 let c = p.rfind(')')?;
-                (c > o).then(|| {
-                    (p[..o].trim().to_string(), p[o + 1..c].trim().to_string())
-                })
+                (c > o).then(|| (p[..o].trim().to_string(), p[o + 1..c].trim().to_string()))
             })
             .ok_or_else(|| NetlistError::Parse {
                 line,
@@ -406,7 +404,10 @@ endmodule
                 "Z".to_string(),
             )
         });
-        let back = parse_module(&text).unwrap().into_netlist(&TwoCellLib).unwrap();
+        let back = parse_module(&text)
+            .unwrap()
+            .into_netlist(&TwoCellLib)
+            .unwrap();
         assert_eq!(back.num_gates(), nl.num_gates());
         assert_eq!(back.inputs().len(), nl.inputs().len());
     }

@@ -1,0 +1,233 @@
+//! In-tree stand-in for `criterion`.
+//!
+//! Provides the group/bench API subset the workspace's benches use and
+//! measures with plain wall-clock sampling: per bench it runs a short
+//! warm-up, then `sample_size` samples (each auto-scaled to enough
+//! iterations to be timeable) and reports min/mean/max time per
+//! iteration. No statistical machinery, HTML reports, or comparison with
+//! saved baselines — numbers print to stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark (function name + optional parameter).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().id, 20, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (the shim prints as it goes; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Hands the routine under test to the measurement loop.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Iterations to run when in `Measure` mode.
+    iters: u64,
+    /// Accumulated routine time when in `Measure` mode.
+    elapsed: Duration,
+}
+
+enum BencherMode {
+    /// Calibration: time one iteration.
+    Calibrate,
+    /// Timed run of `iters` iterations.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, subtracting nothing (criterion's `iter`).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let n = match self.mode {
+            BencherMode::Calibrate => 1,
+            BencherMode::Measure => self.iters,
+        };
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: how long is one iteration?
+    let mut b = Bencher {
+        mode: BencherMode::Calibrate,
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~10ms per sample, capped so slow benches still finish.
+    let target = Duration::from_millis(10);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut per_iter_times: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            mode: BencherMode::Measure,
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let min = per_iter_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter_times.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+    println!(
+        "bench {label:<55} [{} {} {}] ({iters} iters x {sample_size} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            runs += 1;
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(runs > 0, "routine closure never invoked");
+    }
+}

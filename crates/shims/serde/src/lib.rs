@@ -1,0 +1,412 @@
+//! In-tree stand-in for the `serde` facade.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of serde the workspace actually uses: `Serialize` /
+//! `Deserialize` traits (re-deriving through `serde_derive`), implemented
+//! over a self-describing [`Value`] tree that `serde_json` (the sibling
+//! shim) renders to and parses from JSON text.
+//!
+//! The wire format is self-consistent (everything this workspace writes it
+//! can read back) but intentionally makes no compatibility promise with
+//! upstream serde_json output.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing data tree, the interchange point between typed values
+/// and JSON text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order is preserved so output is stable).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization / deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a typed value into a [`Value`] tree.
+pub trait Serialize {
+    /// The tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `v` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not have the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Looks up a struct field in a `Value::Map`.
+///
+/// # Errors
+///
+/// Returns [`Error`] if `v` is not a map or the key is absent.
+pub fn get_field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, Error> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error(format!("missing field `{key}`"))),
+        other => Err(Error(format!(
+            "expected map with field `{key}`, got {}",
+            kind(other)
+        ))),
+    }
+}
+
+/// Views `v` as a sequence.
+///
+/// # Errors
+///
+/// Returns [`Error`] if `v` is not a `Value::Seq`.
+pub fn get_seq(v: &Value) -> Result<&[Value], Error> {
+    match v {
+        Value::Seq(items) => Ok(items),
+        other => Err(Error(format!("expected sequence, got {}", kind(other)))),
+    }
+}
+
+/// Indexes into a sequence slice.
+///
+/// # Errors
+///
+/// Returns [`Error`] if `idx` is out of range.
+pub fn get_index(s: &[Value], idx: usize) -> Result<&Value, Error> {
+    s.get(idx)
+        .ok_or_else(|| Error(format!("sequence too short: no element {idx}")))
+}
+
+fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) | Value::UInt(_) => "integer",
+        Value::Float(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {}", kind(other)))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i128;
+                if let Ok(i) = i64::try_from(wide) {
+                    Value::Int(i)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Int(i) => i128::from(*i),
+                    Value::UInt(u) => i128::from(*u),
+                    other => return Err(Error(format!(
+                        "expected integer, got {}", kind(other)
+                    ))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    // NaN is emitted as null (JSON has no NaN literal).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error(format!(
+                        "expected number, got {}", kind(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(Error(format!(
+                "expected 1-char string, got {}",
+                kind(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        get_seq(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items).map_err(|_| Error(format!("expected {N} elements, got {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = get_seq(v)?;
+                Ok(($($t::from_value(get_index(s, $n)?)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for stable output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error(format!("expected map, got {}", kind(other)))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error(format!("expected map, got {}", kind(other)))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u8, 2.5f64);
+        assert_eq!(<(u8, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), o);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = u32::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(e.0.contains("integer"));
+        let e = get_field(&Value::Map(vec![]), "missing").unwrap_err();
+        assert!(e.0.contains("missing"));
+    }
+}

@@ -14,13 +14,11 @@ use sta_core::{EnumerationConfig, PathEnumerator};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = std::env::args().nth(1).unwrap_or_else(|| "sample".into());
     let lib = Library::standard();
-    let nl = catalog::mapped(&circuit, &lib)?
-        .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
+    let nl =
+        catalog::mapped(&circuit, &lib)?.ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
     let spread = ProcessSpread::nominal();
     let corners = three_corners(&Technology::n90(), &spread);
-    println!(
-        "{circuit}: worst true path across process corners (fast −3σ / typical / slow +3σ)\n"
-    );
+    println!("{circuit}: worst true path across process corners (fast −3σ / typical / slow +3σ)\n");
     let mut rows = Vec::new();
     for tech in &corners {
         let tlib = characterize(&lib, tech, &CharConfig::fast())?;

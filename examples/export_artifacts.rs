@@ -25,8 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::standard();
     let tech = Technology::n90();
     let tlib = characterize(&lib, &tech, &CharConfig::fast())?;
-    let nl = catalog::mapped(&circuit, &lib)?
-        .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
+    let nl =
+        catalog::mapped(&circuit, &lib)?.ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
     let corner = Corner::nominal(&tech);
 
     let verilog = write_module(&nl, |cid| {

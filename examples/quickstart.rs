@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}", p.describe(&nl, &lib));
         if let Some(fall) = &p.fall {
             println!(
-            "      falling launch: {:.1} ps, vector {}",
+                "      falling launch: {:.1} ps, vector {}",
                 fall.arrival,
                 p.input_vector_string(&nl, sta_cells::Edge::Fall)
             );

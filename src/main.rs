@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sta-repro list                                  # catalog benchmarks
-//! sta-repro analyze  <circuit> [--tech T] [--nworst N]
+//! sta-repro analyze  <circuit> [--tech T] [--nworst N] [--threads W]
 //! sta-repro baseline <circuit> [--tech T] [--k K] [--limit B]
 //! sta-repro cell     <name>    [--tech T]         # vectors + delays
 //! sta-repro liberty  [--tech T] [--out FILE]      # export .lib
@@ -57,7 +57,7 @@ fn print_usage() {
          \n\
          commands:\n\
            list                                  list catalog benchmarks\n\
-           analyze  <circuit> [--tech T] [--nworst N]   run the single-pass true-path STA\n\
+           analyze  <circuit> [--tech T] [--nworst N] [--threads W]   run the single-pass true-path STA\n\
            slack    <circuit> [--tech T] [--required PS]   structural slack report\n\
            baseline <circuit> [--tech T] [--k K] [--limit B]   run the two-step baseline\n\
            cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
@@ -71,6 +71,7 @@ struct Opts {
     positional: Vec<String>,
     tech: Technology,
     nworst: Option<usize>,
+    threads: usize,
     k: usize,
     limit: u64,
     out: Option<String>,
@@ -83,6 +84,7 @@ impl Opts {
             positional: Vec::new(),
             tech: Technology::n90(),
             nworst: None,
+            threads: 1,
             k: 1000,
             limit: 1000,
             out: None,
@@ -97,6 +99,11 @@ impl Opts {
                     }
                 }
                 "--nworst" => opts.nworst = it.next().and_then(|s| s.parse().ok()),
+                "--threads" => {
+                    if let Some(w) = it.next().and_then(|s| s.parse().ok()) {
+                        opts.threads = w;
+                    }
+                }
                 "--k" => {
                     if let Some(k) = it.next().and_then(|s| s.parse().ok()) {
                         opts.k = k;
@@ -145,7 +152,7 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
     let tlib = load_timing(&lib, &opts.tech)?;
-    let mut cfg = EnumerationConfig::new(Corner::nominal(&opts.tech));
+    let mut cfg = EnumerationConfig::new(Corner::nominal(&opts.tech)).with_threads(opts.threads);
     if let Some(n) = opts.nworst {
         cfg = cfg.with_n_worst(n);
     } else {

@@ -69,7 +69,11 @@ fn c17_full_pipeline() {
     assert_eq!(paths.len(), 11);
     for p in &paths {
         assert_eq!(p.num_polarities(), 2, "NAND paths sensitize both edges");
-        assert!(witness_toggles_endpoint(&nl, lib, p), "{}", p.describe(&nl, lib));
+        assert!(
+            witness_toggles_endpoint(&nl, lib, p),
+            "{}",
+            p.describe(&nl, lib)
+        );
         assert!(p.worst_arrival() > 0.0);
     }
     // Paths are sorted by descending worst arrival.

@@ -42,8 +42,7 @@ fn claim_single_pass_tool_finds_what_the_baseline_misses() {
     let (lib, tlib, _tech) = setup();
     let nl = catalog::mapped("sample", lib).unwrap().unwrap();
     let corner = Corner::nominal(&tlib.tech);
-    let (paths, _) =
-        PathEnumerator::new(&nl, lib, tlib, EnumerationConfig::new(corner)).run();
+    let (paths, _) = PathEnumerator::new(&nl, lib, tlib, EnumerationConfig::new(corner)).run();
     let n1 = nl.net_by_name("N1").unwrap();
     let through: Vec<&TruePath> = paths
         .iter()
@@ -55,8 +54,7 @@ fn claim_single_pass_tool_finds_what_the_baseline_misses() {
         .paths
         .iter()
         .filter(|bp| {
-            bp.sens.classification == Classification::True
-                && bp.path.nodes == through[0].nodes
+            bp.sens.classification == Classification::True && bp.path.nodes == through[0].nodes
         })
         .count();
     assert_eq!(matching_true, 1, "baseline reports the path exactly once");
@@ -104,8 +102,7 @@ fn claim_dual_value_tracing_counts_both_polarities() {
     let (lib, tlib, _tech) = setup();
     let nl = catalog::mapped("c17", lib).unwrap().unwrap();
     let corner = Corner::nominal(&tlib.tech);
-    let (paths, stats) =
-        PathEnumerator::new(&nl, lib, tlib, EnumerationConfig::new(corner)).run();
+    let (paths, stats) = PathEnumerator::new(&nl, lib, tlib, EnumerationConfig::new(corner)).run();
     assert_eq!(paths.len(), 11);
     assert_eq!(stats.input_vectors, 22);
     for p in &paths {
@@ -123,8 +120,7 @@ fn claim_rise_fall_asymmetry() {
     let (lib, tlib, _tech) = setup();
     let nl = catalog::mapped("c17", lib).unwrap().unwrap();
     let corner = Corner::nominal(&tlib.tech);
-    let (paths, _) =
-        PathEnumerator::new(&nl, lib, tlib, EnumerationConfig::new(corner)).run();
+    let (paths, _) = PathEnumerator::new(&nl, lib, tlib, EnumerationConfig::new(corner)).run();
     let asym = paths.iter().filter(|p| {
         let (r, f) = (p.rise.as_ref().unwrap(), p.fall.as_ref().unwrap());
         (r.arrival - f.arrival).abs() > 0.5

@@ -7,8 +7,7 @@ use sta_cells::{Corner, Library, Technology};
 use sta_charlib::{characterize, CharConfig, TimingLibrary};
 use sta_circuits::catalog;
 use sta_core::{
-    slack_report, worst_path_report, write_sdf, EnumerationConfig, PathEnumerator,
-    SdfVectorPolicy,
+    slack_report, worst_path_report, write_sdf, EnumerationConfig, PathEnumerator, SdfVectorPolicy,
 };
 use sta_netlist::dot::{to_dot, DotOptions};
 

@@ -32,7 +32,8 @@ fn training_samples() -> Vec<Sample> {
 
 fn bench_models(c: &mut Criterion) {
     let samples = training_samples();
-    let poly = PolyModel::fit_auto(&samples, [3, 3, 2, 2], 0.01);
+    let poly = PolyModel::fit_auto(&samples, [3, 3, 2, 2], 0.01).unwrap();
+    let compiled = poly.compile(25.0, 1.0);
     let lut = Lut2d::tabulate(
         vec![0.5, 2.0, 5.0, 8.0],
         vec![10.0, 80.0, 250.0, 500.0],
@@ -45,6 +46,16 @@ fn bench_models(c: &mut Criterion) {
             for i in 0..100 {
                 let fo = 0.5 + (i as f64) * 0.07;
                 acc += poly.eval(black_box(fo), black_box(55.0), 25.0, 1.0);
+            }
+            acc
+        })
+    });
+    group.bench_function("compiled_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let fo = 0.5 + (i as f64) * 0.07;
+                acc += compiled.eval(black_box(fo), black_box(55.0));
             }
             acc
         })

@@ -102,8 +102,9 @@ pub fn run(tech: &Technology) -> Vec<AblationRow> {
                 });
             }
         }
-        let poly_auto = PolyModel::fit_auto(&samples, [3, 3, 0, 0], 0.005);
-        let poly_o1 = PolyModel::fit(&samples, [1, 1, 0, 0]);
+        let poly_auto =
+            PolyModel::fit_auto(&samples, [3, 3, 0, 0], 0.005).expect("grid is non-empty");
+        let poly_o1 = PolyModel::fit(&samples, [1, 1, 0, 0]).expect("grid is non-empty");
         let lut_ref = Lut2d::tabulate(lut_fo.clone(), lut_tin.clone(), |fo, tin| {
             sim(reference, fo, tin)
         });

@@ -17,7 +17,7 @@ use sta_esim::EsimError;
 
 use crate::lut::Lut2d;
 use crate::model::{ArcModel, ArcVariant, CellTiming, LutArc, TimingLibrary};
-use crate::poly::{PolyModel, Sample};
+use crate::poly::{FitError, PolyModel, Sample};
 
 /// Characterization configuration: sweep grids, fit targets, parallelism.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -101,6 +101,17 @@ pub enum CharError {
         /// Underlying simulator error.
         source: EsimError,
     },
+    /// Polynomial fitting failed for an arc's sample set.
+    Fit {
+        /// Cell being characterized.
+        cell: String,
+        /// Pin under test.
+        pin: u8,
+        /// Case number of the vector.
+        case: usize,
+        /// Underlying fit error.
+        source: FitError,
+    },
 }
 
 impl std::fmt::Display for CharError {
@@ -115,6 +126,15 @@ impl std::fmt::Display for CharError {
                 f,
                 "characterization of {cell} pin {pin} case {case} failed: {source}"
             ),
+            CharError::Fit {
+                cell,
+                pin,
+                case,
+                source,
+            } => write!(
+                f,
+                "model fit for {cell} pin {pin} case {case} failed: {source}"
+            ),
         }
     }
 }
@@ -123,6 +143,7 @@ impl std::error::Error for CharError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CharError::Sim { source, .. } => Some(source),
+            CharError::Fit { source, .. } => Some(source),
         }
     }
 }
@@ -268,9 +289,17 @@ fn fit_arc(
             }
         }
     }
+    let fit_err = |source: FitError| CharError::Fit {
+        cell: cell.name().to_string(),
+        pin: vector.pin,
+        case: vector.case,
+        source,
+    };
     Ok(ArcModel {
-        delay: PolyModel::fit_auto(&delay_samples, cfg.max_orders, cfg.target_rel),
-        slew: PolyModel::fit_auto(&slew_samples, cfg.max_orders, cfg.target_rel),
+        delay: PolyModel::fit_auto(&delay_samples, cfg.max_orders, cfg.target_rel)
+            .map_err(&fit_err)?,
+        slew: PolyModel::fit_auto(&slew_samples, cfg.max_orders, cfg.target_rel)
+            .map_err(&fit_err)?,
         max_sample_delay: max_delay,
     })
 }

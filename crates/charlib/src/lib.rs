@@ -10,6 +10,8 @@
 //! * [`regress`] — self-contained least-squares machinery;
 //! * [`model`] — the characterized [`TimingLibrary`] consumed by the STA
 //!   engines;
+//! * [`kernel`] — corner-compiled delay kernels: the polynomials folded
+//!   at a fixed `(T, VDD)` into dense, [`ArcId`]-indexed Horner tables;
 //! * [`characterize`] — the one-time automatic extraction process
 //!   (parallel sweep + fit + disk cache).
 //!
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod characterize;
+pub mod kernel;
 pub mod liberty;
 pub mod lut;
 pub mod model;
@@ -42,7 +45,8 @@ pub mod variation;
 pub use characterize::{
     characterize, characterize_cached, characterize_cell, CharConfig, CharError,
 };
+pub use kernel::{ArcId, CompiledCorner};
 pub use lut::Lut2d;
 pub use model::{ArcModel, ArcRef, ArcVariant, CellTiming, LutArc, ModelCache, TimingLibrary};
 pub use montecarlo::{DelayDistribution, VariationSampler};
-pub use poly::{PolyModel, Sample};
+pub use poly::{CompiledPoly, FitError, PolyModel, Sample};

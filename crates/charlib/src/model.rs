@@ -378,7 +378,7 @@ mod tests {
                 })
             })
             .collect();
-        PolyModel::fit(&samples, [1, 1, 0, 0])
+        PolyModel::fit(&samples, [1, 1, 0, 0]).unwrap()
     }
 
     fn dummy_lut(base: f64) -> Lut2d {

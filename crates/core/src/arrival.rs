@@ -5,8 +5,8 @@
 //! baseline (structural arrival times, no sensitization).
 
 use sta_cells::{Corner, Edge};
-use sta_charlib::TimingLibrary;
-use sta_netlist::{GateKind, Netlist};
+use sta_charlib::{CompiledCorner, TimingLibrary};
+use sta_netlist::{CellId, GateKind, Netlist};
 
 /// Per-net static timing quantities.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +49,39 @@ pub fn static_bounds(
     default_slew: f64,
     margin: f64,
 ) -> StaticTiming {
+    bounds_with(nl, tlib, margin, |cell, pin, v, edge, fo| {
+        tlib.cell(cell)
+            .variant(pin, v)
+            .for_edge(edge)
+            .eval(fo, default_slew, corner)
+            .0
+    })
+}
+
+/// [`static_bounds`] evaluated through a corner-compiled kernel table.
+/// Bit-identical to the interpreted bounds at the kernel's corner, so the
+/// N-worst pruning decisions of a compiled run match an interpreted run
+/// exactly.
+pub fn static_bounds_compiled(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    kernel: &CompiledCorner,
+    default_slew: f64,
+    margin: f64,
+) -> StaticTiming {
+    bounds_with(nl, tlib, margin, |cell, pin, v, edge, fo| {
+        kernel
+            .eval(kernel.arc_id(cell, pin, v), edge, fo, default_slew)
+            .0
+    })
+}
+
+fn bounds_with(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    margin: f64,
+    mut arc_delay: impl FnMut(CellId, u8, usize, Edge, f64) -> f64,
+) -> StaticTiming {
     let order = nl.topo_gates();
     assert_eq!(order.len(), nl.num_gates(), "netlist has a cycle");
     // Per-gate worst arc delay (max over input pins, vectors, edges).
@@ -66,11 +99,7 @@ pub fn static_bounds(
             for pin in 0..gate.fanin() as u8 {
                 for v in 0..ct.num_vectors(pin) {
                     for edge in Edge::BOTH {
-                        let (d, _) =
-                            ct.variant(pin, v)
-                                .for_edge(edge)
-                                .eval(fo, default_slew, corner);
-                        worst = worst.max(d);
+                        worst = worst.max(arc_delay(cell, pin, v, edge, fo));
                     }
                 }
                 worst = worst.max(arc_delay_bound(tlib, cell, pin));
@@ -153,5 +182,24 @@ mod tests {
         assert!((st.worst_arrival(&nl) - st.arrival[z.index()]).abs() < 1e-9);
         // arrival(PI) + remaining(PI) bounds the whole path.
         assert!(st.remaining[a.index()] >= st.worst_arrival(&nl) - 1e-9);
+    }
+
+    /// Kernel-table bounds match the interpreted ones bitwise, so pruning
+    /// behaves identically in compiled and interpreted runs.
+    #[test]
+    fn compiled_bounds_are_bit_identical() {
+        let (nl, lib) = small_mapped();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let corner = Corner::nominal(&tech);
+        let kernel = tlib.compile_corner(corner);
+        let st = static_bounds(&nl, &tlib, corner, 60.0, 1.1);
+        let sc = static_bounds_compiled(&nl, &tlib, &kernel, 60.0, 1.1);
+        for (a, b) in st.arrival.iter().zip(&sc.arrival) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in st.remaining.iter().zip(&sc.remaining) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

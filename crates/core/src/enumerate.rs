@@ -19,10 +19,10 @@ use std::sync::atomic::AtomicU64;
 
 use serde::Serialize;
 use sta_cells::{Corner, Edge, Library, Polarity};
-use sta_charlib::{ModelCache, TimingLibrary};
+use sta_charlib::{CompiledCorner, ModelCache, TimingLibrary};
 use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle, TriVal, V9};
 
-use crate::justify::{JustifyBudget, JustifyCache, JustifyOutcome};
+use crate::justify::{JustifyBudget, JustifyCache, JustifyOutcome, JustifyScratch};
 use sta_netlist::{GateId, GateKind, NetId, Netlist};
 
 use crate::arrival::static_bounds;
@@ -62,6 +62,12 @@ pub struct EnumerationConfig {
     /// `max_paths` budgets apply per root task rather than globally in
     /// parallel mode.
     pub threads: usize,
+    /// Fold the timing library into a [`CompiledCorner`] kernel table at
+    /// setup and evaluate delays through it (bit-identical to the
+    /// interpreted models — see `sta_charlib::kernel`). Disable to force
+    /// the interpreted `ModelCache` path, e.g. to time the two against
+    /// each other.
+    pub compile_kernels: bool,
 }
 
 impl EnumerationConfig {
@@ -77,6 +83,7 @@ impl EnumerationConfig {
             max_paths: None,
             justify_decision_limit: 20_000,
             threads: 1,
+            compile_kernels: true,
         }
     }
 
@@ -89,6 +96,13 @@ impl EnumerationConfig {
     /// Sets the worker thread count (values below 1 mean serial).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the corner-compiled kernel table (on by
+    /// default).
+    pub fn with_compiled_kernels(mut self, on: bool) -> Self {
+        self.compile_kernels = on;
         self
     }
 }
@@ -116,14 +130,26 @@ pub struct EnumerationStats {
     /// Delay-model evaluations answered from the per-worker memo table
     /// (see `sta_charlib::ModelCache`).
     pub model_cache_hits: u64,
+    /// Arc evaluations (one per alive polarity) served by the
+    /// corner-compiled kernel table.
+    pub compiled_evals: u64,
+    /// Arc evaluations that fell back to the interpreted models (kernel
+    /// compilation disabled).
+    pub fallback_evals: u64,
+    /// High-water mark of the shared side-assignment scratch stack
+    /// (deepest nesting of pending side values across the DFS).
+    pub scratch_side_hwm: usize,
+    /// High-water mark of the path node stack (longest partial path).
+    pub scratch_path_hwm: usize,
     /// Whether a budget cut the run short.
     pub truncated: bool,
 }
 
 impl EnumerationStats {
     /// Folds another run's (or worker's) counters into this one. All
-    /// counters are sums; `truncated` is an OR. Used to aggregate
-    /// per-worker statistics after a parallel run.
+    /// counters are sums except the scratch high-water marks (maxima) and
+    /// `truncated` (an OR). Used to aggregate per-worker statistics after
+    /// a parallel run.
     pub fn merge(&mut self, other: &EnumerationStats) {
         self.paths += other.paths;
         self.input_vectors += other.input_vectors;
@@ -133,6 +159,10 @@ impl EnumerationStats {
         self.justify_aborts += other.justify_aborts;
         self.justify_cache_hits += other.justify_cache_hits;
         self.model_cache_hits += other.model_cache_hits;
+        self.compiled_evals += other.compiled_evals;
+        self.fallback_evals += other.fallback_evals;
+        self.scratch_side_hwm = self.scratch_side_hwm.max(other.scratch_side_hwm);
+        self.scratch_path_hwm = self.scratch_path_hwm.max(other.scratch_path_hwm);
         self.truncated |= other.truncated;
     }
 }
@@ -147,6 +177,9 @@ pub struct PathEnumerator<'a> {
     pub(crate) lib: &'a Library,
     pub(crate) tlib: &'a TimingLibrary,
     pub(crate) cfg: EnumerationConfig,
+    /// Corner-compiled kernel table (`None` when disabled), built once at
+    /// construction and shared read-only by every worker.
+    pub(crate) kernel: Option<CompiledCorner>,
 }
 
 impl<'a> PathEnumerator<'a> {
@@ -168,7 +201,19 @@ impl<'a> PathEnumerator<'a> {
                 .all(|g| matches!(nl.gate(g).kind(), GateKind::Cell(_))),
             "netlist must be technology-mapped"
         );
-        PathEnumerator { nl, lib, tlib, cfg }
+        let kernel = cfg.compile_kernels.then(|| tlib.compile_corner(cfg.corner));
+        PathEnumerator {
+            nl,
+            lib,
+            tlib,
+            cfg,
+            kernel,
+        }
+    }
+
+    /// The corner-compiled kernel table, if kernel compilation is enabled.
+    pub fn kernel(&self) -> Option<&CompiledCorner> {
+        self.kernel.as_ref()
     }
 
     /// Runs the enumeration and returns the discovered true paths (sorted
@@ -203,6 +248,7 @@ impl<'a> PathEnumerator<'a> {
             lib: self.lib,
             tlib: self.tlib,
             cfg: &self.cfg,
+            kernel: self.kernel.as_ref(),
             eng: ImplicationEngine::new(self.nl, self.lib),
             remaining: self.prune_bounds(),
             fanouts: self.fanouts(),
@@ -218,8 +264,15 @@ impl<'a> PathEnumerator<'a> {
             shared_bound: None,
             justify_cache: JustifyCache::new(),
             model_cache: ModelCache::new(),
+            side_scratch: Vec::new(),
+            justify_todo: Vec::new(),
+            justify_scratch: JustifyScratch::default(),
             stats: EnumerationStats::default(),
         };
+        // Path stacks live outside the source loop: one allocation for the
+        // whole run.
+        let mut nodes: Vec<NetId> = Vec::new();
+        let mut arcs: Vec<PathArc> = Vec::new();
         for &src in self.nl.inputs() {
             if search.stats.truncated {
                 break;
@@ -239,7 +292,7 @@ impl<'a> PathEnumerator<'a> {
             let mask = Mask::BOTH.minus(conflicts);
             if mask.any() {
                 let timing = PolTimings::launch(self.cfg.input_slew);
-                search.dfs(src, false, mask, timing);
+                search.dfs(src, false, mask, timing, &mut nodes, &mut arcs);
             }
             search.eng.rollback(mark);
             search.eng.set_toggles(None);
@@ -251,16 +304,27 @@ impl<'a> PathEnumerator<'a> {
     }
 
     /// Static pruning bounds for N-worst mode (`None` in full
-    /// enumeration).
+    /// enumeration). Computed through the kernel table when one exists —
+    /// the two variants are bit-identical, so pruning never depends on the
+    /// kernel setting.
     pub(crate) fn prune_bounds(&self) -> Option<Vec<f64>> {
         self.cfg.n_worst.map(|_| {
-            static_bounds(
-                self.nl,
-                self.tlib,
-                self.cfg.corner,
-                self.cfg.input_slew,
-                self.cfg.prune_margin,
-            )
+            match &self.kernel {
+                Some(k) => crate::arrival::static_bounds_compiled(
+                    self.nl,
+                    self.tlib,
+                    k,
+                    self.cfg.input_slew,
+                    self.cfg.prune_margin,
+                ),
+                None => static_bounds(
+                    self.nl,
+                    self.tlib,
+                    self.cfg.corner,
+                    self.cfg.input_slew,
+                    self.cfg.prune_margin,
+                ),
+            }
             .remaining
         })
     }
@@ -381,6 +445,9 @@ pub(crate) struct Search<'a, 'b> {
     pub(crate) lib: &'a Library,
     pub(crate) tlib: &'a TimingLibrary,
     pub(crate) cfg: &'a EnumerationConfig,
+    /// Corner-compiled kernels (`None` falls back to the interpreted
+    /// models through [`ModelCache`]).
+    pub(crate) kernel: Option<&'a CompiledCorner>,
     pub(crate) eng: ImplicationEngine<'a>,
     pub(crate) remaining: Option<Vec<f64>>,
     /// Equivalent fanout per gate (precomputed).
@@ -411,6 +478,14 @@ pub(crate) struct Search<'a, 'b> {
     pub(crate) justify_cache: JustifyCache,
     /// Memo table over delay-model evaluations.
     pub(crate) model_cache: ModelCache,
+    /// Shared stack of pending side assignments: each [`Search::try_arc`]
+    /// activation appends its slice and truncates on exit, so the hot loop
+    /// never allocates.
+    pub(crate) side_scratch: Vec<(NetId, bool)>,
+    /// Reusable obligation list handed to the justification engine.
+    pub(crate) justify_todo: Vec<NetId>,
+    /// Reusable buffers of the justification search itself.
+    pub(crate) justify_scratch: JustifyScratch,
     pub(crate) stats: EnumerationStats,
 }
 
@@ -454,8 +529,18 @@ impl Search<'_, '_> {
         self.stats.truncated
     }
 
-    fn dfs(&mut self, net: NetId, parity: bool, mask: Mask, timing: PolTimings) {
-        self.dfs_inner(net, parity, mask, timing, &mut Vec::new(), &mut Vec::new());
+    fn dfs(
+        &mut self,
+        net: NetId,
+        parity: bool,
+        mask: Mask,
+        timing: PolTimings,
+        nodes: &mut Vec<NetId>,
+        arcs: &mut Vec<PathArc>,
+    ) {
+        nodes.clear();
+        arcs.clear();
+        self.dfs_inner(net, parity, mask, timing, nodes, arcs);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -472,6 +557,9 @@ impl Search<'_, '_> {
             return;
         }
         nodes.push(net);
+        if nodes.len() > self.stats.scratch_path_hwm {
+            self.stats.scratch_path_hwm = nodes.len();
+        }
         let mut mask = mask;
         if self.is_output[net.index()] && !arcs.is_empty() {
             mask = self.emit(mask, &timing, nodes, arcs);
@@ -489,14 +577,17 @@ impl Search<'_, '_> {
             if prune {
                 self.stats.pruned += 1;
             } else {
-                let fanout: Vec<_> = self.nl.net(net).fanout().to_vec();
-                for pr in fanout {
-                    if !self.reach[self.nl.gate(pr.gate).output().index()]
-                        && !self.is_output[self.nl.gate(pr.gate).output().index()]
-                    {
+                // The netlist borrow (`'a`, immutable for the whole run)
+                // is independent of `&mut self`, so the fanout list is
+                // iterated in place — the old per-visit `to_vec` snapshot
+                // was the hottest allocation of the DFS.
+                let nl = self.nl;
+                for pr in nl.net(net).fanout() {
+                    let out_net = nl.gate(pr.gate).output();
+                    if !self.reach[out_net.index()] && !self.is_output[out_net.index()] {
                         continue;
                     }
-                    let cell_id = cell_of(self.nl, pr.gate);
+                    let cell_id = cell_of(nl, pr.gate);
                     let n_vectors = self.lib.cell(cell_id).vectors_of(pr.pin as u8).len();
                     for vector in 0..n_vectors {
                         if self.budget_exhausted() {
@@ -539,16 +630,28 @@ impl Search<'_, '_> {
         let mark = self.eng.mark();
         let obligations_before = self.obligations.len();
 
-        // Assign the vector's side values and propagate.
-        let mut alive = mask;
-        let side_assignments: Vec<(NetId, bool)> = {
+        // Assign the vector's side values and propagate. The side list
+        // lives in the shared scratch stack (truncated on exit) — nested
+        // activations each own a disjoint tail slice.
+        let side_start = self.side_scratch.len();
+        {
             let g = self.nl.gate(gate);
-            (0..g.fanin() as u8)
-                .filter(|&p| p != pin)
-                .filter_map(|p| sv.side_value(p).map(|v| (g.inputs()[p as usize], v)))
-                .collect()
-        };
-        for &(side_net, value) in &side_assignments {
+            for p in 0..g.fanin() as u8 {
+                if p == pin {
+                    continue;
+                }
+                if let Some(v) = sv.side_value(p) {
+                    self.side_scratch.push((g.inputs()[p as usize], v));
+                }
+            }
+        }
+        let side_end = self.side_scratch.len();
+        if side_end > self.stats.scratch_side_hwm {
+            self.stats.scratch_side_hwm = side_end;
+        }
+        let mut alive = mask;
+        for i in side_start..side_end {
+            let (side_net, value) = self.side_scratch[i];
             let conflicts = self.eng.assign(side_net, Dual::stable(value), alive);
             alive = alive.minus(conflicts);
             if !alive.any() {
@@ -556,8 +659,8 @@ impl Search<'_, '_> {
             }
         }
         if alive.any() {
-            for &(side_net, _) in &side_assignments {
-                self.obligations.push(side_net);
+            for i in side_start..side_end {
+                self.obligations.push(self.side_scratch[i].0);
             }
             // Feasibility: the values just assigned must be justifiable
             // from the PIs (the paper: "justify the logic values assigned
@@ -566,12 +669,16 @@ impl Search<'_, '_> {
             // accumulated requirements is re-established at emission. The
             // witness is rolled back; only the requirements and their
             // forward implications persist on the trail.
-            let justified = if side_assignments.is_empty() {
+            let justified = if side_start == side_end {
                 Some(alive)
             } else {
                 let witness_mark = self.eng.mark();
-                let nets: Vec<NetId> = side_assignments.iter().map(|&(n, _)| n).collect();
-                let out = self.justify_nets(nets, alive);
+                self.justify_todo.clear();
+                for i in side_start..side_end {
+                    let n = self.side_scratch[i].0;
+                    self.justify_todo.push(n);
+                }
+                let out = self.justify_staged(alive);
                 self.eng.rollback(witness_mark);
                 out
             };
@@ -599,15 +706,18 @@ impl Search<'_, '_> {
             self.stats.conflicts += 1;
         }
         self.obligations.truncate(obligations_before);
+        self.side_scratch.truncate(side_start);
         self.eng.rollback(mark);
     }
 
     /// Adds the arc's polynomial delay/slew per alive polarity and pushes
-    /// the per-gate delay entries.
+    /// the per-gate delay entries. The corner-compiled kernel table and
+    /// the interpreted `ModelCache` path share the same Horner arithmetic,
+    /// so the two branches produce bit-identical numbers.
     #[allow(clippy::too_many_arguments)]
     fn advance_timing(
         &mut self,
-        _gate: GateId,
+        gate: GateId,
         cell_id: sta_netlist::CellId,
         pin: u8,
         vector: usize,
@@ -615,28 +725,52 @@ impl Search<'_, '_> {
         mask: Mask,
         timing: PolTimings,
     ) -> PolTimings {
-        let fo = self.fanouts[_gate.index()];
+        let fo = self.fanouts[gate.index()];
         let mut out = timing;
-        let tlib = self.tlib;
-        let corner = self.cfg.corner;
-        let cache = &mut self.model_cache;
-        let mut step = |state: &mut EdgeState, launch: Edge, alive: bool| -> f64 {
-            if !alive {
-                return 0.0;
-            }
-            let in_edge = if parity { launch.invert() } else { launch };
-            let (d, s) = tlib
-                .delay_slew_cached(cache, cell_id, pin, vector, in_edge, fo, state.slew, corner);
-            // Clamp against degenerate extrapolation: delays and slews are
-            // physical quantities.
-            let d = d.max(0.1);
-            let s = s.max(0.5);
-            state.arrival += d;
-            state.slew = s;
-            d
-        };
-        let dr = step(&mut out.r, Edge::Rise, mask.r);
-        let df = step(&mut out.f, Edge::Fall, mask.f);
+        let (dr, df);
+        if let Some(kernel) = self.kernel {
+            let arc = kernel.arc_id(cell_id, pin, vector);
+            let step = |state: &mut EdgeState, launch: Edge, alive: bool| -> f64 {
+                if !alive {
+                    return 0.0;
+                }
+                let in_edge = if parity { launch.invert() } else { launch };
+                let (d, s) = kernel.eval(arc, in_edge, fo, state.slew);
+                // Clamp against degenerate extrapolation: delays and slews
+                // are physical quantities.
+                let d = d.max(0.1);
+                let s = s.max(0.5);
+                state.arrival += d;
+                state.slew = s;
+                d
+            };
+            dr = step(&mut out.r, Edge::Rise, mask.r);
+            df = step(&mut out.f, Edge::Fall, mask.f);
+            self.stats.compiled_evals += u64::from(mask.r) + u64::from(mask.f);
+        } else {
+            let tlib = self.tlib;
+            let corner = self.cfg.corner;
+            let cache = &mut self.model_cache;
+            let mut step = |state: &mut EdgeState, launch: Edge, alive: bool| -> f64 {
+                if !alive {
+                    return 0.0;
+                }
+                let in_edge = if parity { launch.invert() } else { launch };
+                let (d, s) = tlib.delay_slew_cached(
+                    cache, cell_id, pin, vector, in_edge, fo, state.slew, corner,
+                );
+                // Clamp against degenerate extrapolation: delays and slews
+                // are physical quantities.
+                let d = d.max(0.1);
+                let s = s.max(0.5);
+                state.arrival += d;
+                state.slew = s;
+                d
+            };
+            dr = step(&mut out.r, Edge::Rise, mask.r);
+            df = step(&mut out.f, Edge::Fall, mask.f);
+            self.stats.fallback_evals += u64::from(mask.r) + u64::from(mask.f);
+        }
         self.delays_r.push(dr);
         self.delays_f.push(df);
         out
@@ -753,24 +887,30 @@ impl Search<'_, '_> {
     /// returned; `None` means no witness exists for any alive polarity
     /// (or the decision budget ran out — `stats.truncated` is set then).
     fn justify(&mut self, mask: Mask) -> Option<Mask> {
-        let todo: Vec<NetId> = self.obligations.clone();
-        self.justify_nets(todo, mask)
+        self.justify_todo.clear();
+        self.justify_todo.extend_from_slice(&self.obligations);
+        self.justify_staged(mask)
     }
 
-    fn justify_nets(&mut self, todo: Vec<NetId>, mask: Mask) -> Option<Mask> {
+    /// Justifies the obligations currently staged in `justify_todo`
+    /// (which is left in an unspecified state).
+    fn justify_staged(&mut self, mask: Mask) -> Option<Mask> {
         let mut budget = if self.cfg.justify_decision_limit == 0 {
             JustifyBudget::unbounded()
         } else {
             JustifyBudget::with_decision_limit(self.cfg.justify_decision_limit)
         };
-        let out = crate::justify::justify_with_cache(
+        let mut todo = std::mem::take(&mut self.justify_todo);
+        let out = crate::justify::justify_in(
             &mut self.eng,
             self.nl,
-            todo,
+            &mut todo,
             mask,
             &mut budget,
             Some(&mut self.justify_cache),
+            &mut self.justify_scratch,
         );
+        self.justify_todo = todo;
         self.stats.decisions += budget.decisions;
         if self.cfg.max_decisions != 0 && self.stats.decisions >= self.cfg.max_decisions {
             self.stats.truncated = true;

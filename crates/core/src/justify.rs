@@ -16,6 +16,7 @@
 //! gates.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use sta_cells::Library;
 use sta_logic::{eval_expr_v9, eval_prim_v9, Dual, ImplicationEngine, Mask, V9};
@@ -54,7 +55,10 @@ impl CandKey {
 /// cache removes most of that work.
 #[derive(Clone, Default)]
 pub struct JustifyCache {
-    map: HashMap<CandKey, Candidates>,
+    /// Candidate sets are shared out by `Rc` so a cache hit in the search
+    /// hot loop is a reference-count bump, not a deep clone of nested
+    /// vectors (the cache is per-worker and never crosses threads).
+    map: HashMap<CandKey, Rc<Candidates>>,
     /// Lookups answered from the table.
     pub hits: u64,
     /// Lookups that fell through to candidate enumeration.
@@ -166,16 +170,46 @@ pub fn justify_with_cache(
     todo: Vec<NetId>,
     mask: Mask,
     budget: &mut JustifyBudget,
+    cache: Option<&mut JustifyCache>,
+) -> JustifyOutcome {
+    let mut todo = todo;
+    let mut scratch = JustifyScratch::default();
+    justify_in(eng, nl, &mut todo, mask, budget, cache, &mut scratch)
+}
+
+/// Allocation-reusing entry point: the obligation list and the search
+/// scratch buffers are borrowed from the caller, so a tight caller (the
+/// enumeration hot loop) keeps one set of buffers alive across millions of
+/// calls. `todo` is left in an unspecified state.
+pub(crate) fn justify_in(
+    eng: &mut ImplicationEngine<'_>,
+    nl: &Netlist,
+    todo: &mut Vec<NetId>,
+    mask: Mask,
+    budget: &mut JustifyBudget,
     mut cache: Option<&mut JustifyCache>,
+    scratch: &mut JustifyScratch,
 ) -> JustifyOutcome {
     let mark = eng.mark();
     let lib = eng.library();
     let ctx = Ctx { nl, lib };
-    let out = justify_rec(eng, &ctx, todo, mask, budget, &mut cache);
+    let out = justify_rec(eng, &ctx, todo, mask, budget, &mut cache, scratch);
     if !matches!(out, JustifyOutcome::Satisfied(_)) {
         eng.rollback(mark);
     }
     out
+}
+
+/// Reusable buffers of the justification search (one set per worker).
+/// Contents are transient — every use clears before filling.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct JustifyScratch {
+    /// Unsatisfied obligations of the current fixpoint iteration.
+    pending: Vec<(NetId, GateId)>,
+    /// Dedup set for the `pending` sweep.
+    seen: Vec<NetId>,
+    /// Free (still-unknown) inputs of the gate under consideration.
+    free: Vec<NetId>,
 }
 
 struct Ctx<'a> {
@@ -191,7 +225,7 @@ fn cached_candidates(
     free: &[NetId],
     mask: Mask,
     cache: &mut Option<&mut JustifyCache>,
-) -> Vec<Vec<(NetId, bool)>> {
+) -> Rc<Candidates> {
     let g = ctx.nl.gate(gate);
     let key = match cache {
         Some(_) if g.fanin() <= CandKey::MAX_FANIN => {
@@ -212,26 +246,27 @@ fn cached_candidates(
     if let (Some(c), Some(key)) = (cache.as_deref_mut(), key) {
         if let Some(hit) = c.map.get(&key) {
             c.hits += 1;
-            return hit.clone();
+            return Rc::clone(hit);
         }
         c.misses += 1;
-        let cands = minimal_candidates(eng, ctx, gate, free, mask);
+        let cands = Rc::new(minimal_candidates(eng, ctx, gate, free, mask));
         if c.map.len() >= JustifyCache::CAPACITY {
             c.map.clear();
         }
-        c.map.insert(key, cands.clone());
+        c.map.insert(key, Rc::clone(&cands));
         return cands;
     }
-    minimal_candidates(eng, ctx, gate, free, mask)
+    Rc::new(minimal_candidates(eng, ctx, gate, free, mask))
 }
 
 fn justify_rec(
     eng: &mut ImplicationEngine<'_>,
     ctx: &Ctx<'_>,
-    mut todo: Vec<NetId>,
+    todo: &mut Vec<NetId>,
     mask: Mask,
     budget: &mut JustifyBudget,
     cache: &mut Option<&mut JustifyCache>,
+    scratch: &mut JustifyScratch,
 ) -> JustifyOutcome {
     let nl = ctx.nl;
     let mut alive = mask;
@@ -240,60 +275,61 @@ fn justify_rec(
     // contradictions. This (plus the toggle deltas in the engine) is what
     // tames the interlocking parity constraints of XOR-rich circuits.
     loop {
-        // Collect the currently unsatisfied obligations.
-        let mut pending: Vec<(NetId, sta_netlist::GateId)> = Vec::new();
-        {
-            let mut seen: Vec<NetId> = Vec::new();
-            for &net in todo.iter().rev() {
-                if seen.contains(&net) || nl.net(net).is_input() {
-                    continue;
-                }
-                seen.push(net);
-                let gate = nl.net(net).driver().expect("validated netlist");
-                let computed = eng.computed_output(gate, alive);
-                let req = eng.value(net);
-                let needs_r = alive.r && !refines(req.r, computed.r);
-                let needs_f = alive.f && !refines(req.f, computed.f);
-                if needs_r || needs_f {
-                    pending.push((net, gate));
-                }
+        // Collect the currently unsatisfied obligations. The pending/seen
+        // buffers are shared down the recursion — only this iteration's
+        // contents matter, and the recursive calls below happen after the
+        // last read.
+        scratch.pending.clear();
+        scratch.seen.clear();
+        for idx in (0..todo.len()).rev() {
+            let net = todo[idx];
+            if scratch.seen.contains(&net) || nl.net(net).is_input() {
+                continue;
+            }
+            scratch.seen.push(net);
+            let gate = nl.net(net).driver().expect("validated netlist");
+            let computed = eng.computed_output(gate, alive);
+            let req = eng.value(net);
+            let needs_r = alive.r && !refines(req.r, computed.r);
+            let needs_f = alive.f && !refines(req.f, computed.f);
+            if needs_r || needs_f {
+                scratch.pending.push((net, gate));
             }
         }
-        if pending.is_empty() {
+        if scratch.pending.is_empty() {
             return JustifyOutcome::Satisfied(alive);
         }
         // Candidate counts; apply forced ones immediately, branch on the
         // most constrained otherwise (MRV).
-        let mut branch: Option<(NetId, sta_netlist::GateId, Candidates)> = None;
-        let mut forced: Option<(NetId, sta_netlist::GateId, Candidate)> = None;
-        for &(net, gate) in &pending {
-            let free = free_inputs(eng, nl, gate, alive);
-            if free.is_empty() {
+        let mut branch: Option<(GateId, Rc<Candidates>)> = None;
+        let mut forced: Option<(GateId, Rc<Candidates>)> = None;
+        for i in 0..scratch.pending.len() {
+            let (_net, gate) = scratch.pending[i];
+            free_inputs_into(eng, nl, gate, alive, &mut scratch.free);
+            if scratch.free.is_empty() {
                 return JustifyOutcome::Unsatisfiable;
             }
-            let cands = cached_candidates(eng, ctx, gate, &free, alive, cache);
+            let cands = cached_candidates(eng, ctx, gate, &scratch.free, alive, cache);
             match cands.len() {
                 0 => return JustifyOutcome::Unsatisfiable,
                 1 => {
-                    forced = Some((net, gate, cands.into_iter().next().expect("len 1")));
+                    forced = Some((gate, cands));
                     break;
                 }
                 _ => {
-                    if branch
-                        .as_ref()
-                        .is_none_or(|(_, _, b)| cands.len() < b.len())
-                    {
-                        branch = Some((net, gate, cands));
+                    if branch.as_ref().is_none_or(|(_, b)| cands.len() < b.len()) {
+                        branch = Some((gate, cands));
                     }
                 }
             }
         }
-        if let Some((_, gate, cand)) = forced {
+        if let Some((gate, cands)) = forced {
+            let cand: &Candidate = &cands[0];
             budget.decisions += 1;
             if budget.decisions > budget.max_decisions {
                 return JustifyOutcome::BudgetExhausted;
             }
-            for &(fnet, value) in &cand {
+            for &(fnet, value) in cand {
                 let conflicts = eng.assign(fnet, Dual::stable(value), alive);
                 alive = alive.minus(conflicts);
                 if !alive.any() {
@@ -304,16 +340,20 @@ fn justify_rec(
             todo.extend(cand.iter().map(|&(n, _)| n));
             continue;
         }
-        let (_, gate, cands) = branch.expect("pending implies a branch point");
+        let (gate, cands) = branch.expect("pending implies a branch point");
         let out_net = nl.gate(gate).output();
-        for cand in cands {
+        // Each candidate extends the shared obligation list in place;
+        // truncating back to `saved` on failure restores exactly the state
+        // the next candidate must see (the recursion only ever appends).
+        let saved = todo.len();
+        for cand in cands.iter() {
             budget.decisions += 1;
             if budget.decisions > budget.max_decisions {
                 return JustifyOutcome::BudgetExhausted;
             }
             let mark = eng.mark();
             let mut alive2 = alive;
-            for &(fnet, value) in &cand {
+            for &(fnet, value) in cand {
                 let conflicts = eng.assign(fnet, Dual::stable(value), alive2);
                 alive2 = alive2.minus(conflicts);
                 if !alive2.any() {
@@ -326,10 +366,9 @@ fn justify_rec(
                 let ok_r = !alive2.r || refines(req_now.r, computed.r);
                 let ok_f = !alive2.f || refines(req_now.f, computed.f);
                 if ok_r && ok_f {
-                    let mut next = todo.clone();
-                    next.push(out_net);
-                    next.extend(cand.iter().map(|&(n, _)| n));
-                    match justify_rec(eng, ctx, next, alive2, budget, cache) {
+                    todo.push(out_net);
+                    todo.extend(cand.iter().map(|&(n, _)| n));
+                    match justify_rec(eng, ctx, todo, alive2, budget, cache, scratch) {
                         JustifyOutcome::Satisfied(m) if m.any() => {
                             return JustifyOutcome::Satisfied(m)
                         }
@@ -339,6 +378,7 @@ fn justify_rec(
                         }
                         _ => {}
                     }
+                    todo.truncate(saved);
                 }
             }
             eng.rollback(mark);
@@ -351,20 +391,21 @@ fn justify_rec(
     }
 }
 
-/// The still-unknown inputs of a gate (deduplicated, pin order).
-fn free_inputs(eng: &ImplicationEngine<'_>, nl: &Netlist, gate: GateId, mask: Mask) -> Vec<NetId> {
-    let mut f: Vec<NetId> = nl
-        .gate(gate)
-        .inputs()
-        .iter()
-        .copied()
-        .filter(|n| {
-            let d = eng.value(*n);
-            (mask.r && !d.r.is_fully_defined()) || (mask.f && !d.f.is_fully_defined())
-        })
-        .collect();
-    f.dedup();
-    f
+/// The still-unknown inputs of a gate (deduplicated, pin order), written
+/// into the caller's buffer.
+fn free_inputs_into(
+    eng: &ImplicationEngine<'_>,
+    nl: &Netlist,
+    gate: GateId,
+    mask: Mask,
+    out: &mut Vec<NetId>,
+) {
+    out.clear();
+    out.extend(nl.gate(gate).inputs().iter().copied().filter(|n| {
+        let d = eng.value(*n);
+        (mask.r && !d.r.is_fully_defined()) || (mask.f && !d.f.is_fully_defined())
+    }));
+    out.dedup();
 }
 
 /// Enumerates the subset-minimal stable assignments of `free` inputs that

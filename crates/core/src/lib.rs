@@ -60,8 +60,8 @@ pub mod sdc;
 pub mod sdf;
 pub mod slack;
 
-pub use arrival::{arc_delay_bound, static_bounds, StaticTiming};
-pub use delaycalc::{path_delay, DelayCalcError, PathDelayBreakdown};
+pub use arrival::{arc_delay_bound, static_bounds, static_bounds_compiled, StaticTiming};
+pub use delaycalc::{path_delay, path_delay_compiled, DelayCalcError, PathDelayBreakdown};
 pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
 pub use justify::{justify, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome};
 pub use path::{group_by_structure, LaunchTiming, PathArc, PathGroup, PiValue, TruePath};

@@ -57,8 +57,8 @@ use crate::enumerate::{
     cell_of, sensitizable_reach, EnumerationConfig, EnumerationStats, PathEnumerator, PolTimings,
     Search,
 };
-use crate::justify::JustifyCache;
-use crate::path::TruePath;
+use crate::justify::{JustifyCache, JustifyScratch};
+use crate::path::{PathArc, TruePath};
 
 /// Total-order encoding of an `f64` into a `u64`: `encode` is strictly
 /// monotone over the reals (including infinities), so `fetch_max` on the
@@ -103,6 +103,9 @@ struct WorkerCtx<'a> {
     lib: &'a Library,
     tlib: &'a TimingLibrary,
     cfg: &'a EnumerationConfig,
+    /// Corner-compiled kernel table, folded once by the enumerator and
+    /// shared read-only by every worker.
+    kernel: Option<&'a sta_charlib::CompiledCorner>,
     plans: &'a [SrcPlan],
     remaining: &'a Option<Vec<f64>>,
     fanouts: &'a [f64],
@@ -181,6 +184,7 @@ pub(crate) fn run_parallel(
         lib,
         tlib: enumr.tlib,
         cfg: &enumr.cfg,
+        kernel: enumr.kernel.as_ref(),
         plans: &plans,
         remaining: &remaining,
         fanouts: &fanouts,
@@ -289,6 +293,7 @@ fn worker_loop(
         lib: ctx.lib,
         tlib: ctx.tlib,
         cfg: ctx.cfg,
+        kernel: ctx.kernel,
         eng: ImplicationEngine::new(ctx.nl, ctx.lib),
         remaining: ctx.remaining.clone(),
         fanouts: ctx.fanouts.to_vec(),
@@ -304,11 +309,17 @@ fn worker_loop(
         shared_bound: Some(ctx.shared_bound),
         justify_cache: JustifyCache::new(),
         model_cache: ModelCache::new(),
+        side_scratch: Vec::new(),
+        justify_todo: Vec::new(),
+        justify_scratch: JustifyScratch::default(),
         stats: EnumerationStats::default(),
     };
     let mut total = EnumerationStats::default();
     let mut current_src: Option<usize> = None;
     let mut mask = Mask::NONE;
+    // Path stacks live outside the task loop: one allocation per worker.
+    let mut nodes: Vec<NetId> = Vec::new();
+    let mut arcs: Vec<PathArc> = Vec::new();
     while let Some(task) = next_task(&local, ctx.injector, stealers) {
         let plan = &ctx.plans[task.src];
         if current_src != Some(task.src) {
@@ -345,8 +356,9 @@ fn worker_loop(
         if prune {
             search.stats.pruned += 1;
         } else if mask.any() {
-            let mut nodes = vec![plan.src];
-            let mut arcs = Vec::new();
+            nodes.clear();
+            nodes.push(plan.src);
+            arcs.clear();
             search.try_arc(
                 task.gate,
                 task.pin,

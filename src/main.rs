@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sta-repro list                                  # catalog benchmarks
-//! sta-repro analyze  <circuit> [--tech T] [--nworst N] [--threads W]
+//! sta-repro analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels]
 //! sta-repro baseline <circuit> [--tech T] [--k K] [--limit B]
 //! sta-repro cell     <name>    [--tech T]         # vectors + delays
 //! sta-repro liberty  [--tech T] [--out FILE]      # export .lib
@@ -57,7 +57,8 @@ fn print_usage() {
          \n\
          commands:\n\
            list                                  list catalog benchmarks\n\
-           analyze  <circuit> [--tech T] [--nworst N] [--threads W]   run the single-pass true-path STA\n\
+           analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels]   run the single-pass true-path STA\n\
+                    (--no-kernels disables the corner-compiled delay kernels)\n\
            slack    <circuit> [--tech T] [--required PS]   structural slack report\n\
            baseline <circuit> [--tech T] [--k K] [--limit B]   run the two-step baseline\n\
            cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
@@ -76,6 +77,7 @@ struct Opts {
     limit: u64,
     out: Option<String>,
     required: Option<f64>,
+    no_kernels: bool,
 }
 
 impl Opts {
@@ -89,6 +91,7 @@ impl Opts {
             limit: 1000,
             out: None,
             required: None,
+            no_kernels: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -116,6 +119,7 @@ impl Opts {
                 }
                 "--out" => opts.out = it.next().cloned(),
                 "--required" => opts.required = it.next().and_then(|s| s.parse().ok()),
+                "--no-kernels" => opts.no_kernels = true,
                 other => opts.positional.push(other.to_string()),
             }
         }
@@ -152,14 +156,24 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
     let tlib = load_timing(&lib, &opts.tech)?;
-    let mut cfg = EnumerationConfig::new(Corner::nominal(&opts.tech)).with_threads(opts.threads);
+    let mut cfg = EnumerationConfig::new(Corner::nominal(&opts.tech))
+        .with_threads(opts.threads)
+        .with_compiled_kernels(!opts.no_kernels);
     if let Some(n) = opts.nworst {
         cfg = cfg.with_n_worst(n);
     } else {
         cfg.max_paths = Some(500_000);
     }
     let t0 = std::time::Instant::now();
-    let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+    let enumr = PathEnumerator::new(&nl, &lib, &tlib, cfg);
+    if let Some(k) = enumr.kernel() {
+        eprintln!(
+            "compiled {} delay kernels ({} coefficients) for the corner",
+            k.num_arcs(),
+            k.num_coefficients()
+        );
+    }
+    let (paths, stats) = enumr.run();
     println!(
         "{circuit} ({} cells): {} paths / {} input vectors in {:.2} s{}",
         nl.num_gates(),
@@ -167,6 +181,15 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         stats.input_vectors,
         t0.elapsed().as_secs_f64(),
         if stats.truncated { " (budget hit)" } else { "" }
+    );
+    println!(
+        "  kernel evals: {} compiled / {} interpreted, model cache hits {}, \
+         scratch high-water: {} side / {} path",
+        stats.compiled_evals,
+        stats.fallback_evals,
+        stats.model_cache_hits,
+        stats.scratch_side_hwm,
+        stats.scratch_path_hwm
     );
     for (i, p) in paths.iter().take(opts.nworst.unwrap_or(10)).enumerate() {
         println!(

@@ -1,0 +1,145 @@
+//! Corner-compiled delay kernels agree with the interpreted models.
+//!
+//! The kernel layer (`sta_charlib::kernel`) folds every fitted 4-variable
+//! polynomial at the corner's fixed `(T, VDD)` into a dense 2-D Horner
+//! table. The design invariant is **bit-identity**: the folded kernels
+//! share their arithmetic with `PolyModel::eval`, so a compiled
+//! enumeration must reproduce the interpreted engine's path sets and
+//! arrivals exactly, at any thread count. These tests pin that invariant
+//! on every arc of a characterized library (property-based, random
+//! operating points) and end-to-end on catalog circuits.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use sta_cells::{Corner, Edge, Library, Technology};
+use sta_charlib::{characterize, CharConfig, TimingLibrary};
+use sta_circuits::catalog;
+use sta_core::{EnumerationConfig, EnumerationStats, PathEnumerator, TruePath};
+
+fn setup() -> (&'static Library, &'static TimingLibrary, Technology) {
+    static LIB: OnceLock<Library> = OnceLock::new();
+    static TLIB: OnceLock<TimingLibrary> = OnceLock::new();
+    let tech = Technology::n90();
+    let lib = LIB.get_or_init(Library::standard);
+    let tlib = TLIB.get_or_init(|| {
+        characterize(lib, &tech, &CharConfig::fast()).expect("characterization succeeds")
+    });
+    (lib, tlib, tech)
+}
+
+fn bytes(paths: &[TruePath]) -> String {
+    serde_json::to_string(paths).expect("paths serialize")
+}
+
+proptest! {
+    /// For every fitted model in the library, the compiled kernel matches
+    /// `PolyModel::eval` within 1e-9 (it is bit-identical by construction;
+    /// the tolerance guards the property independently of that stronger
+    /// claim) over random `(Fo, t_in)` — including out-of-range points,
+    /// which both paths clamp identically.
+    #[test]
+    fn compiled_kernel_matches_interpreted_eval(
+        fo in 0.05f64..60.0,
+        t_in in 1.0f64..900.0,
+        corner_sel in 0u8..2,
+    ) {
+        let (lib, tlib, tech) = setup();
+        let corner = if corner_sel == 1 {
+            Corner { temperature: 0.0, vdd: 1.05 * tech.vdd }
+        } else {
+            Corner::nominal(&tech)
+        };
+        let kernel = tlib.compile_corner(corner);
+        for cell in lib.iter() {
+            let ct = tlib.cell(cell.id());
+            for pin in 0..cell.num_pins() {
+                for v in 0..ct.num_vectors(pin) {
+                    let arc = kernel.arc_id(cell.id(), pin, v);
+                    for edge in Edge::BOTH {
+                        let (dk, sk) = kernel.eval(arc, edge, fo, t_in);
+                        let (di, si) =
+                            tlib.delay_slew(cell.id(), pin, v, edge, fo, t_in, corner);
+                        prop_assert!(
+                            (dk - di).abs() <= 1e-9,
+                            "{}/{pin}/{v} {edge:?}: delay {dk} vs {di}",
+                            cell.name()
+                        );
+                        prop_assert!(
+                            (sk - si).abs() <= 1e-9,
+                            "{}/{pin}/{v} {edge:?}: slew {sk} vs {si}",
+                            cell.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run(
+    nl: &sta_netlist::Netlist,
+    lib: &Library,
+    tlib: &TimingLibrary,
+    cfg: &EnumerationConfig,
+    kernels: bool,
+    threads: usize,
+) -> (Vec<TruePath>, EnumerationStats) {
+    let cfg = cfg
+        .clone()
+        .with_compiled_kernels(kernels)
+        .with_threads(threads);
+    PathEnumerator::new(nl, lib, tlib, cfg).run()
+}
+
+/// A compiled run reproduces the interpreted engine's path set — nodes,
+/// arcs, witness vectors, and every arrival/slew bit — serially and at
+/// several thread counts, in full enumeration and N-worst mode.
+#[test]
+fn compiled_runs_reproduce_interpreted_path_sets() {
+    let (lib, tlib, tech) = setup();
+    for (name, nworst) in [("c17", None), ("sample", None), ("c432", Some(20))] {
+        let nl = catalog::mapped(name, lib).unwrap().unwrap();
+        let mut cfg = EnumerationConfig::new(Corner::nominal(&tech));
+        if let Some(n) = nworst {
+            cfg = cfg.with_n_worst(n);
+        }
+        let (interpreted, int_stats) = run(&nl, lib, tlib, &cfg, false, 1);
+        assert!(
+            !interpreted.is_empty(),
+            "{name}: interpreted run found paths"
+        );
+        assert_eq!(int_stats.compiled_evals, 0);
+        assert!(int_stats.fallback_evals > 0);
+        let reference = bytes(&interpreted);
+        for threads in [1, 2, 3] {
+            let (compiled, stats) = run(&nl, lib, tlib, &cfg, true, threads);
+            assert_eq!(
+                bytes(&compiled),
+                reference,
+                "{name}: compiled x{threads} diverged from the interpreted engine"
+            );
+            assert_eq!(stats.fallback_evals, 0, "{name}: kernel table not used");
+            assert!(stats.compiled_evals > 0, "{name}: kernel table not used");
+        }
+    }
+}
+
+/// The kernel/scratch stats counters are wired through both engines:
+/// compiled and interpreted runs take the same decisions, and the scratch
+/// high-water marks are plausible (path HWM covers the longest path).
+#[test]
+fn kernel_stats_are_consistent() {
+    let (lib, tlib, tech) = setup();
+    let nl = catalog::mapped("c17", lib).unwrap().unwrap();
+    let cfg = EnumerationConfig::new(Corner::nominal(&tech));
+    let (paths, compiled) = run(&nl, lib, tlib, &cfg, true, 1);
+    let (_, interpreted) = run(&nl, lib, tlib, &cfg, false, 1);
+    assert_eq!(compiled.decisions, interpreted.decisions);
+    assert_eq!(compiled.compiled_evals, interpreted.fallback_evals);
+    assert_eq!(compiled.scratch_path_hwm, interpreted.scratch_path_hwm);
+    let longest = paths.iter().map(|p| p.nodes.len()).max().unwrap();
+    assert!(compiled.scratch_path_hwm >= longest);
+    assert!(compiled.scratch_side_hwm > 0, "c17 has side inputs");
+}

@@ -184,7 +184,7 @@ proptest! {
                 });
             }
         }
-        let m = PolyModel::fit(&samples, [1, 1, 0, 0]);
+        let m = PolyModel::fit(&samples, [1, 1, 0, 0]).expect("well-conditioned fit");
         let got = m.eval(probe_fo, probe_tin, 25.0, 1.0);
         let want = truth(probe_fo, probe_tin);
         prop_assert!((got - want).abs() < 1e-6 * (1.0 + want.abs()), "{got} vs {want}");

@@ -16,6 +16,7 @@
 //! * `repro_all` — everything above in sequence, writing
 //!   `EXPERIMENTS-data/` artifacts.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

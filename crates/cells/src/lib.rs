@@ -28,6 +28,7 @@
 //! assert_eq!(ao22.vectors_of(0).len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod func;

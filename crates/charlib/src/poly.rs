@@ -288,6 +288,15 @@ impl PolyModel {
         self.orders
     }
 
+    /// The fitted per-variable ranges `(lo, hi)` — the box
+    /// [`PolyModel::eval`] clamps its inputs to. Sampling inside this box
+    /// interrogates the model where it was actually trained (the fitting
+    /// grid), which is what sanity checks should do: outside it the model
+    /// just holds its boundary value.
+    pub fn domain(&self) -> [(f64, f64); NUM_VARS] {
+        std::array::from_fn(|v| (self.lo[v], self.lo[v] + self.span[v]))
+    }
+
     /// RMS residual on the training set, ps.
     pub fn training_rms(&self) -> f64 {
         self.rms

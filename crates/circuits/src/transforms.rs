@@ -57,6 +57,112 @@ pub fn expand_xor(nl: &Netlist) -> Netlist {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fault injectors.
+// ---------------------------------------------------------------------------
+//
+// Deliberately damaged copies of a netlist (or timing library) for
+// exercising `sta-lint`'s rule codes. The builder API refuses to construct
+// most of these defects directly, so each injector either rebuilds the
+// netlist around the defect or appends a broken fragment; the input is
+// never modified. Injected nets carry a `lint_` name prefix so diagnostics
+// are easy to trace back to the injection site.
+
+/// Reroutes one input pin of the `victim`-th gate (topological order,
+/// modulo the gate count) to a fresh net that nothing drives. The damaged
+/// connection makes `sta-lint` report the fresh net as undriven (NL002).
+///
+/// # Panics
+///
+/// Panics if the netlist has no gates.
+pub fn break_net(nl: &Netlist, victim: usize) -> Netlist {
+    let mut out = Netlist::new(format!("{}_broken", nl.name()));
+    let mut newid: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in nl.inputs() {
+        newid.insert(pi, out.add_input(nl.net_label(pi)));
+    }
+    let order = nl.topo_gates();
+    let victim = order[victim % order.len()];
+    for &gid in &order {
+        let gate = nl.gate(gid);
+        let mut ins: Vec<NetId> = gate.inputs().iter().map(|n| newid[n]).collect();
+        if gid == victim {
+            ins[0] = out.add_named_net("lint_break");
+        }
+        // Only genuine names survive: `net_label`'s synthesized "nN"
+        // fallbacks would collide with real ISCAS net names.
+        let z = out
+            .add_gate(gate.kind(), &ins, nl.net(gate.output()).name())
+            .expect("rebuild preserves validity");
+        newid.insert(gate.output(), z);
+    }
+    for &po in nl.outputs() {
+        out.mark_output(newid[&po]);
+    }
+    out
+}
+
+/// Appends a two-gate combinational feedback loop feeding a new primary
+/// output. `sta-lint` reports the loop as NL001 (and the new output, whose
+/// cone never settles, as NL006).
+pub fn inject_cycle(nl: &Netlist) -> Netlist {
+    let mut out = nl.clone();
+    let seed = out
+        .inputs()
+        .first()
+        .copied()
+        .unwrap_or_else(|| out.add_input("lint_seed"));
+    let x = out.add_named_net("lint_cycle_x");
+    let y = out.add_named_net("lint_cycle_y");
+    out.add_gate_driving(GateKind::Prim(PrimOp::And), &[seed, y], x)
+        .expect("fresh nets are drivable");
+    out.add_gate_driving(GateKind::Prim(PrimOp::Not), &[x], y)
+        .expect("fresh nets are drivable");
+    out.mark_output(y);
+    out
+}
+
+/// Appends a gate whose output drives nothing and is not marked as a
+/// primary output — a dangling net (NL004).
+pub fn inject_dangling_net(nl: &Netlist) -> Netlist {
+    let mut out = nl.clone();
+    let seed = out
+        .inputs()
+        .first()
+        .copied()
+        .unwrap_or_else(|| out.add_input("lint_seed"));
+    out.add_gate(GateKind::Prim(PrimOp::Not), &[seed], Some("lint_dangle"))
+        .expect("fresh nets are drivable");
+    out
+}
+
+/// Appends a primary input that feeds nothing (NL005).
+pub fn inject_dead_input(nl: &Netlist) -> Netlist {
+    let mut out = nl.clone();
+    out.add_input("lint_dead");
+    out
+}
+
+/// Removes the last characterized arc variant of `(cell, pin)` from the
+/// timing library, leaving a sensitization-vector coverage gap (LIB001).
+/// Returns `false` if the cell or pin has no variant to drop.
+pub fn drop_sensitization_vector(
+    tlib: &mut sta_charlib::TimingLibrary,
+    cell: sta_netlist::CellId,
+    pin: u8,
+) -> bool {
+    let Some(ct) = tlib.cells.get_mut(cell.index()) else {
+        return false;
+    };
+    match ct.variant_index.get_mut(pin as usize) {
+        Some(per_pin) if !per_pin.is_empty() => {
+            per_pin.pop();
+            true
+        }
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +188,61 @@ mod tests {
             let v: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
             assert_eq!(nl.eval_prim(&v), expanded.eval_prim(&v), "{bits:04b}");
         }
+    }
+
+    fn two_gate() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[a, b], Some("x"))
+            .unwrap();
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::Not), &[x], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        nl
+    }
+
+    // Structural facts only — the rule-code assertions live in
+    // `sta-lint`'s fault-injection tests (lint depends on this crate, not
+    // the other way around).
+
+    #[test]
+    fn break_net_reroutes_one_pin_to_a_floating_net() {
+        let nl = two_gate();
+        let broken = break_net(&nl, 0);
+        let hole = broken.net_by_name("lint_break").unwrap();
+        assert!(broken.net(hole).driver().is_none());
+        assert!(!broken.net(hole).fanout().is_empty());
+        assert_eq!(broken.num_gates(), nl.num_gates());
+        // The victim cycles modulo the gate count.
+        assert!(break_net(&nl, 7).net_by_name("lint_break").is_some());
+    }
+
+    #[test]
+    fn inject_cycle_feeds_a_gate_from_its_own_cone() {
+        let nl = two_gate();
+        let cyclic = inject_cycle(&nl);
+        let x = cyclic.net_by_name("lint_cycle_x").unwrap();
+        let y = cyclic.net_by_name("lint_cycle_y").unwrap();
+        let and_gate = cyclic.net(x).driver().unwrap();
+        assert!(cyclic.gate(and_gate).inputs().contains(&y));
+        assert_eq!(
+            cyclic.net(y).driver().map(|g| cyclic.gate(g).output()),
+            Some(y)
+        );
+        assert!(cyclic.outputs().contains(&y));
+    }
+
+    #[test]
+    fn dangling_and_dead_injections_add_disconnected_nets() {
+        let nl = two_gate();
+        let dangle = inject_dangling_net(&nl);
+        let d = dangle.net_by_name("lint_dangle").unwrap();
+        assert!(dangle.net(d).fanout().is_empty() && !dangle.outputs().contains(&d));
+        let dead = inject_dead_input(&nl);
+        let i = dead.net_by_name("lint_dead").unwrap();
+        assert!(dead.net(i).is_input() && dead.net(i).fanout().is_empty());
     }
 }

@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrival;
@@ -65,7 +66,7 @@ pub use delaycalc::{path_delay, path_delay_compiled, DelayCalcError, PathDelayBr
 pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
 pub use justify::{justify, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome};
 pub use path::{group_by_structure, LaunchTiming, PathArc, PathGroup, PiValue, TruePath};
-pub use report::{path_report, summary_report, worst_path_report};
+pub use report::{path_report, summary_report, worst_path_report, CertificateSet};
 pub use sdc::{parse_sdc, Constraints, SdcError};
 pub use sdf::{write_sdf, SdfVectorPolicy};
 pub use slack::{slack_report, SlackReport};

@@ -79,6 +79,43 @@ pub fn path_report(
     Some(out)
 }
 
+/// A serializable bundle of path certificates: everything an
+/// enumeration-independent checker (the `sta-lint` replay oracle) needs to
+/// re-certify a result set without re-running the enumerator — the netlist
+/// name, the input transition time the delays were computed with, and the
+/// paths themselves (each [`TruePath`] carries its witness input vector
+/// and per-stage timing claims).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CertificateSet {
+    /// Name of the netlist the certificates were produced from.
+    pub circuit: String,
+    /// Input transition time used for the delay claims, ps.
+    pub input_slew: f64,
+    /// The certified paths.
+    pub paths: Vec<TruePath>,
+}
+
+impl CertificateSet {
+    /// Bundles an enumeration result into a certificate set.
+    pub fn new(nl: &Netlist, input_slew: f64, paths: Vec<TruePath>) -> Self {
+        CertificateSet {
+            circuit: nl.name().to_string(),
+            input_slew,
+            paths,
+        }
+    }
+
+    /// Serializes the set as a JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("certificate sets always serialize")
+    }
+
+    /// Parses a JSON document produced by [`CertificateSet::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("malformed certificate set: {e}"))
+    }
+}
+
 /// Renders an N-worst summary table over a path list.
 pub fn summary_report(nl: &Netlist, paths: &[TruePath], n: usize) -> String {
     let mut out = String::new();
@@ -151,5 +188,30 @@ mod tests {
         assert!(detail.contains("sensitizing vector"), "{detail}");
         // Stage count: the AO22 and the INV.
         assert_eq!(detail.lines().count(), 2 + 2 + 1, "{detail}");
+    }
+
+    #[test]
+    fn certificate_set_roundtrips_through_json() {
+        let lib = Library::standard();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let mut nl = Netlist::new("roundtrip");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl
+            .add_gate(GateKind::Cell(nand2), &[a, b], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        let corner = sta_cells::Corner::nominal(&tech);
+        let cfg = crate::EnumerationConfig::new(corner);
+        let slew = cfg.input_slew;
+        let (paths, _) = crate::PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        assert!(!paths.is_empty());
+        let set = CertificateSet::new(&nl, slew, paths);
+        let parsed = CertificateSet::from_json(&set.to_json()).unwrap();
+        assert_eq!(parsed, set);
+        assert_eq!(parsed.circuit, "roundtrip");
+        assert!(CertificateSet::from_json("{nonsense").is_err());
     }
 }

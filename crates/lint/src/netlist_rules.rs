@@ -1,0 +1,416 @@
+//! `NLxxx`: structural checks over the netlist graph.
+
+use sta_netlist::{GateId, NetId, Netlist};
+
+use crate::diag::{Diagnostic, RuleCode};
+
+/// Runs every structural rule over `nl` and returns the findings.
+///
+/// Works on primitive and technology-mapped netlists alike (no library is
+/// consulted). The checks deliberately re-derive driver information from
+/// the gate list instead of trusting the per-net `driver` index, so
+/// corrupted (hand-edited or deserialized) netlists are caught too —
+/// `Netlist::validate` only sees what the builder API can construct.
+pub fn lint_netlist(nl: &Netlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = |id: NetId| nl.net_ref(id).to_string();
+    let is_po: Vec<bool> = {
+        let mut v = vec![false; nl.num_nets()];
+        for &o in nl.outputs() {
+            v[o.index()] = true;
+        }
+        v
+    };
+
+    // NL003 — recompute drivers from the gate list and cross-check.
+    let mut claims: Vec<Vec<GateId>> = vec![Vec::new(); nl.num_nets()];
+    for g in nl.gate_ids() {
+        claims[nl.gate(g).output().index()].push(g);
+    }
+    for id in nl.net_ids() {
+        let net = nl.net(id);
+        let c = &claims[id.index()];
+        if c.len() > 1 {
+            out.push(Diagnostic::new(
+                RuleCode::NlMultiplyDriven,
+                loc(id),
+                format!(
+                    "net is claimed as output by {} gates (#{})",
+                    c.len(),
+                    c.iter()
+                        .map(|g| g.index().to_string())
+                        .collect::<Vec<_>>()
+                        .join(", #")
+                ),
+            ));
+        } else if net.is_input() && !c.is_empty() {
+            out.push(Diagnostic::new(
+                RuleCode::NlMultiplyDriven,
+                loc(id),
+                format!("primary input is also driven by gate #{}", c[0].index()),
+            ));
+        } else if net.driver() != c.first().copied() {
+            out.push(Diagnostic::new(
+                RuleCode::NlMultiplyDriven,
+                loc(id),
+                format!(
+                    "driver index {:?} disagrees with the gate list {:?}",
+                    net.driver().map(|g| g.index()),
+                    c.first().map(|g| g.index())
+                ),
+            ));
+        }
+    }
+
+    // NL002 / NL004 / NL005 — driverless, dangling and disconnected nets.
+    for id in nl.net_ids() {
+        let net = nl.net(id);
+        let driven = !claims[id.index()].is_empty();
+        let used = !net.fanout().is_empty() || is_po[id.index()];
+        if net.is_input() {
+            if !used {
+                out.push(Diagnostic::new(
+                    RuleCode::NlDisconnectedInput,
+                    loc(id),
+                    "primary input feeds no gate and is not an output",
+                ));
+            }
+        } else if !driven && used {
+            out.push(Diagnostic::new(
+                RuleCode::NlUndriven,
+                loc(id),
+                "net is used but never driven",
+            ));
+        } else if !used {
+            out.push(Diagnostic::new(
+                RuleCode::NlDanglingNet,
+                loc(id),
+                "net drives nothing and is not a primary output",
+            ));
+        }
+    }
+
+    // NL001 — combinational cycles via iterative Tarjan SCC.
+    for scc in cyclic_sccs(nl) {
+        let mut nets: Vec<String> = scc
+            .iter()
+            .take(6)
+            .map(|&g| nl.net_label(nl.gate(g).output()))
+            .collect();
+        if scc.len() > 6 {
+            nets.push(format!("… {} more", scc.len() - 6));
+        }
+        out.push(Diagnostic::new(
+            RuleCode::NlCycle,
+            loc(nl.gate(scc[0]).output()),
+            format!(
+                "combinational cycle through {} gate(s): {}",
+                scc.len(),
+                nets.join(" -> ")
+            ),
+        ));
+    }
+
+    // NL006 — primary outputs whose cone never settles from the inputs.
+    let settled = settled_from_inputs(nl);
+    for &o in nl.outputs() {
+        if !settled[o.index()] {
+            out.push(Diagnostic::new(
+                RuleCode::NlConstantOutput,
+                loc(o),
+                "output never settles from the primary inputs (cyclic cone)",
+            ));
+        }
+    }
+
+    // NL007 — fanout-count outliers (mean + 6 sigma, and at least 16).
+    let counts: Vec<f64> = nl
+        .net_ids()
+        .map(|id| nl.net(id).fanout().len() as f64)
+        .collect();
+    if !counts.is_empty() {
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<f64>() / n;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
+        let threshold = (mean + 6.0 * var.sqrt()).max(16.0);
+        for id in nl.net_ids() {
+            let f = nl.net(id).fanout().len() as f64;
+            if f > threshold {
+                out.push(Diagnostic::new(
+                    RuleCode::NlFanoutOutlier,
+                    loc(id),
+                    format!(
+                        "fanout {} exceeds {:.1} (mean {:.2} + 6 sigma {:.2})",
+                        f as usize,
+                        threshold,
+                        mean,
+                        var.sqrt()
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// Which nets settle to a well-defined function of the primary inputs.
+///
+/// A gate output settles once *all* its inputs have settled; primary
+/// inputs settle by definition, and undriven nets are treated as settled
+/// so their failure is reported once (as NL002) rather than cascading.
+/// Nets on a combinational cycle — or fed by one — mutually wait on each
+/// other and therefore never settle, which is exactly what NL006 reports.
+///
+/// Deliberately avoids `Netlist::topo_gates`: that routine assumes the
+/// driver/fanout bookkeeping is consistent, which is exactly what a
+/// corrupted (deserialized) netlist violates. A gate-sweep fixpoint only
+/// reads each gate's own pins, so it cannot be derailed; it converges in
+/// (logic depth) sweeps.
+fn settled_from_inputs(nl: &Netlist) -> Vec<bool> {
+    let mut driven = vec![false; nl.num_nets()];
+    for g in nl.gate_ids() {
+        driven[nl.gate(g).output().index()] = true;
+    }
+    let mut settled = vec![false; nl.num_nets()];
+    for id in nl.net_ids() {
+        if nl.net(id).is_input() || !driven[id.index()] {
+            settled[id.index()] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for g in nl.gate_ids() {
+            let gate = nl.gate(g);
+            let o = gate.output().index();
+            if !settled[o]
+                && !nl.net(gate.output()).is_input()
+                && gate.inputs().iter().all(|n| settled[n.index()])
+            {
+                settled[o] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return settled;
+        }
+    }
+}
+
+/// Iterative Tarjan SCC over the gate graph (gate → gates fed by its
+/// output). Returns only the *cyclic* components — size > 1, or a single
+/// gate feeding its own input — each sorted ascending, the list ordered by
+/// its smallest gate id. Iterative on an explicit stack: ISCAS-sized
+/// netlists produce recursion depths far beyond the call stack.
+fn cyclic_sccs(nl: &Netlist) -> Vec<Vec<GateId>> {
+    const UNVISITED: usize = usize::MAX;
+    let n = nl.num_gates();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<GateId>> = Vec::new();
+
+    // (gate, next successor position) — the explicit DFS frame.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    // Out-of-range fanout entries (possible on corrupted netlists) are
+    // dropped rather than trusted.
+    let successors = |g: usize| -> Vec<usize> {
+        nl.net(nl.gate(GateId::from_index(g)).output())
+            .fanout()
+            .iter()
+            .map(|pr| pr.gate.index())
+            .filter(|&w| w < n)
+            .collect()
+    };
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let succ = successors(v);
+            if *pos < succ.len() {
+                let w = succ[*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic = comp.len() > 1 || successors(v).contains(&v);
+                    if cyclic {
+                        comp.sort_unstable();
+                        sccs.push(comp.into_iter().map(GateId::from_index).collect());
+                    }
+                }
+            }
+        }
+    }
+    sccs.sort_by_key(|c| c[0].index());
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_netlist::{GateKind, PrimOp};
+
+    fn codes(ds: &[Diagnostic]) -> Vec<&'static str> {
+        ds.iter().map(|d| d.rule.code()).collect()
+    }
+
+    fn clean() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[a, b], Some("x"))
+            .unwrap();
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::Not), &[x], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        nl
+    }
+
+    #[test]
+    fn clean_netlist_has_no_findings() {
+        assert_eq!(lint_netlist(&clean()), vec![]);
+    }
+
+    #[test]
+    fn undriven_and_dangling_are_distinguished() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let hole = nl.add_named_net("hole");
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::And), &[a, hole], Some("z"))
+            .unwrap();
+        let _unused = nl
+            .add_gate(GateKind::Prim(PrimOp::Not), &[a], Some("unused"))
+            .unwrap();
+        nl.mark_output(z);
+        let ds = lint_netlist(&nl);
+        assert!(codes(&ds).contains(&"NL002"), "{ds:?}");
+        assert!(codes(&ds).contains(&"NL004"), "{ds:?}");
+        let undriven = ds.iter().find(|d| d.rule.code() == "NL002").unwrap();
+        assert!(undriven.location.contains("t:hole"), "{undriven:?}");
+    }
+
+    #[test]
+    fn cycle_is_reported_with_member_nets() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_input("a");
+        let x = nl.add_named_net("x");
+        let y = nl.add_named_net("y");
+        nl.add_gate_driving(GateKind::Prim(PrimOp::And), &[a, y], x)
+            .unwrap();
+        nl.add_gate_driving(GateKind::Prim(PrimOp::Not), &[x], y)
+            .unwrap();
+        nl.mark_output(y);
+        let ds = lint_netlist(&nl);
+        let cyc: Vec<_> = ds.iter().filter(|d| d.rule.code() == "NL001").collect();
+        assert_eq!(cyc.len(), 1, "{ds:?}");
+        assert!(cyc[0].message.contains('x') && cyc[0].message.contains('y'));
+        // The cyclic PO also has no PI in its (settled) cone.
+        assert!(codes(&ds).contains(&"NL006"));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut nl = Netlist::new("selfie");
+        let a = nl.add_input("a");
+        let x = nl.add_named_net("x");
+        nl.add_gate_driving(GateKind::Prim(PrimOp::And), &[a, x], x)
+            .unwrap();
+        nl.mark_output(x);
+        let ds = lint_netlist(&nl);
+        assert!(codes(&ds).contains(&"NL001"), "{ds:?}");
+    }
+
+    #[test]
+    fn disconnected_input_is_info() {
+        let mut nl = clean();
+        nl.add_input("nc");
+        let ds = lint_netlist(&nl);
+        assert_eq!(codes(&ds), vec!["NL005"]);
+        assert!(ds[0].location.contains("t:nc"));
+        // The original ISCAS85 netlists ship unconnected inputs; this is
+        // an observation, not a warning (it must survive `--deny
+        // warnings` over the catalog).
+        assert_eq!(ds[0].severity, crate::Severity::Info);
+    }
+
+    #[test]
+    fn input_marked_as_output_is_fine() {
+        let mut nl = clean();
+        let feedthrough = nl.add_input("ft");
+        nl.mark_output(feedthrough);
+        assert_eq!(lint_netlist(&nl), vec![]);
+    }
+
+    #[test]
+    fn fanout_outlier_is_info() {
+        let mut nl = Netlist::new("star");
+        let a = nl.add_input("a");
+        let mut last = a;
+        for i in 0..200 {
+            last = nl
+                .add_gate(GateKind::Prim(PrimOp::Not), &[a], Some(&format!("g{i}")))
+                .unwrap();
+        }
+        nl.mark_output(last);
+        let ds = lint_netlist(&nl);
+        let outliers: Vec<_> = ds.iter().filter(|d| d.rule.code() == "NL007").collect();
+        assert!(!outliers.is_empty(), "{ds:?}");
+        // Everything else in this intentionally silly netlist is dangling,
+        // not an error.
+        assert!(!ds.iter().any(|d| d.severity == crate::Severity::Error));
+    }
+
+    #[test]
+    fn multiply_driven_is_caught_on_deserialized_netlists() {
+        // The builder API cannot create a doubly-claimed net, but serde
+        // can: corrupt the JSON so both gates claim the same output net.
+        let nl = clean();
+        let js = serde_json::to_string(&nl).unwrap();
+        let x = nl.net_by_name("x").unwrap().index();
+        let z = nl.net_by_name("z").unwrap().index();
+        // Id newtypes serialize as single-element sequences in the shim.
+        let needle = format!("\"output\":[{z}]");
+        assert!(js.contains(&needle), "{js}");
+        let corrupted = js.replace(&needle, &format!("\"output\":[{x}]"));
+        let bad: Netlist = serde_json::from_str(&corrupted).unwrap();
+        let ds = lint_netlist(&bad);
+        assert!(codes(&ds).contains(&"NL003"), "{ds:?}");
+    }
+}

@@ -1,0 +1,618 @@
+//! `PATHxxx`: enumeration-independent re-certification of emitted paths.
+//!
+//! The enumerator's output is a set of [`TruePath`] certificates: a gate
+//! sequence, the sensitization vector in force at every gate, a witness
+//! primary-input assignment, and per-polarity timing. Everything here
+//! re-checks those claims *without* reusing the enumeration search:
+//!
+//! * **PATH001** — the node/arc chain is structurally coherent on the
+//!   netlist (pins connect, the source is a PI, the endpoint is a PO);
+//! * **PATH002** — every referenced sensitization vector exists in the
+//!   cell library and the recorded polarities/edges agree with it;
+//! * **PATH003** — replaying the witness vector through the nine-valued
+//!   forward simulator ([`ImplicationEngine`]) propagates the launched
+//!   transition edge-by-edge along the path with every side pin held at
+//!   its required stable value;
+//! * **PATH004** — the reported arrival/slew/per-stage delays match the
+//!   stand-alone delay calculator ([`path_delay`]) on the same arcs.
+//!
+//! Soundness of the replay: a satisfied justification leaves every driven
+//! net's merged value equal to its computed value (the fixpoint condition
+//! of `sta_core::justify`), so the witness engine's net values are exactly
+//! the forward simulation of its PI assignments — assigning only the
+//! published PI vector into a fresh engine reproduces them.
+
+use sta_cells::{Corner, Edge, Library};
+use sta_charlib::TimingLibrary;
+use sta_core::delaycalc::path_delay;
+use sta_core::{PiValue, TruePath};
+use sta_logic::{Dual, ImplicationEngine, Mask, V9};
+use sta_netlist::{GateKind, Netlist};
+
+use crate::diag::{Diagnostic, RuleCode};
+
+/// Aggregate result of [`verify_paths`].
+#[derive(Clone, Debug, Default)]
+pub struct PathVerifyOutcome {
+    /// Paths examined.
+    pub checked: usize,
+    /// Paths that passed every check.
+    pub certified: usize,
+    /// All findings, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl PathVerifyOutcome {
+    /// `true` if every checked path re-certified.
+    pub fn all_certified(&self) -> bool {
+        self.checked == self.certified
+    }
+}
+
+/// Re-certifies every path; see the module docs for the rule set.
+pub fn verify_paths(
+    nl: &Netlist,
+    lib: &Library,
+    tlib: &TimingLibrary,
+    paths: &[TruePath],
+    input_slew: f64,
+    corner: Corner,
+) -> PathVerifyOutcome {
+    let mut out = PathVerifyOutcome::default();
+    let mut eng = ImplicationEngine::new(nl, lib);
+    for (i, p) in paths.iter().enumerate() {
+        let ds = verify_path_with(&mut eng, nl, lib, tlib, p, input_slew, corner, i);
+        out.checked += 1;
+        if ds.is_empty() {
+            out.certified += 1;
+        }
+        out.diagnostics.extend(ds);
+    }
+    out
+}
+
+/// Re-certifies one path. Returns an empty list iff the certificate holds.
+pub fn verify_path(
+    nl: &Netlist,
+    lib: &Library,
+    tlib: &TimingLibrary,
+    path: &TruePath,
+    input_slew: f64,
+    corner: Corner,
+) -> Vec<Diagnostic> {
+    let mut eng = ImplicationEngine::new(nl, lib);
+    verify_path_with(&mut eng, nl, lib, tlib, path, input_slew, corner, 0)
+}
+
+/// Absolute tolerance (ps) on arrival/slew/stage-delay agreement between
+/// the certificate and the stand-alone calculator. Both run the identical
+/// polynomial arithmetic, so this only absorbs summation-order noise.
+const TIMING_TOL: f64 = 1e-6;
+
+#[allow(clippy::too_many_arguments)]
+fn verify_path_with(
+    eng: &mut ImplicationEngine<'_>,
+    nl: &Netlist,
+    lib: &Library,
+    tlib: &TimingLibrary,
+    path: &TruePath,
+    input_slew: f64,
+    corner: Corner,
+    index: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = || {
+        let src = nl.net_label(path.source);
+        let dst = path
+            .nodes
+            .last()
+            .map_or_else(|| "?".to_string(), |&n| nl.net_label(n));
+        format!("{}:path[{index}] {src}->{dst}", nl.name())
+    };
+    let broken = |out: &mut Vec<Diagnostic>, msg: String| {
+        out.push(Diagnostic::new(RuleCode::PathBrokenChain, loc(), msg));
+    };
+
+    // ---- PATH001: structural chain --------------------------------------
+    if path.nodes.len() != path.arcs.len() + 1 || path.nodes.is_empty() {
+        broken(
+            &mut out,
+            format!(
+                "{} nodes vs {} arcs (want arcs + 1)",
+                path.nodes.len(),
+                path.arcs.len()
+            ),
+        );
+        return out;
+    }
+    if path.nodes[0] != path.source {
+        broken(
+            &mut out,
+            "first node differs from the recorded source".into(),
+        );
+    }
+    if !nl.net(path.source).is_input() {
+        broken(&mut out, "source net is not a primary input".into());
+    }
+    let endpoint = *path.nodes.last().expect("non-empty checked above");
+    if !nl.outputs().contains(&endpoint) {
+        broken(&mut out, "endpoint net is not a primary output".into());
+    }
+    for (k, arc) in path.arcs.iter().enumerate() {
+        if arc.gate.index() >= nl.num_gates() {
+            broken(&mut out, format!("arc {k} references missing gate"));
+            return out;
+        }
+        let gate = nl.gate(arc.gate);
+        if gate.inputs().get(arc.pin as usize) != Some(&path.nodes[k]) {
+            broken(
+                &mut out,
+                format!(
+                    "arc {k}: gate #{} pin {} is not driven by net {}",
+                    arc.gate.index(),
+                    arc.pin,
+                    nl.net_label(path.nodes[k])
+                ),
+            );
+        }
+        if gate.output() != path.nodes[k + 1] {
+            broken(
+                &mut out,
+                format!(
+                    "arc {k}: gate #{} does not drive net {}",
+                    arc.gate.index(),
+                    nl.net_label(path.nodes[k + 1])
+                ),
+            );
+        }
+    }
+    if path.input_vector.len() != nl.inputs().len() {
+        broken(
+            &mut out,
+            format!(
+                "witness vector has {} entries for {} primary inputs",
+                path.input_vector.len(),
+                nl.inputs().len()
+            ),
+        );
+    }
+    let transitions = path
+        .input_vector
+        .iter()
+        .filter(|v| **v == PiValue::Transition)
+        .count();
+    let source_pos = nl.inputs().iter().position(|&n| n == path.source);
+    let source_is_t = source_pos
+        .and_then(|p| path.input_vector.get(p))
+        .is_some_and(|v| *v == PiValue::Transition);
+    if transitions != 1 || !source_is_t {
+        broken(
+            &mut out,
+            format!("witness vector must launch exactly at the source ({transitions} transitions)"),
+        );
+    }
+    if path.rise.is_none() && path.fall.is_none() {
+        broken(&mut out, "no launch polarity recorded".into());
+    }
+    if !out.is_empty() {
+        return out;
+    }
+
+    // ---- PATH002: vectors and recorded metadata -------------------------
+    for (k, arc) in path.arcs.iter().enumerate() {
+        let gate = nl.gate(arc.gate);
+        let cell = match gate.kind() {
+            GateKind::Cell(c) => c,
+            GateKind::Prim(op) => {
+                out.push(Diagnostic::new(
+                    RuleCode::PathVectorMismatch,
+                    loc(),
+                    format!("arc {k} traverses unmapped primitive {op}; vectors are undefined"),
+                ));
+                return out;
+            }
+        };
+        let vectors = lib.cell(cell).vectors_of(arc.pin);
+        let Some(want) = vectors.get(arc.vector) else {
+            out.push(Diagnostic::new(
+                RuleCode::PathVectorMismatch,
+                loc(),
+                format!(
+                    "arc {k}: vector index {} out of range ({} vectors for {}.{})",
+                    arc.vector,
+                    vectors.len(),
+                    lib.cell(cell).name(),
+                    sta_cells::func::pin_name(arc.pin),
+                ),
+            ));
+            return out;
+        };
+        if want.polarity != arc.polarity {
+            out.push(Diagnostic::new(
+                RuleCode::PathVectorMismatch,
+                loc(),
+                format!(
+                    "arc {k}: recorded polarity {:?} but {} case {} is {:?}",
+                    arc.polarity,
+                    lib.cell(cell).name(),
+                    want.case,
+                    want.polarity
+                ),
+            ));
+        }
+    }
+    let parity_edge = |launch: Edge| -> Edge {
+        path.arcs
+            .iter()
+            .fold(launch, |e, arc| e.through(arc.polarity))
+    };
+    for (timing, launch) in [(&path.rise, Edge::Rise), (&path.fall, Edge::Fall)] {
+        let Some(t) = timing else { continue };
+        if t.launch_edge != launch {
+            out.push(Diagnostic::new(
+                RuleCode::PathVectorMismatch,
+                loc(),
+                format!(
+                    "{launch} branch records launch_edge {}, expected {launch}",
+                    t.launch_edge
+                ),
+            ));
+        }
+        if t.final_edge != parity_edge(launch) {
+            out.push(Diagnostic::new(
+                RuleCode::PathVectorMismatch,
+                loc(),
+                format!(
+                    "{launch} launch: final_edge {} disagrees with arc polarities ({})",
+                    t.final_edge,
+                    parity_edge(launch)
+                ),
+            ));
+        }
+        if t.gate_delays.len() != path.arcs.len() {
+            out.push(Diagnostic::new(
+                RuleCode::PathVectorMismatch,
+                loc(),
+                format!(
+                    "{launch} launch: {} stage delays for {} arcs",
+                    t.gate_delays.len(),
+                    path.arcs.len()
+                ),
+            ));
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+
+    // ---- PATH003: witness replay ----------------------------------------
+    let claimed = Mask {
+        r: path.rise.is_some(),
+        f: path.fall.is_some(),
+    };
+    eng.reset();
+    let mut alive = claimed;
+    for (&pi, value) in nl.inputs().iter().zip(&path.input_vector) {
+        let want = match value {
+            PiValue::Transition => Dual::transition(false),
+            PiValue::Zero => Dual::stable(false),
+            PiValue::One => Dual::stable(true),
+            PiValue::X => continue,
+        };
+        alive = alive.minus(eng.assign(pi, want, alive));
+        if !alive.any() {
+            break;
+        }
+    }
+    for (pol, launch) in [('r', Edge::Rise), ('f', Edge::Fall)] {
+        let claimed_here = match pol {
+            'r' => path.rise.is_some(),
+            _ => path.fall.is_some(),
+        };
+        if !claimed_here {
+            continue;
+        }
+        let alive_here = match pol {
+            'r' => alive.r,
+            _ => alive.f,
+        };
+        let component = |d: Dual| match pol {
+            'r' => d.r,
+            _ => d.f,
+        };
+        if !alive_here {
+            out.push(Diagnostic::new(
+                RuleCode::PathNotSensitized,
+                loc(),
+                format!("witness vector conflicts under a {launch} launch"),
+            ));
+            continue;
+        }
+        // The launched transition must appear at every node with the
+        // correct cumulative parity...
+        let mut edge = launch;
+        let mut bad = false;
+        for (k, &node) in path.nodes.iter().enumerate() {
+            let want = match edge {
+                Edge::Rise => V9::R,
+                Edge::Fall => V9::F,
+            };
+            let got = component(eng.value(node));
+            if got != want {
+                out.push(Diagnostic::new(
+                    RuleCode::PathNotSensitized,
+                    loc(),
+                    format!(
+                        "{launch} launch: net {} carries {got:?}, expected {want:?}",
+                        nl.net_label(node)
+                    ),
+                ));
+                bad = true;
+                break;
+            }
+            if let Some(arc) = path.arcs.get(k) {
+                edge = edge.through(arc.polarity);
+            }
+        }
+        if bad {
+            continue;
+        }
+        // ...and every side pin must sit at its vector's stable value.
+        'arcs: for (k, arc) in path.arcs.iter().enumerate() {
+            let gate = nl.gate(arc.gate);
+            let cell = match gate.kind() {
+                GateKind::Cell(c) => c,
+                GateKind::Prim(_) => unreachable!("rejected in PATH002"),
+            };
+            let vector = &lib.cell(cell).vectors_of(arc.pin)[arc.vector];
+            for (q, &net) in gate.inputs().iter().enumerate() {
+                let Some(required) = vector.side_value(q as u8) else {
+                    continue;
+                };
+                let got = component(eng.value(net));
+                if got != V9::stable(required) {
+                    out.push(Diagnostic::new(
+                        RuleCode::PathNotSensitized,
+                        loc(),
+                        format!(
+                            "{launch} launch, arc {k}: side pin {} (net {}) carries \
+                             {got:?}, vector requires stable {}",
+                            sta_cells::func::pin_name(q as u8),
+                            nl.net_label(net),
+                            u8::from(required)
+                        ),
+                    ));
+                    break 'arcs;
+                }
+            }
+        }
+    }
+    eng.reset();
+
+    // ---- PATH004: timing cross-check ------------------------------------
+    for (timing, launch) in [(&path.rise, Edge::Rise), (&path.fall, Edge::Fall)] {
+        let Some(t) = timing else { continue };
+        let breakdown = match path_delay(nl, tlib, path, launch, input_slew, corner) {
+            Ok(b) => b,
+            Err(e) => {
+                out.push(Diagnostic::new(
+                    RuleCode::PathTimingMismatch,
+                    loc(),
+                    format!("{launch} launch: delay recomputation failed: {e}"),
+                ));
+                continue;
+            }
+        };
+        if (breakdown.total - t.arrival).abs() > TIMING_TOL {
+            out.push(Diagnostic::new(
+                RuleCode::PathTimingMismatch,
+                loc(),
+                format!(
+                    "{launch} launch: recomputed arrival {:.6} ps vs reported {:.6} ps",
+                    breakdown.total, t.arrival
+                ),
+            ));
+        }
+        let recomputed_slew = breakdown
+            .stages
+            .last()
+            .map_or(input_slew, |&(_, slew)| slew);
+        if (recomputed_slew - t.slew).abs() > TIMING_TOL {
+            out.push(Diagnostic::new(
+                RuleCode::PathTimingMismatch,
+                loc(),
+                format!(
+                    "{launch} launch: recomputed endpoint slew {recomputed_slew:.6} ps \
+                     vs reported {:.6} ps",
+                    t.slew
+                ),
+            ));
+        }
+        for (k, (&(d, _), &claimed)) in breakdown.stages.iter().zip(&t.gate_delays).enumerate() {
+            if (d - claimed).abs() > TIMING_TOL {
+                out.push(Diagnostic::new(
+                    RuleCode::PathTimingMismatch,
+                    loc(),
+                    format!(
+                        "{launch} launch, arc {k}: recomputed stage delay {d:.6} ps \
+                         vs reported {claimed:.6} ps"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_core::{EnumerationConfig, PathEnumerator, PiValue};
+
+    /// Enumerate c17-like logic mapped onto the standard library and check
+    /// the oracle certifies everything, then that mutations are caught.
+    fn setup() -> (Netlist, Library, TimingLibrary, Corner, Vec<TruePath>) {
+        let lib = Library::standard();
+        let bench = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\n\
+u = NAND(a, b)\nv = NAND(b, c)\nz = NAND(u, v)\n";
+        let prim = sta_netlist::bench_fmt::parse(bench, "mini").unwrap();
+        let nl = sta_circuits::map_netlist(&prim, &lib).unwrap();
+        let tlib = test_timing(&lib);
+        let corner = Corner::nominal(&tlib.tech);
+        let cfg = EnumerationConfig::new(corner);
+        let (paths, _stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        (nl, lib, tlib, corner, paths)
+    }
+
+    /// A fast synthetic characterization: linear models per arc, no esim.
+    fn test_timing(lib: &Library) -> TimingLibrary {
+        use sta_charlib::{ArcModel, ArcVariant, CellTiming, Lut2d, LutArc, PolyModel, Sample};
+        let fit = |base: f64| -> PolyModel {
+            let samples: Vec<Sample> = [0.5, 2.0, 8.0]
+                .iter()
+                .flat_map(|&fo| {
+                    [10.0, 60.0, 120.0].iter().map(move |&t_in| Sample {
+                        fo,
+                        t_in,
+                        temperature: 25.0,
+                        vdd: 1.2,
+                        value: base + 5.0 * fo + 0.1 * t_in,
+                    })
+                })
+                .collect();
+            PolyModel::fit(&samples, [1, 1, 0, 0]).unwrap()
+        };
+        let cells = lib
+            .iter()
+            .map(|cell| {
+                let mut variants = Vec::new();
+                let mut variant_index = Vec::new();
+                for pin in 0..cell.num_pins() {
+                    let mut per_pin = Vec::new();
+                    for v in cell.vectors_of(pin) {
+                        per_pin.push(variants.len());
+                        variants.push(ArcVariant {
+                            pin,
+                            case: v.case,
+                            polarity: v.polarity,
+                            rise: ArcModel {
+                                delay: fit(20.0 + pin as f64),
+                                slew: fit(12.0),
+                                max_sample_delay: 300.0,
+                            },
+                            fall: ArcModel {
+                                delay: fit(22.0 + pin as f64),
+                                slew: fit(14.0),
+                                max_sample_delay: 300.0,
+                            },
+                        });
+                    }
+                    variant_index.push(per_pin);
+                }
+                let luts = (0..cell.num_pins())
+                    .map(|pin| LutArc {
+                        pin,
+                        polarity: sta_cells::Polarity::Inverting,
+                        rise_delay: Lut2d::tabulate(vec![0.5, 8.0], vec![10.0, 120.0], |fo, t| {
+                            20.0 + 5.0 * fo + 0.1 * t
+                        }),
+                        rise_slew: Lut2d::tabulate(vec![0.5, 8.0], vec![10.0, 120.0], |fo, t| {
+                            12.0 + 5.0 * fo + 0.1 * t
+                        }),
+                        fall_delay: Lut2d::tabulate(vec![0.5, 8.0], vec![10.0, 120.0], |fo, t| {
+                            22.0 + 5.0 * fo + 0.1 * t
+                        }),
+                        fall_slew: Lut2d::tabulate(vec![0.5, 8.0], vec![10.0, 120.0], |fo, t| {
+                            14.0 + 5.0 * fo + 0.1 * t
+                        }),
+                    })
+                    .collect();
+                CellTiming {
+                    cell: cell.id(),
+                    name: cell.name().to_string(),
+                    input_caps: vec![2.0; cell.num_pins() as usize],
+                    avg_input_cap: 2.0,
+                    variants,
+                    variant_index,
+                    luts,
+                }
+            })
+            .collect();
+        TimingLibrary {
+            tech: sta_cells::Technology::n90(),
+            cells,
+        }
+    }
+
+    #[test]
+    fn enumerated_paths_recertify() {
+        let (nl, lib, tlib, corner, paths) = setup();
+        assert!(!paths.is_empty(), "enumeration found no paths");
+        let outcome = verify_paths(&nl, &lib, &tlib, &paths, 60.0, corner);
+        assert!(
+            outcome.all_certified(),
+            "false rejections: {:?}",
+            outcome.diagnostics
+        );
+        assert_eq!(outcome.checked, paths.len());
+    }
+
+    #[test]
+    fn broken_chain_is_path001() {
+        let (nl, lib, tlib, corner, paths) = setup();
+        let mut p = paths[0].clone();
+        // Reroute an intermediate node to an unrelated net.
+        p.nodes[0] = *nl.inputs().iter().find(|&&n| n != p.source).unwrap();
+        let ds = verify_path(&nl, &lib, &tlib, &p, 60.0, corner);
+        assert!(ds.iter().any(|d| d.rule.code() == "PATH001"), "{ds:?}");
+    }
+
+    #[test]
+    fn wrong_vector_is_path002() {
+        let (nl, lib, tlib, corner, paths) = setup();
+        let mut p = paths[0].clone();
+        p.arcs[0].vector = 99;
+        let ds = verify_path(&nl, &lib, &tlib, &p, 60.0, corner);
+        assert!(ds.iter().any(|d| d.rule.code() == "PATH002"), "{ds:?}");
+    }
+
+    #[test]
+    fn corrupted_witness_is_path003() {
+        let (nl, lib, tlib, corner, paths) = setup();
+        // Find a path whose witness pins some side input to a constant,
+        // then flip that constant: the transition no longer propagates.
+        for p in &paths {
+            if let Some(pos) = p
+                .input_vector
+                .iter()
+                .position(|v| matches!(v, PiValue::Zero | PiValue::One))
+            {
+                let mut bad = p.clone();
+                bad.input_vector[pos] = match bad.input_vector[pos] {
+                    PiValue::Zero => PiValue::One,
+                    _ => PiValue::Zero,
+                };
+                let ds = verify_path(&nl, &lib, &tlib, &bad, 60.0, corner);
+                assert!(
+                    ds.iter().any(|d| d.rule.code() == "PATH003"),
+                    "flipping a pinned side input was not caught: {ds:?}"
+                );
+                return;
+            }
+        }
+        panic!("no path with a pinned side input");
+    }
+
+    #[test]
+    fn tampered_arrival_is_path004() {
+        let (nl, lib, tlib, corner, paths) = setup();
+        let mut p = paths[0].clone();
+        if let Some(t) = p.rise.as_mut().or(p.fall.as_mut()) {
+            t.arrival += 5.0;
+        }
+        let ds = verify_path(&nl, &lib, &tlib, &p, 60.0, corner);
+        assert!(ds.iter().any(|d| d.rule.code() == "PATH004"), "{ds:?}");
+    }
+}

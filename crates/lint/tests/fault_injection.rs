@@ -1,0 +1,84 @@
+//! Fault-injection properties: every defect planted by
+//! `sta_circuits::transforms` is flagged with its designated rule code,
+//! and the clean catalog circuits stay free of error-severity findings.
+
+use proptest::prelude::*;
+
+use sta_cells::{Corner, Library, Technology};
+use sta_charlib::{characterize, CharConfig};
+use sta_circuits::{catalog, transforms};
+use sta_lint::{lint_library, lint_netlist, Diagnostic, LibLintConfig, Severity};
+
+const CIRCUITS: [&str; 5] = ["c17", "c432", "c499", "c880", "sample"];
+
+fn codes(ds: &[Diagnostic]) -> Vec<&'static str> {
+    ds.iter().map(|d| d.rule.code()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Each injector trips exactly the rule it documents, on both the
+    /// primitive and the technology-mapped view of a catalog circuit.
+    #[test]
+    fn injected_defects_are_flagged(
+        which in 0usize..CIRCUITS.len(),
+        victim in 0usize..10_000,
+        mapped in 0usize..2,
+    ) {
+        let name = CIRCUITS[which];
+        let lib = Library::standard();
+        let nl = if mapped == 1 {
+            catalog::mapped(name, &lib).unwrap().unwrap()
+        } else {
+            catalog::primitive(name).unwrap()
+        };
+
+        // The pristine circuit carries no error-severity finding.
+        let clean = lint_netlist(&nl);
+        prop_assert!(
+            clean.iter().all(|d| d.severity != Severity::Error),
+            "{name}: {clean:?}"
+        );
+
+        let broken = lint_netlist(&transforms::break_net(&nl, victim));
+        prop_assert!(codes(&broken).contains(&"NL002"), "{name}: {broken:?}");
+
+        let cyclic = lint_netlist(&transforms::inject_cycle(&nl));
+        prop_assert!(codes(&cyclic).contains(&"NL001"), "{name}: {cyclic:?}");
+        prop_assert!(codes(&cyclic).contains(&"NL006"), "{name}: {cyclic:?}");
+
+        let dangling = lint_netlist(&transforms::inject_dangling_net(&nl));
+        prop_assert!(codes(&dangling).contains(&"NL004"), "{name}: {dangling:?}");
+
+        let dead = lint_netlist(&transforms::inject_dead_input(&nl));
+        prop_assert!(codes(&dead).contains(&"NL005"), "{name}: {dead:?}");
+    }
+}
+
+/// Dropping a characterized sensitization vector is a LIB001 coverage gap
+/// pinned to the damaged cell, and only to it.
+#[test]
+fn dropped_vector_is_a_coverage_gap() {
+    let lib = Library::standard();
+    let tech = Technology::n90();
+    let mut tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+    let corner = Corner::nominal(&tech);
+    let cfg = LibLintConfig::default();
+
+    let before = lint_library(&lib, &tlib, corner, &cfg);
+    assert!(
+        !codes(&before).contains(&"LIB001"),
+        "fixture library already has gaps: {before:?}"
+    );
+
+    let aoi21 = lib.cell_by_name("AOI21").unwrap().id();
+    assert!(transforms::drop_sensitization_vector(&mut tlib, aoi21, 2));
+    let after = lint_library(&lib, &tlib, corner, &cfg);
+    let gaps: Vec<_> = after.iter().filter(|d| d.rule.code() == "LIB001").collect();
+    assert!(!gaps.is_empty(), "{after:?}");
+    assert!(
+        gaps.iter().all(|d| d.location.contains("AOI21")),
+        "{gaps:?}"
+    );
+}

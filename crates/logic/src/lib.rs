@@ -24,6 +24,7 @@
 //! # let _ = Mask::BOTH;
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

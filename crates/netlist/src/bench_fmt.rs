@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use crate::{GateKind, NetId, Netlist, NetlistError, PrimOp};
+use crate::{GateKind, NetId, NetRef, Netlist, NetlistError, PrimOp};
 
 /// Parses `.bench` text into a primitive-gate [`Netlist`].
 ///
@@ -76,7 +76,8 @@ pub fn parse(text: &str, design_name: &str) -> Result<Netlist, NetlistError> {
             if nl.net_by_name(name).is_some() {
                 return Err(NetlistError::DuplicateName(name.to_string()));
             }
-            nl.add_input(name);
+            let id = nl.add_input(name);
+            nl.set_src_line(id, line_no as u32);
         } else if let Some(rest) = decl("OUTPUT") {
             outputs.push((line_no, strip_parens(rest, line_no)?));
         } else if let Some(eq) = line.find('=') {
@@ -125,9 +126,12 @@ pub fn parse(text: &str, design_name: &str) -> Result<Netlist, NetlistError> {
         .collect();
     for gl in &gate_lines {
         if nets.contains_key(gl.out) {
-            return Err(NetlistError::MultipleDrivers(gl.out.to_string()));
+            return Err(NetlistError::MultipleDrivers(
+                NetRef::new(design_name, gl.out).at_line(gl.line_no as u32),
+            ));
         }
         let id = nl.add_named_net(gl.out);
+        nl.set_src_line(id, gl.line_no as u32);
         nets.insert(gl.out.to_string(), id);
     }
     // Wire the gates.
@@ -284,7 +288,11 @@ OUTPUT(23)
     #[test]
     fn rejects_double_definition() {
         let err = parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n", "bad").unwrap_err();
-        assert_eq!(err, NetlistError::MultipleDrivers("z".into()));
+        assert_eq!(
+            err,
+            NetlistError::MultipleDrivers(NetRef::new("bad", "z").at_line(4))
+        );
+        assert_eq!(err.to_string(), "net bad:z (line 4) has multiple drivers");
     }
 
     #[test]

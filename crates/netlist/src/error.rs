@@ -3,6 +3,51 @@
 use std::error::Error;
 use std::fmt;
 
+/// Location of a net-level diagnostic: the design it occurred in, the
+/// offending net's label, and — when a parser recorded one — the 1-based
+/// source line of the net's declaration.
+///
+/// Renders as `design:net` or `design:net (line N)`, so validation errors
+/// point at a place a user can find instead of a bare net index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetRef {
+    /// The design (circuit) name.
+    pub circuit: String,
+    /// The net's label: its declared name, or `n<index>` for anonymous
+    /// nets.
+    pub net: String,
+    /// 1-based source line the net was declared on, if known.
+    pub line: Option<u32>,
+}
+
+impl NetRef {
+    /// A location with no source line.
+    pub fn new(circuit: impl Into<String>, net: impl Into<String>) -> NetRef {
+        NetRef {
+            circuit: circuit.into(),
+            net: net.into(),
+            line: None,
+        }
+    }
+
+    /// Attaches a 1-based source line.
+    #[must_use]
+    pub fn at_line(mut self, line: u32) -> NetRef {
+        self.line = Some(line);
+        self
+    }
+}
+
+impl fmt::Display for NetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.circuit, self.net)?;
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors produced while building, validating or parsing a netlist.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -16,11 +61,11 @@ pub enum NetlistError {
         got: usize,
     },
     /// A net was driven by two gates (or by a gate and a primary input).
-    MultipleDrivers(String),
+    MultipleDrivers(NetRef),
     /// A net is used but never driven and is not a primary input.
-    Undriven(String),
+    Undriven(NetRef),
     /// The netlist contains a combinational cycle through the named net.
-    Cycle(String),
+    Cycle(NetRef),
     /// A `.bench`/Verilog keyword did not name a known operator.
     UnknownOperator(String),
     /// Generic parse failure with line number (1-based) and message.
@@ -68,6 +113,14 @@ mod tests {
             message: "expected '='".into(),
         };
         assert_eq!(e.to_string(), "parse error at line 3: expected '='");
+    }
+
+    #[test]
+    fn net_refs_render_circuit_and_line() {
+        let e = NetlistError::Undriven(NetRef::new("c432", "n5"));
+        assert_eq!(e.to_string(), "net c432:n5 is used but never driven");
+        let e = NetlistError::MultipleDrivers(NetRef::new("bad", "z").at_line(4));
+        assert_eq!(e.to_string(), "net bad:z (line 4) has multiple drivers");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-use crate::{CellId, GateId, NetId, NetlistError, PrimOp};
+use crate::{CellId, GateId, NetId, NetRef, NetlistError, PrimOp};
 
 /// What a gate instance computes: a primitive operator or a library cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -73,6 +73,7 @@ pub struct Net {
     driver: Option<GateId>,
     fanout: Vec<PinRef>,
     is_input: bool,
+    src_line: Option<u32>,
 }
 
 impl Net {
@@ -104,6 +105,13 @@ impl Net {
     #[inline]
     pub fn is_stem(&self) -> bool {
         self.fanout.len() > 1
+    }
+
+    /// The 1-based source line the net was declared on, when the netlist
+    /// came from a text format whose parser recorded it.
+    #[inline]
+    pub fn src_line(&self) -> Option<u32> {
+        self.src_line
     }
 }
 
@@ -212,6 +220,24 @@ impl Netlist {
             .unwrap_or_else(|| format!("{id}"))
     }
 
+    /// A diagnostic location for a net: `design:net`, with the declaring
+    /// source line when a parser recorded one.
+    pub fn net_ref(&self, id: NetId) -> NetRef {
+        let mut r = NetRef::new(self.name.clone(), self.net_label(id));
+        r.line = self.net(id).src_line;
+        r
+    }
+
+    /// Records the 1-based source line a net was declared on (parsers call
+    /// this so later diagnostics can point back into the source text).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_src_line(&mut self, id: NetId, line: u32) {
+        self.nets[id.index()].src_line = Some(line);
+    }
+
     /// Adds a primary input net.
     ///
     /// # Panics
@@ -251,6 +277,7 @@ impl Netlist {
             driver: None,
             fanout: Vec::new(),
             is_input,
+            src_line: None,
         });
         id
     }
@@ -301,7 +328,7 @@ impl Netlist {
         {
             let net = &self.nets[output.index()];
             if net.driver.is_some() || net.is_input {
-                return Err(NetlistError::MultipleDrivers(self.net_label(output)));
+                return Err(NetlistError::MultipleDrivers(self.net_ref(output)));
             }
         }
         let gid = GateId::from_index(self.gates.len());
@@ -337,7 +364,7 @@ impl Netlist {
         for id in self.net_ids() {
             let net = self.net(id);
             if !net.is_input && net.driver.is_none() {
-                return Err(NetlistError::Undriven(self.net_label(id)));
+                return Err(NetlistError::Undriven(self.net_ref(id)));
             }
         }
         // Kahn's algorithm over gates; leftover in-degree means a cycle.
@@ -355,7 +382,7 @@ impl Netlist {
                 .find(|g| !in_order[g.index()])
                 .expect("some gate must be outside the order");
             return Err(NetlistError::Cycle(
-                self.net_label(self.gate(culprit).output()),
+                self.net_ref(self.gate(culprit).output()),
             ));
         }
         Ok(())
@@ -546,7 +573,10 @@ mod tests {
             .add_gate(GateKind::Prim(PrimOp::And), &[a, dangling], Some("g"))
             .unwrap();
         nl.mark_output(g);
-        assert_eq!(nl.validate(), Err(NetlistError::Undriven("x".into())));
+        assert_eq!(
+            nl.validate(),
+            Err(NetlistError::Undriven(NetRef::new("bad", "x")))
+        );
     }
 
     #[test]
@@ -559,7 +589,7 @@ mod tests {
         let err = nl
             .add_gate_driving(GateKind::Prim(PrimOp::Buf), &[a], x)
             .unwrap_err();
-        assert_eq!(err, NetlistError::MultipleDrivers("x".into()));
+        assert_eq!(err, NetlistError::MultipleDrivers(NetRef::new("bad", "x")));
     }
 
     #[test]

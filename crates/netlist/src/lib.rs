@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench_fmt;
@@ -47,7 +48,7 @@ mod prim;
 pub mod stats;
 pub mod verilog;
 
-pub use error::NetlistError;
+pub use error::{NetRef, NetlistError};
 pub use graph::{Gate, GateKind, Net, Netlist, PinRef};
 pub use id::{CellId, GateId, NetId};
 pub use prim::PrimOp;

@@ -7,6 +7,7 @@
 //! iteration. No statistical machinery, HTML reports, or comparison with
 //! saved baselines — numbers print to stdout.
 
+#![forbid(unsafe_code)]
 use std::fmt;
 use std::time::{Duration, Instant};
 

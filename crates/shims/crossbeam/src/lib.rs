@@ -11,6 +11,7 @@
 //!   worker, FIFO steal), more contention under heavy stealing — fine for
 //!   the coarse-grained root tasks the enumerator distributes.
 
+#![forbid(unsafe_code)]
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -5,6 +5,7 @@
 //! none — is recovered by taking the inner guard from a poisoned result,
 //! matching parking_lot's semantics of simply continuing after a panic.
 
+#![forbid(unsafe_code)]
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
 };

@@ -12,6 +12,7 @@
 //! deterministically from the test name, so failures reproduce across
 //! runs.
 
+#![forbid(unsafe_code)]
 use std::ops::Range;
 use std::rc::Rc;
 

@@ -8,6 +8,7 @@
 //! The stream differs from upstream `StdRng` (ChaCha12), so seeded
 //! sequences are stable within this workspace but not across shim/real.
 
+#![forbid(unsafe_code)]
 use std::ops::Range;
 
 /// Seeding interface (subset of `rand::SeedableRng`).

@@ -10,6 +10,7 @@
 //! can read back) but intentionally makes no compatibility promise with
 //! upstream serde_json output.
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};

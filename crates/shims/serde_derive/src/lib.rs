@@ -8,6 +8,7 @@
 //! `#[serde(skip)]` field attribute (skipped fields deserialize via
 //! `Default`).
 
+#![forbid(unsafe_code)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize`.

@@ -7,6 +7,7 @@
 //! Non-finite floats are encoded as `1e999` / `-1e999` (which parse back
 //! to the infinities) and NaN as `null`.
 
+#![forbid(unsafe_code)]
 pub use serde::Error;
 use serde::{Deserialize, Serialize, Value};
 

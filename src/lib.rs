@@ -21,6 +21,7 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for measured-vs-paper results.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use sta_baseline as baseline;

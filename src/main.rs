@@ -9,14 +9,17 @@
 //! sta-repro liberty  [--tech T] [--out FILE]      # export .lib
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 
 use sta_baseline::{run_baseline, BaselineConfig, Classification};
 use sta_cells::{Corner, Edge, Library, Technology};
 use sta_charlib::{characterize_cached, CharConfig, TimingLibrary};
 use sta_circuits::catalog;
-use sta_core::{EnumerationConfig, PathEnumerator};
+use sta_core::{CertificateSet, EnumerationConfig, PathEnumerator};
 use sta_esim::cellsim::{cell_input_cap, simulate_arc, Drive};
+use sta_lint::{lint_library, lint_netlist, verify_paths, LibLintConfig, LintReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +46,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "baseline" => cmd_baseline(&opts),
         "cell" => cmd_cell(&opts),
         "liberty" => cmd_liberty(&opts),
+        "lint" => cmd_lint(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -63,6 +67,11 @@ fn print_usage() {
            baseline <circuit> [--tech T] [--k K] [--limit B]   run the two-step baseline\n\
            cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
            liberty  [--tech T] [--out FILE]      export the characterized library as .lib\n\
+           lint     [circuits...] [--tech T] [--format human|json] [--deny warnings]\n\
+                    [--verify-paths] [--nworst N] [--out FILE]\n\
+                    statically verify netlists, the fitted library, and (with\n\
+                    --verify-paths) replay every enumerated path certificate;\n\
+                    no circuits = the whole catalog; exits non-zero on errors\n\
          \n\
          T is one of 130nm | 90nm | 65nm (default 90nm)."
     );
@@ -78,6 +87,15 @@ struct Opts {
     out: Option<String>,
     required: Option<f64>,
     no_kernels: bool,
+    format: OutputFormat,
+    deny_warnings: bool,
+    verify_paths: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum OutputFormat {
+    Human,
+    Json,
 }
 
 impl Opts {
@@ -92,6 +110,9 @@ impl Opts {
             out: None,
             required: None,
             no_kernels: false,
+            format: OutputFormat::Human,
+            deny_warnings: false,
+            verify_paths: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -120,6 +141,20 @@ impl Opts {
                 "--out" => opts.out = it.next().cloned(),
                 "--required" => opts.required = it.next().and_then(|s| s.parse().ok()),
                 "--no-kernels" => opts.no_kernels = true,
+                "--format" => {
+                    if let Some(f) = it.next() {
+                        opts.format = match f.as_str() {
+                            "json" => OutputFormat::Json,
+                            _ => OutputFormat::Human,
+                        };
+                    }
+                }
+                "--deny" => {
+                    if it.next().map(String::as_str) == Some("warnings") {
+                        opts.deny_warnings = true;
+                    }
+                }
+                "--verify-paths" => opts.verify_paths = true,
                 other => opts.positional.push(other.to_string()),
             }
         }
@@ -310,6 +345,83 @@ fn cmd_cell(opts: &Opts) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_lint(opts: &Opts) -> Result<(), String> {
+    let lib = Library::standard();
+    let tlib = load_timing(&lib, &opts.tech)?;
+    let corner = Corner::nominal(&opts.tech);
+    let mut report = LintReport::new();
+
+    // The library is checked once — it is shared by every circuit.
+    report.extend(lint_library(&lib, &tlib, corner, &LibLintConfig::default()));
+
+    let circuits: Vec<String> = if opts.positional.is_empty() {
+        catalog::BENCHMARKS
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect()
+    } else {
+        opts.positional.clone()
+    };
+    for name in &circuits {
+        let nl = catalog::mapped(name, &lib)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+        report.extend(lint_netlist(&nl));
+        if opts.verify_paths {
+            let mut cfg = EnumerationConfig::new(corner);
+            if let Some(n) = opts.nworst {
+                cfg = cfg.with_n_worst(n);
+            } else {
+                cfg.max_paths = Some(20_000);
+            }
+            let slew = cfg.input_slew;
+            let (paths, stats) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+            // Round-trip through the serialized certificate format so the
+            // oracle replays what a consumer would actually read, not the
+            // in-memory result.
+            let certs =
+                CertificateSet::from_json(&CertificateSet::new(&nl, slew, paths).to_json())?;
+            let outcome = verify_paths(&nl, &lib, &tlib, &certs.paths, certs.input_slew, corner);
+            eprintln!(
+                "{name}: re-certified {}/{} enumerated paths{}",
+                outcome.certified,
+                outcome.checked,
+                if stats.truncated {
+                    " (enumeration budget hit)"
+                } else {
+                    ""
+                }
+            );
+            report.extend(outcome.diagnostics);
+        }
+    }
+
+    if opts.deny_warnings {
+        report.deny_warnings();
+    }
+    let rendered = match opts.format {
+        OutputFormat::Human => report.render_human(),
+        OutputFormat::Json => report.render_json(),
+    };
+    match &opts.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            f.write_all(rendered.as_bytes())
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if report.has_errors() {
+        Err(format!(
+            "lint found {} error(s)",
+            report.count(sta_lint::Severity::Error)
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_liberty(opts: &Opts) -> Result<(), String> {

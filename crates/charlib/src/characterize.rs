@@ -159,6 +159,24 @@ pub fn characterize(
     tech: &Technology,
     cfg: &CharConfig,
 ) -> Result<TimingLibrary, CharError> {
+    characterize_observed(lib, tech, cfg, &sta_obs::Observer::disabled(), 0)
+}
+
+/// [`characterize`] with observability: each cell's characterization is
+/// recorded as a span under `parent` (a `sta_obs::SpanGuard::id`), with
+/// the cell's library index as the ordinal — so the merged span tree
+/// lists cells in library order no matter which worker simulated them.
+///
+/// # Errors
+///
+/// Same as [`characterize`].
+pub fn characterize_observed(
+    lib: &Library,
+    tech: &Technology,
+    cfg: &CharConfig,
+    obs: &sta_obs::Observer,
+    parent: u64,
+) -> Result<TimingLibrary, CharError> {
     let cells: Vec<&Cell> = lib.iter().collect();
     let mut results: Vec<Option<Result<CellTiming, CharError>>> = Vec::new();
     results.resize_with(cells.len(), || None);
@@ -166,13 +184,25 @@ pub fn characterize(
     let results_mutex = parking_lot::Mutex::new(&mut results);
     crossbeam::scope(|scope| {
         for _ in 0..cfg.threads.max(1) {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= cells.len() {
-                    break;
+            scope.spawn(|_| {
+                // Per-worker span buffer: recording is lock-free; the
+                // batch merges into the shared recorder on drop.
+                let mut spans = obs.local();
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= cells.len() {
+                        break;
+                    }
+                    let cell = cells[idx];
+                    let outcome = spans.time(
+                        parent,
+                        idx as u64,
+                        "cell",
+                        vec![("cell", cell.name().to_string())],
+                        || characterize_cell(cell, tech, cfg),
+                    );
+                    results_mutex.lock()[idx] = Some(outcome);
                 }
-                let outcome = characterize_cell(cells[idx], tech, cfg);
-                results_mutex.lock()[idx] = Some(outcome);
             });
         }
     })
@@ -369,16 +399,37 @@ pub fn characterize_cached(
     cfg: &CharConfig,
     cache_dir: &Path,
 ) -> Result<TimingLibrary, CharError> {
+    characterize_cached_observed(lib, tech, cfg, cache_dir, &sta_obs::Observer::disabled(), 0)
+}
+
+/// [`characterize_cached`] with observability: cache hits and misses are
+/// counted (`charlib.cache_hits` / `charlib.cache_misses`), and a miss
+/// records the full per-cell span set of [`characterize_observed`] under
+/// `parent`.
+///
+/// # Errors
+///
+/// Same as [`characterize_cached`].
+pub fn characterize_cached_observed(
+    lib: &Library,
+    tech: &Technology,
+    cfg: &CharConfig,
+    cache_dir: &Path,
+    obs: &sta_obs::Observer,
+    parent: u64,
+) -> Result<TimingLibrary, CharError> {
     let key = cache_key(lib, tech, cfg);
     let path = cache_dir.join(format!("timing_{}_{key:016x}.json", tech.name));
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(tlib) = serde_json::from_str::<TimingLibrary>(&text) {
             if tlib.covers(lib) {
+                obs.counter("charlib.cache_hits").inc();
                 return Ok(tlib);
             }
         }
     }
-    let tlib = characterize(lib, tech, cfg)?;
+    obs.counter("charlib.cache_misses").inc();
+    let tlib = characterize_observed(lib, tech, cfg, obs, parent)?;
     if fs::create_dir_all(cache_dir).is_ok() {
         if let Ok(text) = serde_json::to_string(&tlib) {
             let _ = fs::write(&path, text);

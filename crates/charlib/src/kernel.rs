@@ -146,6 +146,19 @@ impl CompiledCorner {
             })
             .sum()
     }
+
+    /// Observability tap: publishes the compiled table's footprint
+    /// (`kernel.arcs`, `kernel.coefficients` gauges) and counts the
+    /// compilation. Side-state only — the table itself is untouched.
+    pub fn record_metrics(&self, obs: &sta_obs::Observer) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("kernel.compilations").inc();
+        obs.gauge("kernel.arcs").set(self.num_arcs() as f64);
+        obs.gauge("kernel.coefficients")
+            .set(self.num_coefficients() as f64);
+    }
 }
 
 impl TimingLibrary {

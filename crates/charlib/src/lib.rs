@@ -44,7 +44,8 @@ pub mod regress;
 pub mod variation;
 
 pub use characterize::{
-    characterize, characterize_cached, characterize_cell, CharConfig, CharError,
+    characterize, characterize_cached, characterize_cached_observed, characterize_cell,
+    characterize_observed, CharConfig, CharError,
 };
 pub use kernel::{ArcId, CompiledCorner};
 pub use lut::Lut2d;

@@ -1,0 +1,562 @@
+//! The unified analysis facade: one builder from *request* to *outcome*.
+//!
+//! Every front-end flow — `analyze`, `slack`, `baseline`, the lint
+//! path-certificate replay — needs the same preamble: resolve a catalog
+//! circuit, map it onto the standard library, characterize (or load the
+//! cached) timing models for a technology, pick a corner, and assemble an
+//! [`EnumerationConfig`]. [`AnalysisRequest`] owns that preamble once,
+//! behind a builder, and hands back either a reusable
+//! [`AnalysisContext`] (circuit + timing, for flows that drive their own
+//! analysis such as the baseline) or a finished [`AnalysisOutcome`]
+//! (enumerated true paths + statistics).
+//!
+//! The facade is also where observability attaches: pass an enabled
+//! `sta_obs::Observer` and the run records phase spans (`load`,
+//! `characterize`, `enumerate`, `slack`), engine metrics, and — via the
+//! CLI — a run manifest. Observation never changes any computed result.
+
+use std::path::PathBuf;
+
+use sta_cells::{Corner, Library, Technology};
+use sta_charlib::{CharConfig, CharError, TimingLibrary};
+use sta_circuits::catalog;
+use sta_netlist::{Netlist, NetlistError};
+use sta_obs::{Observer, SpanGuard};
+
+use crate::enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
+use crate::path::TruePath;
+use crate::sdc::{parse_sdc, Constraints, SdcError};
+use crate::slack::{slack_report, SlackReport};
+
+/// Errors from assembling or running an analysis.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The circuit name is not in the benchmark catalog.
+    UnknownBenchmark(String),
+    /// The benchmark file failed to parse or map.
+    Netlist(NetlistError),
+    /// Library characterization failed.
+    Characterization(CharError),
+    /// The attached SDC text failed to parse against the circuit.
+    Sdc(SdcError),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name:?}"),
+            AnalysisError::Netlist(e) => write!(f, "{e}"),
+            AnalysisError::Characterization(e) => write!(f, "{e}"),
+            AnalysisError::Sdc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<NetlistError> for AnalysisError {
+    fn from(e: NetlistError) -> Self {
+        AnalysisError::Netlist(e)
+    }
+}
+
+impl From<CharError> for AnalysisError {
+    fn from(e: CharError) -> Self {
+        AnalysisError::Characterization(e)
+    }
+}
+
+impl From<SdcError> for AnalysisError {
+    fn from(e: SdcError) -> Self {
+        AnalysisError::Sdc(e)
+    }
+}
+
+/// Where the slack requirement of a [`SlackOutcome`] came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequiredSource {
+    /// Set explicitly on the request.
+    Explicit,
+    /// Derived from the attached SDC constraints (tightest output
+    /// requirement).
+    Sdc,
+    /// Nothing was specified: 90 % of the structural worst arrival, which
+    /// is guaranteed to expose the critical region.
+    Default,
+}
+
+/// Builder describing one analysis invocation. All setters are chainable;
+/// the defaults reproduce the engine's standard configuration (90 nm,
+/// nominal corner, one thread, compiled kernels, 60 ps input slew).
+#[derive(Clone, Debug)]
+pub struct AnalysisRequest {
+    circuit: String,
+    tech: Technology,
+    corner: Option<Corner>,
+    n_worst: Option<usize>,
+    threads: usize,
+    compile_kernels: bool,
+    /// Path cap applied only in full-enumeration mode (no `n_worst`).
+    full_enum_path_cap: Option<usize>,
+    input_slew: f64,
+    required: Option<f64>,
+    sdc: Option<String>,
+    char_config: CharConfig,
+    cache_dir: PathBuf,
+    obs: Observer,
+}
+
+impl AnalysisRequest {
+    /// A request for a catalog circuit with default settings.
+    pub fn new(circuit: &str) -> Self {
+        AnalysisRequest {
+            circuit: circuit.to_string(),
+            tech: Technology::n90(),
+            corner: None,
+            n_worst: None,
+            threads: 1,
+            compile_kernels: true,
+            full_enum_path_cap: None,
+            input_slew: 60.0,
+            required: None,
+            sdc: None,
+            char_config: CharConfig::standard(),
+            cache_dir: PathBuf::from(".char-cache"),
+            obs: Observer::disabled(),
+        }
+    }
+
+    /// Selects the technology node (default 90 nm). The corner defaults to
+    /// nominal for this technology unless [`AnalysisRequest::corner`]
+    /// overrides it.
+    pub fn tech(mut self, tech: Technology) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Overrides the operating corner (default: nominal of the
+    /// technology).
+    pub fn corner(mut self, corner: Corner) -> Self {
+        self.corner = Some(corner);
+        self
+    }
+
+    /// Restricts enumeration to the N worst paths (`None` = enumerate
+    /// everything, subject to [`AnalysisRequest::full_enum_path_cap`]).
+    pub fn n_worst(mut self, n: Option<usize>) -> Self {
+        self.n_worst = n;
+        self
+    }
+
+    /// Sets the enumeration worker-thread count (default 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the corner-compiled delay kernels (default on).
+    pub fn compiled_kernels(mut self, on: bool) -> Self {
+        self.compile_kernels = on;
+        self
+    }
+
+    /// Caps emitted paths in full-enumeration mode (ignored when
+    /// `n_worst` is set). Front ends use this as a safety valve.
+    pub fn full_enum_path_cap(mut self, cap: Option<usize>) -> Self {
+        self.full_enum_path_cap = cap;
+        self
+    }
+
+    /// Sets the primary-input transition time, ps (default 60).
+    pub fn input_slew(mut self, slew: f64) -> Self {
+        self.input_slew = slew;
+        self
+    }
+
+    /// Sets an explicit required arrival time at the outputs, ps (for
+    /// slack analysis). Takes precedence over SDC-derived requirements.
+    pub fn required(mut self, ps: f64) -> Self {
+        self.required = Some(ps);
+        self
+    }
+
+    /// Attaches SDC constraint text, parsed against the circuit during
+    /// [`AnalysisRequest::prepare`].
+    pub fn sdc(mut self, text: &str) -> Self {
+        self.sdc = Some(text.to_string());
+        self
+    }
+
+    /// Overrides the characterization configuration (default
+    /// [`CharConfig::standard`]).
+    pub fn char_config(mut self, cfg: CharConfig) -> Self {
+        self.char_config = cfg;
+        self
+    }
+
+    /// Overrides the characterization cache directory (default
+    /// `.char-cache`).
+    pub fn cache_dir(mut self, dir: PathBuf) -> Self {
+        self.cache_dir = dir;
+        self
+    }
+
+    /// Attaches an observability handle; all phases of the analysis record
+    /// spans and metrics into it. Never changes what is computed.
+    pub fn observer(mut self, obs: Observer) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Resolves the request into a reusable [`AnalysisContext`]: catalog
+    /// lookup, technology mapping, (cached) characterization, constraint
+    /// parsing, and the assembled [`EnumerationConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when the circuit is unknown, fails to
+    /// map, characterization fails, or the SDC text does not parse.
+    pub fn prepare(&self) -> Result<AnalysisContext, AnalysisError> {
+        let corner = self.corner.unwrap_or_else(|| Corner::nominal(&self.tech));
+        let root = self.obs.span_with(
+            "analysis",
+            vec![
+                ("circuit", self.circuit.clone()),
+                ("tech", self.tech.name.clone()),
+                ("threads", self.threads.to_string()),
+                ("kernels", self.compile_kernels.to_string()),
+            ],
+        );
+        let (lib, netlist) = {
+            let _load = root.child("load");
+            let lib = Library::standard();
+            let nl = catalog::mapped(&self.circuit, &lib)?
+                .ok_or_else(|| AnalysisError::UnknownBenchmark(self.circuit.clone()))?;
+            (lib, nl)
+        };
+        let timing = {
+            let span = root.child("characterize");
+            sta_charlib::characterize_cached_observed(
+                &lib,
+                &self.tech,
+                &self.char_config,
+                &self.cache_dir,
+                &self.obs,
+                span.id(),
+            )?
+        };
+        let constraints = match &self.sdc {
+            Some(text) => Some(parse_sdc(text, &netlist)?),
+            None => None,
+        };
+        let mut cfg = EnumerationConfig::new(corner)
+            .with_threads(self.threads)
+            .with_compiled_kernels(self.compile_kernels)
+            .with_observer(self.obs.clone());
+        cfg.input_slew = self.input_slew;
+        match self.n_worst {
+            Some(n) => cfg = cfg.with_n_worst(n),
+            None => cfg.max_paths = self.full_enum_path_cap,
+        }
+        Ok(AnalysisContext {
+            circuit: self.circuit.clone(),
+            lib,
+            netlist,
+            timing,
+            corner,
+            constraints,
+            required: self.required,
+            cfg,
+            obs: self.obs.clone(),
+            root,
+        })
+    }
+
+    /// [`AnalysisRequest::prepare`] followed by a full true-path
+    /// enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisRequest::prepare`].
+    pub fn run(&self) -> Result<AnalysisOutcome, AnalysisError> {
+        let ctx = self.prepare()?;
+        let t0 = std::time::Instant::now();
+        let run = ctx.enumerate();
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        Ok(ctx.into_outcome(run, elapsed_s))
+    }
+}
+
+/// Everything a resolved request provides: the mapped circuit, its timing
+/// library, the operating corner, parsed constraints, and the enumeration
+/// configuration. Flows that drive their own analysis (the two-step
+/// baseline, lint) borrow these; [`AnalysisContext::enumerate`] and
+/// [`AnalysisContext::slack`] run the standard analyses.
+pub struct AnalysisContext {
+    /// Requested circuit name.
+    pub circuit: String,
+    /// The standard cell library.
+    pub lib: Library,
+    /// Technology-mapped netlist.
+    pub netlist: Netlist,
+    /// Characterized timing models.
+    pub timing: TimingLibrary,
+    /// Operating corner of the analysis.
+    pub corner: Corner,
+    /// Parsed SDC constraints, when the request attached any.
+    pub constraints: Option<Constraints>,
+    required: Option<f64>,
+    cfg: EnumerationConfig,
+    obs: Observer,
+    /// Root span of the whole analysis; ends when the context drops.
+    root: SpanGuard,
+}
+
+/// Result of one enumeration pass through the context.
+pub struct EnumerationRun {
+    /// Enumerated true paths, canonically ordered (see
+    /// [`PathEnumerator::run`]).
+    pub paths: Vec<TruePath>,
+    /// Engine statistics.
+    pub stats: EnumerationStats,
+    /// `(arcs, coefficients)` of the compiled kernel table, when kernel
+    /// compilation was enabled.
+    pub kernel: Option<(usize, usize)>,
+}
+
+/// Result of a structural slack analysis through the context.
+pub struct SlackOutcome {
+    /// The per-net slack report.
+    pub report: SlackReport,
+    /// Worst structural arrival over the primary outputs, ps.
+    pub structural_worst: f64,
+    /// The requirement the report was computed against, ps.
+    pub required: f64,
+    /// How the requirement was chosen.
+    pub required_source: RequiredSource,
+}
+
+impl std::fmt::Debug for AnalysisContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisContext")
+            .field("circuit", &self.circuit)
+            .field("corner", &self.corner)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AnalysisContext {
+    /// The enumeration configuration this context will analyze with.
+    pub fn config(&self) -> &EnumerationConfig {
+        &self.cfg
+    }
+
+    /// The primary-input slew of the analysis, ps.
+    pub fn input_slew(&self) -> f64 {
+        self.cfg.input_slew
+    }
+
+    /// Runs the true-path enumeration (kernel compilation and the search
+    /// itself are recorded as child spans of the analysis).
+    pub fn enumerate(&self) -> EnumerationRun {
+        let enumr = {
+            let _compile = self.root.child("compile");
+            PathEnumerator::new(&self.netlist, &self.lib, &self.timing, self.cfg.clone())
+        };
+        let kernel = enumr.kernel().map(|k| {
+            k.record_metrics(&self.obs);
+            (k.num_arcs(), k.num_coefficients())
+        });
+        let (paths, stats) = {
+            let _enumerate = self.root.child("enumerate");
+            enumr.run()
+        };
+        EnumerationRun {
+            paths,
+            stats,
+            kernel,
+        }
+    }
+
+    /// Runs the structural slack analysis. The requirement is resolved in
+    /// order: explicit request value, tightest SDC output requirement,
+    /// then the 90 %-of-structural-worst default.
+    pub fn slack(&self) -> SlackOutcome {
+        let _slack = self.root.child("slack");
+        let probe = slack_report(
+            &self.netlist,
+            &self.timing,
+            self.corner,
+            self.cfg.input_slew,
+            0.0,
+        );
+        let structural_worst = probe.timing.worst_arrival(&self.netlist);
+        let sdc_required = self.constraints.as_ref().and_then(|c| {
+            self.netlist
+                .outputs()
+                .iter()
+                .filter_map(|&o| c.required_at(o))
+                .min_by(f64::total_cmp)
+        });
+        let (required, required_source) = match (self.required, sdc_required) {
+            (Some(r), _) => (r, RequiredSource::Explicit),
+            (None, Some(r)) => (r, RequiredSource::Sdc),
+            (None, None) => (structural_worst * 0.9, RequiredSource::Default),
+        };
+        let report = slack_report(
+            &self.netlist,
+            &self.timing,
+            self.corner,
+            self.cfg.input_slew,
+            required,
+        );
+        crate::arrival::record_bounds_metrics(&self.obs, &self.netlist, &report.timing);
+        SlackOutcome {
+            report,
+            structural_worst,
+            required,
+            required_source,
+        }
+    }
+
+    /// Consumes the context (ending the analysis root span) into a
+    /// finished outcome.
+    pub fn into_outcome(self, run: EnumerationRun, elapsed_s: f64) -> AnalysisOutcome {
+        AnalysisOutcome {
+            circuit: self.circuit,
+            lib: self.lib,
+            netlist: self.netlist,
+            timing: self.timing,
+            corner: self.corner,
+            input_slew: self.cfg.input_slew,
+            paths: run.paths,
+            stats: run.stats,
+            kernel: run.kernel,
+            elapsed_s,
+        }
+    }
+}
+
+/// A finished analysis: the resolved inputs plus the enumerated paths.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome {
+    /// Requested circuit name.
+    pub circuit: String,
+    /// The standard cell library.
+    pub lib: Library,
+    /// Technology-mapped netlist.
+    pub netlist: Netlist,
+    /// Characterized timing models.
+    pub timing: TimingLibrary,
+    /// Operating corner of the analysis.
+    pub corner: Corner,
+    /// Primary-input slew, ps.
+    pub input_slew: f64,
+    /// Enumerated true paths, canonically ordered.
+    pub paths: Vec<TruePath>,
+    /// Engine statistics.
+    pub stats: EnumerationStats,
+    /// `(arcs, coefficients)` of the compiled kernel table, if enabled.
+    pub kernel: Option<(usize, usize)>,
+    /// Wall-clock enumeration time, seconds.
+    pub elapsed_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_dir() -> PathBuf {
+        // Share one fast-config cache across the facade tests.
+        std::env::temp_dir().join("sta-analysis-facade-cache")
+    }
+
+    fn fast_request(circuit: &str) -> AnalysisRequest {
+        AnalysisRequest::new(circuit)
+            .char_config(CharConfig::fast())
+            .cache_dir(cache_dir())
+    }
+
+    #[test]
+    fn unknown_circuit_is_reported() {
+        let err = fast_request("not-a-circuit").run().unwrap_err();
+        assert_eq!(err, AnalysisError::UnknownBenchmark("not-a-circuit".into()));
+        assert!(err.to_string().contains("not-a-circuit"));
+    }
+
+    #[test]
+    fn facade_matches_direct_engine_use() {
+        let outcome = fast_request("c17").run().unwrap();
+        assert!(outcome.kernel.is_some());
+        // Reproduce by hand: same library, same config.
+        let lib = Library::standard();
+        let nl = catalog::mapped("c17", &lib).unwrap().unwrap();
+        let tlib = sta_charlib::characterize_cached(
+            &lib,
+            &Technology::n90(),
+            &CharConfig::fast(),
+            &cache_dir(),
+        )
+        .unwrap();
+        let cfg = EnumerationConfig::new(Corner::nominal(&Technology::n90()));
+        let (paths, _) = PathEnumerator::new(&nl, &lib, &tlib, cfg).run();
+        assert_eq!(outcome.paths, paths);
+        assert_eq!(outcome.stats.paths, paths.len());
+    }
+
+    #[test]
+    fn observer_attachment_changes_nothing_and_records_phases() {
+        let plain = fast_request("c17").n_worst(Some(5)).run().unwrap();
+        let obs = Observer::enabled();
+        let observed = fast_request("c17")
+            .n_worst(Some(5))
+            .observer(obs.clone())
+            .run()
+            .unwrap();
+        assert_eq!(plain.paths, observed.paths);
+        let tree = obs.span_tree();
+        assert_eq!(tree.len(), 1);
+        assert!(tree[0]
+            .structure()
+            .starts_with("analysis(load,characterize"));
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counters["enumerate.paths"], plain.stats.paths as u64);
+        assert!(snap.gauges.contains_key("kernel.arcs"));
+    }
+
+    #[test]
+    fn slack_requirement_resolution_order() {
+        let ctx = fast_request("c17").prepare().unwrap();
+        let default = ctx.slack();
+        assert_eq!(default.required_source, RequiredSource::Default);
+        assert!((default.required - default.structural_worst * 0.9).abs() < 1e-9);
+
+        let explicit = fast_request("c17").required(123.0).prepare().unwrap();
+        let s = explicit.slack();
+        assert_eq!(
+            (s.required, s.required_source),
+            (123.0, RequiredSource::Explicit)
+        );
+
+        let outputs_constrained = fast_request("c17")
+            .sdc("create_clock -period 500\n")
+            .prepare()
+            .unwrap();
+        let s = outputs_constrained.slack();
+        assert_eq!(
+            (s.required, s.required_source),
+            (500.0, RequiredSource::Sdc)
+        );
+    }
+
+    #[test]
+    fn bad_sdc_surfaces_as_typed_error() {
+        let err = fast_request("c17")
+            .sdc("set_output_delay 100 [get_ports nope]\n")
+            .prepare()
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::Sdc(_)));
+    }
+}

@@ -143,6 +143,19 @@ impl StaticTiming {
     }
 }
 
+/// Observability tap on a computed bound table: counts the computation and
+/// publishes the worst structural arrival as a gauge. Side-state only —
+/// the bounds themselves are untouched, so instrumented and plain runs
+/// prune identically.
+pub fn record_bounds_metrics(obs: &sta_obs::Observer, nl: &Netlist, timing: &StaticTiming) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter("arrival.bound_computations").inc();
+    obs.gauge("arrival.structural_worst_ps")
+        .set(timing.worst_arrival(nl));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,7 +29,7 @@ use crate::arrival::static_bounds;
 use crate::path::{LaunchTiming, PathArc, PiValue, TruePath};
 
 /// Configuration of a true-path enumeration run.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct EnumerationConfig {
     /// Operating corner for delay evaluation.
     pub corner: Corner,
@@ -68,6 +68,29 @@ pub struct EnumerationConfig {
     /// the interpreted `ModelCache` path, e.g. to time the two against
     /// each other.
     pub compile_kernels: bool,
+    /// Observability handle. Disabled by default; when enabled the run
+    /// records phase spans, per-worker metrics and (if installed) progress
+    /// counters. Observation is strictly read-only with respect to the
+    /// search — the emitted path set is byte-identical either way — and
+    /// the field is ignored by `PartialEq`.
+    pub obs: sta_obs::Observer,
+}
+
+/// Configuration equality for tests and memo keys: every *analysis*
+/// parameter participates; the observer (which cannot influence results)
+/// does not.
+impl PartialEq for EnumerationConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.corner == other.corner
+            && self.input_slew == other.input_slew
+            && self.n_worst == other.n_worst
+            && self.prune_margin == other.prune_margin
+            && self.max_decisions == other.max_decisions
+            && self.max_paths == other.max_paths
+            && self.justify_decision_limit == other.justify_decision_limit
+            && self.threads == other.threads
+            && self.compile_kernels == other.compile_kernels
+    }
 }
 
 impl EnumerationConfig {
@@ -84,6 +107,7 @@ impl EnumerationConfig {
             justify_decision_limit: 20_000,
             threads: 1,
             compile_kernels: true,
+            obs: sta_obs::Observer::disabled(),
         }
     }
 
@@ -103,6 +127,13 @@ impl EnumerationConfig {
     /// default).
     pub fn with_compiled_kernels(mut self, on: bool) -> Self {
         self.compile_kernels = on;
+        self
+    }
+
+    /// Attaches an observability handle (see `sta-obs`). Never changes
+    /// what the run computes.
+    pub fn with_observer(mut self, obs: sta_obs::Observer) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -240,9 +271,17 @@ impl<'a> PathEnumerator<'a> {
     /// search, but paths below the final threshold may reach the sink —
     /// the sink sees a superset of the N worst.
     pub fn run_with(&self, mut sink: impl FnMut(TruePath)) -> EnumerationStats {
-        if self.cfg.threads > 1 {
-            return crate::parallel::run_parallel(self, &mut sink);
-        }
+        let stats = if self.cfg.threads > 1 {
+            crate::parallel::run_parallel(self, &mut sink)
+        } else {
+            self.run_serial(&mut sink)
+        };
+        self.ingest_stats(&stats);
+        stats
+    }
+
+    /// The serial engine behind [`PathEnumerator::run_with`].
+    fn run_serial(&self, sink: &mut dyn FnMut(TruePath)) -> EnumerationStats {
         let mut search = Search {
             nl: self.nl,
             lib: self.lib,
@@ -257,7 +296,7 @@ impl<'a> PathEnumerator<'a> {
             obligations: Vec::new(),
             delays_r: Vec::new(),
             delays_f: Vec::new(),
-            sink: &mut sink,
+            sink,
             emitted: 0,
             worst_arrivals: Vec::new(),
             threshold: f64::NEG_INFINITY,
@@ -268,6 +307,10 @@ impl<'a> PathEnumerator<'a> {
             justify_todo: Vec::new(),
             justify_scratch: JustifyScratch::default(),
             stats: EnumerationStats::default(),
+            progress: self.cfg.obs.progress(),
+            justify_hist: self.cfg.obs.histogram("justify.decisions_per_call"),
+            path_len_hist: self.cfg.obs.histogram("enumerate.path_gates"),
+            bound_updates: self.cfg.obs.counter("enumerate.bound_updates"),
         };
         // Path stacks live outside the source loop: one allocation for the
         // whole run.
@@ -309,7 +352,7 @@ impl<'a> PathEnumerator<'a> {
     /// kernel setting.
     pub(crate) fn prune_bounds(&self) -> Option<Vec<f64>> {
         self.cfg.n_worst.map(|_| {
-            match &self.kernel {
+            let timing = match &self.kernel {
                 Some(k) => crate::arrival::static_bounds_compiled(
                     self.nl,
                     self.tlib,
@@ -324,9 +367,51 @@ impl<'a> PathEnumerator<'a> {
                     self.cfg.input_slew,
                     self.cfg.prune_margin,
                 ),
-            }
-            .remaining
+            };
+            crate::arrival::record_bounds_metrics(&self.cfg.obs, self.nl, &timing);
+            timing.remaining
         })
+    }
+
+    /// Folds a finished run's statistics into the observer's metrics
+    /// registry, and registers the full enumeration metric name set —
+    /// including the parallel-only counters — so that manifests from runs
+    /// at different thread counts stay structurally identical. Pure
+    /// side-state: a disabled observer makes this a no-op.
+    fn ingest_stats(&self, stats: &EnumerationStats) {
+        let obs = &self.cfg.obs;
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("enumerate.paths").add(stats.paths as u64);
+        obs.counter("enumerate.input_vectors")
+            .add(stats.input_vectors as u64);
+        obs.counter("enumerate.decisions").add(stats.decisions);
+        obs.counter("enumerate.conflicts").add(stats.conflicts);
+        obs.counter("enumerate.pruned").add(stats.pruned);
+        obs.counter("enumerate.justify_aborts")
+            .add(stats.justify_aborts);
+        obs.counter("enumerate.justify_cache_hits")
+            .add(stats.justify_cache_hits);
+        obs.counter("enumerate.model_cache_hits")
+            .add(stats.model_cache_hits);
+        obs.counter("enumerate.compiled_evals")
+            .add(stats.compiled_evals);
+        obs.counter("enumerate.fallback_evals")
+            .add(stats.fallback_evals);
+        obs.counter("enumerate.truncated")
+            .add(u64::from(stats.truncated));
+        obs.gauge("enumerate.scratch_side_hwm")
+            .set(stats.scratch_side_hwm as f64);
+        obs.gauge("enumerate.scratch_path_hwm")
+            .set(stats.scratch_path_hwm as f64);
+        // Touching a handle registers the name; serial runs register the
+        // parallel counters too (at zero) for structural identity.
+        obs.counter("parallel.steals");
+        obs.counter("parallel.tasks");
+        obs.counter("enumerate.bound_updates");
+        obs.histogram("justify.decisions_per_call");
+        obs.histogram("enumerate.path_gates");
     }
 
     /// Equivalent fanout per gate, precomputed once per run and shared
@@ -487,6 +572,16 @@ pub(crate) struct Search<'a, 'b> {
     /// Reusable buffers of the justification search itself.
     pub(crate) justify_scratch: JustifyScratch,
     pub(crate) stats: EnumerationStats,
+    /// Progress tap (installed via `sta_obs::Observer::install_progress`);
+    /// relaxed side-state counters only, never read back by the search.
+    pub(crate) progress: Option<std::sync::Arc<sta_obs::Progress>>,
+    /// Per-call justification effort histogram (inert when disabled).
+    pub(crate) justify_hist: sta_obs::Histogram,
+    /// Admitted-path length histogram, arcs per path (inert when
+    /// disabled).
+    pub(crate) path_len_hist: sta_obs::Histogram,
+    /// N-worst admission-threshold tightenings (inert when disabled).
+    pub(crate) bound_updates: sta_obs::Counter,
 }
 
 impl Search<'_, '_> {
@@ -860,6 +955,7 @@ impl Search<'_, '_> {
             if w < self.effective_threshold() {
                 return;
             }
+            self.note_emission(&path);
             self.worst_arrivals.push(w);
             self.emitted += 1;
             (self.sink)(path);
@@ -873,11 +969,28 @@ impl Search<'_, '_> {
                 let mut arrivals = self.worst_arrivals.clone();
                 arrivals.sort_by(f64::total_cmp);
                 self.threshold = arrivals[arrivals.len() - n];
+                self.bound_updates.inc();
+                if let Some(p) = &self.progress {
+                    p.set_bound(self.threshold);
+                }
                 self.publish_threshold();
             }
         } else {
+            self.note_emission(&path);
             self.emitted += 1;
             (self.sink)(path);
+        }
+    }
+
+    /// Observability tap on path admission: progress counters and the
+    /// path-length histogram. Side-state only — nothing here is read back
+    /// by the search.
+    fn note_emission(&mut self, path: &TruePath) {
+        self.path_len_hist.observe(path.arcs.len() as f64);
+        if let Some(p) = &self.progress {
+            use std::sync::atomic::Ordering::Relaxed;
+            p.paths.fetch_add(1, Relaxed);
+            p.frontier_depth.store(path.nodes.len() as u64, Relaxed);
         }
     }
 
@@ -909,9 +1022,14 @@ impl Search<'_, '_> {
             &mut budget,
             Some(&mut self.justify_cache),
             &mut self.justify_scratch,
+            Some(&self.justify_hist),
         );
         self.justify_todo = todo;
         self.stats.decisions += budget.decisions;
+        if let Some(p) = &self.progress {
+            p.decisions
+                .fetch_add(budget.decisions, std::sync::atomic::Ordering::Relaxed);
+        }
         if self.cfg.max_decisions != 0 && self.stats.decisions >= self.cfg.max_decisions {
             self.stats.truncated = true;
         }

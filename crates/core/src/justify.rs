@@ -174,13 +174,18 @@ pub fn justify_with_cache(
 ) -> JustifyOutcome {
     let mut todo = todo;
     let mut scratch = JustifyScratch::default();
-    justify_in(eng, nl, &mut todo, mask, budget, cache, &mut scratch)
+    justify_in(eng, nl, &mut todo, mask, budget, cache, &mut scratch, None)
 }
 
 /// Allocation-reusing entry point: the obligation list and the search
 /// scratch buffers are borrowed from the caller, so a tight caller (the
 /// enumeration hot loop) keeps one set of buffers alive across millions of
 /// calls. `todo` is left in an unspecified state.
+///
+/// `effort_hist`, when present, receives this call's decision count — a
+/// per-call effort distribution for the observability layer. The tap is
+/// write-only: it cannot influence the outcome or the witness.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn justify_in(
     eng: &mut ImplicationEngine<'_>,
     nl: &Netlist,
@@ -189,13 +194,18 @@ pub(crate) fn justify_in(
     budget: &mut JustifyBudget,
     mut cache: Option<&mut JustifyCache>,
     scratch: &mut JustifyScratch,
+    effort_hist: Option<&sta_obs::Histogram>,
 ) -> JustifyOutcome {
+    let decisions_at_entry = budget.decisions;
     let mark = eng.mark();
     let lib = eng.library();
     let ctx = Ctx { nl, lib };
     let out = justify_rec(eng, &ctx, todo, mask, budget, &mut cache, scratch);
     if !matches!(out, JustifyOutcome::Satisfied(_)) {
         eng.rollback(mark);
+    }
+    if let Some(h) = effort_hist {
+        h.observe((budget.decisions - decisions_at_entry) as f64);
     }
     out
 }

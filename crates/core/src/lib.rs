@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod arrival;
 pub mod delaycalc;
 pub mod enumerate;
@@ -61,7 +62,13 @@ pub mod sdc;
 pub mod sdf;
 pub mod slack;
 
-pub use arrival::{arc_delay_bound, static_bounds, static_bounds_compiled, StaticTiming};
+pub use analysis::{
+    AnalysisContext, AnalysisError, AnalysisOutcome, AnalysisRequest, EnumerationRun,
+    RequiredSource, SlackOutcome,
+};
+pub use arrival::{
+    arc_delay_bound, record_bounds_metrics, static_bounds, static_bounds_compiled, StaticTiming,
+};
 pub use delaycalc::{path_delay, path_delay_compiled, DelayCalcError, PathDelayBreakdown};
 pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
 pub use justify::{justify, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome};

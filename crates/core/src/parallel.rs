@@ -246,11 +246,13 @@ pub(crate) fn run_parallel(
 }
 
 /// Claims the next task: own deque first, then a batch from the global
-/// injector, then stealing from a sibling.
+/// injector, then stealing from a sibling. `steals` counts only the
+/// sibling-deque case — the work-stealing events proper.
 fn next_task(
     local: &Worker<RootTask>,
     injector: &Injector<RootTask>,
     stealers: &[Stealer<RootTask>],
+    steals: &sta_obs::Counter,
 ) -> Option<RootTask> {
     if let Some(t) = local.pop() {
         return Some(t);
@@ -265,7 +267,10 @@ fn next_task(
     for s in stealers {
         loop {
             match s.steal() {
-                Steal::Success(t) => return Some(t),
+                Steal::Success(t) => {
+                    steals.inc();
+                    return Some(t);
+                }
                 Steal::Retry => continue,
                 Steal::Empty => break,
             }
@@ -313,14 +318,23 @@ fn worker_loop(
         justify_todo: Vec::new(),
         justify_scratch: JustifyScratch::default(),
         stats: EnumerationStats::default(),
+        progress: ctx.cfg.obs.progress(),
+        justify_hist: ctx.cfg.obs.histogram("justify.decisions_per_call"),
+        path_len_hist: ctx.cfg.obs.histogram("enumerate.path_gates"),
+        bound_updates: ctx.cfg.obs.counter("enumerate.bound_updates"),
     };
+    // Per-worker scheduling counters; the metric handles are fetched once
+    // here and bumped lock-free inside the task loop.
+    let steals = ctx.cfg.obs.counter("parallel.steals");
+    let tasks_done = ctx.cfg.obs.counter("parallel.tasks");
     let mut total = EnumerationStats::default();
     let mut current_src: Option<usize> = None;
     let mut mask = Mask::NONE;
     // Path stacks live outside the task loop: one allocation per worker.
     let mut nodes: Vec<NetId> = Vec::new();
     let mut arcs: Vec<PathArc> = Vec::new();
-    while let Some(task) = next_task(&local, ctx.injector, stealers) {
+    while let Some(task) = next_task(&local, ctx.injector, stealers, &steals) {
+        tasks_done.inc();
         let plan = &ctx.plans[task.src];
         if current_src != Some(task.src) {
             // Install the per-source state: toggle deltas, the launched

@@ -221,6 +221,24 @@ impl LintReport {
             .any(|d| d.severity == Severity::Error)
     }
 
+    /// Observability tap: publishes severity totals
+    /// (`lint.<domain>.errors|warnings|infos`) and per-rule fire counts
+    /// (`lint.rule.<CODE>`). Side-state only — the report is untouched.
+    pub fn record_metrics(&self, obs: &sta_obs::Observer, domain: &str) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter(&format!("lint.{domain}.errors"))
+            .add(self.count(Severity::Error) as u64);
+        obs.counter(&format!("lint.{domain}.warnings"))
+            .add(self.count(Severity::Warn) as u64);
+        obs.counter(&format!("lint.{domain}.infos"))
+            .add(self.count(Severity::Info) as u64);
+        for d in &self.diagnostics {
+            obs.counter(&format!("lint.rule.{}", d.rule.code())).inc();
+        }
+    }
+
     /// `--deny warnings`: promotes every `Warn` to `Error`. `Info` stays.
     pub fn deny_warnings(&mut self) {
         for d in &mut self.diagnostics {

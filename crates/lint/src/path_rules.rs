@@ -47,6 +47,22 @@ impl PathVerifyOutcome {
     pub fn all_certified(&self) -> bool {
         self.checked == self.certified
     }
+
+    /// Observability tap: publishes replay totals
+    /// (`lint.verify.checked|certified` counters) and the per-path
+    /// diagnostic counts via [`crate::LintReport::record_metrics`]
+    /// semantics (`lint.rule.<CODE>`).
+    pub fn record_metrics(&self, obs: &sta_obs::Observer) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("lint.verify.checked").add(self.checked as u64);
+        obs.counter("lint.verify.certified")
+            .add(self.certified as u64);
+        for d in &self.diagnostics {
+            obs.counter(&format!("lint.rule.{}", d.rule.code())).inc();
+        }
+    }
 }
 
 /// Re-certifies every path; see the module docs for the rule set.

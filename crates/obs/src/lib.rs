@@ -1,0 +1,47 @@
+//! `sta-obs` — observability for the STA engines: spans, metrics, run
+//! manifests.
+//!
+//! The crate is built around one invariant: **observation never perturbs
+//! analysis**. Instrumented engines take an [`Observer`] handle; a
+//! disabled observer (the default) turns every hook into a `None` branch,
+//! and an enabled one records into side state only — no hook feeds
+//! anything back into the computation, so path sets are byte-identical
+//! with observability on or off.
+//!
+//! Three layers:
+//!
+//! - **Spans** ([`SpanGuard`], [`LocalSpans`], [`SpanNode`]): hierarchical
+//!   wall-time phases with explicit parent/ordinal links, merged
+//!   deterministically like the parallel enumerator's path merge, so the
+//!   span *tree structure* is identical at any thread count.
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]): a registry of
+//!   relaxed atomics behind cheap handles; hot loops fetch a handle once
+//!   and update lock-free.
+//! - **Run manifests** ([`RunManifest`]): one versioned JSON document per
+//!   invocation — tool identity, command, config echo, span tree, metrics
+//!   snapshot, path-set digest — validated in CI against a checked-in
+//!   schema by the in-tree [`schema`] validator.
+//!
+//! [`Progress`] + [`Heartbeat`] add an optional stderr liveness line for
+//! long enumerations, again fed only from read-only taps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manifest;
+mod metrics;
+mod progress;
+mod recorder;
+pub mod schema;
+mod span;
+
+pub use manifest::{digest_string, fnv1a64, git_revision, RunManifest, ToolInfo};
+pub use metrics::{Counter, Gauge, HistBucket, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use progress::{Heartbeat, Progress};
+pub use recorder::Observer;
+pub use span::{LocalSpans, SpanGuard, SpanNode};
+
+/// Version of every JSON document this tool emits: run manifests and all
+/// `--format json` CLI outputs carry it as `schema_version`. Bump on any
+/// backwards-incompatible shape change.
+pub const SCHEMA_VERSION: u32 = 1;

@@ -1,0 +1,157 @@
+//! The run manifest: one versioned JSON document per tool invocation.
+//!
+//! A manifest is the durable record of *what ran and where the time went*:
+//! tool identity (name, version, git revision), the exact command line, an
+//! echo of the effective configuration, the deterministic span tree, a
+//! metrics snapshot, and a digest of the produced path set so two runs can
+//! be compared for result identity without shipping the paths themselves.
+//!
+//! The schema is versioned through [`crate::SCHEMA_VERSION`], shared with
+//! every `--format json` CLI output, and checked in CI against
+//! `docs/manifest.schema.json`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanNode;
+
+/// Identity of the producing tool.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ToolInfo {
+    /// Tool name (`sta-repro`).
+    pub name: String,
+    /// Cargo package version.
+    pub version: String,
+    /// Git revision the binary ran from (`unknown` outside a checkout).
+    pub git_rev: String,
+}
+
+/// One run's manifest document.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version ([`crate::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Producing tool.
+    pub tool: ToolInfo,
+    /// The invocation's argument vector (excluding the binary path).
+    pub command: Vec<String>,
+    /// Echo of the effective configuration, key → rendered value.
+    pub config: BTreeMap<String, String>,
+    /// Deterministic span forest of the run.
+    pub spans: Vec<SpanNode>,
+    /// Metrics registry snapshot at the end of the run.
+    pub metrics: MetricsSnapshot,
+    /// FNV-1a digest of the produced path set (`None` for commands that
+    /// emit no paths).
+    pub path_digest: Option<String>,
+}
+
+impl RunManifest {
+    /// Assembles a manifest from an observer's recorded state.
+    pub fn new(
+        command: Vec<String>,
+        config: BTreeMap<String, String>,
+        obs: &crate::Observer,
+        path_digest: Option<String>,
+    ) -> Self {
+        RunManifest {
+            schema_version: crate::SCHEMA_VERSION,
+            tool: ToolInfo {
+                name: "sta-repro".to_string(),
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                git_rev: git_revision(),
+            },
+            command,
+            config,
+            spans: obs.span_tree(),
+            metrics: obs.metrics_snapshot(),
+            path_digest,
+        }
+    }
+
+    /// Serializes the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifests always serialize")
+    }
+
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("malformed run manifest: {e}"))
+    }
+}
+
+/// Best-effort git revision of the working directory (`git rev-parse
+/// HEAD`); `"unknown"` when git or the repository is unavailable.
+pub fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Renders a digest string (`fnv1a64:<16 hex digits>`) over `bytes` —
+/// applied to the serialized certificate set, this is the path-set
+/// identity two runs can be compared by.
+pub fn digest_string(bytes: &[u8]) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let a = digest_string(b"paths");
+        assert_eq!(a, digest_string(b"paths"));
+        assert_ne!(a, digest_string(b"Paths"));
+        assert!(a.starts_with("fnv1a64:"));
+        assert_eq!(a.len(), "fnv1a64:".len() + 16);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let obs = crate::Observer::enabled();
+        {
+            let root = obs.span("analyze");
+            obs.counter("enumerate.paths").add(7);
+            obs.histogram("h").observe(3.0);
+            drop(root);
+        }
+        let mut config = BTreeMap::new();
+        config.insert("threads".to_string(), "4".to_string());
+        let m = RunManifest::new(
+            vec!["analyze".to_string(), "c17".to_string()],
+            config,
+            &obs,
+            Some(digest_string(b"x")),
+        );
+        let parsed = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.schema_version, crate::SCHEMA_VERSION);
+        assert_eq!(parsed.spans[0].name, "analyze");
+        assert_eq!(parsed.metrics.counters["enumerate.paths"], 7);
+        assert!(RunManifest::from_json("{").is_err());
+    }
+}

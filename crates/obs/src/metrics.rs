@@ -1,0 +1,243 @@
+//! A small metrics registry: counters, gauges and log-scale histograms.
+//!
+//! Handles are cheap `Arc` clones over atomics; hot code fetches a handle
+//! once (outside the loop) and then updates it with relaxed atomic ops —
+//! no lock is ever taken on the update path. A handle from a disabled
+//! [`crate::Observer`] is inert: every operation is a branch on `None`.
+//!
+//! Histograms use base-2 geometric buckets (`[2^(i-1), 2^i)`), the classic
+//! log-scale latency layout: 64 buckets cover 1 ns to ~584 years, and the
+//! bucket *structure* is fixed, so metric snapshots from runs at different
+//! thread counts stay structurally comparable.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n` (relaxed; no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge (relaxed store of the f64 bit pattern).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+pub(crate) struct HistInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Fixed-point sum in 1/1024 units (exact for integral observations up
+    /// to 2^43; good enough for latency bookkeeping).
+    sum_milli: AtomicU64,
+}
+
+impl HistInner {
+    pub(crate) fn new() -> Self {
+        HistInner {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_milli: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-scale (base-2 geometric) histogram.
+#[derive(Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistInner>>);
+
+impl Histogram {
+    /// Records one observation (negative values clamp to 0).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let Some(h) = &self.0 else { return };
+        let clamped = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let idx = bucket_of(clamped as u64);
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum_milli
+            .fetch_add((clamped * 1024.0) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let Some(h) = &self.0 else {
+            return HistogramSnapshot::default();
+        };
+        let buckets = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then(|| HistBucket {
+                    lo: if i == 0 {
+                        0.0
+                    } else {
+                        (1u64 << (i - 1)) as f64
+                    },
+                    hi: if i == HIST_BUCKETS - 1 {
+                        f64::INFINITY
+                    } else {
+                        (1u64 << i) as f64
+                    },
+                    count,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum_milli.load(Ordering::Relaxed) as f64 / 1024.0,
+            buckets,
+        }
+    }
+}
+
+/// `[2^(i-1), 2^i)` bucket index of `v` (bucket 0 holds 0).
+fn bucket_of(v: u64) -> usize {
+    match v.checked_ilog2() {
+        None => 0,
+        Some(l) => ((l as usize) + 1).min(HIST_BUCKETS - 1),
+    }
+}
+
+/// Point-in-time snapshot of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (fixed-point accumulated, 1/1024 resolution).
+    pub sum: f64,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<HistBucket>,
+}
+
+/// One non-empty histogram bucket `[lo, hi)`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistBucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound (`inf` for the overflow bucket).
+    pub hi: f64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// The shared registry: name → metric, names sorted (BTreeMap) so every
+/// snapshot lists metrics in one deterministic order.
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub histograms: Mutex<BTreeMap<String, Arc<HistInner>>>,
+}
+
+/// Point-in-time snapshot of the whole registry, as serialized into the
+/// run manifest.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Every registered metric name, each prefixed with its kind — the
+    /// *structural* identity of the snapshot (values erased), pinned by
+    /// the observability golden tests.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        names.extend(self.counters.keys().map(|k| format!("counter:{k}")));
+        names.extend(self.gauges.keys().map(|k| format!("gauge:{k}")));
+        names.extend(self.histograms.keys().map(|k| format!("histogram:{k}")));
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_geometric() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::default();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(2.5);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::default();
+        h.observe(10.0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn histogram_observes_into_log_buckets() {
+        let h = Histogram(Some(Arc::new(HistInner::new())));
+        for v in [0.0, 1.0, 3.0, 3.5, 1000.0, -2.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        // 0.0 and the clamped -2.0 land in bucket 0; 3.0/3.5 share [2,4).
+        let b0 = snap.buckets.iter().find(|b| b.lo == 0.0).unwrap();
+        assert_eq!(b0.count, 2);
+        let b23 = snap.buckets.iter().find(|b| b.lo == 2.0).unwrap();
+        assert_eq!(b23.count, 2);
+        assert!((snap.sum - (1.0 + 3.0 + 3.5 + 1000.0)).abs() < 0.01);
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared progress state and the stderr heartbeat.
+//!
+//! Long enumerations (c7552 full runs take minutes) are opaque without a
+//! liveness signal. [`Progress`] is a handful of relaxed atomics the
+//! search updates at emission points; [`Heartbeat`] is a watcher thread
+//! that prints one line per interval to stderr. Neither touches the
+//! search state, so enabling progress cannot change the emitted path set.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run-progress counters shared between the search workers and the
+/// heartbeat printer. All accesses are relaxed: the numbers are advisory.
+pub struct Progress {
+    /// Paths emitted so far.
+    pub paths: AtomicU64,
+    /// Search decisions taken so far (updated coarsely).
+    pub decisions: AtomicU64,
+    /// Depth of the most recently emitted path — how far into the circuit
+    /// the search frontier currently sits.
+    pub frontier_depth: AtomicU64,
+    /// Current N-worst pruning bound, f64 bits (−∞ when unset).
+    bound_bits: AtomicU64,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Progress {
+    /// Fresh, all-zero progress state.
+    pub fn new() -> Self {
+        Progress {
+            paths: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            frontier_depth: AtomicU64::new(0),
+            bound_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Publishes the current pruning bound, ps.
+    #[inline]
+    pub fn set_bound(&self, bound: f64) {
+        self.bound_bits.store(bound.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last published pruning bound (−∞ when none).
+    pub fn bound(&self) -> f64 {
+        f64::from_bits(self.bound_bits.load(Ordering::Relaxed))
+    }
+
+    /// One human-readable heartbeat line.
+    pub fn line(&self) -> String {
+        let bound = self.bound();
+        format!(
+            "progress: paths={} decisions={} frontier={} bound={}",
+            self.paths.load(Ordering::Relaxed),
+            self.decisions.load(Ordering::Relaxed),
+            self.frontier_depth.load(Ordering::Relaxed),
+            if bound == f64::NEG_INFINITY {
+                "none".to_string()
+            } else {
+                format!("{bound:.1}ps")
+            }
+        )
+    }
+}
+
+/// Background thread printing [`Progress::line`] to stderr every interval.
+/// Stops (and joins) on drop. Lines only appear after the first interval,
+/// so short runs stay silent.
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Spawns the heartbeat printer.
+    pub fn start(progress: Arc<Progress>, every: Duration) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // Poll the stop flag at a finer grain than the print interval
+            // so drop never blocks a full interval.
+            let tick = Duration::from_millis(25).min(every);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                std::thread::sleep(tick);
+                if stop_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                elapsed += tick;
+                if elapsed >= every {
+                    elapsed = Duration::ZERO;
+                    eprintln!("{}", progress.line());
+                }
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_line_formats() {
+        let p = Progress::new();
+        assert_eq!(
+            p.line(),
+            "progress: paths=0 decisions=0 frontier=0 bound=none"
+        );
+        p.paths.store(12, Ordering::Relaxed);
+        p.set_bound(154.25);
+        assert!(p.line().contains("paths=12"));
+        assert!(p.line().contains("bound=154.2ps") || p.line().contains("bound=154.3ps"));
+    }
+
+    #[test]
+    fn heartbeat_stops_promptly() {
+        let p = Arc::new(Progress::new());
+        let hb = Heartbeat::start(Arc::clone(&p), Duration::from_secs(3600));
+        drop(hb); // must not hang for the interval
+    }
+}

@@ -1,0 +1,334 @@
+//! The [`Observer`] handle: the single object instrumented code touches.
+//!
+//! An `Observer` is either *disabled* (the default — every operation is a
+//! branch and the hot path stays allocation- and lock-free) or *enabled*,
+//! in which case it shares one [`Recorder`] across threads via `Arc`.
+//! Everything downstream — span recording, the metrics registry, the
+//! progress state — hangs off the recorder.
+//!
+//! The hard contract of the whole layer: turning an observer on or off
+//! never changes what the instrumented engines *compute*. Observers carry
+//! no analysis state, every hook is read-only with respect to the search,
+//! and `PartialEq` on configs that embed an observer ignores it.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use crate::progress::Progress;
+use crate::span::{build_tree, LocalSpans, SpanGuard, SpanNode, SpanRecord};
+
+pub(crate) struct Recorder {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    registry: Registry,
+    progress: Mutex<Option<Arc<Progress>>>,
+}
+
+/// Cheap, cloneable observability handle. `Observer::default()` is
+/// disabled; [`Observer::enabled`] creates a fresh recorder.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<Recorder>>,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "Observer(enabled)"
+        } else {
+            "Observer(disabled)"
+        })
+    }
+}
+
+impl Observer {
+    /// The inert observer: every hook compiles down to a `None` branch.
+    pub fn disabled() -> Self {
+        Observer { inner: None }
+    }
+
+    /// A live observer with a fresh recorder (epoch = now).
+    pub fn enabled() -> Self {
+        Observer {
+            inner: Some(Arc::new(Recorder {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                spans: Mutex::new(Vec::new()),
+                registry: Registry::default(),
+                progress: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// Whether this observer records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since the recorder epoch (0 when disabled).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |r| r.epoch.elapsed().as_nanos() as u64)
+    }
+
+    pub(crate) fn alloc_id(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |r| r.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn push_record(&self, record: SpanRecord) {
+        if let Some(r) = &self.inner {
+            r.spans.lock().expect("span buffer poisoned").push(record);
+        }
+    }
+
+    pub(crate) fn push_records(&self, records: Vec<SpanRecord>) {
+        if let Some(r) = &self.inner {
+            r.spans
+                .lock()
+                .expect("span buffer poisoned")
+                .extend(records);
+        }
+    }
+
+    pub(crate) fn open_span(
+        &self,
+        parent: u64,
+        ord: u64,
+        name: &'static str,
+        attrs: Vec<(&'static str, String)>,
+    ) -> SpanGuard {
+        SpanGuard {
+            obs: self.clone(),
+            id: self.alloc_id(),
+            parent,
+            ord,
+            name,
+            attrs,
+            start_ns: self.now_ns(),
+            next_ord: Cell::new(0),
+            ended: Cell::new(false),
+        }
+    }
+
+    /// Opens a root span.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_with(name, Vec::new())
+    }
+
+    /// Opens a root span carrying attributes.
+    pub fn span_with(&self, name: &'static str, attrs: Vec<(&'static str, String)>) -> SpanGuard {
+        self.open_span(0, 0, name, attrs)
+    }
+
+    /// A private span buffer for a worker thread (see [`LocalSpans`]).
+    pub fn local(&self) -> LocalSpans {
+        LocalSpans {
+            obs: self.clone(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Counter handle for `name` (registered on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.registry
+                    .counters
+                    .lock()
+                    .expect("registry poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Gauge handle for `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.registry
+                    .gauges
+                    .lock()
+                    .expect("registry poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Histogram handle for `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.registry
+                    .histograms
+                    .lock()
+                    .expect("registry poisoned")
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(crate::metrics::HistInner::new())),
+            )
+        }))
+    }
+
+    /// Installs (or returns the existing) shared progress state. `None`
+    /// when the observer is disabled.
+    pub fn install_progress(&self) -> Option<Arc<Progress>> {
+        let r = self.inner.as_ref()?;
+        let mut slot = r.progress.lock().expect("progress poisoned");
+        Some(Arc::clone(
+            slot.get_or_insert_with(|| Arc::new(Progress::new())),
+        ))
+    }
+
+    /// The progress state, if one was installed.
+    pub fn progress(&self) -> Option<Arc<Progress>> {
+        self.inner
+            .as_ref()
+            .and_then(|r| r.progress.lock().expect("progress poisoned").clone())
+    }
+
+    /// Reconstructs the deterministic span forest from everything recorded
+    /// so far (open spans are not included — end them first).
+    pub fn span_tree(&self) -> Vec<SpanNode> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(r) => build_tree(r.spans.lock().expect("span buffer poisoned").clone()),
+        }
+    }
+
+    /// Snapshots the metrics registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let Some(r) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let counters = r
+            .registry
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = r
+            .registry
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = r
+            .registry
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Histogram(Some(Arc::clone(v))).snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        let s = obs.span("root");
+        assert_eq!(s.id(), 0);
+        let c = s.child("child");
+        drop(c);
+        drop(s);
+        assert!(obs.span_tree().is_empty());
+        assert_eq!(obs.metrics_snapshot(), MetricsSnapshot::default());
+        assert!(obs.install_progress().is_none());
+    }
+
+    #[test]
+    fn span_tree_reflects_call_structure() {
+        let obs = Observer::enabled();
+        {
+            let root = obs.span_with("analyze", vec![("circuit", "c17".into())]);
+            {
+                let a = root.child("characterize");
+                drop(a);
+            }
+            {
+                let b = root.child("enumerate");
+                let inner = b.child("search");
+                drop(inner);
+                drop(b);
+            }
+        }
+        let tree = obs.span_tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(
+            tree[0].structure(),
+            "analyze(characterize,enumerate(search))"
+        );
+        assert_eq!(
+            tree[0].attrs.get("circuit").map(String::as_str),
+            Some("c17")
+        );
+    }
+
+    #[test]
+    fn local_buffers_merge_deterministically() {
+        // Record shards in scrambled completion order: the tree must come
+        // out sorted by the explicit ordinal, like the parallel path merge.
+        let obs = Observer::enabled();
+        let root = obs.span("characterize");
+        let parent = root.id();
+        let mut l1 = obs.local();
+        let mut l2 = obs.local();
+        l2.time(parent, 2, "cell", vec![("cell", "C".into())], || {});
+        l1.time(parent, 0, "cell", vec![("cell", "A".into())], || {});
+        l2.time(parent, 1, "cell", vec![("cell", "B".into())], || {});
+        drop(l2);
+        drop(l1);
+        drop(root);
+        let tree = obs.span_tree();
+        let cells: Vec<&str> = tree[0]
+            .children
+            .iter()
+            .map(|c| c.attrs.get("cell").unwrap().as_str())
+            .collect();
+        assert_eq!(cells, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_handles() {
+        let obs = Observer::enabled();
+        let c = obs.counter("enumerate.paths");
+        c.add(3);
+        obs.counter("enumerate.paths").inc(); // same underlying cell
+        obs.gauge("kernel.arcs").set(42.0);
+        obs.histogram("justify.decisions").observe(17.0);
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counters["enumerate.paths"], 4);
+        assert_eq!(snap.gauges["kernel.arcs"], 42.0);
+        assert_eq!(snap.histograms["justify.decisions"].count, 1);
+        assert_eq!(
+            snap.metric_names(),
+            [
+                "counter:enumerate.paths",
+                "gauge:kernel.arcs",
+                "histogram:justify.decisions"
+            ]
+        );
+    }
+}

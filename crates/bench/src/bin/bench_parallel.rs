@@ -12,12 +12,26 @@ use sta_core::{EnumerationConfig, PathEnumerator};
 
 #[derive(Serialize)]
 struct ThreadResult {
+    /// Requested worker-pool size.
     threads: usize,
+    /// Workers that can actually run concurrently on this host
+    /// (`min(threads, host_parallelism)`) — on a 1-core host every row
+    /// reports 1 here, which is why the speedup column is flat.
+    effective_threads: usize,
     /// Best-of-3 wall-clock, milliseconds.
     wall_ms: f64,
     speedup_vs_serial: f64,
     paths: usize,
     matches_serial: bool,
+}
+
+/// Echo of the enumeration configuration shared by every run, so a
+/// stored report is interpretable without knowing the binary's defaults.
+#[derive(Serialize)]
+struct EngineConfig {
+    n_worst: usize,
+    compiled_kernels: bool,
+    bitsim: bool,
 }
 
 #[derive(Serialize)]
@@ -33,6 +47,7 @@ struct Report {
     bench: &'static str,
     technology: String,
     host_parallelism: usize,
+    engine: EngineConfig,
     note: &'static str,
     circuits: Vec<CircuitResult>,
 }
@@ -80,6 +95,7 @@ fn main() {
             );
             runs.push(ThreadResult {
                 threads,
+                effective_threads: threads.min(host),
                 wall_ms: best,
                 speedup_vs_serial: if best > 0.0 { serial_ms / best } else { 0.0 },
                 paths: paths.len(),
@@ -94,10 +110,16 @@ fn main() {
         });
     }
 
+    let cfg_echo = EnumerationConfig::new(corner).with_n_worst(n_worst);
     let report = Report {
         bench: "parallel_enum",
         technology: tech.name.clone(),
         host_parallelism: host,
+        engine: EngineConfig {
+            n_worst,
+            compiled_kernels: cfg_echo.compile_kernels,
+            bitsim: cfg_echo.bitsim,
+        },
         note: "Wall-clock is best of 3 after warm-up. Speedup over serial is \
                bounded by the host's available parallelism; on a single-core \
                host all thread counts measure the serial runtime plus pool \

@@ -97,6 +97,7 @@ pub struct AnalysisRequest {
     n_worst: Option<usize>,
     threads: usize,
     compile_kernels: bool,
+    bitsim: bool,
     /// Path cap applied only in full-enumeration mode (no `n_worst`).
     full_enum_path_cap: Option<usize>,
     input_slew: f64,
@@ -117,6 +118,7 @@ impl AnalysisRequest {
             n_worst: None,
             threads: 1,
             compile_kernels: true,
+            bitsim: true,
             full_enum_path_cap: None,
             input_slew: 60.0,
             required: None,
@@ -158,6 +160,13 @@ impl AnalysisRequest {
     /// Enables or disables the corner-compiled delay kernels (default on).
     pub fn compiled_kernels(mut self, on: bool) -> Self {
         self.compile_kernels = on;
+        self
+    }
+
+    /// Enables or disables the bit-parallel justification pre-filter
+    /// (default on). Never changes any computed result.
+    pub fn bitsim(mut self, on: bool) -> Self {
+        self.bitsim = on;
         self
     }
 
@@ -226,6 +235,7 @@ impl AnalysisRequest {
                 ("tech", self.tech.name.clone()),
                 ("threads", self.threads.to_string()),
                 ("kernels", self.compile_kernels.to_string()),
+                ("bitsim", self.bitsim.to_string()),
             ],
         );
         let (lib, netlist) = {
@@ -253,6 +263,7 @@ impl AnalysisRequest {
         let mut cfg = EnumerationConfig::new(corner)
             .with_threads(self.threads)
             .with_compiled_kernels(self.compile_kernels)
+            .with_bitsim(self.bitsim)
             .with_observer(self.obs.clone());
         cfg.input_slew = self.input_slew;
         match self.n_worst {

@@ -1,0 +1,291 @@
+//! Bit-parallel batch pre-filter for the justification search.
+//!
+//! At every branch point the justification search tries a list of
+//! candidate side-input assignments one at a time through the exact
+//! [`ImplicationEngine`] — assign, propagate, detect conflict, roll back.
+//! The [`BitsimFilter`] runs all of them (up to 64) through one compiled
+//! forward simulation first and discards the candidates whose lanes are
+//! provably contradictory, so the exact engine only sees the survivors.
+//!
+//! # Soundness (why filtering can never drop a true path)
+//!
+//! The filter is **refutation-only**. A lane packs one candidate: the
+//! engine's current primary-input values as seeds, every value on the
+//! engine's trail as a broadcast *requirement*, and the candidate's own
+//! assignments as per-lane requirements. Three-valued forward simulation
+//! computes, for every net, a value that **abstracts** (is at most as
+//! defined as) any value the exact engine can reach after assigning that
+//! candidate: seeds equal the engine's pre-candidate values, the Kleene
+//! connectives are monotone, and the engine only ever refines values by
+//! meets. Every requirement the simulation meets in is one the engine's
+//! post-assignment state satisfies, so if the engine could accept the
+//! candidate in some polarity, every meet along that lane is witnessed
+//! non-empty by the engine's own values — the lane cannot die. By
+//! contraposition, a lane dead in a polarity means the exact engine would
+//! conflict in that polarity; a candidate dead in *every* alive polarity
+//! would be rejected by the engine with certainty. Only those are
+//! filtered. The engine is strictly stronger than the simulation (toggle
+//! deltas, iterated backward implications), so surviving lanes still go
+//! through the exact engine — the filter changes which candidates are
+//! *attempted*, never which ones *succeed*.
+//!
+//! Candidates refuted in only a subset of the alive polarities are **not**
+//! filtered: the engine's partial-conflict handling (shrinking the alive
+//! mask and recursing) must observe them exactly as before.
+//!
+//! Because any subset of the refutable candidates may be filtered without
+//! changing a single verdict (the caller emulates the engine's decision
+//! and backtrack bookkeeping for skipped candidates), the filter is free
+//! to *throttle itself*: empty probes back off exponentially up to
+//! [`MAX_BACKOFF`] branch points, refutation hits reset the backoff, so
+//! the screen concentrates its word passes where refutations cluster.
+//! Callers clear the throttle at every root-task boundary
+//! ([`BitsimFilter::reset_throttle`]) so the probe pattern is a function
+//! of the task alone — the `bitsim.*` counters stay byte-identical no
+//! matter how root tasks are sharded across worker threads.
+
+use sta_logic::{BitSim, Dual, ImplicationEngine, Mask, Schedule, TriVal};
+use sta_netlist::NetId;
+
+/// Minimum candidates at a branch point before the batch filter runs; a
+/// word costs one pass over the whole compiled program, which only pays
+/// for itself across several lanes. Thresholds never affect correctness —
+/// any subset of the refutable candidates may be filtered.
+const MIN_LANES: usize = 2;
+
+/// Upper bound of the exponential probing backoff. Refutable branch
+/// points cluster (a hard obligation region produces runs of them);
+/// where probes keep coming back empty the filter backs off to one
+/// probe per `MAX_BACKOFF` branch points, so barren stretches of the
+/// search pay almost nothing for the screen. Like `MIN_LANES`, pure
+/// policy: skipping an invocation never changes any verdict.
+const MAX_BACKOFF: u32 = 64;
+
+/// A reusable 64-lane refutation filter over one compiled [`Schedule`].
+///
+/// The counters feed the `bitsim.*` observability metrics; they are plain
+/// fields (not atomics) because each filter is confined to one worker.
+#[derive(Debug)]
+pub struct BitsimFilter<'a> {
+    sched: &'a Schedule,
+    sim: BitSim,
+    /// Invocations left to skip before the next probe.
+    skip: u32,
+    /// Current backoff length (0 = probe every branch point).
+    backoff: u32,
+    /// 64-lane program executions (one per polarity/timeframe plane).
+    pub words: u64,
+    /// Lane kills summed over polarity planes (a candidate dead in both
+    /// polarities counts twice).
+    pub lanes_filtered: u64,
+    /// Candidates refuted in every alive polarity — exact-engine
+    /// assignment calls that were skipped entirely.
+    pub exact_calls_saved: u64,
+}
+
+impl<'a> BitsimFilter<'a> {
+    /// A filter over `sched`, which must be compiled from the same netlist
+    /// the engine operates on.
+    pub fn new(sched: &'a Schedule) -> Self {
+        BitsimFilter {
+            sched,
+            sim: BitSim::new(sched),
+            skip: 0,
+            backoff: 0,
+            words: 0,
+            lanes_filtered: 0,
+            exact_calls_saved: 0,
+        }
+    }
+
+    /// Clears the adaptive probing backoff. Called at every root-task
+    /// boundary so the throttle state never leaks across tasks — which
+    /// would make the `words` counter depend on how tasks are sharded
+    /// across workers. Pure policy; verdicts are unaffected.
+    pub fn reset_throttle(&mut self) {
+        self.skip = 0;
+        self.backoff = 0;
+    }
+
+    /// Returns the lane mask of candidates that provably conflict in
+    /// **every** polarity of `alive` given the engine's current state.
+    /// Candidates beyond lane 63 are never refuted.
+    pub fn refute_candidates(
+        &mut self,
+        eng: &ImplicationEngine<'_>,
+        cands: &[Vec<(NetId, bool)>],
+        alive: Mask,
+    ) -> u64 {
+        if cands.len() < MIN_LANES || !alive.any() {
+            return 0;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return 0;
+        }
+        let n = cands.len().min(64);
+        let lanes: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        let mut refuted = lanes;
+        for pol_r in [true, false] {
+            let pol_alive = if pol_r { alive.r } else { alive.f };
+            if !pol_alive {
+                continue;
+            }
+            if refuted == 0 {
+                break;
+            }
+            // A lane is dead in this polarity if either timeframe plane
+            // conflicts.
+            let mut dead = 0u64;
+            for init in [true, false] {
+                dead |= self.run_plane(eng, cands, n, lanes, pol_r, init);
+                self.words += 1;
+            }
+            self.lanes_filtered += u64::from((dead & lanes).count_ones());
+            refuted &= dead;
+        }
+        refuted &= lanes;
+        self.exact_calls_saved += u64::from(refuted.count_ones());
+        // Adaptive probing: a hit keeps the filter hot, an empty probe
+        // doubles the stretch of branch points left unscreened.
+        if refuted != 0 {
+            self.backoff = 0;
+        } else {
+            self.backoff = (self.backoff.max(1) * 2).min(MAX_BACKOFF);
+            self.skip = self.backoff;
+        }
+        refuted
+    }
+
+    /// One three-valued plane: polarity `pol_r` (rising/falling launch),
+    /// timeframe `init` (initial/final). Returns the dead-lane mask.
+    fn run_plane(
+        &mut self,
+        eng: &ImplicationEngine<'_>,
+        cands: &[Vec<(NetId, bool)>],
+        n: usize,
+        lanes: u64,
+        pol_r: bool,
+        init: bool,
+    ) -> u64 {
+        self.sim.begin(self.sched);
+        for &src in self.sched.sources() {
+            let v = component(eng.value(src), pol_r, init);
+            if v != TriVal::X {
+                self.sim.seed(src, v);
+            }
+        }
+        // Every known engine value — assigned or implied — becomes a
+        // broadcast requirement: the exact engine's accepted states refine
+        // all of them, so they are safe to impose on every lane.
+        for net in eng.assigned_nets() {
+            let v = component(eng.value(net), pol_r, init);
+            if v != TriVal::X {
+                self.sim.require(net, !0u64, v);
+            }
+        }
+        for (i, cand) in cands.iter().take(n).enumerate() {
+            for &(net, val) in cand {
+                self.sim.require(net, 1u64 << i, TriVal::from_bool(val));
+            }
+        }
+        self.sim.run(self.sched, lanes)
+    }
+}
+
+/// One three-valued component of a dual nine-valued value.
+fn component(d: Dual, pol_r: bool, init: bool) -> TriVal {
+    let v = if pol_r { d.r } else { d.f };
+    if init {
+        v.init()
+    } else {
+        v.fin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::Library;
+    use sta_netlist::{GateKind, Netlist};
+
+    /// AND(a, b) with a = 0 already propagated: a candidate requiring the
+    /// output at 1 is refuted, a candidate leaving it at 0 is not.
+    #[test]
+    fn refutes_exactly_the_contradicted_candidates() {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and2 = lib.cell_by_name("AND2").unwrap().id();
+        let z = nl
+            .add_gate(GateKind::Cell(and2), &[a, b], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        let sched = Schedule::compile(&nl, &lib);
+        let mut filter = BitsimFilter::new(&sched);
+        let mut eng = ImplicationEngine::new(&nl, &lib);
+        // Known state: a = 0, and the output is required stable 0 (which
+        // a = 0 already satisfies — no conflict yet).
+        assert_eq!(eng.assign(a, Dual::stable(false), Mask::BOTH), Mask::NONE);
+        // Candidate 0 wants z = 1 (contradicts a = 0 through the AND);
+        // candidate 1 wants b = 1 (consistent: z stays 0).
+        let cands = vec![vec![(z, true)], vec![(b, true)]];
+        let refuted = filter.refute_candidates(&eng, &cands, Mask::BOTH);
+        assert_eq!(refuted, 0b01);
+        assert_eq!(filter.exact_calls_saved, 1);
+        assert!(filter.words >= 2);
+    }
+
+    /// With nothing assigned, forward simulation knows nothing — no
+    /// candidate can be refuted (the all-X state is consistent with
+    /// anything).
+    #[test]
+    fn refutes_nothing_on_an_unconstrained_engine() {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let or2 = lib.cell_by_name("OR2").unwrap().id();
+        let z = nl
+            .add_gate(GateKind::Cell(or2), &[a, b], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        let sched = Schedule::compile(&nl, &lib);
+        let mut filter = BitsimFilter::new(&sched);
+        let eng = ImplicationEngine::new(&nl, &lib);
+        let cands = vec![vec![(a, true)], vec![(a, false)], vec![(b, true)]];
+        assert_eq!(filter.refute_candidates(&eng, &cands, Mask::BOTH), 0);
+    }
+
+    /// A candidate dead in only one polarity survives the filter (the
+    /// exact engine must handle partial-polarity conflicts itself).
+    #[test]
+    fn partial_polarity_refutation_is_not_filtered() {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and2 = lib.cell_by_name("AND2").unwrap().id();
+        let z = nl
+            .add_gate(GateKind::Cell(and2), &[a, b], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        let sched = Schedule::compile(&nl, &lib);
+        let mut filter = BitsimFilter::new(&sched);
+        let mut eng = ImplicationEngine::new(&nl, &lib);
+        // a = 0 in the rising analysis only; unknown under falling. z is
+        // then stable 0 under rising, unknown under falling.
+        let asym = Dual {
+            r: sta_logic::V9::S0,
+            f: sta_logic::V9::XX,
+        };
+        assert_eq!(eng.assign(a, asym, Mask::BOTH), Mask::NONE);
+        // z = 1 conflicts under rising launch only; the falling analysis
+        // is satisfiable — the candidate must be kept.
+        let cands = vec![vec![(z, true)], vec![(z, false)]];
+        let refuted = filter.refute_candidates(&eng, &cands, Mask::BOTH);
+        assert_eq!(refuted, 0, "single-polarity conflicts must survive");
+        assert_eq!(filter.lanes_filtered, 1, "one lane died, rising only");
+    }
+}

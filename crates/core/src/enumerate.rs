@@ -20,8 +20,9 @@ use std::sync::atomic::AtomicU64;
 use serde::Serialize;
 use sta_cells::{Corner, Edge, Library, Polarity};
 use sta_charlib::{CompiledCorner, ModelCache, TimingLibrary};
-use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle, TriVal, V9};
+use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Schedule, Toggle, TriVal, V9};
 
+use crate::bitsim::BitsimFilter;
 use crate::justify::{JustifyBudget, JustifyCache, JustifyOutcome, JustifyScratch};
 use sta_netlist::{GateId, GateKind, NetId, Netlist};
 
@@ -68,6 +69,12 @@ pub struct EnumerationConfig {
     /// the interpreted `ModelCache` path, e.g. to time the two against
     /// each other.
     pub compile_kernels: bool,
+    /// Pre-filter justification branch candidates through the 64-lane
+    /// bit-parallel forward simulation (`sta_logic::bitsim`) before they
+    /// reach the exact implication engine. Refutation-only: the emitted
+    /// path set and every certificate byte are identical either way (see
+    /// `sta_core::bitsim`); disable to time the exact engine alone.
+    pub bitsim: bool,
     /// Observability handle. Disabled by default; when enabled the run
     /// records phase spans, per-worker metrics and (if installed) progress
     /// counters. Observation is strictly read-only with respect to the
@@ -90,6 +97,7 @@ impl PartialEq for EnumerationConfig {
             && self.justify_decision_limit == other.justify_decision_limit
             && self.threads == other.threads
             && self.compile_kernels == other.compile_kernels
+            && self.bitsim == other.bitsim
     }
 }
 
@@ -107,6 +115,7 @@ impl EnumerationConfig {
             justify_decision_limit: 20_000,
             threads: 1,
             compile_kernels: true,
+            bitsim: true,
             obs: sta_obs::Observer::disabled(),
         }
     }
@@ -127,6 +136,13 @@ impl EnumerationConfig {
     /// default).
     pub fn with_compiled_kernels(mut self, on: bool) -> Self {
         self.compile_kernels = on;
+        self
+    }
+
+    /// Enables or disables the bit-parallel justification pre-filter (on
+    /// by default). Never changes what the run computes.
+    pub fn with_bitsim(mut self, on: bool) -> Self {
+        self.bitsim = on;
         self
     }
 
@@ -167,6 +183,14 @@ pub struct EnumerationStats {
     /// Arc evaluations that fell back to the interpreted models (kernel
     /// compilation disabled).
     pub fallback_evals: u64,
+    /// 64-lane bit-parallel program executions by the justification
+    /// pre-filter (one per polarity/timeframe plane).
+    pub bitsim_words: u64,
+    /// Candidate lanes the pre-filter killed, summed over polarity planes.
+    pub bitsim_lanes_filtered: u64,
+    /// Justification candidates refuted in every alive polarity — exact
+    /// implication-engine attempts skipped entirely.
+    pub bitsim_exact_calls_saved: u64,
     /// High-water mark of the shared side-assignment scratch stack
     /// (deepest nesting of pending side values across the DFS).
     pub scratch_side_hwm: usize,
@@ -192,6 +216,9 @@ impl EnumerationStats {
         self.model_cache_hits += other.model_cache_hits;
         self.compiled_evals += other.compiled_evals;
         self.fallback_evals += other.fallback_evals;
+        self.bitsim_words += other.bitsim_words;
+        self.bitsim_lanes_filtered += other.bitsim_lanes_filtered;
+        self.bitsim_exact_calls_saved += other.bitsim_exact_calls_saved;
         self.scratch_side_hwm = self.scratch_side_hwm.max(other.scratch_side_hwm);
         self.scratch_path_hwm = self.scratch_path_hwm.max(other.scratch_path_hwm);
         self.truncated |= other.truncated;
@@ -211,6 +238,10 @@ pub struct PathEnumerator<'a> {
     /// Corner-compiled kernel table (`None` when disabled), built once at
     /// construction and shared read-only by every worker.
     pub(crate) kernel: Option<CompiledCorner>,
+    /// Compiled forward-simulation program for the bit-parallel
+    /// justification pre-filter (`None` when disabled), built once at
+    /// construction and shared read-only by every worker.
+    pub(crate) schedule: Option<Schedule>,
 }
 
 impl<'a> PathEnumerator<'a> {
@@ -233,12 +264,14 @@ impl<'a> PathEnumerator<'a> {
             "netlist must be technology-mapped"
         );
         let kernel = cfg.compile_kernels.then(|| tlib.compile_corner(cfg.corner));
+        let schedule = cfg.bitsim.then(|| Schedule::compile(nl, lib));
         PathEnumerator {
             nl,
             lib,
             tlib,
             cfg,
             kernel,
+            schedule,
         }
     }
 
@@ -306,6 +339,7 @@ impl<'a> PathEnumerator<'a> {
             side_scratch: Vec::new(),
             justify_todo: Vec::new(),
             justify_scratch: JustifyScratch::default(),
+            filter: self.schedule.as_ref().map(BitsimFilter::new),
             stats: EnumerationStats::default(),
             progress: self.cfg.obs.progress(),
             justify_hist: self.cfg.obs.histogram("justify.decisions_per_call"),
@@ -343,6 +377,11 @@ impl<'a> PathEnumerator<'a> {
         }
         search.stats.justify_cache_hits = search.justify_cache.hits;
         search.stats.model_cache_hits = search.model_cache.hits;
+        if let Some(f) = &search.filter {
+            search.stats.bitsim_words = f.words;
+            search.stats.bitsim_lanes_filtered = f.lanes_filtered;
+            search.stats.bitsim_exact_calls_saved = f.exact_calls_saved;
+        }
         search.stats
     }
 
@@ -399,6 +438,11 @@ impl<'a> PathEnumerator<'a> {
             .add(stats.compiled_evals);
         obs.counter("enumerate.fallback_evals")
             .add(stats.fallback_evals);
+        obs.counter("bitsim.words").add(stats.bitsim_words);
+        obs.counter("bitsim.lanes_filtered")
+            .add(stats.bitsim_lanes_filtered);
+        obs.counter("bitsim.exact_calls_saved")
+            .add(stats.bitsim_exact_calls_saved);
         obs.counter("enumerate.truncated")
             .add(u64::from(stats.truncated));
         obs.gauge("enumerate.scratch_side_hwm")
@@ -571,6 +615,9 @@ pub(crate) struct Search<'a, 'b> {
     pub(crate) justify_todo: Vec<NetId>,
     /// Reusable buffers of the justification search itself.
     pub(crate) justify_scratch: JustifyScratch,
+    /// Bit-parallel justification pre-filter (`None` when disabled); its
+    /// counters are copied into [`EnumerationStats`] after the run.
+    pub(crate) filter: Option<BitsimFilter<'a>>,
     pub(crate) stats: EnumerationStats,
     /// Progress tap (installed via `sta_obs::Observer::install_progress`);
     /// relaxed side-state counters only, never read back by the search.
@@ -717,6 +764,14 @@ impl Search<'_, '_> {
         nodes: &mut Vec<NetId>,
         arcs: &mut Vec<PathArc>,
     ) {
+        // Root-task boundary (serial and parallel alike): the filter's
+        // probing throttle must not carry state between tasks, or its
+        // counters would depend on how tasks are sharded across workers.
+        if arcs.is_empty() {
+            if let Some(f) = self.filter.as_mut() {
+                f.reset_throttle();
+            }
+        }
         self.stats.decisions += 1;
         let cell_id = cell_of(self.nl, gate);
         let cell = self.lib.cell(cell_id);
@@ -1023,6 +1078,7 @@ impl Search<'_, '_> {
             Some(&mut self.justify_cache),
             &mut self.justify_scratch,
             Some(&self.justify_hist),
+            self.filter.as_mut(),
         );
         self.justify_todo = todo;
         self.stats.decisions += budget.decisions;

@@ -22,6 +22,8 @@ use sta_cells::Library;
 use sta_logic::{eval_expr_v9, eval_prim_v9, Dual, ImplicationEngine, Mask, V9};
 use sta_netlist::{GateId, GateKind, NetId, Netlist};
 
+use crate::bitsim::BitsimFilter;
+
 /// One alternative side-input assignment set justifying an obligation.
 type Candidate = Vec<(NetId, bool)>;
 /// All subset-minimal candidate sets of one obligation.
@@ -174,7 +176,46 @@ pub fn justify_with_cache(
 ) -> JustifyOutcome {
     let mut todo = todo;
     let mut scratch = JustifyScratch::default();
-    justify_in(eng, nl, &mut todo, mask, budget, cache, &mut scratch, None)
+    justify_in(
+        eng,
+        nl,
+        &mut todo,
+        mask,
+        budget,
+        cache,
+        &mut scratch,
+        None,
+        None,
+    )
+}
+
+/// [`justify`] with an optional bit-parallel candidate pre-filter (see
+/// [`BitsimFilter`]). The filter only discards branch candidates the exact
+/// engine would refute anyway, and its skipped attempts are counted into
+/// the budget exactly as the engine's immediate-conflict path would have
+/// counted them, so the outcome, the witness, and the budget state are
+/// identical with and without it.
+pub fn justify_filtered(
+    eng: &mut ImplicationEngine<'_>,
+    nl: &Netlist,
+    todo: Vec<NetId>,
+    mask: Mask,
+    budget: &mut JustifyBudget,
+    filter: Option<&mut BitsimFilter<'_>>,
+) -> JustifyOutcome {
+    let mut todo = todo;
+    let mut scratch = JustifyScratch::default();
+    justify_in(
+        eng,
+        nl,
+        &mut todo,
+        mask,
+        budget,
+        None,
+        &mut scratch,
+        None,
+        filter,
+    )
 }
 
 /// Allocation-reusing entry point: the obligation list and the search
@@ -195,12 +236,22 @@ pub(crate) fn justify_in(
     mut cache: Option<&mut JustifyCache>,
     scratch: &mut JustifyScratch,
     effort_hist: Option<&sta_obs::Histogram>,
+    mut filter: Option<&mut BitsimFilter<'_>>,
 ) -> JustifyOutcome {
     let decisions_at_entry = budget.decisions;
     let mark = eng.mark();
     let lib = eng.library();
     let ctx = Ctx { nl, lib };
-    let out = justify_rec(eng, &ctx, todo, mask, budget, &mut cache, scratch);
+    let out = justify_rec(
+        eng,
+        &ctx,
+        todo,
+        mask,
+        budget,
+        &mut cache,
+        scratch,
+        &mut filter,
+    );
     if !matches!(out, JustifyOutcome::Satisfied(_)) {
         eng.rollback(mark);
     }
@@ -269,6 +320,7 @@ fn cached_candidates(
     Rc::new(minimal_candidates(eng, ctx, gate, free, mask))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn justify_rec(
     eng: &mut ImplicationEngine<'_>,
     ctx: &Ctx<'_>,
@@ -277,6 +329,7 @@ fn justify_rec(
     budget: &mut JustifyBudget,
     cache: &mut Option<&mut JustifyCache>,
     scratch: &mut JustifyScratch,
+    filter: &mut Option<&mut BitsimFilter<'_>>,
 ) -> JustifyOutcome {
     let nl = ctx.nl;
     let mut alive = mask;
@@ -352,14 +405,33 @@ fn justify_rec(
         }
         let (gate, cands) = branch.expect("pending implies a branch point");
         let out_net = nl.gate(gate).output();
+        // Batch-refute candidates through the bit-parallel forward
+        // simulator before touching the exact engine. `refuted` lanes are
+        // candidates the engine is certain to reject in every alive
+        // polarity (see `crate::bitsim` for the soundness argument); for
+        // those the loop below replays the engine's immediate-conflict
+        // counter sequence — decision, then backtrack — without the
+        // assignment, so budgets trip at exactly the same point either
+        // way.
+        let refuted: u64 = match filter.as_deref_mut() {
+            Some(f) => f.refute_candidates(eng, &cands, alive),
+            None => 0,
+        };
         // Each candidate extends the shared obligation list in place;
         // truncating back to `saved` on failure restores exactly the state
         // the next candidate must see (the recursion only ever appends).
         let saved = todo.len();
-        for cand in cands.iter() {
+        for (ci, cand) in cands.iter().enumerate() {
             budget.decisions += 1;
             if budget.decisions > budget.max_decisions {
                 return JustifyOutcome::BudgetExhausted;
+            }
+            if ci < 64 && refuted & (1u64 << ci) != 0 {
+                budget.backtracks += 1;
+                if budget.backtracks > budget.max_backtracks {
+                    return JustifyOutcome::BudgetExhausted;
+                }
+                continue;
             }
             let mark = eng.mark();
             let mut alive2 = alive;
@@ -378,7 +450,7 @@ fn justify_rec(
                 if ok_r && ok_f {
                     todo.push(out_net);
                     todo.extend(cand.iter().map(|&(n, _)| n));
-                    match justify_rec(eng, ctx, todo, alive2, budget, cache, scratch) {
+                    match justify_rec(eng, ctx, todo, alive2, budget, cache, scratch, filter) {
                         JustifyOutcome::Satisfied(m) if m.any() => {
                             return JustifyOutcome::Satisfied(m)
                         }

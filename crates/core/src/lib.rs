@@ -52,6 +52,7 @@
 
 pub mod analysis;
 pub mod arrival;
+pub mod bitsim;
 pub mod delaycalc;
 pub mod enumerate;
 pub mod justify;
@@ -69,9 +70,12 @@ pub use analysis::{
 pub use arrival::{
     arc_delay_bound, record_bounds_metrics, static_bounds, static_bounds_compiled, StaticTiming,
 };
+pub use bitsim::BitsimFilter;
 pub use delaycalc::{path_delay, path_delay_compiled, DelayCalcError, PathDelayBreakdown};
 pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
-pub use justify::{justify, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome};
+pub use justify::{
+    justify, justify_filtered, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome,
+};
 pub use path::{group_by_structure, LaunchTiming, PathArc, PathGroup, PiValue, TruePath};
 pub use report::{path_report, summary_report, worst_path_report, CertificateSet};
 pub use sdc::{parse_sdc, Constraints, SdcError};

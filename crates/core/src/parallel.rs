@@ -106,6 +106,9 @@ struct WorkerCtx<'a> {
     /// Corner-compiled kernel table, folded once by the enumerator and
     /// shared read-only by every worker.
     kernel: Option<&'a sta_charlib::CompiledCorner>,
+    /// Compiled bit-parallel simulation program, built once by the
+    /// enumerator; each worker wraps it in its own `BitsimFilter`.
+    schedule: Option<&'a sta_logic::Schedule>,
     plans: &'a [SrcPlan],
     remaining: &'a Option<Vec<f64>>,
     fanouts: &'a [f64],
@@ -185,6 +188,7 @@ pub(crate) fn run_parallel(
         tlib: enumr.tlib,
         cfg: &enumr.cfg,
         kernel: enumr.kernel.as_ref(),
+        schedule: enumr.schedule.as_ref(),
         plans: &plans,
         remaining: &remaining,
         fanouts: &fanouts,
@@ -317,6 +321,7 @@ fn worker_loop(
         side_scratch: Vec::new(),
         justify_todo: Vec::new(),
         justify_scratch: JustifyScratch::default(),
+        filter: ctx.schedule.map(crate::bitsim::BitsimFilter::new),
         stats: EnumerationStats::default(),
         progress: ctx.cfg.obs.progress(),
         justify_hist: ctx.cfg.obs.histogram("justify.decisions_per_call"),
@@ -392,6 +397,11 @@ fn worker_loop(
     }
     total.justify_cache_hits = search.justify_cache.hits;
     total.model_cache_hits = search.model_cache.hits;
+    if let Some(f) = &search.filter {
+        total.bitsim_words = f.words;
+        total.bitsim_lanes_filtered = f.lanes_filtered;
+        total.bitsim_exact_calls_saved = f.exact_calls_saved;
+    }
     total
 }
 

@@ -74,6 +74,10 @@ pub enum RuleCode {
     /// `PATH004` — the reported arrival/slew disagrees with the
     /// stand-alone delay recomputation.
     PathTimingMismatch,
+    /// `SCHED001` — the compiled bit-parallel simulation program is not a
+    /// valid topological order of the netlist (an operand is read before
+    /// it is written, or a driven net is not written exactly once).
+    SchedNotTopological,
 }
 
 impl RuleCode {
@@ -96,6 +100,7 @@ impl RuleCode {
             RuleCode::PathVectorMismatch => "PATH002",
             RuleCode::PathNotSensitized => "PATH003",
             RuleCode::PathTimingMismatch => "PATH004",
+            RuleCode::SchedNotTopological => "SCHED001",
         }
     }
 
@@ -112,7 +117,8 @@ impl RuleCode {
             | RuleCode::PathBrokenChain
             | RuleCode::PathVectorMismatch
             | RuleCode::PathNotSensitized
-            | RuleCode::PathTimingMismatch => Severity::Error,
+            | RuleCode::PathTimingMismatch
+            | RuleCode::SchedNotTopological => Severity::Error,
             RuleCode::NlDanglingNet | RuleCode::NlConstantOutput | RuleCode::LibNonMonotone => {
                 Severity::Warn
             }
@@ -141,6 +147,7 @@ impl RuleCode {
             RuleCode::PathVectorMismatch => "certificate inconsistent with library",
             RuleCode::PathNotSensitized => "witness fails to propagate transition",
             RuleCode::PathTimingMismatch => "arrival disagrees with recomputation",
+            RuleCode::SchedNotTopological => "compiled schedule is not a topological order",
         }
     }
 }
@@ -347,6 +354,7 @@ mod tests {
             RuleCode::PathVectorMismatch,
             RuleCode::PathNotSensitized,
             RuleCode::PathTimingMismatch,
+            RuleCode::SchedNotTopological,
         ];
         let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

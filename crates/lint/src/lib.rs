@@ -9,7 +9,7 @@
 //! re-certifies emitted paths by replaying their witness vectors through
 //! the nine-valued forward simulator.
 //!
-//! Three rule families, each with stable diagnostic codes:
+//! Four rule families, each with stable diagnostic codes:
 //!
 //! * `NLxxx` — structural netlist checks ([`lint_netlist`]): combinational
 //!   cycles (iterative SCC), undriven / dangling / multiply-driven nets,
@@ -23,7 +23,11 @@
 //!   each reported path's sensitization witness through
 //!   `sta_logic::ImplicationEngine` and confirms the transition propagates
 //!   edge-by-edge, then cross-checks the reported arrival against the
-//!   stand-alone delay calculator.
+//!   stand-alone delay calculator;
+//! * `SCHEDxxx` — compiled-schedule checks ([`check_schedule`]): the flat
+//!   program driving the 64-lane bit-parallel simulator
+//!   (`sta_logic::bitsim`) must be a valid topological evaluation order of
+//!   the netlist, or every batch verdict downstream of it is meaningless.
 //!
 //! Diagnostics carry a severity ([`Severity`]) and render either as
 //! human-readable lines or as JSON ([`LintReport`]); a `--deny warnings`
@@ -36,8 +40,10 @@ pub mod diag;
 pub mod library_rules;
 pub mod netlist_rules;
 pub mod path_rules;
+pub mod sched_rules;
 
 pub use diag::{Diagnostic, LintReport, RuleCode, Severity};
 pub use library_rules::{lint_library, LibLintConfig};
 pub use netlist_rules::lint_netlist;
 pub use path_rules::{verify_path, verify_paths, PathVerifyOutcome};
+pub use sched_rules::{check_compiled_schedule, check_schedule};

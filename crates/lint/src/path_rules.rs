@@ -21,12 +21,25 @@
 //! of `sta_core::justify`), so the witness engine's net values are exactly
 //! the forward simulation of its PI assignments — assigning only the
 //! published PI vector into a fresh engine reproduces them.
+//!
+//! # Batch replay
+//!
+//! [`verify_paths`] runs the PATH003 replay 64 certificates at a time
+//! through the bit-parallel simulator (`sta_logic::bitsim`): each `u64`
+//! lane carries one (certificate, launch polarity) pair, seeded with that
+//! certificate's witness vector, and two program passes (one per
+//! timeframe plane) evaluate the whole batch. Because a nine-valued
+//! forward evaluation is exactly the pair of its three-valued timeframe
+//! evaluations, a lane agrees with the scalar engine replay bit for bit —
+//! a batch pass *is* a scalar pass. Any lane that fails falls back to the
+//! scalar engine so the emitted diagnostics are byte-identical to the
+//! one-at-a-time oracle.
 
 use sta_cells::{Corner, Edge, Library};
 use sta_charlib::TimingLibrary;
 use sta_core::delaycalc::path_delay;
 use sta_core::{PiValue, TruePath};
-use sta_logic::{Dual, ImplicationEngine, Mask, V9};
+use sta_logic::{BitSim, Dual, ImplicationEngine, Mask, Schedule, TriVal, V9};
 use sta_netlist::{GateKind, Netlist};
 
 use crate::diag::{Diagnostic, RuleCode};
@@ -40,6 +53,10 @@ pub struct PathVerifyOutcome {
     pub certified: usize,
     /// All findings, in path order.
     pub diagnostics: Vec<Diagnostic>,
+    /// 64-lane program passes spent on the batch witness replay.
+    pub batch_words: u64,
+    /// (certificate, polarity) lanes that fell back to the scalar engine.
+    pub scalar_fallbacks: u64,
 }
 
 impl PathVerifyOutcome {
@@ -59,13 +76,20 @@ impl PathVerifyOutcome {
         obs.counter("lint.verify.checked").add(self.checked as u64);
         obs.counter("lint.verify.certified")
             .add(self.certified as u64);
+        obs.counter("lint.verify.batch_words").add(self.batch_words);
+        obs.counter("lint.verify.scalar_fallbacks")
+            .add(self.scalar_fallbacks);
         for d in &self.diagnostics {
             obs.counter(&format!("lint.rule.{}", d.rule.code())).inc();
         }
     }
 }
 
-/// Re-certifies every path; see the module docs for the rule set.
+/// Re-certifies every path; see the module docs for the rule set. The
+/// PATH003 witness replay runs 64 certificates per pass through the
+/// bit-parallel simulator, with a scalar fallback on any failing lane —
+/// the diagnostics are byte-identical to calling [`verify_path`] per
+/// path.
 pub fn verify_paths(
     nl: &Netlist,
     lib: &Library,
@@ -76,8 +100,51 @@ pub fn verify_paths(
 ) -> PathVerifyOutcome {
     let mut out = PathVerifyOutcome::default();
     let mut eng = ImplicationEngine::new(nl, lib);
+
+    // Stage 1: structural + metadata checks, scalar (cheap). Survivors
+    // queue one batch lane per claimed launch polarity.
+    let mut pre: Vec<Vec<Diagnostic>> = Vec::with_capacity(paths.len());
+    let mut lanes: Vec<(usize, bool)> = Vec::new();
     for (i, p) in paths.iter().enumerate() {
-        let ds = verify_path_with(&mut eng, nl, lib, tlib, p, input_slew, corner, i);
+        let ds = structural_checks(nl, lib, p, i);
+        if ds.is_empty() {
+            if p.rise.is_some() {
+                lanes.push((i, true));
+            }
+            if p.fall.is_some() {
+                lanes.push((i, false));
+            }
+        }
+        pre.push(ds);
+    }
+
+    // Stage 2: batch witness replay, 64 lanes per pass.
+    let mut replay_ok = vec![true; paths.len()];
+    if !lanes.is_empty() {
+        let sched = Schedule::compile(nl, lib);
+        let mut sim = BitSim::new(&sched);
+        for chunk in lanes.chunks(64) {
+            let failed = replay_batch(&sched, &mut sim, nl, lib, paths, chunk);
+            out.batch_words += 2;
+            for (bit, &(idx, _)) in chunk.iter().enumerate() {
+                if failed & (1u64 << bit) != 0 {
+                    replay_ok[idx] = false;
+                    out.scalar_fallbacks += 1;
+                }
+            }
+        }
+    }
+
+    // Stage 3: assemble per-path results in path order; failing batch
+    // lanes rerun the scalar replay for byte-identical diagnostics.
+    for (i, p) in paths.iter().enumerate() {
+        let mut ds = std::mem::take(&mut pre[i]);
+        if ds.is_empty() {
+            if !replay_ok[i] {
+                replay_checks(&mut eng, nl, lib, p, i, &mut ds);
+            }
+            timing_checks(nl, tlib, p, input_slew, corner, i, &mut ds);
+        }
         out.checked += 1;
         if ds.is_empty() {
             out.certified += 1;
@@ -116,15 +183,36 @@ fn verify_path_with(
     corner: Corner,
     index: usize,
 ) -> Vec<Diagnostic> {
+    let mut out = structural_checks(nl, lib, path, index);
+    if !out.is_empty() {
+        return out;
+    }
+    replay_checks(eng, nl, lib, path, index, &mut out);
+    timing_checks(nl, tlib, path, input_slew, corner, index, &mut out);
+    out
+}
+
+/// `circuit:path[index] src->dst`, the location string of every PATHxxx
+/// diagnostic.
+fn loc_of(nl: &Netlist, path: &TruePath, index: usize) -> String {
+    let src = nl.net_label(path.source);
+    let dst = path
+        .nodes
+        .last()
+        .map_or_else(|| "?".to_string(), |&n| nl.net_label(n));
+    format!("{}:path[{index}] {src}->{dst}", nl.name())
+}
+
+/// PATH001 + PATH002: structural chain and library metadata. Returns the
+/// diagnostics; non-empty means the replay/timing stages must be skipped.
+fn structural_checks(
+    nl: &Netlist,
+    lib: &Library,
+    path: &TruePath,
+    index: usize,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    let loc = || {
-        let src = nl.net_label(path.source);
-        let dst = path
-            .nodes
-            .last()
-            .map_or_else(|| "?".to_string(), |&n| nl.net_label(n));
-        format!("{}:path[{index}] {src}->{dst}", nl.name())
-    };
+    let loc = || loc_of(nl, path, index);
     let broken = |out: &mut Vec<Diagnostic>, msg: String| {
         out.push(Diagnostic::new(RuleCode::PathBrokenChain, loc(), msg));
     };
@@ -297,11 +385,19 @@ fn verify_path_with(
             ));
         }
     }
-    if !out.is_empty() {
-        return out;
-    }
+    out
+}
 
-    // ---- PATH003: witness replay ----------------------------------------
+/// PATH003: scalar witness replay through the nine-valued engine.
+fn replay_checks(
+    eng: &mut ImplicationEngine<'_>,
+    nl: &Netlist,
+    lib: &Library,
+    path: &TruePath,
+    index: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let loc = || loc_of(nl, path, index);
     let claimed = Mask {
         r: path.rise.is_some(),
         f: path.fall.is_some(),
@@ -404,8 +500,19 @@ fn verify_path_with(
         }
     }
     eng.reset();
+}
 
-    // ---- PATH004: timing cross-check ------------------------------------
+/// PATH004: timing cross-check against the stand-alone delay calculator.
+fn timing_checks(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    path: &TruePath,
+    input_slew: f64,
+    corner: Corner,
+    index: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let loc = || loc_of(nl, path, index);
     for (timing, launch) in [(&path.rise, Edge::Rise), (&path.fall, Edge::Fall)] {
         let Some(t) = timing else { continue };
         let breakdown = match path_delay(nl, tlib, path, launch, input_slew, corner) {
@@ -458,7 +565,105 @@ fn verify_path_with(
             }
         }
     }
-    out
+}
+
+/// One three-valued timeframe component of a witness PI value under the
+/// given launch polarity.
+fn witness_component(value: PiValue, pol_r: bool, init: bool) -> TriVal {
+    let d = match value {
+        PiValue::Transition => Dual::transition(false),
+        PiValue::Zero => Dual::stable(false),
+        PiValue::One => Dual::stable(true),
+        PiValue::X => return TriVal::X,
+    };
+    let v = if pol_r { d.r } else { d.f };
+    if init {
+        v.init()
+    } else {
+        v.fin()
+    }
+}
+
+/// Replays up to 64 (certificate, launch polarity) lanes through the
+/// bit-parallel simulator; two program passes, one per timeframe plane.
+/// Returns the mask of lanes whose replay *disagrees* with the
+/// certificate. A nine-valued value equals its expectation iff both
+/// timeframe components do, so a clear mask is exactly a scalar PATH003
+/// pass (see the module docs).
+fn replay_batch(
+    sched: &Schedule,
+    sim: &mut BitSim,
+    nl: &Netlist,
+    lib: &Library,
+    paths: &[TruePath],
+    chunk: &[(usize, bool)],
+) -> u64 {
+    let lanes: u64 = if chunk.len() == 64 {
+        !0
+    } else {
+        (1u64 << chunk.len()) - 1
+    };
+    let mut failed = 0u64;
+    for init in [true, false] {
+        sim.begin(sched);
+        for (bit, &(idx, pol_r)) in chunk.iter().enumerate() {
+            let path = &paths[idx];
+            for (&pi, &value) in nl.inputs().iter().zip(&path.input_vector) {
+                let v = witness_component(value, pol_r, init);
+                if v != TriVal::X {
+                    sim.require(pi, 1u64 << bit, v);
+                }
+            }
+        }
+        // Witness vectors only constrain primary inputs, so no lane can
+        // conflict; the dead mask is folded in anyway for robustness.
+        failed |= sim.run(sched, lanes);
+        for (bit, &(idx, pol_r)) in chunk.iter().enumerate() {
+            if failed & (1u64 << bit) != 0 {
+                continue;
+            }
+            let path = &paths[idx];
+            let launch = if pol_r { Edge::Rise } else { Edge::Fall };
+            let mut edge = launch;
+            let mut ok = true;
+            'nodes: for (k, &node) in path.nodes.iter().enumerate() {
+                let want = match (edge, init) {
+                    (Edge::Rise, true) | (Edge::Fall, false) => TriVal::Zero,
+                    (Edge::Rise, false) | (Edge::Fall, true) => TriVal::One,
+                };
+                if sim.get(node, bit as u32) != Some(want) {
+                    ok = false;
+                    break 'nodes;
+                }
+                if let Some(arc) = path.arcs.get(k) {
+                    edge = edge.through(arc.polarity);
+                }
+            }
+            if ok {
+                'arcs: for arc in &path.arcs {
+                    let gate = nl.gate(arc.gate);
+                    let cell = match gate.kind() {
+                        GateKind::Cell(c) => c,
+                        GateKind::Prim(_) => unreachable!("rejected in PATH002"),
+                    };
+                    let vector = &lib.cell(cell).vectors_of(arc.pin)[arc.vector];
+                    for (q, &net) in gate.inputs().iter().enumerate() {
+                        let Some(required) = vector.side_value(q as u8) else {
+                            continue;
+                        };
+                        if sim.get(net, bit as u32) != Some(TriVal::from_bool(required)) {
+                            ok = false;
+                            break 'arcs;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                failed |= 1u64 << bit;
+            }
+        }
+    }
+    failed & lanes
 }
 
 #[cfg(test)]
@@ -573,6 +778,49 @@ u = NAND(a, b)\nv = NAND(b, c)\nz = NAND(u, v)\n";
             outcome.diagnostics
         );
         assert_eq!(outcome.checked, paths.len());
+        // Every certificate went through the batch path; none fell back.
+        assert!(outcome.batch_words >= 2);
+        assert_eq!(outcome.scalar_fallbacks, 0);
+    }
+
+    /// The batch driver and the one-at-a-time oracle agree diagnostic for
+    /// diagnostic, on clean and on corrupted certificates alike.
+    #[test]
+    fn batch_replay_matches_scalar_oracle() {
+        let (nl, lib, tlib, corner, paths) = setup();
+        let mut mixed: Vec<TruePath> = paths.clone();
+        // Corrupt a witness (PATH003 material) and an arrival (PATH004).
+        for p in &mut mixed {
+            if let Some(pos) = p
+                .input_vector
+                .iter()
+                .position(|v| matches!(v, PiValue::Zero | PiValue::One))
+            {
+                p.input_vector[pos] = match p.input_vector[pos] {
+                    PiValue::Zero => PiValue::One,
+                    _ => PiValue::Zero,
+                };
+                break;
+            }
+        }
+        if let Some(t) = mixed
+            .last_mut()
+            .and_then(|p| p.rise.as_mut().or(p.fall.as_mut()))
+        {
+            t.arrival += 5.0;
+        }
+        let batch = verify_paths(&nl, &lib, &tlib, &mixed, 60.0, corner);
+        let scalar: Vec<Diagnostic> = mixed
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| {
+                let mut eng = ImplicationEngine::new(&nl, &lib);
+                verify_path_with(&mut eng, &nl, &lib, &tlib, p, 60.0, corner, i)
+            })
+            .collect();
+        assert_eq!(batch.diagnostics, scalar);
+        assert!(!batch.all_certified());
+        assert!(batch.scalar_fallbacks >= 1, "corrupt witness fell back");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! 64-lane bit-parallel three-valued simulation over a compiled
+//! [`Schedule`].
+//!
+//! Each value slot holds **two `u64` words** `(p1, p0)`: bit `i` of `p1`
+//! says lane `i`'s value *could be 1*, bit `i` of `p0` says it *could be
+//! 0*. The three valid encodings per lane are `0 = (0,1)`, `1 = (1,0)` and
+//! `X = (1,1)`; `(0,0)` is the empty (conflicting) value that only arises
+//! when a *requirement* meet fails. Under this encoding the Kleene
+//! connectives are plain word ops, applied to 64 independent lanes at
+//! once:
+//!
+//! ```text
+//! NOT:  z1 = a0            AND:  z1 = a1 & b1      OR:  z1 = a1 | b1
+//!       z0 = a1                  z0 = a0 | b0           z0 = a0 & b0
+//! XOR:  z1 = (a1&b0)|(a0&b1)
+//!       z0 = (a1&b1)|(a0&b0)
+//! ```
+//!
+//! These are exactly the truth tables of [`TriVal::not`], [`TriVal::and`],
+//! [`TriVal::or`] and [`TriVal::xor`] lifted to the could-be-1/could-be-0
+//! representation, so a lane of a [`BitSim`] run equals a scalar
+//! three-valued evaluation of the same seeds — the cross-check the
+//! property tests pin.
+//!
+//! **Requirements** turn the forward simulator into a batch consistency
+//! checker: a requirement on a net is met (bitwise AND of both words) into
+//! the net's value as soon as the program computes it, and the met value
+//! is what propagates to the fanout. A lane whose meet empties — both
+//! words zero — is *dead*: its seeds and requirements are mutually
+//! inconsistent. [`BitSim::run`] returns the accumulated dead-lane mask.
+
+use sta_netlist::NetId;
+
+use crate::schedule::{BitOp, Schedule};
+use crate::value::TriVal;
+
+const ALL: u64 = !0u64;
+
+/// A 64-lane three-valued evaluator for one [`Schedule`].
+///
+/// Reusable across runs: [`BitSim::begin`] starts a fresh batch in O(#
+/// sources) by epoch-stamping requirements instead of clearing them.
+#[derive(Clone, Debug)]
+pub struct BitSim {
+    /// Per slot: "could be 1" lane word.
+    p1: Vec<u64>,
+    /// Per slot: "could be 0" lane word.
+    p0: Vec<u64>,
+    /// Per net slot: requirement words, valid when stamped with `epoch`.
+    req1: Vec<u64>,
+    req0: Vec<u64>,
+    req_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl BitSim {
+    /// An evaluator sized for `sched`, with every lane of every source
+    /// unknown.
+    pub fn new(sched: &Schedule) -> BitSim {
+        let slots = sched.num_slots();
+        BitSim {
+            p1: vec![ALL; slots],
+            p0: vec![ALL; slots],
+            req1: vec![ALL; sched.num_nets()],
+            req0: vec![ALL; sched.num_nets()],
+            req_epoch: vec![0; sched.num_nets()],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new batch: all sources reset to X, all requirements
+    /// cleared (lazily, by epoch bump).
+    pub fn begin(&mut self, sched: &Schedule) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.req_epoch.fill(0);
+                1
+            }
+        };
+        for &src in sched.sources() {
+            self.p1[src.index()] = ALL;
+            self.p0[src.index()] = ALL;
+        }
+    }
+
+    /// Seeds every lane of a source net with the same value (X is the
+    /// default, so seeding X is a no-op on a fresh batch).
+    pub fn seed(&mut self, net: NetId, v: TriVal) {
+        let (p1, p0) = encode(v);
+        self.p1[net.index()] = p1;
+        self.p0[net.index()] = p0;
+    }
+
+    /// Meets `v` into the requirement of `net` for the lanes in
+    /// `lane_mask`. Requirements on source nets are applied before the
+    /// program runs; requirements on driven nets are applied the moment
+    /// the program computes them, and the met value propagates forward.
+    pub fn require(&mut self, net: NetId, lane_mask: u64, v: TriVal) {
+        let s = net.index();
+        if self.req_epoch[s] != self.epoch {
+            self.req_epoch[s] = self.epoch;
+            self.req1[s] = ALL;
+            self.req0[s] = ALL;
+        }
+        match v {
+            TriVal::One => self.req0[s] &= !lane_mask,
+            TriVal::Zero => self.req1[s] &= !lane_mask,
+            TriVal::X => {}
+        }
+    }
+
+    /// Runs the program and returns the dead-lane mask: the lanes of
+    /// `active` whose seeds and requirements are inconsistent somewhere in
+    /// the circuit. Values of dead lanes downstream of their first
+    /// conflict are unspecified; live lanes carry the exact three-valued
+    /// forward-simulation value (with requirements met in).
+    pub fn run(&mut self, sched: &Schedule, active: u64) -> u64 {
+        let mut dead = 0u64;
+        // Apply requirements at the sources first: these slots have no
+        // producing opcode.
+        for &src in sched.sources() {
+            let s = src.index();
+            if self.req_epoch[s] == self.epoch {
+                self.p1[s] &= self.req1[s];
+                self.p0[s] &= self.req0[s];
+                dead |= !(self.p1[s] | self.p0[s]);
+            }
+        }
+        let num_nets = sched.num_nets();
+        for &op in sched.ops() {
+            let (mut z1, mut z0, out) = match op {
+                BitOp::And { a, b, out } => {
+                    let (a, b) = (a as usize, b as usize);
+                    (self.p1[a] & self.p1[b], self.p0[a] | self.p0[b], out)
+                }
+                BitOp::Or { a, b, out } => {
+                    let (a, b) = (a as usize, b as usize);
+                    (self.p1[a] | self.p1[b], self.p0[a] & self.p0[b], out)
+                }
+                BitOp::Xor { a, b, out } => {
+                    let (a, b) = (a as usize, b as usize);
+                    (
+                        (self.p1[a] & self.p0[b]) | (self.p0[a] & self.p1[b]),
+                        (self.p1[a] & self.p1[b]) | (self.p0[a] & self.p0[b]),
+                        out,
+                    )
+                }
+                BitOp::Not { a, out } => (self.p0[a as usize], self.p1[a as usize], out),
+                BitOp::Copy { a, out } => (self.p1[a as usize], self.p0[a as usize], out),
+            };
+            let out = out as usize;
+            if out < num_nets && self.req_epoch[out] == self.epoch {
+                z1 &= self.req1[out];
+                z0 &= self.req0[out];
+            }
+            dead |= !(z1 | z0);
+            self.p1[out] = z1;
+            self.p0[out] = z0;
+        }
+        dead & active
+    }
+
+    /// The value of `net` in `lane` after [`BitSim::run`], or `None` for
+    /// the empty (conflicted) value.
+    pub fn get(&self, net: NetId, lane: u32) -> Option<TriVal> {
+        let bit = 1u64 << lane;
+        let one = self.p1[net.index()] & bit != 0;
+        let zero = self.p0[net.index()] & bit != 0;
+        match (one, zero) {
+            (true, true) => Some(TriVal::X),
+            (true, false) => Some(TriVal::One),
+            (false, true) => Some(TriVal::Zero),
+            (false, false) => None,
+        }
+    }
+}
+
+/// Broadcast word-pair encoding of a three-valued constant.
+fn encode(v: TriVal) -> (u64, u64) {
+    match v {
+        TriVal::Zero => (0, ALL),
+        TriVal::One => (ALL, 0),
+        TriVal::X => (ALL, ALL),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_cells::Library;
+    use sta_netlist::{GateKind, Netlist};
+
+    /// The word-level connectives agree with the scalar `TriVal` tables on
+    /// every input pair, in every lane position.
+    #[test]
+    fn word_ops_match_trival_tables() {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and_o = nl
+            .add_gate(
+                GateKind::Prim(sta_netlist::PrimOp::And),
+                &[a, b],
+                Some("and"),
+            )
+            .unwrap();
+        let or_o = nl
+            .add_gate(GateKind::Prim(sta_netlist::PrimOp::Or), &[a, b], Some("or"))
+            .unwrap();
+        let xor_o = nl
+            .add_gate(
+                GateKind::Prim(sta_netlist::PrimOp::Xor),
+                &[a, b],
+                Some("xor"),
+            )
+            .unwrap();
+        let not_o = nl
+            .add_gate(GateKind::Prim(sta_netlist::PrimOp::Not), &[a], Some("not"))
+            .unwrap();
+        for n in [and_o, or_o, xor_o, not_o] {
+            nl.mark_output(n);
+        }
+        let sched = Schedule::compile(&nl, &lib);
+        let mut sim = BitSim::new(&sched);
+        use TriVal::*;
+        let vals = [Zero, One, X];
+        // One lane per (va, vb) pair, driven through requirements so each
+        // lane carries its own input combination.
+        sim.begin(&sched);
+        for (lane, (va, vb)) in vals
+            .iter()
+            .flat_map(|&va| vals.iter().map(move |&vb| (va, vb)))
+            .enumerate()
+        {
+            sim.require(a, 1 << lane, va);
+            sim.require(b, 1 << lane, vb);
+        }
+        let dead = sim.run(&sched, (1 << 9) - 1);
+        assert_eq!(dead, 0, "pure forward simulation never conflicts");
+        for (lane, (va, vb)) in vals
+            .iter()
+            .flat_map(|&va| vals.iter().map(move |&vb| (va, vb)))
+            .enumerate()
+        {
+            let lane = lane as u32;
+            assert_eq!(sim.get(and_o, lane), Some(va.and(vb)), "{va:?} AND {vb:?}");
+            assert_eq!(sim.get(or_o, lane), Some(va.or(vb)), "{va:?} OR {vb:?}");
+            assert_eq!(sim.get(xor_o, lane), Some(va.xor(vb)), "{va:?} XOR {vb:?}");
+            assert_eq!(sim.get(not_o, lane), Some(va.not()), "NOT {va:?}");
+        }
+    }
+
+    /// A requirement that contradicts the forward value kills exactly the
+    /// lanes it applies to.
+    #[test]
+    fn contradicted_requirement_marks_lane_dead() {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and2 = lib.cell_by_name("AND2").unwrap().id();
+        let z = nl
+            .add_gate(GateKind::Cell(and2), &[a, b], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        let sched = Schedule::compile(&nl, &lib);
+        let mut sim = BitSim::new(&sched);
+        sim.begin(&sched);
+        sim.seed(a, TriVal::Zero);
+        // Lane 0 demands z = 1 (impossible: a = 0 forces z = 0);
+        // lane 1 demands z = 0 (consistent); lane 2 demands b = 1 and
+        // leaves z free (consistent).
+        sim.require(z, 1 << 0, TriVal::One);
+        sim.require(z, 1 << 1, TriVal::Zero);
+        sim.require(b, 1 << 2, TriVal::One);
+        let dead = sim.run(&sched, 0b111);
+        assert_eq!(dead, 0b001);
+        assert_eq!(sim.get(z, 1), Some(TriVal::Zero));
+        assert_eq!(sim.get(b, 2), Some(TriVal::One));
+    }
+
+    /// Requirements are epoch-scoped: a new batch forgets them.
+    #[test]
+    fn begin_clears_requirements_and_seeds() {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let inv = lib.cell_by_name("INV").unwrap().id();
+        let z = nl.add_gate(GateKind::Cell(inv), &[a], Some("z")).unwrap();
+        nl.mark_output(z);
+        let sched = Schedule::compile(&nl, &lib);
+        let mut sim = BitSim::new(&sched);
+        sim.begin(&sched);
+        sim.seed(a, TriVal::One);
+        sim.require(z, ALL, TriVal::One);
+        assert_eq!(sim.run(&sched, ALL), ALL, "z = NOT 1 = 0 contradicts");
+        sim.begin(&sched);
+        assert_eq!(sim.run(&sched, ALL), 0, "fresh batch: all X, no reqs");
+        assert_eq!(sim.get(z, 17), Some(TriVal::X));
+    }
+}

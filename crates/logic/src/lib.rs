@@ -1,14 +1,19 @@
 //! The dual-transition multi-valued logic system and implication engine of
 //! the paper's true-path algorithm (§IV.B).
 //!
-//! Two pieces:
+//! Four pieces:
 //!
 //! * [`value`] — a two-timeframe nine-valued algebra with the paper's
 //!   *semi-undetermined* values (`X0`, `X1`, …) that flag logic
 //!   incompatibilities before all implied nodes are set;
 //! * [`engine`] — a circuit-wide forward-implication engine with a
 //!   backtracking trail, operating on *dual* values so the rising- and
-//!   falling-launch analyses of a path happen in a single traversal.
+//!   falling-launch analyses of a path happen in a single traversal;
+//! * [`schedule`] — a compiler that levelizes a netlist into a flat
+//!   straight-line opcode program over dense net slots;
+//! * [`bitsim`] — a 64-lane bit-parallel three-valued evaluator for those
+//!   programs, packing 64 independent sensitization vectors into each
+//!   `u64` word pair.
 //!
 //! # Example
 //!
@@ -27,10 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitsim;
 pub mod engine;
+pub mod schedule;
 pub mod toggle;
 pub mod value;
 
+pub use bitsim::BitSim;
 pub use engine::{eval_expr_v9, eval_prim_v9, Dual, ImplicationEngine, Mask};
+pub use schedule::{BitOp, Schedule};
 pub use toggle::{toggle_analysis, Toggle};
 pub use value::{TriVal, V9};

@@ -1,0 +1,415 @@
+//! Levelized straight-line evaluation programs over dense net ids.
+//!
+//! A [`Schedule`] compiles a combinational netlist into a flat sequence of
+//! two-input logic opcodes in topological order, the classic compiled-code
+//! simulation layout: no event queue, no per-gate dispatch through cell
+//! expression trees — just a linear pass over an opcode array indexed by
+//! *slots*. Slots `0..num_nets` are the nets themselves (`NetId::index`);
+//! slots above that are scratch temporaries, reused between gates, that
+//! hold intermediate values of multi-level cell expressions.
+//!
+//! The program is evaluator-agnostic: [`crate::bitsim::BitSim`] executes it
+//! 64 lanes at a time over packed three-valued words. Opcode semantics are
+//! defined to match [`crate::eval_prim_v9`] / [`crate::eval_expr_v9`]
+//! exactly (same left-fold association, same `NAND`/`NOR`/`XNOR` final
+//! complement), so a compiled run agrees bit-for-bit with the interpreted
+//! engine on every net.
+
+use sta_cells::func::Expr;
+use sta_cells::Library;
+use sta_netlist::{GateId, GateKind, NetId, Netlist, PrimOp};
+
+/// One straight-line opcode over value slots.
+///
+/// `a`/`b` are read before `out` is written, so an opcode may safely write
+/// over one of its own operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BitOp {
+    /// `out = a AND b` (three-valued).
+    And {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Destination slot.
+        out: u32,
+    },
+    /// `out = a OR b` (three-valued).
+    Or {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Destination slot.
+        out: u32,
+    },
+    /// `out = a XOR b` (three-valued).
+    Xor {
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Destination slot.
+        out: u32,
+    },
+    /// `out = NOT a` (three-valued).
+    Not {
+        /// Operand slot.
+        a: u32,
+        /// Destination slot.
+        out: u32,
+    },
+    /// `out = a` (buffer / plain pin function).
+    Copy {
+        /// Operand slot.
+        a: u32,
+        /// Destination slot.
+        out: u32,
+    },
+}
+
+impl BitOp {
+    /// The destination slot.
+    pub fn out(self) -> u32 {
+        match self {
+            BitOp::And { out, .. }
+            | BitOp::Or { out, .. }
+            | BitOp::Xor { out, .. }
+            | BitOp::Not { out, .. }
+            | BitOp::Copy { out, .. } => out,
+        }
+    }
+
+    /// The operand slots (the second is `None` for unary ops).
+    pub fn operands(self) -> (u32, Option<u32>) {
+        match self {
+            BitOp::And { a, b, .. } | BitOp::Or { a, b, .. } | BitOp::Xor { a, b, .. } => {
+                (a, Some(b))
+            }
+            BitOp::Not { a, .. } | BitOp::Copy { a, .. } => (a, None),
+        }
+    }
+}
+
+/// A compiled evaluation program: the gate order it was built from plus the
+/// flattened opcode sequence.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    ops: Vec<BitOp>,
+    order: Vec<GateId>,
+    /// Nets with no driving gate (primary inputs and genuinely undriven
+    /// nets): the evaluator's seed points.
+    sources: Vec<NetId>,
+    num_nets: usize,
+    num_slots: usize,
+}
+
+impl Schedule {
+    /// Compiles `nl` using the netlist's own Kahn topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle (the partial
+    /// order then misses gates) or a gate with no inputs.
+    pub fn compile(nl: &Netlist, lib: &Library) -> Schedule {
+        Schedule::with_order(nl, lib, &nl.topo_gates())
+    }
+
+    /// Compiles `nl` with an explicit gate order. The order is **not**
+    /// checked here — feed the result to [`Schedule::validate`] (that is
+    /// exactly what the `SCHED001` lint rule does), or keep relying on
+    /// [`Schedule::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` does not mention every gate exactly once, or a
+    /// gate has no inputs.
+    pub fn with_order(nl: &Netlist, lib: &Library, order: &[GateId]) -> Schedule {
+        assert_eq!(order.len(), nl.num_gates(), "order must cover every gate");
+        let mut seen = vec![false; nl.num_gates()];
+        for &g in order {
+            assert!(!seen[g.index()], "gate listed twice in schedule order");
+            seen[g.index()] = true;
+        }
+        let num_nets = nl.num_nets();
+        let mut ops = Vec::new();
+        let mut max_temp = 0usize;
+        for &gid in order {
+            let g = nl.gate(gid);
+            assert!(g.fanin() > 0, "cannot schedule a gate with no inputs");
+            let pins: Vec<u32> = g.inputs().iter().map(|n| n.index() as u32).collect();
+            let out = g.output().index() as u32;
+            // Temporaries restart per gate; `emit` bumps `max_temp` to the
+            // high-water mark so the evaluator can size its slot array.
+            let mut next_temp = num_nets as u32;
+            match g.kind() {
+                GateKind::Prim(op) => {
+                    emit_prim(op, &pins, out, &mut ops, &mut next_temp);
+                }
+                GateKind::Cell(c) => {
+                    emit_expr_into(lib.cell(c).expr(), &pins, out, &mut ops, &mut next_temp);
+                }
+            }
+            max_temp = max_temp.max(next_temp as usize);
+        }
+        let sources = nl
+            .net_ids()
+            .filter(|&n| nl.net(n).driver().is_none())
+            .collect();
+        Schedule {
+            ops,
+            order: order.to_vec(),
+            sources,
+            num_nets,
+            num_slots: max_temp.max(num_nets),
+        }
+    }
+
+    /// The opcode program, in execution order.
+    pub fn ops(&self) -> &[BitOp] {
+        &self.ops
+    }
+
+    /// The gate order the program was compiled from.
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Nets with no driver — primary inputs plus undriven nets. These are
+    /// the slots an evaluator seeds before running the program.
+    pub fn sources(&self) -> &[NetId] {
+        &self.sources
+    }
+
+    /// Number of net slots (slot `i` holds `NetId::from_index(i)`).
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// Total slots including scratch temporaries.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Checks that the program is a valid levelization of `nl`: every
+    /// operand is a source net or was written by an earlier opcode, and
+    /// every driven net is written exactly once. A corrupted gate order
+    /// (a gate scheduled before one of its fanins) fails here, which is
+    /// what the `SCHED001` lint rule reports.
+    pub fn validate(&self, nl: &Netlist) -> Result<(), String> {
+        if self.num_nets != nl.num_nets() {
+            return Err(format!(
+                "schedule was compiled for {} nets, netlist has {}",
+                self.num_nets,
+                nl.num_nets()
+            ));
+        }
+        let mut written = vec![false; self.num_slots];
+        for &src in &self.sources {
+            written[src.index()] = true;
+        }
+        let mut net_writes = vec![0usize; self.num_nets];
+        for (i, op) in self.ops.iter().enumerate() {
+            let (a, b) = op.operands();
+            for operand in [Some(a), b].into_iter().flatten() {
+                if !written[operand as usize] {
+                    return Err(format!(
+                        "op {i} reads slot {operand} ({}) before it is written \
+                         — schedule is not a topological order",
+                        slot_label(nl, operand, self.num_nets)
+                    ));
+                }
+            }
+            let out = op.out() as usize;
+            written[out] = true;
+            if out < self.num_nets {
+                net_writes[out] += 1;
+            }
+        }
+        for n in nl.net_ids() {
+            let want = usize::from(nl.net(n).driver().is_some());
+            if net_writes[n.index()] != want {
+                return Err(format!(
+                    "net {} is written {} time(s), expected {want}",
+                    nl.net_label(n),
+                    net_writes[n.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn slot_label(nl: &Netlist, slot: u32, num_nets: usize) -> String {
+    if (slot as usize) < num_nets {
+        format!("net {}", nl.net_label(NetId::from_index(slot as usize)))
+    } else {
+        format!("temp {}", slot as usize - num_nets)
+    }
+}
+
+/// Emits a left fold of `terms` under `op2`, writing the final result to
+/// `out`. Matches the `fold` in [`crate::eval_prim_v9`]: the identity
+/// element is absorbed because `1 AND x = x`, `0 OR x = x`, `0 XOR x = x`
+/// in three-valued logic, so folding from the first term is equivalent.
+fn emit_fold(
+    op2: fn(u32, u32, u32) -> BitOp,
+    terms: &[u32],
+    out: u32,
+    ops: &mut Vec<BitOp>,
+    next_temp: &mut u32,
+) {
+    match terms {
+        [] => unreachable!("fold over no terms"),
+        [single] => ops.push(BitOp::Copy { a: *single, out }),
+        [first, rest @ ..] => {
+            let mut acc = *first;
+            for (k, &t) in rest.iter().enumerate() {
+                let dst = if k + 1 == rest.len() {
+                    out
+                } else {
+                    let d = *next_temp;
+                    *next_temp += 1;
+                    d
+                };
+                ops.push(op2(acc, t, dst));
+                acc = dst;
+            }
+        }
+    }
+}
+
+fn emit_prim(op: PrimOp, pins: &[u32], out: u32, ops: &mut Vec<BitOp>, next_temp: &mut u32) {
+    let and2 = |a, b, out| BitOp::And { a, b, out };
+    let or2 = |a, b, out| BitOp::Or { a, b, out };
+    let xor2 = |a, b, out| BitOp::Xor { a, b, out };
+    match op {
+        PrimOp::And => emit_fold(and2, pins, out, ops, next_temp),
+        PrimOp::Or => emit_fold(or2, pins, out, ops, next_temp),
+        PrimOp::Xor => emit_fold(xor2, pins, out, ops, next_temp),
+        PrimOp::Nand | PrimOp::Nor | PrimOp::Xnor => {
+            let inner = *next_temp;
+            *next_temp += 1;
+            let op2 = match op {
+                PrimOp::Nand => and2,
+                PrimOp::Nor => or2,
+                _ => xor2,
+            };
+            emit_fold(op2, pins, inner, ops, next_temp);
+            ops.push(BitOp::Not { a: inner, out });
+        }
+        PrimOp::Not => ops.push(BitOp::Not { a: pins[0], out }),
+        PrimOp::Buf => ops.push(BitOp::Copy { a: pins[0], out }),
+    }
+}
+
+/// Emits `expr` over the gate's pin slots, writing the result to `out`.
+/// Association matches [`crate::eval_expr_v9`]'s left folds.
+fn emit_expr_into(expr: &Expr, pins: &[u32], out: u32, ops: &mut Vec<BitOp>, next_temp: &mut u32) {
+    match expr {
+        Expr::Pin(p) => ops.push(BitOp::Copy {
+            a: pins[*p as usize],
+            out,
+        }),
+        Expr::Not(e) => {
+            let a = emit_expr_val(e, pins, ops, next_temp);
+            ops.push(BitOp::Not { a, out });
+        }
+        Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+            let terms: Vec<u32> = es
+                .iter()
+                .map(|e| emit_expr_val(e, pins, ops, next_temp))
+                .collect();
+            let op2 = match expr {
+                Expr::And(_) => |a, b, out| BitOp::And { a, b, out },
+                Expr::Or(_) => |a, b, out| BitOp::Or { a, b, out },
+                _ => |a, b, out| BitOp::Xor { a, b, out },
+            };
+            emit_fold(op2, &terms, out, ops, next_temp);
+        }
+    }
+}
+
+/// Emits `expr` to a slot of the compiler's choosing (a pin slot for plain
+/// pins, a fresh temp otherwise) and returns that slot.
+fn emit_expr_val(expr: &Expr, pins: &[u32], ops: &mut Vec<BitOp>, next_temp: &mut u32) -> u32 {
+    if let Expr::Pin(p) = expr {
+        return pins[*p as usize];
+    }
+    let dst = *next_temp;
+    *next_temp += 1;
+    emit_expr_into(expr, pins, dst, ops, next_temp);
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand_chain() -> (Library, Netlist) {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let nand2 = lib.cell_by_name("NAND2").unwrap().id();
+        let x = nl
+            .add_gate(GateKind::Cell(nand2), &[a, b], Some("x"))
+            .unwrap();
+        let y = nl
+            .add_gate(GateKind::Cell(nand2), &[x, c], Some("y"))
+            .unwrap();
+        nl.mark_output(y);
+        (lib, nl)
+    }
+
+    #[test]
+    fn compile_validates_and_covers_every_net() {
+        let (lib, nl) = nand_chain();
+        let sched = Schedule::compile(&nl, &lib);
+        sched.validate(&nl).expect("compiled schedule is valid");
+        assert_eq!(sched.num_nets(), nl.num_nets());
+        assert!(sched.num_slots() >= sched.num_nets());
+        // Every driven net is the destination of exactly one op.
+        let driven: Vec<u32> = nl
+            .net_ids()
+            .filter(|&n| nl.net(n).driver().is_some())
+            .map(|n| n.index() as u32)
+            .collect();
+        for n in driven {
+            assert_eq!(sched.ops().iter().filter(|op| op.out() == n).count(), 1);
+        }
+    }
+
+    #[test]
+    fn reversed_order_fails_validation() {
+        let (lib, nl) = nand_chain();
+        let mut order = nl.topo_gates();
+        order.reverse();
+        let sched = Schedule::with_order(&nl, &lib, &order);
+        let err = sched.validate(&nl).expect_err("reversed order is invalid");
+        assert!(err.contains("before it is written"), "{err}");
+    }
+
+    #[test]
+    fn primitive_gates_compile() {
+        let lib = Library::standard();
+        let mut nl = Netlist::new("p");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n = nl
+            .add_gate(GateKind::Prim(PrimOp::Nand), &[a, b], Some("n"))
+            .unwrap();
+        let x = nl
+            .add_gate(GateKind::Prim(PrimOp::Xnor), &[n, a], Some("x"))
+            .unwrap();
+        let z = nl
+            .add_gate(GateKind::Prim(PrimOp::Buf), &[x], Some("z"))
+            .unwrap();
+        nl.mark_output(z);
+        let sched = Schedule::compile(&nl, &lib);
+        sched.validate(&nl).expect("valid");
+        // NAND and XNOR each need an inner temp.
+        assert!(sched.num_slots() > sched.num_nets());
+    }
+}

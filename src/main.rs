@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sta-repro list                                  # catalog benchmarks
-//! sta-repro analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels]
+//! sta-repro analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels] [--no-bitsim]
 //! sta-repro slack    <circuit> [--tech T] [--required PS] [--sdc FILE]
 //! sta-repro baseline <circuit> [--tech T] [--k K] [--limit B]
 //! sta-repro cell     <name>    [--tech T]         # vectors + delays
@@ -31,7 +31,9 @@ use sta_charlib::{characterize_cached, CharConfig, CharError, TimingLibrary};
 use sta_circuits::catalog;
 use sta_core::{AnalysisError, AnalysisRequest, CertificateSet, RequiredSource, SdcError};
 use sta_esim::cellsim::{cell_input_cap, simulate_arc, Drive};
-use sta_lint::{lint_library, lint_netlist, verify_paths, LibLintConfig, LintReport};
+use sta_lint::{
+    check_schedule, lint_library, lint_netlist, verify_paths, LibLintConfig, LintReport,
+};
 use sta_netlist::NetlistError;
 use sta_obs::{Heartbeat, Observer, RunManifest};
 
@@ -151,8 +153,11 @@ fn print_usage() {
          \n\
          commands:\n\
            list                                  list catalog benchmarks\n\
-           analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels]   run the single-pass true-path STA\n\
-                    (--no-kernels disables the corner-compiled delay kernels)\n\
+           analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels]\n\
+                    [--no-bitsim]                 run the single-pass true-path STA\n\
+                    (--no-kernels disables the corner-compiled delay kernels;\n\
+                    --no-bitsim disables the 64-lane bit-parallel justification\n\
+                    pre-filter — results are identical either way)\n\
            slack    <circuit> [--tech T] [--required PS] [--sdc FILE]   structural slack report\n\
            baseline <circuit> [--tech T] [--k K] [--limit B]   run the two-step baseline\n\
            cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
@@ -192,6 +197,7 @@ struct Opts {
     out: Option<String>,
     required: Option<f64>,
     no_kernels: bool,
+    no_bitsim: bool,
     format: OutputFormat,
     deny_warnings: bool,
     verify_paths: bool,
@@ -219,6 +225,7 @@ impl Opts {
             out: None,
             required: None,
             no_kernels: false,
+            no_bitsim: false,
             format: OutputFormat::Human,
             deny_warnings: false,
             verify_paths: false,
@@ -252,6 +259,7 @@ impl Opts {
                     opts.required = Some(parse_num(&value("--required")?, "--required")?);
                 }
                 "--no-kernels" => opts.no_kernels = true,
+                "--no-bitsim" => opts.no_bitsim = true,
                 "--format" => {
                     let f = value("--format")?;
                     opts.format = match f.as_str() {
@@ -305,6 +313,7 @@ impl Opts {
         m.insert("tech".to_string(), self.tech.name.clone());
         m.insert("threads".to_string(), self.threads.to_string());
         m.insert("kernels".to_string(), (!self.no_kernels).to_string());
+        m.insert("bitsim".to_string(), (!self.no_bitsim).to_string());
         if let Some(n) = self.nworst {
             m.insert("nworst".to_string(), n.to_string());
         }
@@ -423,14 +432,15 @@ fn cmd_list() -> Result<(), CliError> {
     Ok(())
 }
 
-/// The shared request preamble: circuit, technology, threading, kernels
-/// and the session's observer.
+/// The shared request preamble: circuit, technology, threading, kernels,
+/// the bit-parallel pre-filter and the session's observer.
 fn base_request(circuit: &str, opts: &Opts, session: &ObsSession) -> AnalysisRequest {
     eprintln!("characterizing / loading cache for {} ...", opts.tech.name);
     AnalysisRequest::new(circuit)
         .tech(opts.tech.clone())
         .threads(opts.threads)
         .compiled_kernels(!opts.no_kernels)
+        .bitsim(!opts.no_bitsim)
         .observer(session.observer())
 }
 
@@ -468,6 +478,14 @@ fn cmd_analyze(opts: &Opts, args: &[String]) -> Result<(), CliError> {
                 outcome.stats.scratch_side_hwm,
                 outcome.stats.scratch_path_hwm
             );
+            if outcome.stats.bitsim_words > 0 {
+                println!(
+                    "  bitsim: {} words simulated, {} lanes filtered, {} exact calls saved",
+                    outcome.stats.bitsim_words,
+                    outcome.stats.bitsim_lanes_filtered,
+                    outcome.stats.bitsim_exact_calls_saved
+                );
+            }
             for (i, p) in outcome.paths.iter().take(shown).enumerate() {
                 println!(
                     "{:>3}. {:>9.1} ps  {} gates  {} -> {}",
@@ -622,7 +640,7 @@ fn cmd_baseline(opts: &Opts, args: &[String]) -> Result<(), CliError> {
         &ctx.netlist,
         &ctx.lib,
         &ctx.timing,
-        &BaselineConfig::new(opts.k, opts.limit),
+        &BaselineConfig::new(opts.k, opts.limit).with_bitsim(!opts.no_bitsim),
     );
     let elapsed_s = t0.elapsed().as_secs_f64();
     match opts.format {
@@ -765,6 +783,10 @@ fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
         {
             let _span = obs.span_with("lint-netlist", vec![("circuit", name.clone())]);
             report.extend(lint_netlist(&ctx.netlist));
+        }
+        {
+            let _span = obs.span_with("lint-schedule", vec![("circuit", name.clone())]);
+            report.extend(check_schedule(&ctx.netlist, &ctx.lib));
         }
         if opts.verify_paths {
             let run = ctx.enumerate();

@@ -1,0 +1,89 @@
+//! Identity guarantee of the bit-parallel justification pre-filter.
+//!
+//! The 64-lane filter (`sta_core::bitsim`) is refutation-only: it may
+//! skip exact-engine work on branch candidates that provably conflict,
+//! but it must never change which paths are found, their arrivals, their
+//! witness vectors, or the bytes of the serialized certificate set — at
+//! any thread count. These tests pin that promise against the filter-off
+//! oracle.
+//!
+//! The characterization cache is shared with the observability golden
+//! tests (same technology and configuration) so the suite warms it once.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use sta_cells::Technology;
+use sta_charlib::CharConfig;
+use sta_core::{AnalysisRequest, CertificateSet};
+
+/// Warm characterization cache shared by every test in this file.
+fn warm_cache_dir() -> PathBuf {
+    static WARMED: OnceLock<PathBuf> = OnceLock::new();
+    WARMED
+        .get_or_init(|| {
+            let dir = std::env::temp_dir().join("sta-obs-golden-cache");
+            let lib = sta_cells::Library::standard();
+            sta_charlib::characterize_cached(&lib, &Technology::n90(), &CharConfig::fast(), &dir)
+                .expect("characterization succeeds");
+            dir
+        })
+        .clone()
+}
+
+fn request(circuit: &str) -> AnalysisRequest {
+    AnalysisRequest::new(circuit)
+        .char_config(CharConfig::fast())
+        .cache_dir(warm_cache_dir())
+        .n_worst(Some(50))
+}
+
+fn certificate_bytes(outcome: &sta_core::AnalysisOutcome) -> String {
+    CertificateSet::new(&outcome.netlist, outcome.input_slew, outcome.paths.clone()).to_json()
+}
+
+#[test]
+fn certificates_are_byte_identical_with_filter_on_or_off_at_any_thread_count() {
+    for circuit in ["c17", "c432"] {
+        let oracle = request(circuit)
+            .bitsim(false)
+            .run()
+            .expect("filter-off oracle analyzes");
+        let golden = certificate_bytes(&oracle);
+        assert_eq!(oracle.stats.bitsim_words, 0, "filter off simulates nothing");
+        assert_eq!(oracle.stats.bitsim_exact_calls_saved, 0);
+        for threads in [1, 2, 4] {
+            for bitsim in [false, true] {
+                let outcome = request(circuit)
+                    .threads(threads)
+                    .bitsim(bitsim)
+                    .run()
+                    .expect("run analyzes");
+                assert_eq!(
+                    golden,
+                    certificate_bytes(&outcome),
+                    "{circuit}: bitsim={bitsim} {threads}-thread certificates \
+                     must match the filter-off oracle byte for byte"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_does_measurable_work_when_enabled() {
+    let outcome = request("c432")
+        .bitsim(true)
+        .run()
+        .expect("c432 analyzes with the filter on");
+    assert!(
+        outcome.stats.bitsim_words > 0,
+        "the enumeration of c432 reaches multi-candidate branch points, \
+         so the filter must have simulated at least one word"
+    );
+    assert!(
+        outcome.stats.bitsim_lanes_filtered >= outcome.stats.bitsim_exact_calls_saved,
+        "lane kills are counted per polarity plane, so they bound the \
+         fully-refuted candidates from above"
+    );
+}

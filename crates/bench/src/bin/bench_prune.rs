@@ -1,0 +1,214 @@
+//! Measures what nogood learning and the per-source dominance cut buy
+//! the N-worst sensitization search, circuit by circuit, and writes
+//! `BENCH_prune.json` (repo root).
+//!
+//! For every circuit the same configuration is run twice — learning off,
+//! then learning on — and the raw search-effort counters (justification
+//! decisions, conflicts, bound cuts, wall clock) are reported side by
+//! side, together with a byte-identity check of the two path sets: the
+//! pruning layer is refutation-only, so any divergence is a bug, not a
+//! tuning artifact. c6288 (the 16×16 array multiplier) is a known
+//! exponential blow-up and runs under a hard decision budget; its row is
+//! reported honestly as a truncated attempt, not a completed analysis.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sta_bench::{benchmark, library, timing_library};
+use sta_cells::{Corner, Technology};
+use sta_core::{EnumerationConfig, EnumerationStats, PathEnumerator};
+
+/// One engine configuration measured twice.
+#[derive(Serialize)]
+struct ModeResult {
+    learning: bool,
+    /// Wall-clock of the measured run, milliseconds (single run — the
+    /// counters, not the clock, are the primary signal here).
+    wall_ms: f64,
+    /// Search decisions (arc choices + justification candidates).
+    decisions: u64,
+    /// Decisions spent inside justification calls (the pool learning
+    /// targets); the split shows how much went to refutations.
+    justify_decisions: u64,
+    justify_unsat_decisions: u64,
+    conflicts: u64,
+    /// Subtrees pruned by the static / tightened N-worst bound.
+    pruned: u64,
+    paths: usize,
+    truncated: bool,
+    /// Learning-mode counters (all zero with learning off).
+    nogoods_stored: u64,
+    nogood_hits: u64,
+    decisions_saved: u64,
+    bound_cuts: u64,
+    learn_attempts: u64,
+    learn_side_clauses: u64,
+    learn_verify_failures: u64,
+}
+
+#[derive(Serialize)]
+struct CircuitResult {
+    circuit: String,
+    n_worst: usize,
+    /// Per-circuit decision budget (0 = unlimited); keeps CI bounded on
+    /// the big ISCAS members and caps the honest c6288 attempt.
+    max_decisions: u64,
+    worst_arrival_ps: f64,
+    off: ModeResult,
+    on: ModeResult,
+    /// `100 * (1 - on.decisions / off.decisions)`.
+    decision_reduction_pct: f64,
+    /// `100 * (1 - on.justify_decisions / off.justify_decisions)` — the
+    /// headline criterion: how much of the backward-justification search
+    /// the pruning layer eliminated.
+    justify_decision_reduction_pct: f64,
+    /// The two runs' canonical path sets are byte-identical (always
+    /// asserted; echoed here for the stored artifact).
+    paths_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    technology: String,
+    note: &'static str,
+    circuits: Vec<CircuitResult>,
+}
+
+fn run(
+    nl: &sta_netlist::Netlist,
+    lib: &sta_cells::Library,
+    tlib: &sta_charlib::TimingLibrary,
+    cfg: &EnumerationConfig,
+) -> (Vec<sta_core::TruePath>, EnumerationStats, f64) {
+    let enumr = PathEnumerator::new(nl, lib, tlib, cfg.clone());
+    let t0 = Instant::now();
+    let (paths, stats) = enumr.run();
+    (paths, stats, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn mode_result(learning: bool, stats: &EnumerationStats, wall_ms: f64, paths: usize) -> ModeResult {
+    ModeResult {
+        learning,
+        wall_ms,
+        decisions: stats.decisions,
+        justify_decisions: stats.justify_decisions,
+        justify_unsat_decisions: stats.justify_unsat_decisions,
+        conflicts: stats.conflicts,
+        pruned: stats.pruned,
+        paths,
+        truncated: stats.truncated,
+        nogoods_stored: stats.learn_stored,
+        nogood_hits: stats.learn_hits,
+        decisions_saved: stats.learn_decisions_saved,
+        bound_cuts: stats.learn_bound_cuts,
+        learn_attempts: stats.learn_attempts,
+        learn_side_clauses: stats.learn_side_clauses,
+        learn_verify_failures: stats.learn_verify_failures,
+    }
+}
+
+fn main() {
+    let only: Option<Vec<String>> = std::env::args()
+        .nth(1)
+        .map(|s| s.split(',').map(str::to_string).collect());
+    let tech = Technology::n90();
+    let lib = library();
+    let tlib = timing_library(&tech);
+    let corner = Corner::nominal(&tech);
+
+    // (circuit, n_worst, max_decisions). Budgets are per the catalog
+    // promotion: every circuit completes or truncates deterministically
+    // well inside CI time. c6288 cannot complete — its budget is the
+    // honest-attempt cap.
+    let plan: &[(&str, usize, u64)] = &[
+        ("c17", 3, 0),
+        ("c432", 50, 0),
+        ("c880", 50, 0),
+        ("c1908", 50, 2_000_000),
+        ("c2670", 50, 2_000_000),
+        ("c3540", 50, 2_000_000),
+        ("c5315", 50, 2_000_000),
+        ("c7552", 50, 2_000_000),
+        ("c6288", 20, 1_000_000),
+    ];
+
+    let mut circuits = Vec::new();
+    for &(name, n_worst, max_decisions) in plan {
+        if let Some(only) = &only {
+            if !only.iter().any(|o| o == name) {
+                continue;
+            }
+        }
+        let nl = benchmark(name).mapped.clone();
+        let mut cfg = EnumerationConfig::new(corner).with_n_worst(n_worst);
+        if max_decisions != 0 {
+            cfg.max_decisions = max_decisions;
+        }
+        let (paths_off, stats_off, ms_off) = run(&nl, lib, tlib, &cfg.clone().with_learning(false));
+        let (paths_on, stats_on, ms_on) = run(&nl, lib, tlib, &cfg.clone().with_learning(true));
+
+        // Refutation-only / bound-safe claim, checked on every circuit
+        // whose run is not cut short by the global decision budget (a
+        // truncated run can stop at a different point — see
+        // `EnumerationConfig::learning`).
+        let comparable = !stats_off.truncated && !stats_on.truncated;
+        let identical =
+            serde_json::to_string(&paths_off).unwrap() == serde_json::to_string(&paths_on).unwrap();
+        assert!(
+            !comparable || identical,
+            "{name}: learning changed the emitted path set"
+        );
+
+        let reduction = if stats_off.decisions > 0 {
+            100.0 * (1.0 - stats_on.decisions as f64 / stats_off.decisions as f64)
+        } else {
+            0.0
+        };
+        let justify_reduction = if stats_off.justify_decisions > 0 {
+            100.0 * (1.0 - stats_on.justify_decisions as f64 / stats_off.justify_decisions as f64)
+        } else {
+            0.0
+        };
+        println!(
+            "{name:>6}: n{n_worst:<3} decisions {:>12} -> {:>12}  ({reduction:5.1} %)  \
+             justify {:>12} -> {:>12}  ({justify_reduction:5.1} %)  hits {:>6}  \
+             bound cuts {:>8}  {:7.0} ms -> {:7.0} ms{}",
+            stats_off.decisions,
+            stats_on.decisions,
+            stats_off.justify_decisions,
+            stats_on.justify_decisions,
+            stats_on.learn_hits,
+            stats_on.learn_bound_cuts,
+            ms_off,
+            ms_on,
+            if stats_on.truncated { "  (budget)" } else { "" },
+        );
+        circuits.push(CircuitResult {
+            circuit: name.to_string(),
+            n_worst,
+            max_decisions,
+            worst_arrival_ps: paths_on.first().map_or(0.0, |p| p.worst_arrival()),
+            off: mode_result(false, &stats_off, ms_off, paths_off.len()),
+            on: mode_result(true, &stats_on, ms_on, paths_on.len()),
+            decision_reduction_pct: reduction,
+            justify_decision_reduction_pct: justify_reduction,
+            paths_identical: identical,
+        });
+    }
+
+    let report = Report {
+        bench: "prune",
+        technology: tech.name.clone(),
+        note: "same configuration run learning-off then learning-on; path sets \
+               asserted byte-identical on every non-truncated run; c6288 is a \
+               budget-capped attempt, not a completed analysis",
+        circuits,
+    };
+    std::fs::write(
+        "BENCH_prune.json",
+        serde_json::to_string_pretty(&report).unwrap(),
+    )
+    .unwrap();
+    println!("wrote BENCH_prune.json");
+}

@@ -98,6 +98,7 @@ pub struct AnalysisRequest {
     threads: usize,
     compile_kernels: bool,
     bitsim: bool,
+    learning: bool,
     /// Path cap applied only in full-enumeration mode (no `n_worst`).
     full_enum_path_cap: Option<usize>,
     input_slew: f64,
@@ -119,6 +120,7 @@ impl AnalysisRequest {
             threads: 1,
             compile_kernels: true,
             bitsim: true,
+            learning: true,
             full_enum_path_cap: None,
             input_slew: 60.0,
             required: None,
@@ -167,6 +169,14 @@ impl AnalysisRequest {
     /// (default on). Never changes any computed result.
     pub fn bitsim(mut self, on: bool) -> Self {
         self.bitsim = on;
+        self
+    }
+
+    /// Enables or disables nogood learning and dominance pruning in the
+    /// sensitization search (default on). Refutation-only: never changes
+    /// the emitted path set.
+    pub fn learning(mut self, on: bool) -> Self {
+        self.learning = on;
         self
     }
 
@@ -236,6 +246,7 @@ impl AnalysisRequest {
                 ("threads", self.threads.to_string()),
                 ("kernels", self.compile_kernels.to_string()),
                 ("bitsim", self.bitsim.to_string()),
+                ("learning", self.learning.to_string()),
             ],
         );
         let (lib, netlist) = {
@@ -264,6 +275,7 @@ impl AnalysisRequest {
             .with_threads(self.threads)
             .with_compiled_kernels(self.compile_kernels)
             .with_bitsim(self.bitsim)
+            .with_learning(self.learning)
             .with_observer(self.obs.clone());
         cfg.input_slew = self.input_slew;
         match self.n_worst {
@@ -372,9 +384,32 @@ impl AnalysisContext {
     /// Runs the true-path enumeration (kernel compilation and the search
     /// itself are recorded as child spans of the analysis).
     pub fn enumerate(&self) -> EnumerationRun {
+        self.enumerate_inner(None)
+    }
+
+    /// Like [`AnalysisContext::enumerate`], but injects `store` as the
+    /// run's shared nogood table so callers can audit what was learned
+    /// afterwards (see the lint `LEARN` rules). Has no effect on the
+    /// result when learning is disabled in the configuration.
+    pub fn enumerate_with_nogood_store(
+        &self,
+        store: std::sync::Arc<crate::learn::NogoodStore>,
+    ) -> EnumerationRun {
+        self.enumerate_inner(Some(store))
+    }
+
+    fn enumerate_inner(
+        &self,
+        store: Option<std::sync::Arc<crate::learn::NogoodStore>>,
+    ) -> EnumerationRun {
         let enumr = {
             let _compile = self.root.child("compile");
-            PathEnumerator::new(&self.netlist, &self.lib, &self.timing, self.cfg.clone())
+            let mut e =
+                PathEnumerator::new(&self.netlist, &self.lib, &self.timing, self.cfg.clone());
+            if let Some(store) = store {
+                e.set_nogood_store(store);
+            }
+            e
         };
         let kernel = enumr.kernel().map(|k| {
             k.record_metrics(&self.obs);

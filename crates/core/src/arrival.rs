@@ -4,9 +4,10 @@
 //! search (`remaining_bound`) and as stage one of the commercial-style
 //! baseline (structural arrival times, no sensitization).
 
-use sta_cells::{Corner, Edge};
+use sta_cells::{Corner, Edge, Library};
 use sta_charlib::{CompiledCorner, TimingLibrary};
-use sta_netlist::{CellId, GateKind, Netlist};
+use sta_logic::Toggle;
+use sta_netlist::{CellId, GateId, GateKind, Netlist};
 
 /// Per-net static timing quantities.
 #[derive(Clone, Debug, PartialEq)]
@@ -133,6 +134,196 @@ fn bounds_with(
     StaticTiming { arrival, remaining }
 }
 
+/// Conservative per-(gate, pin, vector) arc-delay upper bounds, ps —
+/// the per-arc refinement of the per-gate maximum inside
+/// [`static_bounds`]. Computed once per run and shared read-only by
+/// every worker; feeds the dominance cut of the N-worst search (see
+/// `sta_core::learn` and `enumerate`).
+#[derive(Clone, Debug)]
+pub struct ArcBounds {
+    /// `per_gate[gate][pin][vector]`, already scaled by the margin.
+    per_gate: Vec<Vec<Vec<f64>>>,
+}
+
+impl ArcBounds {
+    /// The bound of one arc, ps.
+    #[inline]
+    pub fn get(&self, gate: GateId, pin: u8, vector: usize) -> f64 {
+        self.per_gate[gate.index()][pin as usize][vector]
+    }
+}
+
+/// Margin applied to the slew-swept per-arc bounds ([`arc_bounds`]).
+/// The sweep evaluates the *model itself* on a dense fixed grid of the
+/// clamped slew domain, so the only slack the margin must cover is
+/// polynomial wiggle between adjacent sample points — a few percent
+/// dwarfs it for the low-order fitted models. Contrast
+/// `EnumerationConfig::prune_margin`, which also has to absorb the slew
+/// effects the single-point [`static_bounds`] evaluation cannot see.
+pub const ARC_SWEEP_MARGIN: f64 = 1.02;
+
+/// Fixed slew sample points of the per-arc bound sweep: dense over the
+/// characterized range (the models clamp their inputs to the fitted box,
+/// so beyond the grid edge they hold their boundary value) plus sparse
+/// log-spaced points and one effectively-infinite probe covering wider
+/// grids. Fixed points keep the compiled and interpreted bound tables
+/// bit-identical — both evaluators agree bitwise at any single point.
+const SLEW_SWEEP: [f64; 48] = [
+    0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0, 275.0, 300.0, 325.0,
+    350.0, 375.0, 400.0, 425.0, 450.0, 475.0, 500.0, 525.0, 550.0, 575.0, 600.0, 625.0, 650.0,
+    675.0, 700.0, 725.0, 750.0, 775.0, 800.0, 825.0, 850.0, 875.0, 900.0, 925.0, 950.0, 975.0,
+    1000.0, 1250.0, 1600.0, 2000.0, 3000.0, 5000.0, 10000.0, 1e12,
+];
+
+/// Per-arc delay bounds: for every (pin, vector, edge) the model delay is
+/// maximized over the arc's *real* fanout load and the full clamped slew
+/// domain ([`SLEW_SWEEP`]), then scaled by `margin`. Much tighter than
+/// the [`static_bounds`] recipe — that one folds in the grid-global
+/// tabulated sample maximum, which a low-fanout gate never approaches —
+/// while still upper-bounding every delay the search can compute for the
+/// arc: the search evaluates the same clamped model at the same fanout,
+/// only the slew differs, and the sweep covers the whole slew range.
+///
+/// # Panics
+///
+/// Panics if the netlist contains unmapped primitive gates.
+pub fn arc_bounds(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    corner: Corner,
+    default_slew: f64,
+    margin: f64,
+) -> ArcBounds {
+    arc_bounds_with(
+        nl,
+        tlib,
+        default_slew,
+        margin,
+        |cell, pin, v, edge, fo, slew| {
+            tlib.cell(cell)
+                .variant(pin, v)
+                .for_edge(edge)
+                .eval(fo, slew, corner)
+                .0
+        },
+    )
+}
+
+/// [`arc_bounds`] evaluated through a corner-compiled kernel table —
+/// bit-identical to the interpreted bounds at the kernel's corner, so
+/// the dominance cut never depends on the kernel setting.
+pub fn arc_bounds_compiled(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    kernel: &CompiledCorner,
+    default_slew: f64,
+    margin: f64,
+) -> ArcBounds {
+    arc_bounds_with(
+        nl,
+        tlib,
+        default_slew,
+        margin,
+        |cell, pin, v, edge, fo, slew| kernel.eval(kernel.arc_id(cell, pin, v), edge, fo, slew).0,
+    )
+}
+
+fn arc_bounds_with(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    default_slew: f64,
+    margin: f64,
+    mut arc_delay: impl FnMut(CellId, u8, usize, Edge, f64, f64) -> f64,
+) -> ArcBounds {
+    let per_gate = nl
+        .gate_ids()
+        .map(|g| {
+            let gate = nl.gate(g);
+            let cell = match gate.kind() {
+                GateKind::Cell(c) => c,
+                GateKind::Prim(op) => panic!("arc_bounds on unmapped primitive {op}"),
+            };
+            let fo = tlib.equivalent_fanout(nl, gate.output(), cell);
+            let ct = tlib.cell(cell);
+            (0..gate.fanin() as u8)
+                .map(|pin| {
+                    (0..ct.num_vectors(pin))
+                        .map(|v| {
+                            let mut worst = f64::NEG_INFINITY;
+                            for edge in Edge::BOTH {
+                                worst = worst.max(arc_delay(cell, pin, v, edge, fo, default_slew));
+                                for &slew in &SLEW_SWEEP {
+                                    worst = worst.max(arc_delay(cell, pin, v, edge, fo, slew));
+                                }
+                            }
+                            worst * margin
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    ArcBounds { per_gate }
+}
+
+/// Per-source tightened remaining-delay bound: like the `remaining` half
+/// of [`static_bounds`], but restricted to arcs whose side requirements
+/// do not contradict the launch source's toggle analysis (the same
+/// necessary condition `sensitizable_reach` uses) and taken per
+/// (pin, vector) from `bounds` instead of the per-gate maximum.
+///
+/// `rem[net]` therefore upper-bounds the delay of *any true sensitizable
+/// suffix* from `net` to a primary output under this source: every arc a
+/// true path traverses must assign its side values without a toggle
+/// conflict, so per-vector arcs excluded here can never appear on one.
+/// Nets with no such suffix get `-inf` (the search never continues into
+/// them unless they are outputs, which carry `0`).
+pub fn tightened_remaining(
+    nl: &Netlist,
+    lib: &Library,
+    bounds: &ArcBounds,
+    deltas: &[Toggle],
+    is_output: &[bool],
+) -> Vec<f64> {
+    let mut rem = vec![f64::NEG_INFINITY; nl.num_nets()];
+    for (i, &po) in is_output.iter().enumerate() {
+        if po {
+            rem[i] = 0.0;
+        }
+    }
+    let order = nl.topo_gates();
+    for &g in order.iter().rev() {
+        let gate = nl.gate(g);
+        let out_rem = rem[gate.output().index()];
+        if out_rem == f64::NEG_INFINITY {
+            continue;
+        }
+        let cell_id = match gate.kind() {
+            GateKind::Cell(c) => c,
+            GateKind::Prim(op) => panic!("tightened_remaining on unmapped primitive {op}"),
+        };
+        let cell = lib.cell(cell_id);
+        for pin in 0..gate.fanin() as u8 {
+            let input = gate.inputs()[pin as usize];
+            for (v_idx, sv) in cell.vectors_of(pin).iter().enumerate() {
+                let ok = (0..gate.fanin() as u8).all(|p| {
+                    p == pin
+                        || sv.side_value(p).is_none()
+                        || deltas[gate.inputs()[p as usize].index()] != Toggle::One
+                });
+                if !ok {
+                    continue;
+                }
+                let cand = out_rem + bounds.get(g, pin, v_idx);
+                if cand > rem[input.index()] {
+                    rem[input.index()] = cand;
+                }
+            }
+        }
+    }
+    rem
+}
+
 impl StaticTiming {
     /// The worst structural arrival over the primary outputs.
     pub fn worst_arrival(&self, nl: &Netlist) -> f64 {
@@ -195,6 +386,62 @@ mod tests {
         assert!((st.worst_arrival(&nl) - st.arrival[z.index()]).abs() < 1e-9);
         // arrival(PI) + remaining(PI) bounds the whole path.
         assert!(st.remaining[a.index()] >= st.worst_arrival(&nl) - 1e-9);
+    }
+
+    /// The per-source tightened remaining bound never exceeds the global
+    /// structural one: it restricts the arc set and refines the per-gate
+    /// maximum into per-vector bounds, both of which only shrink it.
+    #[test]
+    fn tightened_remaining_is_never_looser() {
+        let (nl, lib) = small_mapped();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let corner = Corner::nominal(&tech);
+        let st = static_bounds(&nl, &tlib, corner, 60.0, 1.25);
+        let ab = arc_bounds(&nl, &tlib, corner, 60.0, 1.25);
+        let mut is_output = vec![false; nl.num_nets()];
+        for &o in nl.outputs() {
+            is_output[o.index()] = true;
+        }
+        for &src in nl.inputs() {
+            let deltas = sta_logic::toggle_analysis(&nl, &lib, src);
+            let tight = tightened_remaining(&nl, &lib, &ab, &deltas, &is_output);
+            for i in 0..nl.num_nets() {
+                if tight[i].is_finite() {
+                    assert!(
+                        tight[i] <= st.remaining[i] + 1e-9,
+                        "net {i}: tightened {} > structural {}",
+                        tight[i],
+                        st.remaining[i]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-arc bounds through the kernel table match the interpreted ones
+    /// bitwise, so the dominance cut never depends on the kernel setting.
+    #[test]
+    fn compiled_arc_bounds_are_bit_identical() {
+        let (nl, lib) = small_mapped();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let corner = Corner::nominal(&tech);
+        let kernel = tlib.compile_corner(corner);
+        let a = arc_bounds(&nl, &tlib, corner, 60.0, 1.25);
+        let b = arc_bounds_compiled(&nl, &tlib, &kernel, 60.0, 1.25);
+        for g in nl.gate_ids() {
+            let gate = nl.gate(g);
+            let cell = match gate.kind() {
+                GateKind::Cell(c) => c,
+                GateKind::Prim(_) => unreachable!(),
+            };
+            for pin in 0..gate.fanin() as u8 {
+                for v in 0..tlib.cell(cell).num_vectors(pin) {
+                    assert_eq!(a.get(g, pin, v).to_bits(), b.get(g, pin, v).to_bits());
+                }
+            }
+        }
     }
 
     /// Kernel-table bounds match the interpreted ones bitwise, so pruning

@@ -16,6 +16,7 @@
 //! logic system (`sta-logic`), so each path is traversed once.
 
 use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 use serde::Serialize;
 use sta_cells::{Corner, Edge, Library, Polarity};
@@ -26,7 +27,8 @@ use crate::bitsim::BitsimFilter;
 use crate::justify::{JustifyBudget, JustifyCache, JustifyOutcome, JustifyScratch};
 use sta_netlist::{GateId, GateKind, NetId, Netlist};
 
-use crate::arrival::static_bounds;
+use crate::arrival::{static_bounds, ArcBounds};
+use crate::learn::{self, ConeScratch, NogoodKey, NogoodStore, NogoodView};
 use crate::path::{LaunchTiming, PathArc, PiValue, TruePath};
 
 /// Configuration of a true-path enumeration run.
@@ -75,6 +77,14 @@ pub struct EnumerationConfig {
     /// path set and every certificate byte are identical either way (see
     /// `sta_core::bitsim`); disable to time the exact engine alone.
     pub bitsim: bool,
+    /// Conflict-driven nogood learning plus the per-source dominance cut
+    /// (see `sta_core::learn`). Refutation-only and bound-safe: the
+    /// emitted path set and every certificate byte are identical either
+    /// way whenever the global `max_decisions` budget does not bite
+    /// (skipped refutations spend no decisions, so a budget-truncated
+    /// run can truncate at a different point). Disable to time the
+    /// unpruned search.
+    pub learning: bool,
     /// Observability handle. Disabled by default; when enabled the run
     /// records phase spans, per-worker metrics and (if installed) progress
     /// counters. Observation is strictly read-only with respect to the
@@ -98,6 +108,7 @@ impl PartialEq for EnumerationConfig {
             && self.threads == other.threads
             && self.compile_kernels == other.compile_kernels
             && self.bitsim == other.bitsim
+            && self.learning == other.learning
     }
 }
 
@@ -116,6 +127,7 @@ impl EnumerationConfig {
             threads: 1,
             compile_kernels: true,
             bitsim: true,
+            learning: true,
             obs: sta_obs::Observer::disabled(),
         }
     }
@@ -143,6 +155,14 @@ impl EnumerationConfig {
     /// by default). Never changes what the run computes.
     pub fn with_bitsim(mut self, on: bool) -> Self {
         self.bitsim = on;
+        self
+    }
+
+    /// Enables or disables nogood learning and the dominance cut (on by
+    /// default). Never changes what the run computes (see
+    /// [`EnumerationConfig::learning`]).
+    pub fn with_learning(mut self, on: bool) -> Self {
+        self.learning = on;
         self
     }
 
@@ -191,6 +211,32 @@ pub struct EnumerationStats {
     /// Justification candidates refuted in every alive polarity — exact
     /// implication-engine attempts skipped entirely.
     pub bitsim_exact_calls_saved: u64,
+    /// Nogoods learned, verified and stored (see `sta_core::learn`).
+    pub learn_stored: u64,
+    /// Justification calls skipped because a stored nogood refuted every
+    /// alive polarity.
+    pub learn_hits: u64,
+    /// Estimated justification decisions those hits saved (the original
+    /// refutation cost of each firing nogood).
+    pub learn_decisions_saved: u64,
+    /// Arcs cut by the per-source dominance bound before justification
+    /// started.
+    pub learn_bound_cuts: u64,
+    /// Refutations offered to the learner (definitive `Unsatisfiable`
+    /// results costing at least `learn::MIN_LEARN_DECISIONS`).
+    pub learn_attempts: u64,
+    /// Decisions spent inside justification calls (a subset of
+    /// `decisions`; the remainder are arc-selection decisions).
+    pub justify_decisions: u64,
+    /// The share of `justify_decisions` spent on calls that ended in a
+    /// definitive refutation — the pool nogood learning can recover.
+    pub justify_unsat_decisions: u64,
+    /// Stored clauses whose literals are the arc's side values alone
+    /// (context-free; every future try of the key is a guaranteed hit).
+    pub learn_side_clauses: u64,
+    /// Candidate clauses that failed verification replay (per polarity);
+    /// nothing was stored for that polarity.
+    pub learn_verify_failures: u64,
     /// High-water mark of the shared side-assignment scratch stack
     /// (deepest nesting of pending side values across the DFS).
     pub scratch_side_hwm: usize,
@@ -219,6 +265,15 @@ impl EnumerationStats {
         self.bitsim_words += other.bitsim_words;
         self.bitsim_lanes_filtered += other.bitsim_lanes_filtered;
         self.bitsim_exact_calls_saved += other.bitsim_exact_calls_saved;
+        self.learn_stored += other.learn_stored;
+        self.learn_hits += other.learn_hits;
+        self.learn_decisions_saved += other.learn_decisions_saved;
+        self.learn_bound_cuts += other.learn_bound_cuts;
+        self.learn_attempts += other.learn_attempts;
+        self.justify_decisions += other.justify_decisions;
+        self.justify_unsat_decisions += other.justify_unsat_decisions;
+        self.learn_side_clauses += other.learn_side_clauses;
+        self.learn_verify_failures += other.learn_verify_failures;
         self.scratch_side_hwm = self.scratch_side_hwm.max(other.scratch_side_hwm);
         self.scratch_path_hwm = self.scratch_path_hwm.max(other.scratch_path_hwm);
         self.truncated |= other.truncated;
@@ -242,6 +297,10 @@ pub struct PathEnumerator<'a> {
     /// justification pre-filter (`None` when disabled), built once at
     /// construction and shared read-only by every worker.
     pub(crate) schedule: Option<Schedule>,
+    /// Caller-injected nogood store (see
+    /// [`PathEnumerator::set_nogood_store`]); when `None` and learning is
+    /// on, each run creates its own.
+    pub(crate) nogood_store: Option<Arc<NogoodStore>>,
 }
 
 impl<'a> PathEnumerator<'a> {
@@ -272,12 +331,24 @@ impl<'a> PathEnumerator<'a> {
             cfg,
             kernel,
             schedule,
+            nogood_store: None,
         }
     }
 
     /// The corner-compiled kernel table, if kernel compilation is enabled.
     pub fn kernel(&self) -> Option<&CompiledCorner> {
         self.kernel.as_ref()
+    }
+
+    /// Installs a caller-owned shared nogood store for the next run(s),
+    /// letting the caller inspect what was learned afterwards (the lint
+    /// LEARN rules replay every stored clause). Ignored when
+    /// [`EnumerationConfig::learning`] is off. Sharing a warm store
+    /// across runs is sound — clauses are verified against the netlist
+    /// and source, not any per-run state — but each run's `learn.*`
+    /// counters then reflect the warm start.
+    pub fn set_nogood_store(&mut self, store: Arc<NogoodStore>) {
+        self.nogood_store = Some(store);
     }
 
     /// Runs the enumeration and returns the discovered true paths (sorted
@@ -315,6 +386,11 @@ impl<'a> PathEnumerator<'a> {
 
     /// The serial engine behind [`PathEnumerator::run_with`].
     fn run_serial(&self, sink: &mut dyn FnMut(TruePath)) -> EnumerationStats {
+        let nogoods = self.cfg.learning.then(|| {
+            self.nogood_store
+                .clone()
+                .unwrap_or_else(|| Arc::new(NogoodStore::new()))
+        });
         let mut search = Search {
             nl: self.nl,
             lib: self.lib,
@@ -340,6 +416,17 @@ impl<'a> PathEnumerator<'a> {
             justify_todo: Vec::new(),
             justify_scratch: JustifyScratch::default(),
             filter: self.schedule.as_ref().map(BitsimFilter::new),
+            learn_eng: self
+                .cfg
+                .learning
+                .then(|| ImplicationEngine::new(self.nl, self.lib)),
+            nogoods,
+            nogood_view: NogoodView::new(),
+            cone_scratch: ConeScratch::default(),
+            learn_todo: Vec::new(),
+            learn_scratch: JustifyScratch::default(),
+            arc_bounds: self.learn_arc_bounds(),
+            tight_rem: None,
             stats: EnumerationStats::default(),
             progress: self.cfg.obs.progress(),
             justify_hist: self.cfg.obs.histogram("justify.decisions_per_call"),
@@ -359,6 +446,15 @@ impl<'a> PathEnumerator<'a> {
             // (crucial on reconvergent XOR logic).
             let deltas = toggle_analysis(self.nl, self.lib, src);
             search.reach = sensitizable_reach(self.nl, self.lib, &deltas, &search.is_output);
+            search.tight_rem = search.arc_bounds.as_ref().map(|ab| {
+                crate::arrival::tightened_remaining(
+                    self.nl,
+                    self.lib,
+                    ab,
+                    &deltas,
+                    &search.is_output,
+                )
+            });
             search.eng.set_toggles(Some(deltas));
             if !search.reach[src.index()] {
                 search.eng.set_toggles(None);
@@ -412,6 +508,35 @@ impl<'a> PathEnumerator<'a> {
         })
     }
 
+    /// Per-arc delay bound table of the dominance cut (`None` unless
+    /// learning and N-worst mode are both on), computed once per run and
+    /// shared read-only by every worker. Goes through the kernel table
+    /// when one exists — the two variants are bit-identical, so the cut
+    /// never depends on the kernel setting.
+    pub(crate) fn learn_arc_bounds(&self) -> Option<Arc<ArcBounds>> {
+        // The swept bound evaluates the model over the whole clamped slew
+        // domain, so it needs only the small wiggle margin, not the
+        // conservative `prune_margin` of the single-point static pass.
+        (self.cfg.learning && self.cfg.n_worst.is_some()).then(|| {
+            Arc::new(match &self.kernel {
+                Some(k) => crate::arrival::arc_bounds_compiled(
+                    self.nl,
+                    self.tlib,
+                    k,
+                    self.cfg.input_slew,
+                    crate::arrival::ARC_SWEEP_MARGIN,
+                ),
+                None => crate::arrival::arc_bounds(
+                    self.nl,
+                    self.tlib,
+                    self.cfg.corner,
+                    self.cfg.input_slew,
+                    crate::arrival::ARC_SWEEP_MARGIN,
+                ),
+            })
+        })
+    }
+
     /// Folds a finished run's statistics into the observer's metrics
     /// registry, and registers the full enumeration metric name set —
     /// including the parallel-only counters — so that manifests from runs
@@ -443,6 +568,20 @@ impl<'a> PathEnumerator<'a> {
             .add(stats.bitsim_lanes_filtered);
         obs.counter("bitsim.exact_calls_saved")
             .add(stats.bitsim_exact_calls_saved);
+        obs.counter("learn.nogoods_stored").add(stats.learn_stored);
+        obs.counter("learn.hits").add(stats.learn_hits);
+        obs.counter("learn.decisions_saved")
+            .add(stats.learn_decisions_saved);
+        obs.counter("learn.bound_cuts").add(stats.learn_bound_cuts);
+        obs.counter("learn.attempts").add(stats.learn_attempts);
+        obs.counter("learn.side_clauses")
+            .add(stats.learn_side_clauses);
+        obs.counter("learn.verify_failures")
+            .add(stats.learn_verify_failures);
+        obs.counter("justify.decisions")
+            .add(stats.justify_decisions);
+        obs.counter("justify.unsat_decisions")
+            .add(stats.justify_unsat_decisions);
         obs.counter("enumerate.truncated")
             .add(u64::from(stats.truncated));
         obs.gauge("enumerate.scratch_side_hwm")
@@ -618,6 +757,30 @@ pub(crate) struct Search<'a, 'b> {
     /// Bit-parallel justification pre-filter (`None` when disabled); its
     /// counters are copied into [`EnumerationStats`] after the run.
     pub(crate) filter: Option<BitsimFilter<'a>>,
+    /// Scratch engine for learn-time nogood verification replays (`None`
+    /// with learning off). Reset before and after every replay; never
+    /// carries search state.
+    pub(crate) learn_eng: Option<ImplicationEngine<'a>>,
+    /// Shared learned-nogood store (`None` with learning off). Serial
+    /// runs own theirs; parallel workers clone one `Arc` (see
+    /// `sta_core::learn` for the sharing and soundness story).
+    pub(crate) nogoods: Option<Arc<NogoodStore>>,
+    /// Per-worker epoch-validated read cache over the store.
+    pub(crate) nogood_view: NogoodView,
+    /// Reusable cone-walk buffers of the nogood cut extraction.
+    pub(crate) cone_scratch: ConeScratch,
+    /// Reusable side-net list handed to the cut extraction.
+    pub(crate) learn_todo: Vec<NetId>,
+    /// Reusable justification buffers of the verification replay (kept
+    /// apart from `justify_scratch` for clarity; both are transient).
+    pub(crate) learn_scratch: JustifyScratch,
+    /// Per-arc delay bounds of the dominance cut (`None` unless learning
+    /// and N-worst mode are both on).
+    pub(crate) arc_bounds: Option<Arc<ArcBounds>>,
+    /// Per-source tightened remaining bounds (see
+    /// `arrival::tightened_remaining`), refreshed at every source switch;
+    /// `None` whenever `arc_bounds` is.
+    pub(crate) tight_rem: Option<Vec<f64>>,
     pub(crate) stats: EnumerationStats,
     /// Progress tap (installed via `sta_obs::Observer::install_progress`);
     /// relaxed side-state counters only, never read back by the search.
@@ -707,8 +870,10 @@ impl Search<'_, '_> {
             mask = self.emit(mask, &timing, nodes, arcs);
         }
         if mask.any() {
-            // Pruning against the N-worst threshold.
-            let prune = if let Some(rem) = &self.remaining {
+            // Pruning against the N-worst threshold. The per-source
+            // tightened bound (learning mode) is never looser than the
+            // global structural one, so preferring it only prunes more.
+            let prune = if let Some(rem) = self.tight_rem.as_ref().or(self.remaining.as_ref()) {
                 let threshold = self.effective_threshold();
                 self.cfg.n_worst.is_some()
                     && threshold > f64::NEG_INFINITY
@@ -772,6 +937,26 @@ impl Search<'_, '_> {
                 f.reset_throttle();
             }
         }
+        // Dominance cut (learning + N-worst only): if even the most
+        // optimistic completion through this arc — current worst alive
+        // arrival, plus this arc's delay bound, plus the tightened
+        // remaining bound from its output — cannot reach the admission
+        // threshold, the whole subtree is cut before any side value is
+        // assigned. Bound-safe: every path in the subtree would be
+        // rejected by `record` anyway (strict `<`, and the threshold
+        // only tightens), so the emitted set is unchanged.
+        if let (Some(tight), Some(ab)) = (&self.tight_rem, &self.arc_bounds) {
+            let threshold = self.effective_threshold();
+            if threshold > f64::NEG_INFINITY {
+                let out_net = self.nl.gate(gate).output();
+                let best =
+                    timing.worst_alive(mask) + ab.get(gate, pin, vector) + tight[out_net.index()];
+                if best < threshold {
+                    self.stats.learn_bound_cuts += 1;
+                    return;
+                }
+            }
+        }
         self.stats.decisions += 1;
         let cell_id = cell_of(self.nl, gate);
         let cell = self.lib.cell(cell_id);
@@ -819,8 +1004,22 @@ impl Search<'_, '_> {
             // accumulated requirements is re-established at emission. The
             // witness is rolled back; only the requirements and their
             // forward implications persist on the trail.
+            let key = NogoodKey {
+                src: nodes[0],
+                gate,
+                pin,
+                vector: vector as u32,
+            };
             let justified = if side_start == side_end {
                 Some(alive)
+            } else if let Some(saved) = self.consult_nogoods(key, alive) {
+                // A stored clause refutes every alive polarity: the
+                // justification below could only have returned `None`.
+                // Taking the same branch keeps the path set byte-exact
+                // (full-kill rule — see `sta_core::learn`).
+                self.stats.learn_hits += 1;
+                self.stats.learn_decisions_saved += saved;
+                None
             } else {
                 let witness_mark = self.eng.mark();
                 self.justify_todo.clear();
@@ -828,8 +1027,18 @@ impl Search<'_, '_> {
                     let n = self.side_scratch[i].0;
                     self.justify_todo.push(n);
                 }
-                let out = self.justify_staged(alive);
+                let decisions_before = self.stats.decisions;
+                let (out, unsat) = self.justify_staged(alive);
                 self.eng.rollback(witness_mark);
+                if unsat {
+                    // Definitive refutation (never a budget abort): worth
+                    // learning if it cost enough to re-derive.
+                    let spent = self.stats.decisions - decisions_before;
+                    if spent >= learn::MIN_LEARN_DECISIONS {
+                        let via = self.nl.gate(gate).inputs()[pin as usize];
+                        self.learn_from_refutation(key, via, alive, side_start..side_end, spent);
+                    }
+                }
                 out
             };
             if let Some(m3) = justified {
@@ -1057,12 +1266,136 @@ impl Search<'_, '_> {
     fn justify(&mut self, mask: Mask) -> Option<Mask> {
         self.justify_todo.clear();
         self.justify_todo.extend_from_slice(&self.obligations);
-        self.justify_staged(mask)
+        self.justify_staged(mask).0
+    }
+
+    /// Consults the nogood store for the current arc: `Some(saved)` when
+    /// stored clauses refute every alive polarity of the engine's state
+    /// (the full-kill rule), `None` otherwise or with learning off.
+    fn consult_nogoods(&mut self, key: NogoodKey, alive: Mask) -> Option<u64> {
+        let store = self.nogoods.as_ref()?;
+        let list = self.nogood_view.get(store.as_ref(), key)?;
+        learn::full_kill(&list, &self.eng, alive)
+    }
+
+    /// Extracts, verifies and stores nogoods from a definitive
+    /// justification refutation of the side nets in
+    /// `side_scratch[sides]`, one per alive polarity. Verification
+    /// replays the candidate cut on the scratch engine under the same
+    /// toggle deltas; anything not *provably* unjustifiable there is
+    /// dropped — soundness by construction (see `sta_core::learn`).
+    fn learn_from_refutation(
+        &mut self,
+        key: NogoodKey,
+        via: NetId,
+        alive: Mask,
+        sides: std::ops::Range<usize>,
+        cost: u64,
+    ) {
+        let Some(store) = self.nogoods.clone() else {
+            return;
+        };
+        if self.learn_eng.is_none() {
+            return;
+        }
+        // A saturated key cannot store anything — skip the extraction and
+        // verification work outright.
+        if store
+            .get(&key)
+            .is_some_and(|l| l.len() >= learn::MAX_PER_KEY)
+        {
+            return;
+        }
+        self.learn_todo.clear();
+        self.learn_todo.push(via);
+        for i in sides.clone() {
+            let n = self.side_scratch[i].0;
+            self.learn_todo.push(n);
+        }
+        self.stats.learn_attempts += 1;
+        for pol_r in [true, false] {
+            if !(if pol_r { alive.r } else { alive.f }) {
+                continue;
+            }
+            // Most general candidate first: the arc's own side values
+            // plus the transition arriving on the propagating pin, with
+            // no further partial-path context. When that verifies
+            // unsatisfiable, any future try of this key with the same
+            // arrival direction is a guaranteed hit (the engine assigns
+            // exactly these values on every activation of the arc) — one
+            // verification buys a near-permanent refutation of the arc.
+            let mut side_lits: Vec<(NetId, V9)> = sides
+                .clone()
+                .map(|i| {
+                    let (n, b) = self.side_scratch[i];
+                    (n, V9::stable(b))
+                })
+                .collect();
+            let via_val = {
+                let v = self.eng.value(via);
+                if pol_r {
+                    v.r
+                } else {
+                    v.f
+                }
+            };
+            if via_val != V9::XX {
+                side_lits.push((via, via_val));
+            }
+            let verified_side = learn::verify_cut(
+                self.learn_eng.as_mut().expect("learning engine"),
+                self.nl,
+                self.eng.toggles(),
+                pol_r,
+                &side_lits,
+                &mut self.justify_todo,
+                &mut self.learn_scratch,
+            );
+            let lits = if verified_side {
+                self.stats.learn_side_clauses += 1;
+                side_lits
+            } else {
+                // Context-dependent refutation: fall back to the fanin
+                // cone cut, which captures the partial-path state the
+                // proof leaned on.
+                let Some(cone_lits) = learn::extract_cut(
+                    &self.eng,
+                    self.nl,
+                    &self.learn_todo,
+                    pol_r,
+                    &mut self.cone_scratch,
+                ) else {
+                    self.stats.learn_verify_failures += 1;
+                    continue;
+                };
+                let verified = learn::verify_cut(
+                    self.learn_eng.as_mut().expect("learning engine"),
+                    self.nl,
+                    self.eng.toggles(),
+                    pol_r,
+                    &cone_lits,
+                    &mut self.justify_todo,
+                    &mut self.learn_scratch,
+                );
+                if !verified {
+                    self.stats.learn_verify_failures += 1;
+                    continue;
+                }
+                cone_lits
+            };
+            let clause = crate::learn::Nogood { pol_r, lits, cost };
+            if store.insert(key, clause) {
+                self.stats.learn_stored += 1;
+            }
+        }
     }
 
     /// Justifies the obligations currently staged in `justify_todo`
-    /// (which is left in an unspecified state).
-    fn justify_staged(&mut self, mask: Mask) -> Option<Mask> {
+    /// (which is left in an unspecified state). The second return is
+    /// `true` only on a definitive [`JustifyOutcome::Unsatisfiable`] —
+    /// the learn trigger; a budget abort proves nothing and must never
+    /// be learned from.
+    fn justify_staged(&mut self, mask: Mask) -> (Option<Mask>, bool) {
         let mut budget = if self.cfg.justify_decision_limit == 0 {
             JustifyBudget::unbounded()
         } else {
@@ -1082,6 +1415,10 @@ impl Search<'_, '_> {
         );
         self.justify_todo = todo;
         self.stats.decisions += budget.decisions;
+        self.stats.justify_decisions += budget.decisions;
+        if matches!(out, JustifyOutcome::Unsatisfiable) {
+            self.stats.justify_unsat_decisions += budget.decisions;
+        }
         if let Some(p) = &self.progress {
             p.decisions
                 .fetch_add(budget.decisions, std::sync::atomic::Ordering::Relaxed);
@@ -1090,7 +1427,7 @@ impl Search<'_, '_> {
             self.stats.truncated = true;
         }
         match out {
-            JustifyOutcome::Satisfied(m) => Some(m),
+            JustifyOutcome::Satisfied(m) => (Some(m), false),
             JustifyOutcome::BudgetExhausted => {
                 self.stats.justify_aborts += 1;
                 if std::env::var_os("STA_DEBUG_JUSTIFY").is_some() {
@@ -1103,9 +1440,9 @@ impl Search<'_, '_> {
                             .collect::<Vec<_>>()
                     );
                 }
-                None
+                (None, false)
             }
-            JustifyOutcome::Unsatisfiable => None,
+            JustifyOutcome::Unsatisfiable => (None, true),
         }
     }
 }

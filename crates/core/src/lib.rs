@@ -56,6 +56,7 @@ pub mod bitsim;
 pub mod delaycalc;
 pub mod enumerate;
 pub mod justify;
+pub mod learn;
 mod parallel;
 pub mod path;
 pub mod report;
@@ -68,7 +69,8 @@ pub use analysis::{
     RequiredSource, SlackOutcome,
 };
 pub use arrival::{
-    arc_delay_bound, record_bounds_metrics, static_bounds, static_bounds_compiled, StaticTiming,
+    arc_bounds, arc_bounds_compiled, arc_delay_bound, record_bounds_metrics, static_bounds,
+    static_bounds_compiled, tightened_remaining, ArcBounds, StaticTiming,
 };
 pub use bitsim::BitsimFilter;
 pub use delaycalc::{path_delay, path_delay_compiled, DelayCalcError, PathDelayBreakdown};
@@ -76,6 +78,7 @@ pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
 pub use justify::{
     justify, justify_filtered, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome,
 };
+pub use learn::{Nogood, NogoodKey, NogoodStore, NogoodView};
 pub use path::{group_by_structure, LaunchTiming, PathArc, PathGroup, PiValue, TruePath};
 pub use report::{path_report, summary_report, worst_path_report, CertificateSet};
 pub use sdc::{parse_sdc, Constraints, SdcError};

@@ -45,7 +45,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU64;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use sta_cells::Library;
@@ -53,11 +53,13 @@ use sta_charlib::{ModelCache, TimingLibrary};
 use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle};
 use sta_netlist::{GateId, NetId, Netlist};
 
+use crate::arrival::ArcBounds;
 use crate::enumerate::{
     cell_of, sensitizable_reach, EnumerationConfig, EnumerationStats, PathEnumerator, PolTimings,
     Search,
 };
 use crate::justify::{JustifyCache, JustifyScratch};
+use crate::learn::{ConeScratch, NogoodStore, NogoodView};
 use crate::path::{PathArc, TruePath};
 
 /// Total-order encoding of an `f64` into a `u64`: `encode` is strictly
@@ -95,6 +97,10 @@ struct SrcPlan {
     src: NetId,
     deltas: Vec<Toggle>,
     reach: Vec<bool>,
+    /// Toggle-compatible arrival upper bound to any PO, per net
+    /// (see [`crate::arrival::tightened_remaining`]); present only when
+    /// learning-mode dominance pruning is active.
+    tight_rem: Option<Vec<f64>>,
 }
 
 /// Read-only context shared by all workers.
@@ -115,6 +121,13 @@ struct WorkerCtx<'a> {
     is_output: &'a [bool],
     injector: &'a Injector<RootTask>,
     shared_bound: &'a AtomicU64,
+    /// Shared learned-nogood store, cloned into every worker's `Search`
+    /// so clauses learned on one worker prune the others. `None` when
+    /// `cfg.learning` is off.
+    nogoods: Option<Arc<NogoodStore>>,
+    /// Per-arc delay upper bounds for dominance pruning, computed once
+    /// by the coordinator and shared read-only.
+    arc_bounds: Option<Arc<ArcBounds>>,
 }
 
 /// Runs the enumeration of `enumr` over `cfg.threads` workers, streaming
@@ -128,6 +141,13 @@ pub(crate) fn run_parallel(
     let is_output = enumr.output_flags();
     let remaining = enumr.prune_bounds();
     let fanouts = enumr.fanouts();
+    let arc_bounds = enumr.learn_arc_bounds();
+    let nogoods = enumr.cfg.learning.then(|| {
+        enumr
+            .nogood_store
+            .clone()
+            .unwrap_or_else(|| Arc::new(NogoodStore::new()))
+    });
 
     // Plan phase: replicate the serial per-source setup and enumerate the
     // root arcs in serial order.
@@ -167,7 +187,15 @@ pub(crate) fn run_parallel(
                 });
             }
         }
-        plans.push(SrcPlan { src, deltas, reach });
+        let tight_rem = arc_bounds
+            .as_ref()
+            .map(|ab| crate::arrival::tightened_remaining(nl, lib, ab, &deltas, &is_output));
+        plans.push(SrcPlan {
+            src,
+            deltas,
+            reach,
+            tight_rem,
+        });
     }
     let n_tasks = tasks.len();
     if n_tasks == 0 {
@@ -195,6 +223,8 @@ pub(crate) fn run_parallel(
         is_output: &is_output,
         injector: &injector,
         shared_bound: &shared_bound,
+        nogoods,
+        arc_bounds,
     };
 
     let (tx, rx) = mpsc::channel::<(usize, Vec<TruePath>)>();
@@ -322,6 +352,17 @@ fn worker_loop(
         justify_todo: Vec::new(),
         justify_scratch: JustifyScratch::default(),
         filter: ctx.schedule.map(crate::bitsim::BitsimFilter::new),
+        learn_eng: ctx
+            .cfg
+            .learning
+            .then(|| ImplicationEngine::new(ctx.nl, ctx.lib)),
+        nogoods: ctx.nogoods.clone(),
+        nogood_view: NogoodView::new(),
+        cone_scratch: ConeScratch::default(),
+        learn_todo: Vec::new(),
+        learn_scratch: JustifyScratch::default(),
+        arc_bounds: ctx.arc_bounds.clone(),
+        tight_rem: None,
         stats: EnumerationStats::default(),
         progress: ctx.cfg.obs.progress(),
         justify_hist: ctx.cfg.obs.histogram("justify.decisions_per_call"),
@@ -353,6 +394,7 @@ fn worker_loop(
                 .assign(plan.src, Dual::transition(false), Mask::BOTH);
             mask = Mask::BOTH.minus(conflicts);
             search.reach.clone_from(&plan.reach);
+            search.tight_rem.clone_from(&plan.tight_rem);
             search.obligations.clear();
             search.delays_r.clear();
             search.delays_f.clear();
@@ -362,8 +404,9 @@ fn worker_loop(
         search.stats = EnumerationStats::default();
         search.emitted = 0;
         let timing = PolTimings::launch(ctx.cfg.input_slew);
-        // Mirror of the serial root-node prune check.
-        let prune = match &search.remaining {
+        // Mirror of the serial root-node prune check (preferring the
+        // per-source tightened bound, exactly like `dfs_inner`).
+        let prune = match search.tight_rem.as_ref().or(search.remaining.as_ref()) {
             Some(rem) => {
                 let threshold = search.effective_threshold();
                 ctx.cfg.n_worst.is_some()

@@ -78,6 +78,12 @@ pub enum RuleCode {
     /// valid topological order of the netlist (an operand is read before
     /// it is written, or a driven net is not written exactly once).
     SchedNotTopological,
+    /// `LEARN001` — a learned-nogood table entry is structurally
+    /// malformed (bad key ids, over-cap list or clause, vacuous literal).
+    LearnMalformed,
+    /// `LEARN002` — a stored nogood claims an unsatisfiable assignment
+    /// but independent re-justification finds a witness.
+    LearnRefutesSatisfiable,
 }
 
 impl RuleCode {
@@ -101,6 +107,8 @@ impl RuleCode {
             RuleCode::PathNotSensitized => "PATH003",
             RuleCode::PathTimingMismatch => "PATH004",
             RuleCode::SchedNotTopological => "SCHED001",
+            RuleCode::LearnMalformed => "LEARN001",
+            RuleCode::LearnRefutesSatisfiable => "LEARN002",
         }
     }
 
@@ -118,7 +126,9 @@ impl RuleCode {
             | RuleCode::PathVectorMismatch
             | RuleCode::PathNotSensitized
             | RuleCode::PathTimingMismatch
-            | RuleCode::SchedNotTopological => Severity::Error,
+            | RuleCode::SchedNotTopological
+            | RuleCode::LearnMalformed
+            | RuleCode::LearnRefutesSatisfiable => Severity::Error,
             RuleCode::NlDanglingNet | RuleCode::NlConstantOutput | RuleCode::LibNonMonotone => {
                 Severity::Warn
             }
@@ -148,6 +158,8 @@ impl RuleCode {
             RuleCode::PathNotSensitized => "witness fails to propagate transition",
             RuleCode::PathTimingMismatch => "arrival disagrees with recomputation",
             RuleCode::SchedNotTopological => "compiled schedule is not a topological order",
+            RuleCode::LearnMalformed => "malformed learned-nogood table entry",
+            RuleCode::LearnRefutesSatisfiable => "learned nogood refutes a satisfiable assignment",
         }
     }
 }
@@ -355,6 +367,8 @@ mod tests {
             RuleCode::PathNotSensitized,
             RuleCode::PathTimingMismatch,
             RuleCode::SchedNotTopological,
+            RuleCode::LearnMalformed,
+            RuleCode::LearnRefutesSatisfiable,
         ];
         let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

@@ -1,0 +1,332 @@
+//! `LEARNxxx`: audit of the learned-nogood table.
+//!
+//! The enumeration engine's nogood store (`sta_core::learn`) caches
+//! *refutations*: sets of required net values claimed to admit no
+//! primary-input witness under a given launch source. A wrong entry
+//! cannot corrupt output silently — the engine verifies every clause at
+//! learn time — but the store is the one piece of cross-thread shared
+//! mutable state in the whole flow, so this module re-checks a run's
+//! final table with machinery that shares nothing with the learner:
+//!
+//! * **LEARN001** — structural invariants of every table entry: the key
+//!   names a real primary input, gate, pin and sensitization vector; the
+//!   per-key list respects the store's cap; every clause is non-empty,
+//!   within the literal cap, references only real nets, and carries no
+//!   unconstrained (`XX`) literal (an `XX` literal would be vacuous and
+//!   signals a broken extraction);
+//! * **LEARN002** — semantic refutation replay: the clause's literals
+//!   are re-asserted on a fresh [`ImplicationEngine`] under the launch
+//!   source's freshly recomputed toggle deltas and re-justified from
+//!   scratch with the *public* justification API. If the search finds a
+//!   witness, the stored "unsatisfiable" claim is false — an error.
+//!   A budget abort proves nothing and is counted as skipped, not
+//!   certified.
+
+use std::collections::HashMap;
+
+use sta_cells::Library;
+use sta_core::learn::{Nogood, NogoodKey, MAX_LITS, MAX_PER_KEY};
+use sta_core::{justify, JustifyBudget, JustifyOutcome};
+use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle, V9};
+use sta_netlist::{GateKind, NetId, Netlist};
+
+use crate::diag::{Diagnostic, RuleCode};
+
+/// Decision budget of one LEARN002 replay. Matches the order of the
+/// learner's own verification budget; clauses whose replay exceeds it
+/// are reported as skipped rather than certified.
+pub const REPLAY_DECISION_BUDGET: u64 = 8192;
+
+/// Result of [`audit_nogoods`].
+#[derive(Debug, Default)]
+pub struct NogoodAuditOutcome {
+    /// Clauses examined.
+    pub checked: usize,
+    /// Clauses that passed both the structural check and the replay.
+    pub certified: usize,
+    /// Clauses whose replay exhausted [`REPLAY_DECISION_BUDGET`]
+    /// (neither certified nor flagged).
+    pub skipped: usize,
+    /// All findings, in table order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl NogoodAuditOutcome {
+    /// Observability tap (`lint.learn.*` counters plus the shared
+    /// per-rule `lint.rule.<CODE>` counters). Side-state only.
+    pub fn record_metrics(&self, obs: &sta_obs::Observer) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("lint.learn.checked").add(self.checked as u64);
+        obs.counter("lint.learn.certified")
+            .add(self.certified as u64);
+        obs.counter("lint.learn.skipped").add(self.skipped as u64);
+        for d in &self.diagnostics {
+            obs.counter(&format!("lint.rule.{}", d.rule.code())).inc();
+        }
+    }
+}
+
+/// Audits a nogood-table snapshot (as returned by
+/// `sta_core::NogoodStore::snapshot`) against the netlist and library it
+/// was learned on. `circuit` only labels diagnostic locations.
+pub fn audit_nogoods(
+    nl: &Netlist,
+    lib: &Library,
+    circuit: &str,
+    snapshot: &[(NogoodKey, std::sync::Arc<Vec<Nogood>>)],
+) -> NogoodAuditOutcome {
+    let mut out = NogoodAuditOutcome::default();
+    // Recomputed toggle analyses, one per launch source seen in the
+    // table (the snapshot is sorted by source, so this is a warm cache).
+    let mut deltas: HashMap<NetId, Vec<Toggle>> = HashMap::new();
+    let mut eng = ImplicationEngine::new(nl, lib);
+    for (key, list) in snapshot {
+        let loc = |suffix: &str| {
+            format!(
+                "{circuit}:{}@g{}/pin{}/v{}{}",
+                nl.net_label(key.src),
+                key.gate.index(),
+                key.pin,
+                key.vector,
+                suffix
+            )
+        };
+        if list.len() > MAX_PER_KEY {
+            out.diagnostics.push(Diagnostic::new(
+                RuleCode::LearnMalformed,
+                loc(""),
+                format!("{} clauses under one key (cap {MAX_PER_KEY})", list.len()),
+            ));
+        }
+        let structural = check_key(nl, lib, key);
+        if let Some(msg) = structural {
+            out.checked += list.len();
+            out.diagnostics
+                .push(Diagnostic::new(RuleCode::LearnMalformed, loc(""), msg));
+            continue;
+        }
+        for (i, ng) in list.iter().enumerate() {
+            out.checked += 1;
+            let loc = loc(&format!("/clause{i}"));
+            if let Some(msg) = check_clause(nl, ng) {
+                out.diagnostics
+                    .push(Diagnostic::new(RuleCode::LearnMalformed, loc, msg));
+                continue;
+            }
+            let toggles = deltas
+                .entry(key.src)
+                .or_insert_with(|| toggle_analysis(nl, lib, key.src));
+            match replay(&mut eng, nl, toggles, ng) {
+                Replay::Refuted => out.certified += 1,
+                Replay::Budget => out.skipped += 1,
+                Replay::Witness => out.diagnostics.push(Diagnostic::new(
+                    RuleCode::LearnRefutesSatisfiable,
+                    loc,
+                    format!(
+                        "stored refutation ({} literals, {} analysis) is satisfiable: \
+                         independent re-justification found a witness",
+                        ng.lits.len(),
+                        if ng.pol_r { "rising" } else { "falling" }
+                    ),
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// LEARN001 key checks: every id the key names must exist, and the arc
+/// it designates must be one the enumeration could actually consult.
+fn check_key(nl: &Netlist, lib: &Library, key: &NogoodKey) -> Option<String> {
+    if key.src.index() >= nl.num_nets() {
+        return Some(format!("source net index {} out of range", key.src.index()));
+    }
+    if !nl.inputs().contains(&key.src) {
+        return Some("source is not a primary input".to_string());
+    }
+    if key.gate.index() >= nl.num_gates() {
+        return Some(format!("gate index {} out of range", key.gate.index()));
+    }
+    let gate = nl.gate(key.gate);
+    if usize::from(key.pin) >= gate.inputs().len() {
+        return Some(format!(
+            "pin {} out of range (gate has {} inputs)",
+            key.pin,
+            gate.inputs().len()
+        ));
+    }
+    let cell = match gate.kind() {
+        GateKind::Cell(c) => c,
+        GateKind::Prim(_) => return Some("keyed gate is an unmapped primitive".to_string()),
+    };
+    let n_vectors = lib.cell(cell).vectors_of(key.pin).len();
+    if key.vector as usize >= n_vectors {
+        return Some(format!(
+            "vector {} out of range (arc has {n_vectors} sensitization vectors)",
+            key.vector
+        ));
+    }
+    None
+}
+
+/// LEARN001 clause checks: shape and literal sanity.
+fn check_clause(nl: &Netlist, ng: &Nogood) -> Option<String> {
+    if ng.lits.is_empty() {
+        return Some("empty clause (refutes nothing)".to_string());
+    }
+    if ng.lits.len() > MAX_LITS {
+        return Some(format!("{} literals (cap {MAX_LITS})", ng.lits.len()));
+    }
+    for &(net, v) in &ng.lits {
+        if net.index() >= nl.num_nets() {
+            return Some(format!("literal net index {} out of range", net.index()));
+        }
+        if v == V9::XX {
+            return Some(format!(
+                "vacuous XX literal on net {} (broken extraction)",
+                net.index()
+            ));
+        }
+    }
+    None
+}
+
+enum Replay {
+    Refuted,
+    Witness,
+    Budget,
+}
+
+/// LEARN002: independent refutation replay through the public
+/// justification API (mirrors `sta_core::learn`'s verify discipline:
+/// single-polarity mask, immediate forward conflict counts as refuted).
+fn replay(
+    eng: &mut ImplicationEngine<'_>,
+    nl: &Netlist,
+    toggles: &[Toggle],
+    ng: &Nogood,
+) -> Replay {
+    eng.reset();
+    eng.set_toggles(Some(toggles.to_vec()));
+    let mask = Mask {
+        r: ng.pol_r,
+        f: !ng.pol_r,
+    };
+    let mut alive = mask;
+    for &(net, v) in &ng.lits {
+        let want = if ng.pol_r {
+            Dual { r: v, f: V9::XX }
+        } else {
+            Dual { r: V9::XX, f: v }
+        };
+        let conflict = eng.assign(net, want, alive);
+        alive = alive.minus(conflict);
+        if !alive.any() {
+            eng.reset();
+            return Replay::Refuted;
+        }
+    }
+    let todo: Vec<NetId> = ng.lits.iter().map(|&(n, _)| n).collect();
+    let mut budget = JustifyBudget::with_decision_limit(REPLAY_DECISION_BUDGET);
+    let outcome = justify(eng, nl, todo, alive, &mut budget);
+    eng.reset();
+    match outcome {
+        JustifyOutcome::Satisfied(_) => Replay::Witness,
+        JustifyOutcome::Unsatisfiable => Replay::Refuted,
+        JustifyOutcome::BudgetExhausted => Replay::Budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_netlist::GateId;
+
+    fn tiny() -> (Library, Netlist) {
+        let lib = Library::standard();
+        let nand2 = lib.cell_by_name("NAND2").expect("standard cell").id();
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl
+            .add_gate(GateKind::Cell(nand2), &[a, b], Some("z"))
+            .expect("gate");
+        nl.mark_output(z);
+        (lib, nl)
+    }
+
+    fn key_for(nl: &Netlist) -> NogoodKey {
+        NogoodKey {
+            src: nl.inputs()[0],
+            gate: GateId::from_index(0),
+            pin: 0,
+            vector: 0,
+        }
+    }
+
+    #[test]
+    fn satisfiable_clause_is_flagged() {
+        let (lib, nl) = tiny();
+        let key = key_for(&nl);
+        // "b stable 1 in the rising analysis" is trivially satisfiable —
+        // a store claiming it is a refutation is lying.
+        let bogus = Nogood {
+            pol_r: true,
+            lits: vec![(nl.inputs()[1], V9::S1)],
+            cost: 100,
+        };
+        let snap = vec![(key, std::sync::Arc::new(vec![bogus]))];
+        let out = audit_nogoods(&nl, &lib, "tiny", &snap);
+        assert_eq!(out.checked, 1);
+        assert_eq!(out.certified, 0);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, RuleCode::LearnRefutesSatisfiable);
+    }
+
+    #[test]
+    fn contradictory_clause_certifies() {
+        let (lib, nl) = tiny();
+        let key = key_for(&nl);
+        let z = nl.gate(GateId::from_index(0)).output();
+        // NAND2 output stable-0 needs both inputs stable-1; demanding
+        // b=0 alongside z=0 contradicts under forward propagation.
+        let refutation = Nogood {
+            pol_r: true,
+            lits: vec![(z, V9::S0), (nl.inputs()[1], V9::S0)],
+            cost: 100,
+        };
+        let snap = vec![(key, std::sync::Arc::new(vec![refutation]))];
+        let out = audit_nogoods(&nl, &lib, "tiny", &snap);
+        assert_eq!(out.diagnostics.len(), 0, "{:?}", out.diagnostics);
+        assert_eq!(out.certified, 1);
+    }
+
+    #[test]
+    fn malformed_key_and_clause_are_structural_errors() {
+        let (lib, nl) = tiny();
+        let mut key = key_for(&nl);
+        key.vector = 99;
+        let ng = Nogood {
+            pol_r: true,
+            lits: vec![(nl.inputs()[0], V9::S1)],
+            cost: 1,
+        };
+        let snap = vec![(key, std::sync::Arc::new(vec![ng]))];
+        let out = audit_nogoods(&nl, &lib, "tiny", &snap);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, RuleCode::LearnMalformed);
+
+        let key = key_for(&nl);
+        let vacuous = Nogood {
+            pol_r: false,
+            lits: vec![(nl.inputs()[0], V9::XX)],
+            cost: 1,
+        };
+        let snap = vec![(key, std::sync::Arc::new(vec![vacuous]))];
+        let out = audit_nogoods(&nl, &lib, "tiny", &snap);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, RuleCode::LearnMalformed);
+    }
+}

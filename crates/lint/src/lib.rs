@@ -27,7 +27,12 @@
 //! * `SCHEDxxx` — compiled-schedule checks ([`check_schedule`]): the flat
 //!   program driving the 64-lane bit-parallel simulator
 //!   (`sta_logic::bitsim`) must be a valid topological evaluation order of
-//!   the netlist, or every batch verdict downstream of it is meaningless.
+//!   the netlist, or every batch verdict downstream of it is meaningless;
+//! * `LEARNxxx` — learned-nogood table audit ([`audit_nogoods`]):
+//!   structural invariants of a run's final nogood store plus an
+//!   independent re-justification of every stored refutation, so the one
+//!   piece of cross-thread shared mutable state in the engine is checked
+//!   by machinery that shares nothing with the learner.
 //!
 //! Diagnostics carry a severity ([`Severity`]) and render either as
 //! human-readable lines or as JSON ([`LintReport`]); a `--deny warnings`
@@ -37,12 +42,14 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod learn_rules;
 pub mod library_rules;
 pub mod netlist_rules;
 pub mod path_rules;
 pub mod sched_rules;
 
 pub use diag::{Diagnostic, LintReport, RuleCode, Severity};
+pub use learn_rules::{audit_nogoods, NogoodAuditOutcome};
 pub use library_rules::{lint_library, LibLintConfig};
 pub use netlist_rules::lint_netlist;
 pub use path_rules::{verify_path, verify_paths, PathVerifyOutcome};

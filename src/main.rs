@@ -154,10 +154,11 @@ fn print_usage() {
          commands:\n\
            list                                  list catalog benchmarks\n\
            analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels]\n\
-                    [--no-bitsim]                 run the single-pass true-path STA\n\
+                    [--no-bitsim] [--no-learning] run the single-pass true-path STA\n\
                     (--no-kernels disables the corner-compiled delay kernels;\n\
                     --no-bitsim disables the 64-lane bit-parallel justification\n\
-                    pre-filter — results are identical either way)\n\
+                    pre-filter; --no-learning disables nogood learning and\n\
+                    dominance pruning — results are identical either way)\n\
            slack    <circuit> [--tech T] [--required PS] [--sdc FILE]   structural slack report\n\
            baseline <circuit> [--tech T] [--k K] [--limit B]   run the two-step baseline\n\
            cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
@@ -198,6 +199,7 @@ struct Opts {
     required: Option<f64>,
     no_kernels: bool,
     no_bitsim: bool,
+    no_learning: bool,
     format: OutputFormat,
     deny_warnings: bool,
     verify_paths: bool,
@@ -226,6 +228,7 @@ impl Opts {
             required: None,
             no_kernels: false,
             no_bitsim: false,
+            no_learning: false,
             format: OutputFormat::Human,
             deny_warnings: false,
             verify_paths: false,
@@ -260,6 +263,7 @@ impl Opts {
                 }
                 "--no-kernels" => opts.no_kernels = true,
                 "--no-bitsim" => opts.no_bitsim = true,
+                "--no-learning" => opts.no_learning = true,
                 "--format" => {
                     let f = value("--format")?;
                     opts.format = match f.as_str() {
@@ -314,6 +318,7 @@ impl Opts {
         m.insert("threads".to_string(), self.threads.to_string());
         m.insert("kernels".to_string(), (!self.no_kernels).to_string());
         m.insert("bitsim".to_string(), (!self.no_bitsim).to_string());
+        m.insert("learning".to_string(), (!self.no_learning).to_string());
         if let Some(n) = self.nworst {
             m.insert("nworst".to_string(), n.to_string());
         }
@@ -441,6 +446,7 @@ fn base_request(circuit: &str, opts: &Opts, session: &ObsSession) -> AnalysisReq
         .threads(opts.threads)
         .compiled_kernels(!opts.no_kernels)
         .bitsim(!opts.no_bitsim)
+        .learning(!opts.no_learning)
         .observer(session.observer())
 }
 
@@ -484,6 +490,15 @@ fn cmd_analyze(opts: &Opts, args: &[String]) -> Result<(), CliError> {
                     outcome.stats.bitsim_words,
                     outcome.stats.bitsim_lanes_filtered,
                     outcome.stats.bitsim_exact_calls_saved
+                );
+            }
+            if !opts.no_learning {
+                println!(
+                    "  learn: {} nogoods stored, {} hits ({} decisions saved), {} bound cuts",
+                    outcome.stats.learn_stored,
+                    outcome.stats.learn_hits,
+                    outcome.stats.learn_decisions_saved,
+                    outcome.stats.learn_bound_cuts
                 );
             }
             for (i, p) in outcome.paths.iter().take(shown).enumerate() {
@@ -789,7 +804,10 @@ fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
             report.extend(check_schedule(&ctx.netlist, &ctx.lib));
         }
         if opts.verify_paths {
-            let run = ctx.enumerate();
+            // Inject the run's nogood store so what the engine learned
+            // can be audited independently afterwards (LEARN rules).
+            let nogoods = std::sync::Arc::new(sta_core::NogoodStore::new());
+            let run = ctx.enumerate_with_nogood_store(std::sync::Arc::clone(&nogoods));
             // Round-trip through the serialized certificate format so the
             // oracle replays what a consumer would actually read, not the
             // in-memory result.
@@ -820,6 +838,19 @@ fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
                 }
             );
             report.extend(outcome.diagnostics);
+            let snapshot = nogoods.snapshot();
+            if !snapshot.is_empty() {
+                let audit = {
+                    let _span = obs.span_with("audit-nogoods", vec![("circuit", name.clone())]);
+                    sta_lint::audit_nogoods(&ctx.netlist, &ctx.lib, name, &snapshot)
+                };
+                audit.record_metrics(&obs);
+                eprintln!(
+                    "{name}: audited {} learned nogoods ({} certified, {} skipped on budget)",
+                    audit.checked, audit.certified, audit.skipped
+                );
+                report.extend(audit.diagnostics);
+            }
         }
         drop(ctx);
     }

@@ -204,6 +204,14 @@ impl Library {
         // The MUX select pin is conventionally called S.
         let mux = lib.by_name["MUX2"];
         lib.cells[mux.index()].pin_names[2] = "S".into();
+        // ×2 drive-strength variants of every cell (ECO resize targets).
+        // They share the base cell's function, truth table and
+        // sensitization arcs — only the transistor widths differ — so a
+        // resize is a delay-only edit by construction.
+        let bases: Vec<CellId> = lib.cells.iter().map(|c| c.id).collect();
+        for base in bases {
+            lib.add_drive_variant(base, 2.0);
+        }
         lib
     }
 
@@ -221,6 +229,49 @@ impl Library {
         self.cells.push(Cell::new(id, name, num_pins, expr));
         self.by_name.insert(name.to_string(), id);
         id
+    }
+
+    /// Adds a drive-strength variant of an existing cell: same logic
+    /// function, pin names, truth table and sensitization arcs, with every
+    /// topology stage's transistor widths scaled by `scale`. The variant is
+    /// named `BASE_X<scale>` (e.g. `NAND2_X2`) and returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting name is already taken or `scale` is not a
+    /// positive integer multiple.
+    pub fn add_drive_variant(&mut self, base: CellId, scale: f64) -> CellId {
+        assert!(
+            scale > 0.0 && scale.fract() == 0.0,
+            "drive scale must be a positive integer, got {scale}"
+        );
+        let mut cell = self.cells[base.index()].clone();
+        let name = format!("{}_X{}", cell.name, scale as u32);
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate cell name {name:?}"
+        );
+        let id = CellId::from_index(self.cells.len());
+        cell.id = id;
+        cell.name = name.clone();
+        for stage in &mut cell.topology.stages {
+            stage.nmos_width *= scale;
+            stage.pmos_width *= scale;
+        }
+        self.cells.push(cell);
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// The alternate drive-strength of a cell, if the library has one:
+    /// maps a base cell to its `_X2` variant and a variant back to its
+    /// base. This is the edit target of the ECO `resize_gate` transform.
+    pub fn resize_target(&self, id: CellId) -> Option<CellId> {
+        let name = self.cell(id).name();
+        match name.strip_suffix("_X2") {
+            Some(base) => self.by_name.get(base).copied(),
+            None => self.by_name.get(&format!("{name}_X2")).copied(),
+        }
     }
 
     /// Number of cell types.
@@ -334,7 +385,8 @@ mod tests {
     #[test]
     fn standard_library_is_complete_and_consistent() {
         let lib = Library::standard();
-        assert_eq!(lib.len(), 25);
+        // 25 base cells plus one ×2 drive variant each.
+        assert_eq!(lib.len(), 50);
         for cell in lib.iter() {
             // Realization matches specification on every input pattern.
             let n = cell.num_pins();
@@ -388,6 +440,28 @@ mod tests {
         let ao22 = lib.cell_by_name("AO22").unwrap();
         let total: usize = ao22.arcs().iter().map(|a| a.vectors.len()).sum();
         assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn drive_variants_share_function_and_double_widths() {
+        let lib = Library::standard();
+        for cell in lib.iter().filter(|c| !c.name().ends_with("_X2")) {
+            let var = lib
+                .cell_by_name(&format!("{}_X2", cell.name()))
+                .unwrap_or_else(|| panic!("{} has no X2 variant", cell.name()));
+            assert_eq!(var.truth_table(), cell.truth_table(), "{}", cell.name());
+            assert_eq!(var.expr(), cell.expr(), "{}", cell.name());
+            assert_eq!(var.arcs(), cell.arcs(), "{}", cell.name());
+            assert_eq!(var.pin_names(), cell.pin_names(), "{}", cell.name());
+            for (b, v) in cell.topology().stages.iter().zip(&var.topology().stages) {
+                assert_eq!(v.pulldown, b.pulldown);
+                assert_eq!(v.nmos_width, 2.0 * b.nmos_width);
+                assert_eq!(v.pmos_width, 2.0 * b.pmos_width);
+            }
+            // resize_target is an involution between base and variant.
+            assert_eq!(lib.resize_target(cell.id()), Some(var.id()));
+            assert_eq!(lib.resize_target(var.id()), Some(cell.id()));
+        }
     }
 
     #[test]

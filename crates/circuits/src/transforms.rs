@@ -1,8 +1,12 @@
-//! Netlist-to-netlist transformations used by the benchmark generators.
+//! Netlist-to-netlist transformations used by the benchmark generators,
+//! plus the in-place ECO edit operations (`swap_gate`, `resize_gate`,
+//! `rewire_net`) the timing daemon's incremental re-analysis path applies.
 
 use std::collections::HashMap;
+use std::fmt;
 
-use sta_netlist::{GateKind, NetId, Netlist, PrimOp};
+use sta_cells::Library;
+use sta_netlist::{GateId, GateKind, NetId, Netlist, NetlistError, PrimOp};
 
 /// Rewrites every XOR/XNOR into the classic four-NAND structure (the
 /// relationship between ISCAS-85 c499 and c1355). Wide XORs are first
@@ -55,6 +59,252 @@ pub fn expand_xor(nl: &Netlist) -> Netlist {
     }
     out.validate().expect("expansion preserves validity");
     out
+}
+
+// ---------------------------------------------------------------------------
+// ECO edit operations.
+// ---------------------------------------------------------------------------
+//
+// Unlike the fault injectors below, these mutate the netlist *in place* —
+// they are the legal edits an optimization client issues against a loaded
+// design (gate swap, drive resize, net rewire). Gates are addressed by the
+// name of the net they drive, the same convention the rest of the tool uses
+// in diagnostics. Every edit returns a `GateEdit` receipt describing what
+// changed; `sta-core::eco` turns that receipt into a dirty source cone.
+
+/// A failed ECO edit. Each variant names the offending entity so daemon
+/// clients get an actionable error instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EditError {
+    /// No net with the given name exists in the design.
+    UnknownNet(String),
+    /// The named net is not driven by a gate (it is a primary input), so it
+    /// does not address a gate instance.
+    UnknownInstance(String),
+    /// The named cell type does not exist in the library.
+    UnknownCell(String),
+    /// The replacement cell's pin count differs from the instance's fan-in.
+    IncompatiblePinCount {
+        /// Replacement cell name.
+        cell: String,
+        /// Pins the replacement cell has.
+        want: usize,
+        /// Pins the instance actually wires.
+        got: usize,
+    },
+    /// The addressed gate is a raw primitive, not a library cell — ECO
+    /// edits operate on technology-mapped netlists.
+    NotACell(String),
+    /// The instance's cell type has no alternate drive strength in the
+    /// library.
+    NoDriveVariant(String),
+    /// The pin index is out of range for the addressed gate.
+    BadPin {
+        /// Instance (output-net) name.
+        instance: String,
+        /// Requested pin.
+        pin: usize,
+        /// The gate's fan-in.
+        fanin: usize,
+    },
+    /// The rewire would create a combinational cycle; the netlist is
+    /// unchanged.
+    WouldCycle(String),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownNet(n) => write!(f, "unknown net {n:?}"),
+            EditError::UnknownInstance(n) => {
+                write!(f, "net {n:?} is not driven by a gate instance")
+            }
+            EditError::UnknownCell(c) => write!(f, "unknown library cell {c:?}"),
+            EditError::IncompatiblePinCount { cell, want, got } => {
+                write!(
+                    f,
+                    "cell {cell} has {want} pins but the instance wires {got}"
+                )
+            }
+            EditError::NotACell(n) => {
+                write!(f, "gate driving {n:?} is a primitive, not a library cell")
+            }
+            EditError::NoDriveVariant(c) => {
+                write!(f, "cell {c} has no alternate drive strength in the library")
+            }
+            EditError::BadPin {
+                instance,
+                pin,
+                fanin,
+            } => {
+                write!(
+                    f,
+                    "pin {pin} out of range for {instance:?} (fan-in {fanin})"
+                )
+            }
+            EditError::WouldCycle(n) => {
+                write!(f, "rewiring {n:?} would create a combinational cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Receipt of an applied ECO edit: which gate changed, the nets whose
+/// timing context the edit touched, and whether the gate's logic function
+/// changed (a function change invalidates justification reasoning globally,
+/// not just structurally — see `sta-core::eco`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateEdit {
+    /// The edited gate.
+    pub gate: GateId,
+    /// Nets whose delay/slew/load context changed: the gate's input nets
+    /// and output net (for a rewire, both the old and new source nets).
+    pub touched: Vec<NetId>,
+    /// Whether the gate's truth table (and hence its sensitization-vector
+    /// sets) changed.
+    pub function_changed: bool,
+}
+
+/// Resolves an instance name (the name of the net a gate drives) to the
+/// driving gate.
+fn resolve_instance(nl: &Netlist, instance: &str) -> Result<GateId, EditError> {
+    let net = nl
+        .net_by_name(instance)
+        .ok_or_else(|| EditError::UnknownNet(instance.to_string()))?;
+    nl.net(net)
+        .driver()
+        .ok_or_else(|| EditError::UnknownInstance(instance.to_string()))
+}
+
+fn touched_nets(nl: &Netlist, gate: GateId) -> Vec<NetId> {
+    let g = nl.gate(gate);
+    let mut nets = g.inputs().to_vec();
+    nets.push(g.output());
+    nets
+}
+
+/// Swaps the gate driving net `instance` to library cell `new_cell`,
+/// keeping the pin wiring. The pin count must match; the function may
+/// change (the receipt records whether it did).
+///
+/// # Errors
+///
+/// [`EditError::UnknownNet`] / [`EditError::UnknownInstance`] for a bad
+/// target, [`EditError::NotACell`] on unmapped gates,
+/// [`EditError::UnknownCell`] / [`EditError::IncompatiblePinCount`] for a
+/// bad replacement.
+pub fn swap_gate(
+    nl: &mut Netlist,
+    lib: &Library,
+    instance: &str,
+    new_cell: &str,
+) -> Result<GateEdit, EditError> {
+    let gid = resolve_instance(nl, instance)?;
+    let old = match nl.gate(gid).kind() {
+        GateKind::Cell(c) => c,
+        GateKind::Prim(_) => return Err(EditError::NotACell(instance.to_string())),
+    };
+    let cell = lib
+        .cell_by_name(new_cell)
+        .ok_or_else(|| EditError::UnknownCell(new_cell.to_string()))?;
+    let fanin = nl.gate(gid).fanin();
+    if cell.num_pins() as usize != fanin {
+        return Err(EditError::IncompatiblePinCount {
+            cell: new_cell.to_string(),
+            want: cell.num_pins() as usize,
+            got: fanin,
+        });
+    }
+    let function_changed = lib.cell(old).truth_table() != cell.truth_table();
+    nl.set_gate_kind(gid, GateKind::Cell(cell.id()));
+    Ok(GateEdit {
+        gate: gid,
+        touched: touched_nets(nl, gid),
+        function_changed,
+    })
+}
+
+/// Resizes the gate driving net `instance` to its alternate drive strength
+/// (`NAND2` ↔ `NAND2_X2`). Always delay-only: the variant shares the base
+/// cell's truth table and sensitization arcs by construction.
+///
+/// # Errors
+///
+/// [`EditError::UnknownNet`] / [`EditError::UnknownInstance`] /
+/// [`EditError::NotACell`] for a bad target and
+/// [`EditError::NoDriveVariant`] if the library has no variant.
+pub fn resize_gate(nl: &mut Netlist, lib: &Library, instance: &str) -> Result<GateEdit, EditError> {
+    let gid = resolve_instance(nl, instance)?;
+    let old = match nl.gate(gid).kind() {
+        GateKind::Cell(c) => c,
+        GateKind::Prim(_) => return Err(EditError::NotACell(instance.to_string())),
+    };
+    let variant = lib
+        .resize_target(old)
+        .ok_or_else(|| EditError::NoDriveVariant(lib.cell(old).name().to_string()))?;
+    nl.set_gate_kind(gid, GateKind::Cell(variant));
+    Ok(GateEdit {
+        gate: gid,
+        touched: touched_nets(nl, gid),
+        function_changed: false,
+    })
+}
+
+/// Reconnects input pin `pin` of the gate driving net `instance` to the
+/// net named `new_source`. Structure-changing: the receipt is marked
+/// function-changed even though the gate's cell stays the same, because
+/// the cone of logic feeding the pin changed.
+///
+/// # Errors
+///
+/// [`EditError::UnknownNet`] / [`EditError::UnknownInstance`] for a bad
+/// target, [`EditError::BadPin`] for an out-of-range pin and
+/// [`EditError::WouldCycle`] if the edit would close a loop (the netlist
+/// is left unchanged in that case).
+pub fn rewire_net(
+    nl: &mut Netlist,
+    instance: &str,
+    pin: usize,
+    new_source: &str,
+) -> Result<GateEdit, EditError> {
+    let gid = resolve_instance(nl, instance)?;
+    let new_net = nl
+        .net_by_name(new_source)
+        .ok_or_else(|| EditError::UnknownNet(new_source.to_string()))?;
+    let fanin = nl.gate(gid).fanin();
+    let old_net = *nl
+        .gate(gid)
+        .inputs()
+        .get(pin)
+        .ok_or_else(|| EditError::BadPin {
+            instance: instance.to_string(),
+            pin,
+            fanin,
+        })?;
+    match nl.rewire_pin(gid, pin, new_net) {
+        Ok(()) => {}
+        Err(NetlistError::Cycle(_)) => return Err(EditError::WouldCycle(instance.to_string())),
+        Err(NetlistError::BadArity { got, .. }) => {
+            return Err(EditError::BadPin {
+                instance: instance.to_string(),
+                pin: got,
+                fanin,
+            })
+        }
+        Err(e) => unreachable!("rewire_pin returned unexpected error {e}"),
+    }
+    let mut touched = touched_nets(nl, gid);
+    if !touched.contains(&old_net) {
+        touched.push(old_net);
+    }
+    Ok(GateEdit {
+        gate: gid,
+        touched,
+        function_changed: true,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -207,6 +457,104 @@ mod tests {
     // Structural facts only — the rule-code assertions live in
     // `sta-lint`'s fault-injection tests (lint depends on this crate, not
     // the other way around).
+
+    fn mapped_c17() -> (Netlist, &'static Library) {
+        use std::sync::OnceLock;
+        static LIB: OnceLock<Library> = OnceLock::new();
+        let lib = LIB.get_or_init(Library::standard);
+        let nl = crate::catalog::mapped("c17", lib)
+            .expect("mapping succeeds")
+            .expect("known benchmark");
+        (nl, lib)
+    }
+
+    #[test]
+    fn swap_gate_changes_kind_and_reports_function_change() {
+        let (mut nl, lib) = mapped_c17();
+        let instance = nl.net_label(nl.outputs()[0]);
+        // c17 output gates are NAND2; swap to NOR2 (function change).
+        let edit = swap_gate(&mut nl, lib, &instance, "NOR2").unwrap();
+        assert!(edit.function_changed);
+        let gid = edit.gate;
+        assert_eq!(
+            nl.gate(gid).kind(),
+            GateKind::Cell(lib.cell_by_name("NOR2").unwrap().id())
+        );
+        assert_eq!(edit.touched.len(), nl.gate(gid).fanin() + 1);
+        nl.validate().unwrap();
+        // Swapping to the same function's drive variant is not a function
+        // change.
+        let edit = swap_gate(&mut nl, lib, &instance, "NOR2_X2").unwrap();
+        assert!(!edit.function_changed);
+        // Typed errors, netlist untouched.
+        assert_eq!(
+            swap_gate(&mut nl, lib, "no_such_net", "NOR2"),
+            Err(EditError::UnknownNet("no_such_net".into()))
+        );
+        let pi = nl.net_label(nl.inputs()[0]);
+        assert_eq!(
+            swap_gate(&mut nl, lib, &pi, "NOR2"),
+            Err(EditError::UnknownInstance(pi.clone()))
+        );
+        assert_eq!(
+            swap_gate(&mut nl, lib, &instance, "NOPE"),
+            Err(EditError::UnknownCell("NOPE".into()))
+        );
+        assert_eq!(
+            swap_gate(&mut nl, lib, &instance, "NAND3"),
+            Err(EditError::IncompatiblePinCount {
+                cell: "NAND3".into(),
+                want: 3,
+                got: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn resize_gate_is_an_involution() {
+        let (mut nl, lib) = mapped_c17();
+        let instance = nl.net_label(nl.outputs()[0]);
+        let before = nl.clone();
+        let e1 = resize_gate(&mut nl, lib, &instance).unwrap();
+        assert!(!e1.function_changed);
+        let k1 = nl.gate(e1.gate).kind();
+        assert!(matches!(k1, GateKind::Cell(c)
+            if lib.cell(c).name().ends_with("_X2")));
+        let e2 = resize_gate(&mut nl, lib, &instance).unwrap();
+        assert_eq!(e1.gate, e2.gate);
+        assert_eq!(nl, before, "resize twice restores the original");
+    }
+
+    #[test]
+    fn rewire_net_moves_a_pin_and_rejects_cycles() {
+        let (mut nl, _lib) = mapped_c17();
+        let out = nl.outputs()[0];
+        let instance = nl.net_label(out);
+        let gid = nl.net(out).driver().unwrap();
+        let old_net = nl.gate(gid).inputs()[0];
+        let pi = nl.net_label(nl.inputs()[0]);
+        let pi_net = nl.inputs()[0];
+        let edit = rewire_net(&mut nl, &instance, 0, &pi).unwrap();
+        assert!(edit.function_changed);
+        assert_eq!(nl.gate(gid).inputs()[0], pi_net);
+        assert!(edit.touched.contains(&old_net));
+        assert!(edit.touched.contains(&pi_net));
+        nl.validate().unwrap();
+        // Feeding the gate its own output is a cycle.
+        assert_eq!(
+            rewire_net(&mut nl, &instance, 0, &instance),
+            Err(EditError::WouldCycle(instance.clone()))
+        );
+        assert_eq!(
+            rewire_net(&mut nl, &instance, 9, &pi),
+            Err(EditError::BadPin {
+                instance: instance.clone(),
+                pin: 9,
+                fanin: 2,
+            })
+        );
+        nl.validate().unwrap();
+    }
 
     #[test]
     fn break_net_reroutes_one_pin_to_a_floating_net() {

@@ -92,6 +92,7 @@ pub enum RequiredSource {
 #[derive(Clone, Debug)]
 pub struct AnalysisRequest {
     circuit: String,
+    netlist_override: Option<Netlist>,
     tech: Technology,
     corner: Option<Corner>,
     n_worst: Option<usize>,
@@ -114,6 +115,7 @@ impl AnalysisRequest {
     pub fn new(circuit: &str) -> Self {
         AnalysisRequest {
             circuit: circuit.to_string(),
+            netlist_override: None,
             tech: Technology::n90(),
             corner: None,
             n_worst: None,
@@ -129,6 +131,15 @@ impl AnalysisRequest {
             cache_dir: PathBuf::from(".char-cache"),
             obs: Observer::disabled(),
         }
+    }
+
+    /// Analyzes the given already-mapped netlist instead of resolving the
+    /// circuit name from the benchmark catalog (the name is kept for
+    /// reporting). This is how the timing daemon re-analyzes an ECO-edited
+    /// netlist that exists in no catalog.
+    pub fn with_netlist(mut self, nl: Netlist) -> Self {
+        self.netlist_override = Some(nl);
+        self
     }
 
     /// Selects the technology node (default 90 nm). The corner defaults to
@@ -252,8 +263,11 @@ impl AnalysisRequest {
         let (lib, netlist) = {
             let _load = root.child("load");
             let lib = Library::standard();
-            let nl = catalog::mapped(&self.circuit, &lib)?
-                .ok_or_else(|| AnalysisError::UnknownBenchmark(self.circuit.clone()))?;
+            let nl = match &self.netlist_override {
+                Some(nl) => nl.clone(),
+                None => catalog::mapped(&self.circuit, &lib)?
+                    .ok_or_else(|| AnalysisError::UnknownBenchmark(self.circuit.clone()))?,
+            };
             (lib, nl)
         };
         let timing = {

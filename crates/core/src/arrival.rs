@@ -406,12 +406,11 @@ mod tests {
         for &src in nl.inputs() {
             let deltas = sta_logic::toggle_analysis(&nl, &lib, src);
             let tight = tightened_remaining(&nl, &lib, &ab, &deltas, &is_output);
-            for i in 0..nl.num_nets() {
-                if tight[i].is_finite() {
+            for (i, &t) in tight.iter().enumerate() {
+                if t.is_finite() {
                     assert!(
-                        tight[i] <= st.remaining[i] + 1e-9,
-                        "net {i}: tightened {} > structural {}",
-                        tight[i],
+                        t <= st.remaining[i] + 1e-9,
+                        "net {i}: tightened {t} > structural {}",
                         st.remaining[i]
                     );
                 }

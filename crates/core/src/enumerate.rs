@@ -85,6 +85,21 @@ pub struct EnumerationConfig {
     /// run can truncate at a different point). Disable to time the
     /// unpruned search.
     pub learning: bool,
+    /// Restricts the run to a subset of the primary inputs: entry `i`
+    /// gates the source at position `i` of `Netlist::inputs()`. `None`
+    /// runs every source. The paths emitted for an enabled source are
+    /// identical to what a run over all sources emits for it *when
+    /// [`EnumerationConfig::per_source_n_worst`] isolates the admission
+    /// threshold* (or in full enumeration) — the property the ECO
+    /// incremental re-analysis relies on (see `sta_core::eco`).
+    pub source_filter: Option<Arc<Vec<bool>>>,
+    /// Isolate the N-worst admission threshold per source: the threshold
+    /// and admitted-arrival set reset at every source switch (serial) and
+    /// the shared bound is per source (parallel), so each source's
+    /// emitted superset contains its own N worst paths and is independent
+    /// of which other sources run. Costs pruning power on multi-source
+    /// runs; the point is cacheability, not speed.
+    pub per_source_n_worst: bool,
     /// Observability handle. Disabled by default; when enabled the run
     /// records phase spans, per-worker metrics and (if installed) progress
     /// counters. Observation is strictly read-only with respect to the
@@ -109,6 +124,8 @@ impl PartialEq for EnumerationConfig {
             && self.compile_kernels == other.compile_kernels
             && self.bitsim == other.bitsim
             && self.learning == other.learning
+            && self.source_filter == other.source_filter
+            && self.per_source_n_worst == other.per_source_n_worst
     }
 }
 
@@ -128,6 +145,8 @@ impl EnumerationConfig {
             compile_kernels: true,
             bitsim: true,
             learning: true,
+            source_filter: None,
+            per_source_n_worst: false,
             obs: sta_obs::Observer::disabled(),
         }
     }
@@ -170,6 +189,25 @@ impl EnumerationConfig {
     /// what the run computes.
     pub fn with_observer(mut self, obs: sta_obs::Observer) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Restricts the run to the sources whose entry (by position in
+    /// `Netlist::inputs()`) is `true`; see
+    /// [`EnumerationConfig::source_filter`].
+    ///
+    /// # Panics
+    ///
+    /// The run panics if the filter length differs from the input count.
+    pub fn with_source_filter(mut self, filter: Arc<Vec<bool>>) -> Self {
+        self.source_filter = Some(filter);
+        self
+    }
+
+    /// Isolates the N-worst admission threshold per source; see
+    /// [`EnumerationConfig::per_source_n_worst`].
+    pub fn with_per_source_n_worst(mut self, on: bool) -> Self {
+        self.per_source_n_worst = on;
         self
     }
 }
@@ -291,12 +329,16 @@ pub struct PathEnumerator<'a> {
     pub(crate) tlib: &'a TimingLibrary,
     pub(crate) cfg: EnumerationConfig,
     /// Corner-compiled kernel table (`None` when disabled), built once at
-    /// construction and shared read-only by every worker.
-    pub(crate) kernel: Option<CompiledCorner>,
+    /// construction — or injected pre-built via
+    /// [`PathEnumerator::with_prebuilt`], e.g. by the timing daemon which
+    /// keeps it resident across requests — and shared read-only by every
+    /// worker.
+    pub(crate) kernel: Option<Arc<CompiledCorner>>,
     /// Compiled forward-simulation program for the bit-parallel
     /// justification pre-filter (`None` when disabled), built once at
-    /// construction and shared read-only by every worker.
-    pub(crate) schedule: Option<Schedule>,
+    /// construction (or injected pre-built) and shared read-only by every
+    /// worker.
+    pub(crate) schedule: Option<Arc<Schedule>>,
     /// Caller-injected nogood store (see
     /// [`PathEnumerator::set_nogood_store`]); when `None` and learning is
     /// on, each run creates its own.
@@ -316,14 +358,41 @@ impl<'a> PathEnumerator<'a> {
         tlib: &'a TimingLibrary,
         cfg: EnumerationConfig,
     ) -> Self {
+        Self::with_prebuilt(nl, lib, tlib, cfg, None, None)
+    }
+
+    /// Like [`PathEnumerator::new`], but reuses caller-owned compiled
+    /// state instead of rebuilding it: a corner-compiled kernel table
+    /// (valid for a (timing library, corner) pair — it does not depend on
+    /// the netlist, so it survives ECO edits) and/or a compiled bitsim
+    /// schedule (netlist-dependent; rebuild after an edit). Either `None`
+    /// falls back to compiling fresh when the corresponding config flag is
+    /// on. This is what lets the timing daemon pay compilation once per
+    /// loaded circuit rather than once per request.
+    ///
+    /// # Panics
+    ///
+    /// As [`PathEnumerator::new`].
+    pub fn with_prebuilt(
+        nl: &'a Netlist,
+        lib: &'a Library,
+        tlib: &'a TimingLibrary,
+        cfg: EnumerationConfig,
+        kernel: Option<Arc<CompiledCorner>>,
+        schedule: Option<Arc<Schedule>>,
+    ) -> Self {
         assert_eq!(nl.topo_gates().len(), nl.num_gates(), "netlist has a cycle");
         assert!(
             nl.gate_ids()
                 .all(|g| matches!(nl.gate(g).kind(), GateKind::Cell(_))),
             "netlist must be technology-mapped"
         );
-        let kernel = cfg.compile_kernels.then(|| tlib.compile_corner(cfg.corner));
-        let schedule = cfg.bitsim.then(|| Schedule::compile(nl, lib));
+        let kernel = cfg
+            .compile_kernels
+            .then(|| kernel.unwrap_or_else(|| Arc::new(tlib.compile_corner(cfg.corner))));
+        let schedule = cfg
+            .bitsim
+            .then(|| schedule.unwrap_or_else(|| Arc::new(Schedule::compile(nl, lib))));
         PathEnumerator {
             nl,
             lib,
@@ -337,7 +406,19 @@ impl<'a> PathEnumerator<'a> {
 
     /// The corner-compiled kernel table, if kernel compilation is enabled.
     pub fn kernel(&self) -> Option<&CompiledCorner> {
-        self.kernel.as_ref()
+        self.kernel.as_deref()
+    }
+
+    /// Shared handle on the kernel table (for callers that keep it
+    /// resident across enumerator rebuilds, e.g. the timing daemon).
+    pub fn kernel_arc(&self) -> Option<Arc<CompiledCorner>> {
+        self.kernel.clone()
+    }
+
+    /// Shared handle on the compiled bitsim schedule, if bitsim is
+    /// enabled.
+    pub fn schedule_arc(&self) -> Option<Arc<Schedule>> {
+        self.schedule.clone()
     }
 
     /// Installs a caller-owned shared nogood store for the next run(s),
@@ -396,7 +477,7 @@ impl<'a> PathEnumerator<'a> {
             lib: self.lib,
             tlib: self.tlib,
             cfg: &self.cfg,
-            kernel: self.kernel.as_ref(),
+            kernel: self.kernel.as_deref(),
             eng: ImplicationEngine::new(self.nl, self.lib),
             remaining: self.prune_bounds(),
             fanouts: self.fanouts(),
@@ -415,7 +496,7 @@ impl<'a> PathEnumerator<'a> {
             side_scratch: Vec::new(),
             justify_todo: Vec::new(),
             justify_scratch: JustifyScratch::default(),
-            filter: self.schedule.as_ref().map(BitsimFilter::new),
+            filter: self.schedule.as_deref().map(BitsimFilter::new),
             learn_eng: self
                 .cfg
                 .learning
@@ -437,9 +518,29 @@ impl<'a> PathEnumerator<'a> {
         // whole run.
         let mut nodes: Vec<NetId> = Vec::new();
         let mut arcs: Vec<PathArc> = Vec::new();
-        for &src in self.nl.inputs() {
+        if let Some(f) = &self.cfg.source_filter {
+            assert_eq!(
+                f.len(),
+                self.nl.inputs().len(),
+                "source filter length must match the primary-input count"
+            );
+        }
+        for (pi_pos, &src) in self.nl.inputs().iter().enumerate() {
             if search.stats.truncated {
                 break;
+            }
+            if let Some(f) = &self.cfg.source_filter {
+                if !f[pi_pos] {
+                    continue;
+                }
+            }
+            if self.cfg.per_source_n_worst {
+                // Threshold isolation: this source's admissions must not
+                // be pruned by what other sources emitted (and vice
+                // versa), so each source's emitted superset is a function
+                // of that source alone.
+                search.threshold = f64::NEG_INFINITY;
+                search.worst_arrivals.clear();
             }
             // Per-source static toggle analysis: O(1) refutation of
             // stable-value requirements on nets that provably toggle
@@ -1339,13 +1440,17 @@ impl Search<'_, '_> {
                     v.f
                 }
             };
-            if via_val != V9::XX {
+            // Stable values only — see `learn::extract_cut`: the
+            // justifier's refutations are definitive over stable
+            // requirements, not transitions.
+            if via_val == V9::S0 || via_val == V9::S1 {
                 side_lits.push((via, via_val));
             }
             let verified_side = learn::verify_cut(
                 self.learn_eng.as_mut().expect("learning engine"),
                 self.nl,
                 self.eng.toggles(),
+                key.src,
                 pol_r,
                 &side_lits,
                 &mut self.justify_todo,
@@ -1372,6 +1477,7 @@ impl Search<'_, '_> {
                     self.learn_eng.as_mut().expect("learning engine"),
                     self.nl,
                     self.eng.toggles(),
+                    key.src,
                     pol_r,
                     &cone_lits,
                     &mut self.justify_todo,

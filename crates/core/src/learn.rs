@@ -23,6 +23,37 @@
 //! immediate assignment conflict) is stored. A budget abort during the
 //! replay stores nothing — an abort proves nothing.
 //!
+//! Three disciplines keep a stored refutation sound, all learned from
+//! c1908 worst-path regressions:
+//!
+//! * **The replay models the launch.** It assigns the source's
+//!   transition before the literals, exactly as the DFS root does. The
+//!   toggle deltas assume the source toggles, so on a fresh engine
+//!   without the launch the source could be assigned neither a stable
+//!   value (its own delta conflicts) nor a transition (justification
+//!   candidates are stable-only) — any literal whose only support flows
+//!   through the source would then be "refuted" vacuously, and the
+//!   clause could kill feasible branches.
+//! * **Literals are restricted to the fully-stable values `S0`/`S1`.**
+//!   The justifier explores stable candidate assignments, so its
+//!   `Unsatisfiable` answer is definitive exactly on stable
+//!   requirements; for a transition or half-known requirement (`R`,
+//!   `X0`, …) it can report a false refutation even with the launch on
+//!   the trail. Extraction drops non-stable components instead
+//!   (generalizing the cut, which the replay must then still prove).
+//! * **The transition support of the cut must be closed**
+//!   ([`support_is_closed`]). The justifier assigns only stable values
+//!   to free nets, but forward propagation can derive stable values
+//!   *from transitions* — two correlated transitions cancel through an
+//!   XOR — so a literal can be satisfiable only by routing the launch
+//!   through a cone net the replay left unknown. `Unsatisfiable` is
+//!   definitive only when every net in the literals' fanin cone either
+//!   already carries a fully-defined value in the replay state or
+//!   provably cannot toggle (`Toggle::Zero`); otherwise the candidate
+//!   clause is discarded. In the search state that fired the original
+//!   refutation the partial path pins those cone nets, which is exactly
+//!   why the refutation does not generalize away from it.
+//!
 //! At a consult site the engine's current state `cur` *refines* every
 //! literal of a matching nogood (checked with the same `refines` order
 //! the justification search uses). Suppose the current obligation set had
@@ -368,7 +399,15 @@ pub(crate) fn extract_cut(
         head += 1;
         let v = eng.value(net);
         let v = if pol_r { v.r } else { v.f };
-        if v != V9::XX {
+        // Only fully-stable components may become literals: the
+        // verification replay justifies over stable candidate
+        // assignments (plus the launch), so its `Unsatisfiable` is
+        // definitive only for stable requirements — a transition or
+        // half-known component can make it report a false refutation
+        // (the c1908 worst-path regression). Dropping the component
+        // merely generalizes the candidate cut, and the replay still has
+        // to prove the generalized clause before it is stored.
+        if v == V9::S0 || v == V9::S1 {
             if lits.len() >= MAX_LITS {
                 return None;
             }
@@ -390,16 +429,73 @@ pub(crate) fn extract_cut(
     }
 }
 
+/// The third learning discipline (see the module docs): a replayed
+/// `Unsatisfiable` is definitive only when the refutation's search space
+/// was closed under every route the launch could take. The justifier
+/// assigns only *stable* values to free nets, while forward propagation
+/// can derive stable values from transitions (two correlated transitions
+/// cancel through an XOR), so a requirement can be satisfiable only via a
+/// transition on a cone net the replay never pinned — a witness the
+/// backward search cannot construct. This walks the literals' fanin cone
+/// in the replay state and accepts it only if every net either carries a
+/// fully-defined `pol_r`-component (the launch's forward implications
+/// pinned it) or provably cannot toggle (`Toggle::Zero`; with no deltas
+/// installed every net is treated as toggle-capable). Cones larger than
+/// the extraction cap are rejected outright. Conservative by design: a
+/// rejection merely discards a candidate clause.
+pub fn support_is_closed(
+    eng: &ImplicationEngine<'_>,
+    nl: &Netlist,
+    toggles: Option<&[Toggle]>,
+    pol_r: bool,
+    lits: &[(NetId, V9)],
+) -> bool {
+    let mut seen = vec![false; nl.num_nets()];
+    let mut queue: Vec<NetId> = Vec::with_capacity(lits.len());
+    for &(n, _) in lits {
+        if !seen[n.index()] {
+            seen[n.index()] = true;
+            queue.push(n);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        if queue.len() > CONE_CAP {
+            return false;
+        }
+        let net = queue[head];
+        head += 1;
+        let v = eng.value(net);
+        let v = if pol_r { v.r } else { v.f };
+        if !v.is_fully_defined() && toggles.is_none_or(|t| t[net.index()] != Toggle::Zero) {
+            return false;
+        }
+        if let Some(driver) = nl.net(net).driver() {
+            for &input in nl.gate(driver).inputs() {
+                if !seen[input.index()] {
+                    seen[input.index()] = true;
+                    queue.push(input);
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Learn-time verification replay: on a scratch engine carrying the same
-/// toggle deltas, requires exactly `lits` in the `pol_r` analysis and
-/// re-justifies from scratch. `true` only on a *definitive* refutation —
-/// an immediate assignment conflict or a complete `Unsatisfiable` within
-/// [`VERIFY_DECISION_BUDGET`]; a budget abort returns `false` and the
-/// candidate is discarded.
+/// toggle deltas, asserts the launch transition on `src` and then
+/// requires exactly `lits` in the `pol_r` analysis, re-justifying from
+/// scratch. `true` only on a *definitive* refutation — an immediate
+/// assignment conflict or a complete `Unsatisfiable` within
+/// [`VERIFY_DECISION_BUDGET`] whose transition support is closed
+/// ([`support_is_closed`]); a budget abort or an open support cone
+/// returns `false` and the candidate is discarded.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_cut(
     eng: &mut ImplicationEngine<'_>,
     nl: &Netlist,
     toggles: Option<&[Toggle]>,
+    src: NetId,
     pol_r: bool,
     lits: &[(NetId, V9)],
     todo: &mut Vec<NetId>,
@@ -412,6 +508,22 @@ pub(crate) fn verify_cut(
         f: !pol_r,
     };
     let mut alive = mask;
+    // Model the launch: every hit context has the source's transition on
+    // the trail (the DFS root assigns it before any arc is tried), and
+    // the toggle deltas assume it — without it the replay could neither
+    // assign the source a stable value (its own delta conflicts) nor a
+    // transition (candidates are stable-only), so any literal whose only
+    // support flows through the source would be "refuted" vacuously and
+    // the stored clause could kill feasible branches (the c1908
+    // worst-path regression; see the module docs).
+    let conflict = eng.assign(src, Dual::transition(false), alive);
+    alive = alive.minus(conflict);
+    if !alive.any() {
+        // The launch itself is infeasible in this polarity: no hit
+        // context can arise, the clause is vacuously refutation-safe.
+        eng.reset();
+        return true;
+    }
     for &(net, v) in lits {
         let want = if pol_r {
             Dual { r: v, f: V9::XX }
@@ -430,7 +542,8 @@ pub(crate) fn verify_cut(
     todo.clear();
     todo.extend(lits.iter().map(|&(n, _)| n));
     let mut budget = JustifyBudget::with_decision_limit(VERIFY_DECISION_BUDGET);
-    let refuted = proves_unsat(eng, nl, todo, alive, &mut budget, scratch);
+    let refuted = proves_unsat(eng, nl, todo, alive, &mut budget, scratch)
+        && support_is_closed(eng, nl, toggles, pol_r, lits);
     eng.reset();
     refuted
 }

@@ -54,6 +54,7 @@ pub mod analysis;
 pub mod arrival;
 pub mod bitsim;
 pub mod delaycalc;
+pub mod eco;
 pub mod enumerate;
 pub mod justify;
 pub mod learn;
@@ -74,6 +75,7 @@ pub use arrival::{
 };
 pub use bitsim::BitsimFilter;
 pub use delaycalc::{path_delay, path_delay_compiled, DelayCalcError, PathDelayBreakdown};
+pub use eco::{dirty_sources, fanin_cone, fanout_cone, SourceCache};
 pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
 pub use justify::{
     justify, justify_filtered, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome,

@@ -121,6 +121,11 @@ struct WorkerCtx<'a> {
     is_output: &'a [bool],
     injector: &'a Injector<RootTask>,
     shared_bound: &'a AtomicU64,
+    /// Per-source published bounds (indexed like `plans`), replacing the
+    /// single `shared_bound` when
+    /// [`EnumerationConfig::per_source_n_worst`] isolates the admission
+    /// threshold per source. `None` otherwise.
+    src_bounds: Option<&'a [AtomicU64]>,
     /// Shared learned-nogood store, cloned into every worker's `Search`
     /// so clauses learned on one worker prune the others. `None` when
     /// `cfg.learning` is off.
@@ -154,7 +159,19 @@ pub(crate) fn run_parallel(
     let mut plans: Vec<SrcPlan> = Vec::new();
     let mut tasks: Vec<RootTask> = Vec::new();
     let mut eng = ImplicationEngine::new(nl, lib);
-    for &src in nl.inputs() {
+    if let Some(f) = &enumr.cfg.source_filter {
+        assert_eq!(
+            f.len(),
+            nl.inputs().len(),
+            "source filter length must match the primary-input count"
+        );
+    }
+    for (pi_pos, &src) in nl.inputs().iter().enumerate() {
+        if let Some(f) = &enumr.cfg.source_filter {
+            if !f[pi_pos] {
+                continue;
+            }
+        }
         let deltas = toggle_analysis(nl, lib, src);
         let reach = sensitizable_reach(nl, lib, &deltas, &is_output);
         if !reach[src.index()] {
@@ -210,19 +227,28 @@ pub(crate) fn run_parallel(
     let locals: Vec<Worker<RootTask>> = (0..threads).map(|_| Worker::new_fifo()).collect();
     let stealers: Vec<Stealer<RootTask>> = locals.iter().map(Worker::stealer).collect();
     let shared_bound = AtomicU64::new(encode_bound(f64::NEG_INFINITY));
+    // Per-source bounds for threshold isolation (see the config docs):
+    // one atomic per planned source, so workers on the same source still
+    // share pruning progress while sources stay independent.
+    let src_bounds: Option<Vec<AtomicU64>> = enumr.cfg.per_source_n_worst.then(|| {
+        (0..plans.len())
+            .map(|_| AtomicU64::new(encode_bound(f64::NEG_INFINITY)))
+            .collect()
+    });
     let ctx = WorkerCtx {
         nl,
         lib,
         tlib: enumr.tlib,
         cfg: &enumr.cfg,
-        kernel: enumr.kernel.as_ref(),
-        schedule: enumr.schedule.as_ref(),
+        kernel: enumr.kernel.as_deref(),
+        schedule: enumr.schedule.as_deref(),
         plans: &plans,
         remaining: &remaining,
         fanouts: &fanouts,
         is_output: &is_output,
         injector: &injector,
         shared_bound: &shared_bound,
+        src_bounds: src_bounds.as_deref(),
         nogoods,
         arc_bounds,
     };
@@ -398,6 +424,14 @@ fn worker_loop(
             search.obligations.clear();
             search.delays_r.clear();
             search.delays_f.clear();
+            if let Some(bounds) = ctx.src_bounds {
+                // Threshold isolation: forget the previous source's
+                // admissions and publish/read bounds through this
+                // source's own atomic.
+                search.threshold = f64::NEG_INFINITY;
+                search.worst_arrivals.clear();
+                search.shared_bound = Some(&bounds[task.src]);
+            }
             current_src = Some(task.src);
         }
         // Budgets apply per root task (see the module docs).

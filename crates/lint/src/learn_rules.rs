@@ -14,18 +14,25 @@
 //!   within the literal cap, references only real nets, and carries no
 //!   unconstrained (`XX`) literal (an `XX` literal would be vacuous and
 //!   signals a broken extraction);
-//! * **LEARN002** — semantic refutation replay: the clause's literals
-//!   are re-asserted on a fresh [`ImplicationEngine`] under the launch
-//!   source's freshly recomputed toggle deltas and re-justified from
-//!   scratch with the *public* justification API. If the search finds a
-//!   witness, the stored "unsatisfiable" claim is false — an error.
-//!   A budget abort proves nothing and is counted as skipped, not
-//!   certified.
+//! * **LEARN002** — semantic refutation replay: the launch source's
+//!   transition and the clause's literals are re-asserted on a fresh
+//!   [`ImplicationEngine`] under freshly recomputed toggle deltas and
+//!   re-justified from scratch with the *public* justification API.
+//!   Modeling the launch is load-bearing: without it the source net is
+//!   unassignable under its own deltas and clauses supported through it
+//!   replay as vacuously "refuted". If the search finds a witness, the
+//!   stored "unsatisfiable" claim is false — an error. A budget abort
+//!   proves nothing and is counted as skipped, not certified. An
+//!   `Unsatisfiable` only certifies when the clause's transition support
+//!   is *closed* (`sta_core::learn::support_is_closed`): if a
+//!   toggle-capable cone net is unresolved in the replay state, the
+//!   stable-only backward search cannot rule out a witness routing the
+//!   launch through it, and the clause is reported as an error.
 
 use std::collections::HashMap;
 
 use sta_cells::Library;
-use sta_core::learn::{Nogood, NogoodKey, MAX_LITS, MAX_PER_KEY};
+use sta_core::learn::{support_is_closed, Nogood, NogoodKey, MAX_LITS, MAX_PER_KEY};
 use sta_core::{justify, JustifyBudget, JustifyOutcome};
 use sta_logic::{toggle_analysis, Dual, ImplicationEngine, Mask, Toggle, V9};
 use sta_netlist::{GateKind, NetId, Netlist};
@@ -118,7 +125,7 @@ pub fn audit_nogoods(
             let toggles = deltas
                 .entry(key.src)
                 .or_insert_with(|| toggle_analysis(nl, lib, key.src));
-            match replay(&mut eng, nl, toggles, ng) {
+            match replay(&mut eng, nl, toggles, key.src, ng) {
                 Replay::Refuted => out.certified += 1,
                 Replay::Budget => out.skipped += 1,
                 Replay::Witness => out.diagnostics.push(Diagnostic::new(
@@ -127,6 +134,18 @@ pub fn audit_nogoods(
                     format!(
                         "stored refutation ({} literals, {} analysis) is satisfiable: \
                          independent re-justification found a witness",
+                        ng.lits.len(),
+                        if ng.pol_r { "rising" } else { "falling" }
+                    ),
+                )),
+                Replay::OpenSupport => out.diagnostics.push(Diagnostic::new(
+                    RuleCode::LearnRefutesSatisfiable,
+                    loc,
+                    format!(
+                        "stored refutation ({} literals, {} analysis) has open \
+                         transition support: a toggle-capable cone net is \
+                         unresolved in the replay state, so the justifier's \
+                         refutation is not definitive there",
                         ng.lits.len(),
                         if ng.pol_r { "rising" } else { "falling" }
                     ),
@@ -189,6 +208,19 @@ fn check_clause(nl: &Netlist, ng: &Nogood) -> Option<String> {
                 net.index()
             ));
         }
+        if v != V9::S0 && v != V9::S1 {
+            // The justification engine decides satisfiability over stable
+            // candidate assignments (plus the launch), so a refutation
+            // containing a transition or half-known literal was
+            // "verified" outside the domain where its answer is
+            // definitive — such a clause can kill feasible branches (the
+            // c1908 worst-path regression).
+            return Some(format!(
+                "non-stable literal {v:?} on net {} (outside the replay's \
+                 complete domain)",
+                net.index()
+            ));
+        }
     }
     None
 }
@@ -197,15 +229,26 @@ enum Replay {
     Refuted,
     Witness,
     Budget,
+    /// The replay refuted the clause, but a toggle-capable net in the
+    /// literals' fanin cone is unresolved in the replay state — the
+    /// justifier's stable-only backward search cannot rule out a witness
+    /// that routes the launch through it (transitions cancel through
+    /// XORs into stable values it can never construct), so the
+    /// refutation is not definitive and the clause must not have been
+    /// stored.
+    OpenSupport,
 }
 
 /// LEARN002: independent refutation replay through the public
 /// justification API (mirrors `sta_core::learn`'s verify discipline:
-/// single-polarity mask, immediate forward conflict counts as refuted).
+/// single-polarity mask, launch transition asserted first, immediate
+/// forward conflict counts as refuted, and an `Unsatisfiable` is
+/// accepted only when the clause's transition support is closed).
 fn replay(
     eng: &mut ImplicationEngine<'_>,
     nl: &Netlist,
     toggles: &[Toggle],
+    src: NetId,
     ng: &Nogood,
 ) -> Replay {
     eng.reset();
@@ -215,6 +258,19 @@ fn replay(
         f: !ng.pol_r,
     };
     let mut alive = mask;
+    // The launch must be on the trail before the literals: every hit
+    // context has the source transitioning (the enumeration's DFS root
+    // asserts it), and the toggle deltas assume it. Omitting it leaves
+    // the source unassignable — its own delta conflicts with any stable
+    // value, and justification candidates are stable-only — so a clause
+    // whose support flows through the source would replay as "refuted"
+    // vacuously and the audit would certify an unsound entry.
+    let conflict = eng.assign(src, Dual::transition(false), alive);
+    alive = alive.minus(conflict);
+    if !alive.any() {
+        eng.reset();
+        return Replay::Refuted;
+    }
     for &(net, v) in &ng.lits {
         let want = if ng.pol_r {
             Dual { r: v, f: V9::XX }
@@ -231,10 +287,17 @@ fn replay(
     let todo: Vec<NetId> = ng.lits.iter().map(|&(n, _)| n).collect();
     let mut budget = JustifyBudget::with_decision_limit(REPLAY_DECISION_BUDGET);
     let outcome = justify(eng, nl, todo, alive, &mut budget);
+    let closed = match outcome {
+        JustifyOutcome::Unsatisfiable => {
+            support_is_closed(eng, nl, Some(toggles), ng.pol_r, &ng.lits)
+        }
+        _ => true,
+    };
     eng.reset();
     match outcome {
         JustifyOutcome::Satisfied(_) => Replay::Witness,
-        JustifyOutcome::Unsatisfiable => Replay::Refuted,
+        JustifyOutcome::Unsatisfiable if closed => Replay::Refuted,
+        JustifyOutcome::Unsatisfiable => Replay::OpenSupport,
         JustifyOutcome::BudgetExhausted => Replay::Budget,
     }
 }

@@ -118,9 +118,11 @@ impl Net {
 /// A combinational gate-level netlist.
 ///
 /// Nets are single-driver; primary inputs are undriven nets; primary outputs
-/// are an ordered list of nets. The structure is append-only: gates and nets
-/// can be added but not removed (rebuild instead — netlists here are
-/// produced by parsers and generators, not edited interactively).
+/// are an ordered list of nets. The structure is add-only in size — gates and
+/// nets cannot be removed (rebuild instead) — but existing gates support two
+/// in-place ECO edits: [`Netlist::set_gate_kind`] (cell swap/resize keeps the
+/// pin wiring) and [`Netlist::rewire_pin`] (reconnects one input pin with
+/// fanout-list maintenance and a cycle check).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Netlist {
     name: String,
@@ -344,6 +346,74 @@ impl Netlist {
             output,
         });
         Ok(gid)
+    }
+
+    /// Replaces the function of an existing gate, keeping its input pins
+    /// and output net unchanged (ECO cell swap / drive resize).
+    ///
+    /// The graph structure is untouched, so no re-validation is needed;
+    /// arity compatibility between the new kind and the existing pin count
+    /// is the caller's obligation (`sta-circuits::transforms` checks it
+    /// against the cell library).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    pub fn set_gate_kind(&mut self, gate: GateId, kind: GateKind) {
+        self.gates[gate.index()].kind = kind;
+    }
+
+    /// Reconnects input pin `pin` of `gate` to `new_net` (ECO rewire).
+    ///
+    /// The old net's fanout list drops the pin, the new net's gains it, and
+    /// the edit is rejected — and fully rolled back — if it would create a
+    /// combinational cycle. Rewiring a pin to the net it already reads is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if `pin` is out of range for the
+    /// gate and [`NetlistError::Cycle`] if the reconnection would make the
+    /// gate graph cyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` or `new_net` is out of range.
+    pub fn rewire_pin(
+        &mut self,
+        gate: GateId,
+        pin: usize,
+        new_net: NetId,
+    ) -> Result<(), NetlistError> {
+        assert!(new_net.index() < self.nets.len(), "net id out of range");
+        let old_net = match self.gates[gate.index()].inputs.get(pin) {
+            Some(&n) => n,
+            None => {
+                return Err(NetlistError::BadArity {
+                    gate: format!("{:?}", self.gates[gate.index()].kind),
+                    got: pin,
+                })
+            }
+        };
+        if old_net == new_net {
+            return Ok(());
+        }
+        let pr = PinRef { gate, pin };
+        self.nets[old_net.index()].fanout.retain(|p| *p != pr);
+        self.nets[new_net.index()].fanout.push(pr);
+        self.gates[gate.index()].inputs[pin] = new_net;
+        // Cycle check: Kahn's order covers every gate iff the graph is
+        // still acyclic. Roll the edit back on failure so the netlist is
+        // never left in a broken state.
+        if self.topo_gates().len() != self.gates.len() {
+            self.nets[new_net.index()].fanout.retain(|p| *p != pr);
+            self.nets[old_net.index()].fanout.push(pr);
+            self.gates[gate.index()].inputs[pin] = old_net;
+            return Err(NetlistError::Cycle(
+                self.net_ref(self.gates[gate.index()].output),
+            ));
+        }
+        Ok(())
     }
 
     /// Declares a net as a primary output. A net may be declared at most
@@ -624,6 +694,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn set_gate_kind_preserves_structure() {
+        let mut nl = c17ish();
+        let g1 = nl.net_by_name("g1").unwrap();
+        let driver = nl.net(g1).driver().unwrap();
+        nl.set_gate_kind(driver, GateKind::Prim(PrimOp::Nor));
+        assert_eq!(nl.gate(driver).kind(), GateKind::Prim(PrimOp::Nor));
+        nl.validate().unwrap();
+        assert_eq!(nl.num_gates(), 3);
+        // g3 = NAND(NOR(a,b), NAND(b,c))
+        let expect = |a: bool, b: bool, c: bool| {
+            let nor_ab = !(a || b);
+            let nand_bc = !(b && c);
+            !(nor_ab && nand_bc)
+        };
+        for bits in 0..8u32 {
+            let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            assert_eq!(nl.eval_prim(&[a, b, c]), vec![expect(a, b, c)]);
+        }
+    }
+
+    #[test]
+    fn rewire_pin_maintains_fanout_lists() {
+        let mut nl = c17ish();
+        let a = nl.net_by_name("a").unwrap();
+        let c = nl.net_by_name("c").unwrap();
+        let g1 = nl.net_by_name("g1").unwrap();
+        let driver = nl.net(g1).driver().unwrap();
+        // g1 = NAND(a, b) -> NAND(c, b)
+        nl.rewire_pin(driver, 0, c).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.gate(driver).inputs()[0], c);
+        assert!(nl.net(a).fanout().iter().all(|p| p.gate != driver));
+        assert!(nl.net(c).fanout().contains(&PinRef {
+            gate: driver,
+            pin: 0
+        }));
+        for id in nl.net_ids() {
+            for pr in nl.net(id).fanout() {
+                assert_eq!(nl.gate(pr.gate).inputs()[pr.pin], id);
+            }
+        }
+    }
+
+    #[test]
+    fn rewire_pin_rejects_cycles_and_rolls_back() {
+        let mut nl = c17ish();
+        let g1 = nl.net_by_name("g1").unwrap();
+        let g3 = nl.net_by_name("g3").unwrap();
+        let driver = nl.net(g1).driver().unwrap();
+        let before = nl.clone();
+        // Feeding g3 back into g1's first pin closes a loop.
+        let err = nl.rewire_pin(driver, 0, g3).unwrap_err();
+        assert!(matches!(err, NetlistError::Cycle(_)));
+        assert_eq!(nl, before, "failed rewire must leave the netlist intact");
+        // Out-of-range pin is a typed error, not a panic.
+        assert!(matches!(
+            nl.rewire_pin(driver, 7, g3),
+            Err(NetlistError::BadArity { got: 7, .. })
+        ));
+        // Rewiring to the already-connected net is a no-op.
+        let b = nl.net_by_name("b").unwrap();
+        nl.rewire_pin(driver, 1, b).unwrap();
+        assert_eq!(nl, before);
     }
 
     #[test]

@@ -35,7 +35,9 @@ mod recorder;
 pub mod schema;
 mod span;
 
-pub use manifest::{digest_string, fnv1a64, git_revision, RunManifest, ToolInfo};
+pub use manifest::{
+    digest_string, fnv1a64, git_revision, RunManifest, SessionCircuit, SessionManifest, ToolInfo,
+};
 pub use metrics::{Counter, Gauge, HistBucket, Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use progress::{Heartbeat, Progress};
 pub use recorder::Observer;

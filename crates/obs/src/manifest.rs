@@ -86,6 +86,81 @@ impl RunManifest {
     }
 }
 
+/// Per-circuit state echoed in a [`SessionManifest`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionCircuit {
+    /// Catalog name the circuit was loaded as.
+    pub circuit: String,
+    /// Netlist revision: 0 as loaded, +1 per applied ECO edit.
+    pub revision: u64,
+    /// Incremental (dirty-cone) re-analyses served for this circuit.
+    pub incremental_updates: u64,
+    /// Conservative full rebuilds (function-changing edits).
+    pub full_rebuilds: u64,
+    /// Digest of the circuit's current spliced path set, when one has
+    /// been computed ([`digest_string`] over the certificate JSON).
+    pub path_digest: Option<String>,
+}
+
+/// The durable record of one timing-daemon session (`serve` subcommand):
+/// like [`RunManifest`] for a batch invocation, but summarizing a whole
+/// request stream — request/error counts, every resident circuit with its
+/// ECO revision and current path digest, and the session's metrics
+/// snapshot. Emitted in `status` responses and on shutdown.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionManifest {
+    /// Manifest schema version ([`crate::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Producing tool.
+    pub tool: ToolInfo,
+    /// Requests served (including failed ones).
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Circuits resident in the session, in load order.
+    pub circuits: Vec<SessionCircuit>,
+    /// Metrics registry snapshot at emission time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SessionManifest {
+    /// Assembles a session manifest from the daemon's counters and the
+    /// observer's recorded state.
+    pub fn new(
+        requests: u64,
+        errors: u64,
+        circuits: Vec<SessionCircuit>,
+        obs: &crate::Observer,
+    ) -> Self {
+        SessionManifest {
+            schema_version: crate::SCHEMA_VERSION,
+            tool: ToolInfo {
+                name: "sta-repro".to_string(),
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                git_rev: git_revision(),
+            },
+            requests,
+            errors,
+            circuits,
+            metrics: obs.metrics_snapshot(),
+        }
+    }
+
+    /// Serializes the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifests always serialize")
+    }
+
+    /// Parses a session manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("malformed session manifest: {e}"))
+    }
+}
+
 /// Best-effort git revision of the working directory (`git rev-parse
 /// HEAD`); `"unknown"` when git or the repository is unavailable.
 pub fn git_revision() -> String {
@@ -128,6 +203,29 @@ mod tests {
         assert_ne!(a, digest_string(b"Paths"));
         assert!(a.starts_with("fnv1a64:"));
         assert_eq!(a.len(), "fnv1a64:".len() + 16);
+    }
+
+    #[test]
+    fn session_manifest_round_trips_through_json() {
+        let obs = crate::Observer::enabled();
+        obs.counter("serve.requests").add(3);
+        let m = SessionManifest::new(
+            3,
+            1,
+            vec![SessionCircuit {
+                circuit: "c17".to_string(),
+                revision: 2,
+                incremental_updates: 1,
+                full_rebuilds: 1,
+                path_digest: Some(digest_string(b"x")),
+            }],
+            &obs,
+        );
+        let parsed = SessionManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.circuits[0].revision, 2);
+        assert_eq!(parsed.metrics.counters["serve.requests"], 3);
+        assert!(SessionManifest::from_json("[]").is_err());
     }
 
     #[test]

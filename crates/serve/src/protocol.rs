@@ -1,0 +1,263 @@
+//! The daemon's wire protocol: newline-delimited JSON requests.
+//!
+//! Requests are parsed by hand over [`serde::Value`] — the shimmed serde
+//! derive has no support for defaulted or optional map fields, and a wire
+//! protocol needs both (most request fields are optional with documented
+//! defaults). Every request is an object with an `"op"` discriminator and
+//! an optional `"id"` echoed verbatim into the response so clients can
+//! pipeline. The machine-readable schema lives in `docs/serve.schema.json`
+//! (validated by `sta_obs::schema`; a unit test keeps the two in sync).
+
+use serde::Value;
+
+/// One ECO netlist edit, as carried by an `edit` request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EditKind {
+    /// Swap an instance to a named cell (`sta_circuits::swap_gate`).
+    Swap {
+        /// Instance name (= the name of its output net).
+        instance: String,
+        /// Replacement cell name.
+        cell: String,
+    },
+    /// Toggle an instance between drive variants
+    /// (`sta_circuits::resize_gate`).
+    Resize {
+        /// Instance name.
+        instance: String,
+    },
+    /// Reconnect one input pin to another net
+    /// (`sta_circuits::rewire_net`).
+    Rewire {
+        /// Instance name.
+        instance: String,
+        /// Input pin position.
+        pin: usize,
+        /// Name of the new source net.
+        net: String,
+    },
+}
+
+/// A parsed daemon request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Load a catalog circuit and run the initial full analysis.
+    Load {
+        /// Catalog circuit name.
+        circuit: String,
+        /// Technology name (default `90nm`).
+        tech: String,
+        /// Keep the N worst paths (default: full enumeration).
+        n_worst: Option<usize>,
+        /// Enumeration worker threads (default 1).
+        threads: usize,
+    },
+    /// Apply an ECO edit and re-analyze incrementally.
+    Edit {
+        /// Loaded circuit the edit applies to.
+        circuit: String,
+        /// The edit operation.
+        kind: EditKind,
+    },
+    /// Report the worst cached paths.
+    Paths {
+        /// Loaded circuit to query.
+        circuit: String,
+        /// Maximum paths to return (default 10).
+        limit: usize,
+    },
+    /// Report the circuit's slack summary at its current revision.
+    Slack {
+        /// Loaded circuit to query.
+        circuit: String,
+    },
+    /// Prove the spliced cache against a cold re-run (digest comparison).
+    Verify {
+        /// Loaded circuit to verify.
+        circuit: String,
+    },
+    /// Report the session manifest (resident circuits, counters, metrics).
+    Status,
+    /// Acknowledge and terminate the session.
+    Shutdown,
+}
+
+fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(map: &[(String, Value)], key: &str) -> Result<String, String> {
+    match field(map, key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field {key:?} must be a string")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn opt_usize_field(map: &[(String, Value)], key: &str) -> Result<Option<usize>, String> {
+    match field(map, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as usize)),
+        Some(Value::UInt(u)) => Ok(Some(*u as usize)),
+        Some(_) => Err(format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn opt_str_field(map: &[(String, Value)], key: &str) -> Result<Option<String>, String> {
+    match field(map, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("field {key:?} must be a string")),
+    }
+}
+
+/// Parses one request line. Returns the request and the client's `"id"`
+/// value (echoed into the response), or a message describing what is
+/// malformed.
+///
+/// # Errors
+///
+/// Returns a human-readable message for invalid JSON, a non-object
+/// request, a missing or unknown `"op"`, or missing/mistyped fields.
+pub fn parse_request(line: &str) -> Result<(Request, Option<Value>), String> {
+    let doc: Value =
+        serde_json::from_str(line.trim()).map_err(|e| format!("invalid JSON request: {e}"))?;
+    let Value::Map(map) = doc else {
+        return Err("request must be a JSON object".to_string());
+    };
+    let id = field(&map, "id").cloned();
+    let op = str_field(&map, "op")?;
+    let req = match op.as_str() {
+        "load" => Request::Load {
+            circuit: str_field(&map, "circuit")?,
+            tech: opt_str_field(&map, "tech")?.unwrap_or_else(|| "90nm".to_string()),
+            n_worst: opt_usize_field(&map, "nworst")?,
+            threads: opt_usize_field(&map, "threads")?.unwrap_or(1).max(1),
+        },
+        "edit" => {
+            let circuit = str_field(&map, "circuit")?;
+            let kind = match str_field(&map, "kind")?.as_str() {
+                "swap" => EditKind::Swap {
+                    instance: str_field(&map, "instance")?,
+                    cell: str_field(&map, "cell")?,
+                },
+                "resize" => EditKind::Resize {
+                    instance: str_field(&map, "instance")?,
+                },
+                "rewire" => EditKind::Rewire {
+                    instance: str_field(&map, "instance")?,
+                    pin: opt_usize_field(&map, "pin")?
+                        .ok_or_else(|| "missing field \"pin\"".to_string())?,
+                    net: str_field(&map, "net")?,
+                },
+                other => {
+                    return Err(format!(
+                        "unknown edit kind {other:?} (expected swap | resize | rewire)"
+                    ))
+                }
+            };
+            Request::Edit { circuit, kind }
+        }
+        "paths" => Request::Paths {
+            circuit: str_field(&map, "circuit")?,
+            limit: opt_usize_field(&map, "limit")?.unwrap_or(10),
+        },
+        "slack" => Request::Slack {
+            circuit: str_field(&map, "circuit")?,
+        },
+        "verify" => Request::Verify {
+            circuit: str_field(&map, "circuit")?,
+        },
+        "status" => Request::Status,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok((req, id))
+}
+
+/// Builds a JSON object value from string keys (insertion-ordered).
+pub(crate) fn jmap(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Shorthand for a JSON string value.
+pub(crate) fn jstr(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op_with_defaults() {
+        let (req, id) = parse_request(r#"{"op":"load","circuit":"c17"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Load {
+                circuit: "c17".to_string(),
+                tech: "90nm".to_string(),
+                n_worst: None,
+                threads: 1,
+            }
+        );
+        assert!(id.is_none());
+
+        let (req, id) = parse_request(
+            r#"{"id":7,"op":"edit","circuit":"c17","kind":"rewire","instance":"g1","pin":0,"net":"a"}"#,
+        )
+        .unwrap();
+        assert_eq!(id, Some(Value::Int(7)));
+        assert!(matches!(
+            req,
+            Request::Edit {
+                kind: EditKind::Rewire { pin: 0, .. },
+                ..
+            }
+        ));
+
+        let (req, _) = parse_request(r#"{"op":"paths","circuit":"c17","limit":3}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Paths {
+                circuit: "c17".to_string(),
+                limit: 3
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"status"}"#).unwrap().0,
+            Request::Status
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap().0,
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        assert!(parse_request("nonsense")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(parse_request("[1,2]").unwrap_err().contains("object"));
+        assert!(parse_request(r#"{"circuit":"c17"}"#)
+            .unwrap_err()
+            .contains("\"op\""));
+        assert!(parse_request(r#"{"op":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(
+            parse_request(r#"{"op":"edit","circuit":"c17","kind":"resize"}"#)
+                .unwrap_err()
+                .contains("instance")
+        );
+        assert!(parse_request(r#"{"op":"load","circuit":17}"#)
+            .unwrap_err()
+            .contains("string"));
+    }
+}

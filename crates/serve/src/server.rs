@@ -1,0 +1,796 @@
+//! The daemon itself: resident state, request dispatch, and I/O loops.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use serde::Value;
+use sta_cells::{Corner, Library, Technology};
+use sta_charlib::{characterize_cached, CharConfig, CompiledCorner, TimingLibrary};
+use sta_circuits::{catalog, resize_gate, rewire_net, swap_gate, GateEdit};
+use sta_core::{
+    dirty_sources, slack_report, CertificateSet, EnumerationConfig, PathEnumerator, SourceCache,
+};
+use sta_logic::Schedule;
+use sta_netlist::Netlist;
+use sta_obs::{digest_string, Observer, SessionCircuit, SessionManifest};
+
+use crate::protocol::{jmap, jstr, parse_request, EditKind, Request};
+
+/// Fraction of the structural worst arrival used as the default timing
+/// requirement (matches `AnalysisContext::slack`). Recomputed from the
+/// *edited* netlist after every ECO edit — a requirement inherited from a
+/// previous revision would silently drift away from its own definition.
+const DEFAULT_REQUIRED_FRACTION: f64 = 0.9;
+
+/// Reply fields for one request plus the session-terminating flag
+/// (`true` only for `shutdown`); `Err` carries a protocol-level message
+/// turned into an error reply without killing the session.
+type DispatchReply = Result<(Vec<(&'static str, Value)>, bool), String>;
+
+/// Daemon-wide configuration, fixed for the lifetime of the session.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Characterization grid (the CLI maps `--fast-char` to
+    /// [`CharConfig::fast`]).
+    pub char_config: CharConfig,
+    /// Characterization disk-cache directory.
+    pub cache_dir: PathBuf,
+    /// Primary-input transition time, ps.
+    pub input_slew: f64,
+    /// Observability handle; request spans and `serve.*` counters are
+    /// recorded into it.
+    pub obs: Observer,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            char_config: CharConfig::standard(),
+            cache_dir: PathBuf::from(".char-cache"),
+            input_slew: 60.0,
+            obs: Observer::disabled(),
+        }
+    }
+}
+
+/// Everything kept resident for one loaded circuit.
+struct CircuitSession {
+    tech: Technology,
+    corner: Corner,
+    netlist: Netlist,
+    tlib: Arc<TimingLibrary>,
+    /// Corner kernel table: netlist-independent, survives every edit.
+    kernel: Option<Arc<CompiledCorner>>,
+    /// Bitsim schedule: netlist-dependent, rebuilt once per edit.
+    schedule: Option<Arc<Schedule>>,
+    cache: SourceCache,
+    /// Last spliced result and its digest (the path-set identity).
+    certs: CertificateSet,
+    digest: String,
+    n_worst: Option<usize>,
+    threads: usize,
+    revision: u64,
+    incremental_updates: u64,
+    full_rebuilds: u64,
+    truncated: bool,
+    structural_worst_ps: f64,
+    required_ps: f64,
+}
+
+impl CircuitSession {
+    /// The enumeration configuration shared by cache builds and updates.
+    fn per_source_cfg(&self, input_slew: f64) -> EnumerationConfig {
+        let mut cfg = EnumerationConfig::new(self.corner)
+            .with_threads(self.threads)
+            .with_per_source_n_worst(true);
+        if let Some(n) = self.n_worst {
+            cfg = cfg.with_n_worst(n);
+        }
+        cfg.input_slew = input_slew;
+        cfg
+    }
+
+    /// Recomputes the structural worst arrival and the default
+    /// requirement from the *current* netlist revision.
+    fn refresh_required(&mut self, input_slew: f64) {
+        let probe = slack_report(&self.netlist, &self.tlib, self.corner, input_slew, 0.0);
+        self.structural_worst_ps = probe.timing.worst_arrival(&self.netlist);
+        self.required_ps = self.structural_worst_ps * DEFAULT_REQUIRED_FRACTION;
+    }
+}
+
+/// The persistent timing daemon. One instance owns every resident
+/// circuit; [`Server::handle_line`] processes one protocol request.
+pub struct Server {
+    cfg: ServerConfig,
+    lib: Library,
+    /// Characterized timing libraries, resident per technology name.
+    timings: HashMap<String, Arc<TimingLibrary>>,
+    /// Loaded circuits in load order (order matters for the manifest).
+    circuits: Vec<(String, CircuitSession)>,
+    requests: u64,
+    errors: u64,
+    /// Set once a `shutdown` request has been acknowledged.
+    shutting_down: bool,
+}
+
+impl Server {
+    /// Creates an empty daemon session.
+    pub fn new(cfg: ServerConfig) -> Self {
+        Server {
+            cfg,
+            lib: Library::standard(),
+            timings: HashMap::new(),
+            circuits: Vec::new(),
+            requests: 0,
+            errors: 0,
+            shutting_down: false,
+        }
+    }
+
+    /// Processes one request line and returns `(response line, shutdown)`.
+    /// Responses are single-line JSON objects; protocol errors become
+    /// `{"ok": false, "error": ...}` responses, never a dead connection.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        self.requests += 1;
+        self.cfg.obs.counter("serve.requests").add(1);
+        let (reply, shutdown) = match parse_request(line) {
+            Ok((req, id)) => {
+                let op = op_name(&req);
+                let span = self
+                    .cfg
+                    .obs
+                    .span_with("serve-request", vec![("op", op.to_string())]);
+                let outcome = self.dispatch(req);
+                drop(span);
+                match outcome {
+                    Ok((mut fields, shutdown)) => {
+                        let mut all = vec![("ok", Value::Bool(true)), ("op", jstr(op))];
+                        if let Some(id) = id {
+                            all.push(("id", id));
+                        }
+                        all.append(&mut fields);
+                        (jmap(all), shutdown)
+                    }
+                    Err(msg) => (self.error_reply(Some(op), id, msg), false),
+                }
+            }
+            Err(msg) => (self.error_reply(None, None, msg), false),
+        };
+        let text = serde_json::to_string(&reply).expect("responses always serialize");
+        (text, shutdown)
+    }
+
+    fn error_reply(&mut self, op: Option<&str>, id: Option<Value>, msg: String) -> Value {
+        self.errors += 1;
+        self.cfg.obs.counter("serve.errors").add(1);
+        let mut fields = vec![("ok", Value::Bool(false))];
+        if let Some(op) = op {
+            fields.push(("op", jstr(op)));
+        }
+        if let Some(id) = id {
+            fields.push(("id", id));
+        }
+        fields.push(("error", jstr(msg)));
+        jmap(fields)
+    }
+
+    fn dispatch(&mut self, req: Request) -> DispatchReply {
+        match req {
+            Request::Load {
+                circuit,
+                tech,
+                n_worst,
+                threads,
+            } => self
+                .op_load(&circuit, &tech, n_worst, threads)
+                .map(|f| (f, false)),
+            Request::Edit { circuit, kind } => self.op_edit(&circuit, &kind).map(|f| (f, false)),
+            Request::Paths { circuit, limit } => self.op_paths(&circuit, limit).map(|f| (f, false)),
+            Request::Slack { circuit } => self.op_slack(&circuit).map(|f| (f, false)),
+            Request::Verify { circuit } => self.op_verify(&circuit).map(|f| (f, false)),
+            Request::Status => Ok((self.op_status(), false)),
+            Request::Shutdown => {
+                self.shutting_down = true;
+                Ok((self.op_status(), true))
+            }
+        }
+    }
+
+    fn session(&self, circuit: &str) -> Result<&CircuitSession, String> {
+        self.circuits
+            .iter()
+            .find(|(name, _)| name == circuit)
+            .map(|(_, s)| s)
+            .ok_or_else(|| format!("circuit {circuit:?} is not loaded (send a load request first)"))
+    }
+
+    fn session_mut(&mut self, circuit: &str) -> Result<&mut CircuitSession, String> {
+        self.circuits
+            .iter_mut()
+            .find(|(name, _)| name == circuit)
+            .map(|(_, s)| s)
+            .ok_or_else(|| format!("circuit {circuit:?} is not loaded (send a load request first)"))
+    }
+
+    fn timing_for(&mut self, tech: &Technology) -> Result<Arc<TimingLibrary>, String> {
+        if let Some(t) = self.timings.get(&tech.name) {
+            return Ok(Arc::clone(t));
+        }
+        let tlib = characterize_cached(&self.lib, tech, &self.cfg.char_config, &self.cfg.cache_dir)
+            .map_err(|e| format!("characterization failed: {e}"))?;
+        let tlib = Arc::new(tlib);
+        self.timings.insert(tech.name.clone(), Arc::clone(&tlib));
+        Ok(tlib)
+    }
+
+    fn op_load(
+        &mut self,
+        circuit: &str,
+        tech_name: &str,
+        n_worst: Option<usize>,
+        threads: usize,
+    ) -> Result<Vec<(&'static str, Value)>, String> {
+        let tech = Technology::by_name(tech_name)
+            .ok_or_else(|| format!("unknown technology {tech_name:?}"))?;
+        let netlist = catalog::mapped(circuit, &self.lib)
+            .map_err(|e| format!("mapping {circuit:?} failed: {e}"))?
+            .ok_or_else(|| format!("unknown benchmark {circuit:?}"))?;
+        let tlib = self.timing_for(&tech)?;
+        let corner = Corner::nominal(&tech);
+        let mut cfg = EnumerationConfig::new(corner)
+            .with_threads(threads)
+            .with_per_source_n_worst(true);
+        if let Some(n) = n_worst {
+            cfg = cfg.with_n_worst(n);
+        }
+        cfg.input_slew = self.cfg.input_slew;
+        let enumr = PathEnumerator::new(&netlist, &self.lib, &tlib, cfg);
+        let (cache, stats) = SourceCache::build(&enumr);
+        let kernel = enumr.kernel_arc();
+        let schedule = enumr.schedule_arc();
+        drop(enumr);
+        let certs = CertificateSet::new(&netlist, self.cfg.input_slew, cache.splice());
+        let digest = digest_string(certs.to_json().as_bytes());
+        let mut session = CircuitSession {
+            tech,
+            corner,
+            netlist,
+            tlib,
+            kernel,
+            schedule,
+            cache,
+            certs,
+            digest,
+            n_worst,
+            threads,
+            revision: 0,
+            incremental_updates: 0,
+            full_rebuilds: 0,
+            truncated: stats.truncated,
+            structural_worst_ps: 0.0,
+            required_ps: 0.0,
+        };
+        session.refresh_required(self.cfg.input_slew);
+        self.cfg.obs.counter("serve.loads").add(1);
+
+        let fields = vec![
+            ("circuit", jstr(circuit)),
+            ("tech", jstr(session.tech.name.clone())),
+            ("revision", Value::UInt(session.revision)),
+            ("num_gates", Value::UInt(session.netlist.num_gates() as u64)),
+            ("paths", Value::UInt(session.certs.paths.len() as u64)),
+            ("truncated", Value::Bool(session.truncated)),
+            ("digest", jstr(session.digest.clone())),
+            (
+                "structural_worst_ps",
+                Value::Float(session.structural_worst_ps),
+            ),
+            ("required_ps", Value::Float(session.required_ps)),
+        ];
+        // Reloading replaces the previous session of the same name.
+        self.circuits.retain(|(name, _)| name != circuit);
+        self.circuits.push((circuit.to_string(), session));
+        Ok(fields)
+    }
+
+    fn op_edit(
+        &mut self,
+        circuit: &str,
+        kind: &EditKind,
+    ) -> Result<Vec<(&'static str, Value)>, String> {
+        let input_slew = self.cfg.input_slew;
+        let lib = self.lib.clone();
+        let obs = self.cfg.obs.clone();
+        let session = self.session_mut(circuit)?;
+        let edit: GateEdit = match kind {
+            EditKind::Swap { instance, cell } => {
+                swap_gate(&mut session.netlist, &lib, instance, cell)
+            }
+            EditKind::Resize { instance } => resize_gate(&mut session.netlist, &lib, instance),
+            EditKind::Rewire { instance, pin, net } => {
+                rewire_net(&mut session.netlist, instance, *pin, net)
+            }
+        }
+        .map_err(|e| format!("edit rejected: {e}"))?;
+        session.revision += 1;
+
+        let dirty = dirty_sources(&session.netlist, &edit);
+        let n_dirty = dirty.iter().filter(|&&d| d).count();
+        let n_sources = dirty.len();
+        if edit.function_changed {
+            session.full_rebuilds += 1;
+            obs.counter("serve.full_rebuilds").add(1);
+        } else {
+            session.incremental_updates += 1;
+            obs.counter("serve.incremental_updates").add(1);
+        }
+
+        // The netlist changed: the bitsim schedule is stale, the corner
+        // kernel is not (it depends only on (timing library, corner)).
+        session.schedule = None;
+        let cfg = session
+            .per_source_cfg(input_slew)
+            .with_source_filter(Arc::new(dirty));
+        {
+            let enumr = PathEnumerator::with_prebuilt(
+                &session.netlist,
+                &lib,
+                &session.tlib,
+                cfg,
+                session.kernel.clone(),
+                None,
+            );
+            let stats = session.cache.update(&enumr);
+            session.schedule = enumr.schedule_arc();
+            session.truncated |= stats.truncated;
+        }
+        session.certs = CertificateSet::new(&session.netlist, input_slew, session.cache.splice());
+        session.digest = digest_string(session.certs.to_json().as_bytes());
+        session.refresh_required(input_slew);
+
+        Ok(vec![
+            ("circuit", jstr(circuit)),
+            ("revision", Value::UInt(session.revision)),
+            ("function_changed", Value::Bool(edit.function_changed)),
+            ("dirty_sources", Value::UInt(n_dirty as u64)),
+            ("total_sources", Value::UInt(n_sources as u64)),
+            ("paths", Value::UInt(session.certs.paths.len() as u64)),
+            ("truncated", Value::Bool(session.truncated)),
+            ("digest", jstr(session.digest.clone())),
+            (
+                "structural_worst_ps",
+                Value::Float(session.structural_worst_ps),
+            ),
+            ("required_ps", Value::Float(session.required_ps)),
+        ])
+    }
+
+    fn op_paths(
+        &mut self,
+        circuit: &str,
+        limit: usize,
+    ) -> Result<Vec<(&'static str, Value)>, String> {
+        let session = self.session(circuit)?;
+        let worst: Vec<Value> = session
+            .certs
+            .paths
+            .iter()
+            .take(limit)
+            .enumerate()
+            .map(|(i, p)| {
+                jmap(vec![
+                    ("rank", Value::UInt(i as u64 + 1)),
+                    ("arrival_ps", Value::Float(p.worst_arrival())),
+                    ("gates", Value::UInt(p.arcs.len() as u64)),
+                    ("source", jstr(session.netlist.net_label(p.source))),
+                    ("endpoint", jstr(session.netlist.net_label(p.endpoint()))),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("circuit", jstr(circuit)),
+            ("revision", Value::UInt(session.revision)),
+            ("paths", Value::UInt(session.certs.paths.len() as u64)),
+            ("worst_paths", Value::Seq(worst)),
+        ])
+    }
+
+    fn op_slack(&mut self, circuit: &str) -> Result<Vec<(&'static str, Value)>, String> {
+        let input_slew = self.cfg.input_slew;
+        let session = self.session(circuit)?;
+        let report = slack_report(
+            &session.netlist,
+            &session.tlib,
+            session.corner,
+            input_slew,
+            session.required_ps,
+        );
+        let violations = report.violations();
+        Ok(vec![
+            ("circuit", jstr(circuit)),
+            ("revision", Value::UInt(session.revision)),
+            (
+                "structural_worst_ps",
+                Value::Float(session.structural_worst_ps),
+            ),
+            ("required_ps", Value::Float(session.required_ps)),
+            ("required_source", jstr("default")),
+            ("passes", Value::Bool(report.passes())),
+            ("violations", Value::UInt(violations.len() as u64)),
+        ])
+    }
+
+    /// The splice-identity proof as a service: cold re-run the current
+    /// netlist revision with the plain (non-per-source) configuration and
+    /// compare certificate digests. `identical` is the proof verdict;
+    /// truncation on either side voids it (reported honestly).
+    fn op_verify(&mut self, circuit: &str) -> Result<Vec<(&'static str, Value)>, String> {
+        let input_slew = self.cfg.input_slew;
+        let lib = self.lib.clone();
+        let session = self.session(circuit)?;
+        let mut cfg = EnumerationConfig::new(session.corner).with_threads(session.threads);
+        if let Some(n) = session.n_worst {
+            cfg = cfg.with_n_worst(n);
+        }
+        cfg.input_slew = input_slew;
+        let (paths, stats) = PathEnumerator::new(&session.netlist, &lib, &session.tlib, cfg).run();
+        let cold = CertificateSet::new(&session.netlist, input_slew, paths);
+        let cold_digest = digest_string(cold.to_json().as_bytes());
+        let identical = cold_digest == session.digest;
+        self.cfg
+            .obs
+            .counter(if identical {
+                "serve.verify_ok"
+            } else {
+                "serve.verify_mismatch"
+            })
+            .add(1);
+        let session = self.session(circuit)?;
+        Ok(vec![
+            ("circuit", jstr(circuit)),
+            ("revision", Value::UInt(session.revision)),
+            ("identical", Value::Bool(identical)),
+            ("spliced_digest", jstr(session.digest.clone())),
+            ("cold_digest", jstr(cold_digest)),
+            (
+                "truncated",
+                Value::Bool(session.truncated || stats.truncated),
+            ),
+        ])
+    }
+
+    fn op_status(&self) -> Vec<(&'static str, Value)> {
+        let manifest = self.manifest();
+        let doc: Value = serde_json::from_str(&manifest.to_json())
+            .expect("session manifests round-trip through JSON");
+        vec![("session", doc)]
+    }
+
+    /// The session manifest at this instant (also embedded in `status`
+    /// and `shutdown` responses).
+    pub fn manifest(&self) -> SessionManifest {
+        let circuits = self
+            .circuits
+            .iter()
+            .map(|(name, s)| SessionCircuit {
+                circuit: name.clone(),
+                revision: s.revision,
+                incremental_updates: s.incremental_updates,
+                full_rebuilds: s.full_rebuilds,
+                path_digest: (!s.digest.is_empty()).then(|| s.digest.clone()),
+            })
+            .collect();
+        SessionManifest::new(self.requests, self.errors, circuits, &self.cfg.obs)
+    }
+}
+
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Load { .. } => "load",
+        Request::Edit { .. } => "edit",
+        Request::Paths { .. } => "paths",
+        Request::Slack { .. } => "slack",
+        Request::Verify { .. } => "verify",
+        Request::Status => "status",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Runs the request loop over arbitrary line-based transports. Returns
+/// the number of requests served.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors; protocol-level problems are answered
+/// in-band and never abort the loop.
+pub fn serve_lines(
+    server: &mut Server,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<u64> {
+    let mut served = 0;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, shutdown) = server.handle_line(&line);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        served += 1;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+/// Serves requests from stdin to stdout until `shutdown` or EOF.
+///
+/// # Errors
+///
+/// Propagates stdin/stdout I/O errors.
+pub fn serve_stdio(server: &mut Server) -> std::io::Result<u64> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_lines(server, stdin.lock(), stdout.lock())
+}
+
+/// Binds a Unix socket at `path` and serves connections sequentially
+/// until a client sends `shutdown`. The socket file is removed on exit.
+///
+/// # Errors
+///
+/// Propagates bind/accept/transport I/O errors.
+#[cfg(unix)]
+pub fn serve_socket(server: &mut Server, path: &std::path::Path) -> std::io::Result<u64> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a crashed session blocks bind; remove it.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let mut served = 0;
+    loop {
+        let (stream, _) = listener.accept()?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let before = server.requests;
+        serve_lines(server, reader, &stream)?;
+        served += server.requests - before;
+        // serve_lines returns on EOF (client hung up) or shutdown; only
+        // shutdown ends the session.
+        if server.shutting_down {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_netlist::GateId;
+
+    fn fast_server() -> Server {
+        Server::new(ServerConfig {
+            char_config: CharConfig::fast(),
+            cache_dir: std::env::temp_dir().join("sta-serve-test-cache"),
+            input_slew: 60.0,
+            obs: Observer::enabled(),
+        })
+    }
+
+    fn reply(server: &mut Server, line: &str) -> Value {
+        let (text, _) = server.handle_line(line);
+        serde_json::from_str(&text).expect("responses are valid JSON")
+    }
+
+    fn get<'a>(doc: &'a Value, key: &str) -> &'a Value {
+        let Value::Map(map) = doc else {
+            panic!("response is not an object")
+        };
+        map.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("response has no {key:?} field: {doc:?}"))
+    }
+
+    fn assert_ok(doc: &Value) {
+        assert_eq!(get(doc, "ok"), &Value::Bool(true), "error reply: {doc:?}");
+    }
+
+    /// Parsed responses carry small numbers as `Int`; responses built
+    /// in-process carry them as `UInt`. Compare by value.
+    fn as_u64(v: &Value) -> u64 {
+        match v {
+            Value::Int(i) => u64::try_from(*i).expect("negative count"),
+            Value::UInt(u) => *u,
+            other => panic!("not an integer: {other:?}"),
+        }
+    }
+
+    /// An instance name usable in edit requests against mapped c17.
+    fn c17_instance(lib: &Library) -> String {
+        let nl = catalog::mapped("c17", lib).unwrap().unwrap();
+        nl.net_label(nl.gate(GateId::from_index(2)).output())
+    }
+
+    #[test]
+    fn load_edit_verify_session_round_trip() {
+        let mut server = fast_server();
+        let inst = c17_instance(&server.lib);
+
+        let loaded = reply(
+            &mut server,
+            r#"{"id":1,"op":"load","circuit":"c17","nworst":10}"#,
+        );
+        assert_ok(&loaded);
+        assert_eq!(as_u64(get(&loaded, "id")), 1);
+        assert_eq!(as_u64(get(&loaded, "revision")), 0);
+        let digest0 = get(&loaded, "digest").clone();
+
+        // Before any edit, the cache already matches a cold run.
+        let verified = reply(&mut server, r#"{"op":"verify","circuit":"c17"}"#);
+        assert_ok(&verified);
+        assert_eq!(get(&verified, "identical"), &Value::Bool(true));
+
+        // A resize is delay-only: incremental, and it must not dirty
+        // every source nor change the netlist function.
+        let edited = reply(
+            &mut server,
+            &format!(r#"{{"op":"edit","circuit":"c17","kind":"resize","instance":"{inst}"}}"#),
+        );
+        assert_ok(&edited);
+        assert_eq!(as_u64(get(&edited, "revision")), 1);
+        assert_eq!(get(&edited, "function_changed"), &Value::Bool(false));
+        assert_ne!(get(&edited, "digest"), &digest0);
+
+        // The spliced result is digest-identical to a cold re-run of the
+        // edited netlist: the proof obligation, checked in-band.
+        let verified = reply(&mut server, r#"{"op":"verify","circuit":"c17"}"#);
+        assert_ok(&verified);
+        assert_eq!(get(&verified, "identical"), &Value::Bool(true));
+        assert_eq!(get(&verified, "truncated"), &Value::Bool(false));
+
+        let paths = reply(&mut server, r#"{"op":"paths","circuit":"c17","limit":3}"#);
+        assert_ok(&paths);
+        let Value::Seq(worst) = get(&paths, "worst_paths") else {
+            panic!("worst_paths is not an array")
+        };
+        assert_eq!(worst.len(), 3);
+
+        let slack = reply(&mut server, r#"{"op":"slack","circuit":"c17"}"#);
+        assert_ok(&slack);
+        let (Value::Float(req), Value::Float(worst)) = (
+            get(&slack, "required_ps"),
+            get(&slack, "structural_worst_ps"),
+        ) else {
+            panic!("slack response missing numbers")
+        };
+        assert!((req - worst * DEFAULT_REQUIRED_FRACTION).abs() < 1e-9);
+
+        let status = reply(&mut server, r#"{"op":"status"}"#);
+        assert_ok(&status);
+        let manifest =
+            SessionManifest::from_json(&serde_json::to_string(get(&status, "session")).unwrap())
+                .unwrap();
+        assert_eq!(manifest.circuits.len(), 1);
+        assert_eq!(manifest.circuits[0].revision, 1);
+        assert_eq!(manifest.circuits[0].incremental_updates, 1);
+        assert_eq!(manifest.circuits[0].full_rebuilds, 0);
+    }
+
+    #[test]
+    fn required_default_is_recomputed_after_each_edit() {
+        let mut server = fast_server();
+        let instances: Vec<String> = {
+            let nl = catalog::mapped("c17", &server.lib).unwrap().unwrap();
+            nl.gate_ids()
+                .map(|g| nl.net_label(nl.gate(g).output()))
+                .collect()
+        };
+        assert_ok(&reply(
+            &mut server,
+            r#"{"op":"load","circuit":"c17","nworst":5}"#,
+        ));
+        let req = |doc: &Value| match get(doc, "required_ps") {
+            Value::Float(f) => *f,
+            other => panic!("required_ps is {other:?}"),
+        };
+        let worst = |doc: &Value| match get(doc, "structural_worst_ps") {
+            Value::Float(f) => *f,
+            other => panic!("structural_worst_ps is {other:?}"),
+        };
+        let before = reply(&mut server, r#"{"op":"slack","circuit":"c17"}"#);
+        // Resize every gate: doubled widths double every input cap, so
+        // every arrival — including the structural worst — moves.
+        for inst in &instances {
+            let edited = reply(
+                &mut server,
+                &format!(r#"{{"op":"edit","circuit":"c17","kind":"resize","instance":"{inst}"}}"#),
+            );
+            assert_ok(&edited);
+            // After every single edit the default requirement tracks the
+            // *edited* netlist's structural worst, never a stale one.
+            assert!((req(&edited) - worst(&edited) * DEFAULT_REQUIRED_FRACTION).abs() < 1e-9);
+        }
+        let after = reply(&mut server, r#"{"op":"slack","circuit":"c17"}"#);
+        assert_ne!(req(&before), req(&after));
+        assert!((req(&after) - worst(&after) * DEFAULT_REQUIRED_FRACTION).abs() < 1e-9);
+    }
+
+    #[test]
+    fn protocol_errors_are_answered_in_band() {
+        let mut server = fast_server();
+        let bad = reply(&mut server, "not json at all");
+        assert_eq!(get(&bad, "ok"), &Value::Bool(false));
+        let not_loaded = reply(&mut server, r#"{"op":"paths","circuit":"c880"}"#);
+        assert_eq!(get(&not_loaded, "ok"), &Value::Bool(false));
+        assert!(matches!(get(&not_loaded, "error"), Value::Str(s) if s.contains("not loaded")));
+        let unknown = reply(&mut server, r#"{"op":"load","circuit":"c99999"}"#);
+        assert_eq!(get(&unknown, "ok"), &Value::Bool(false));
+        let manifest = server.manifest();
+        assert_eq!(manifest.requests, 3);
+        assert_eq!(manifest.errors, 3);
+    }
+
+    #[test]
+    fn serve_lines_stops_at_shutdown() {
+        let mut server = fast_server();
+        let input = b"{\"op\":\"status\"}\n\n{\"op\":\"shutdown\"}\n{\"op\":\"status\"}\n".to_vec();
+        let mut out: Vec<u8> = Vec::new();
+        let served = serve_lines(&mut server, std::io::Cursor::new(input), &mut out).unwrap();
+        assert_eq!(served, 2, "requests after shutdown must not be served");
+        assert!(server.shutting_down);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let doc: Value = serde_json::from_str(line).unwrap();
+            assert_ok(&doc);
+        }
+    }
+
+    #[test]
+    fn requests_conform_to_the_checked_in_schema() {
+        let schema_text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/serve.schema.json"
+        ))
+        .expect("docs/serve.schema.json is checked in");
+        let schema: Value = serde_json::from_str(&schema_text).unwrap();
+        let valid = [
+            r#"{"op":"load","circuit":"c17","tech":"90nm","nworst":10,"threads":2}"#,
+            r#"{"id":1,"op":"edit","circuit":"c17","kind":"swap","instance":"g1","cell":"NAND2_X2"}"#,
+            r#"{"op":"edit","circuit":"c17","kind":"rewire","instance":"g1","pin":0,"net":"a"}"#,
+            r#"{"op":"paths","circuit":"c17","limit":5}"#,
+            r#"{"op":"slack","circuit":"c17"}"#,
+            r#"{"op":"verify","circuit":"c17"}"#,
+            r#"{"op":"status"}"#,
+            r#"{"op":"shutdown"}"#,
+        ];
+        for line in valid {
+            let doc: Value = serde_json::from_str(line).unwrap();
+            sta_obs::schema::validate(&schema, &doc)
+                .unwrap_or_else(|e| panic!("schema rejects {line}: {e:?}"));
+            // The schema and the parser must agree on what is valid.
+            parse_request(line).unwrap_or_else(|e| panic!("parser rejects {line}: {e}"));
+        }
+        let invalid = [
+            r#"{"circuit":"c17"}"#,
+            r#"{"op":"fly"}"#,
+            r#"{"op":"load","circuit":"c17","tech":"45nm"}"#,
+            r#"{"op":"load","circuit":"c17","bogus":1}"#,
+            r#"{"op":"paths","circuit":"c17","limit":0}"#,
+        ];
+        for line in invalid {
+            let doc: Value = serde_json::from_str(line).unwrap();
+            assert!(
+                sta_obs::schema::validate(&schema, &doc).is_err(),
+                "schema accepts invalid request {line}"
+            );
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! sta-repro liberty  [--tech T] [--out FILE]      # export .lib
 //! sta-repro lint     [circuits...] [--verify-paths]
 //! sta-repro validate-manifest <file> [--schema FILE]
+//! sta-repro serve    [--socket PATH] [--fast-char]   # persistent timing daemon
 //! ```
 //!
 //! Every analysis command accepts `--format human|json`, `--manifest-out
@@ -137,6 +138,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "liberty" => cmd_liberty(&opts),
         "lint" => cmd_lint(&opts, args),
         "validate-manifest" => cmd_validate_manifest(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -170,6 +172,13 @@ fn print_usage() {
                     no circuits = the whole catalog\n\
            validate-manifest <file> [--schema FILE]   check a run manifest\n\
                     against the JSON schema (default docs/manifest.schema.json)\n\
+           serve    [--socket PATH] [--fast-char]   persistent timing daemon:\n\
+                    newline-delimited JSON requests on stdin (or the Unix\n\
+                    socket), responses on stdout; keeps characterized\n\
+                    libraries, compiled kernels and per-circuit path caches\n\
+                    resident, and re-analyzes ECO edits incrementally\n\
+                    (request schema: docs/serve.schema.json; --fast-char\n\
+                    uses the coarse characterization grid)\n\
          \n\
          analysis commands also accept:\n\
            --format human|json                   output rendering (default human)\n\
@@ -207,6 +216,8 @@ struct Opts {
     progress: bool,
     sdc: Option<String>,
     schema: Option<String>,
+    socket: Option<String>,
+    fast_char: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -236,6 +247,8 @@ impl Opts {
             progress: false,
             sdc: None,
             schema: None,
+            socket: None,
+            fast_char: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -290,6 +303,8 @@ impl Opts {
                 "--progress" => opts.progress = true,
                 "--sdc" => opts.sdc = Some(value("--sdc")?),
                 "--schema" => opts.schema = Some(value("--schema")?),
+                "--socket" => opts.socket = Some(value("--socket")?),
+                "--fast-char" => opts.fast_char = true,
                 other if other.starts_with("--") => {
                     return Err(CliError::Usage(format!(
                         "unknown option {other:?} (try `sta-repro help`)"
@@ -930,6 +945,39 @@ fn cmd_validate_manifest(opts: &Opts) -> Result<(), CliError> {
             )))
         }
     }
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    let cfg = sta_serve::ServerConfig {
+        char_config: if opts.fast_char {
+            CharConfig::fast()
+        } else {
+            CharConfig::standard()
+        },
+        cache_dir: std::path::PathBuf::from(".char-cache"),
+        input_slew: 60.0,
+        obs: Observer::enabled(),
+    };
+    let mut server = sta_serve::Server::new(cfg);
+    let served = match &opts.socket {
+        #[cfg(unix)]
+        Some(path) => {
+            eprintln!("sta-serve: listening on {path} (NDJSON; see docs/serve.schema.json)");
+            sta_serve::serve_socket(&mut server, std::path::Path::new(path))?
+        }
+        #[cfg(not(unix))]
+        Some(_) => {
+            return Err(CliError::Usage(
+                "--socket requires a Unix platform (use stdin/stdout)".to_string(),
+            ))
+        }
+        None => {
+            eprintln!("sta-serve: reading NDJSON requests from stdin (see docs/serve.schema.json)");
+            sta_serve::serve_stdio(&mut server)?
+        }
+    };
+    eprintln!("sta-serve: session closed after {served} request(s)");
+    Ok(())
 }
 
 fn load_timing(lib: &Library, tech: &Technology) -> Result<TimingLibrary, CliError> {

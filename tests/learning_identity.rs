@@ -127,6 +127,38 @@ fn stored_nogoods_never_refute_a_satisfiable_assignment() {
     assert_eq!(audit.certified + audit.skipped, audit.checked);
 }
 
+/// Regression: c1908's true worst paths (launched from n28 and n2) were
+/// pruned by unsound learned clauses, through three distinct holes in
+/// the verification replay. A clause with a *transition* literal was
+/// "refuted" outside the stable-requirement domain where the justifier's
+/// `Unsatisfiable` is definitive; a replay that omitted the *launch*
+/// vacuously refuted any literal supported only through the source (the
+/// source is unassignable under its own toggle deltas); and a refuted
+/// clause whose fanin cone left a toggle-capable net unresolved
+/// generalized a state-dependent refutation — the witness routes the
+/// launch through that net and cancels to a stable value through an
+/// XOR, which the stable-only backward search can never construct. The
+/// replay now asserts the launch exactly as the DFS root does, literals
+/// are restricted to `S0`/`S1`, and refutations only count with closed
+/// transition support; this pins the full unbudgeted learning-on run
+/// against the learning-off oracle on the circuit that exposed all
+/// three. Release-only: the unbudgeted c1908 search costs minutes
+/// unoptimized.
+#[cfg(not(debug_assertions))]
+#[test]
+fn unbudgeted_c1908_learning_matches_the_oracle() {
+    let (lib, tlib, tech) = setup();
+    let nl = catalog::mapped("c1908", lib).unwrap().unwrap();
+    let cfg = EnumerationConfig::new(Corner::nominal(&tech)).with_n_worst(50);
+    let golden = certificate_bytes(&nl, lib, tlib, &cfg.clone().with_learning(false));
+    assert_eq!(
+        golden,
+        certificate_bytes(&nl, lib, tlib, &cfg.with_learning(true)),
+        "c1908: the learning-on certificates must match the learning-off \
+         oracle byte for byte"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

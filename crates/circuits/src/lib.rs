@@ -49,4 +49,4 @@ pub use catalog::{
 };
 pub use mapper::map_netlist;
 pub use sample::sample_circuit;
-pub use transforms::{resize_gate, rewire_net, swap_gate, EditError, GateEdit};
+pub use transforms::{resize_gate, rewire_net, shrink_dirty_cone, swap_gate, EditError, GateEdit};

@@ -413,6 +413,17 @@ pub fn drop_sensitization_vector(
     }
 }
 
+/// Clears the last set bit of a dirty-source mask, turning the sound
+/// over-approximation computed by `sta_core::eco::dirty_sources` into an
+/// under-approximation (ECO001/ECO003 in `sta-lint`). Returns the index
+/// of the cleared source, or `None` when the mask was already all-clean
+/// (nothing to shrink — the audit has nothing to miss).
+pub fn shrink_dirty_cone(dirty: &mut [bool]) -> Option<usize> {
+    let i = dirty.iter().rposition(|&d| d)?;
+    dirty[i] = false;
+    Some(i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

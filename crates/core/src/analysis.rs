@@ -102,6 +102,8 @@ pub struct AnalysisRequest {
     learning: bool,
     /// Path cap applied only in full-enumeration mode (no `n_worst`).
     full_enum_path_cap: Option<usize>,
+    /// Override for the global justification-decision budget.
+    max_decisions: Option<u64>,
     input_slew: f64,
     required: Option<f64>,
     sdc: Option<String>,
@@ -124,6 +126,7 @@ impl AnalysisRequest {
             bitsim: true,
             learning: true,
             full_enum_path_cap: None,
+            max_decisions: None,
             input_slew: 60.0,
             required: None,
             sdc: None,
@@ -195,6 +198,15 @@ impl AnalysisRequest {
     /// `n_worst` is set). Front ends use this as a safety valve.
     pub fn full_enum_path_cap(mut self, cap: Option<usize>) -> Self {
         self.full_enum_path_cap = cap;
+        self
+    }
+
+    /// Overrides the global justification-decision budget (`None` keeps
+    /// the [`EnumerationConfig`] default). Budget-truncated runs report
+    /// `truncated` in their stats; consumers that need exact results
+    /// (splice cross-checks, byte-identity oracles) must check that flag.
+    pub fn max_decisions(mut self, budget: Option<u64>) -> Self {
+        self.max_decisions = budget;
         self
     }
 
@@ -292,6 +304,9 @@ impl AnalysisRequest {
             .with_learning(self.learning)
             .with_observer(self.obs.clone());
         cfg.input_slew = self.input_slew;
+        if let Some(budget) = self.max_decisions {
+            cfg.max_decisions = budget;
+        }
         match self.n_worst {
             Some(n) => cfg = cfg.with_n_worst(n),
             None => cfg.max_paths = self.full_enum_path_cap,

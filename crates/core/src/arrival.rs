@@ -266,6 +266,165 @@ fn arc_bounds_with(
     ArcBounds { per_gate }
 }
 
+/// Two-sided delay and slew bounds of one timing arc, ps — the interval
+/// refinement of [`ArcBounds`]: where the dominance cut only needs an
+/// upper delay bound, the abstract interpreter in `sta-lint` needs both
+/// sides of both quantities to propagate sound `[lo, hi]` envelopes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArcInterval {
+    /// Smallest swept delay, ps (margin-widened downward).
+    pub delay_lo: f64,
+    /// Largest swept delay, ps (margin-widened upward).
+    pub delay_hi: f64,
+    /// Smallest swept output slew, ps (margin-widened downward).
+    pub slew_lo: f64,
+    /// Largest swept output slew, ps (margin-widened upward).
+    pub slew_hi: f64,
+}
+
+/// Per-(gate, pin, vector) two-sided arc intervals — the table the
+/// `sta-lint` interval abstract interpreter consumes. Built by the same
+/// fixed [`SLEW_SWEEP`] as [`arc_bounds`], so the interpreted and
+/// compiled tables are bit-identical at the kernel's corner.
+#[derive(Clone, Debug)]
+pub struct ArcIntervals {
+    /// `per_gate[gate][pin][vector]`, already margin-widened.
+    per_gate: Vec<Vec<Vec<ArcInterval>>>,
+}
+
+impl ArcIntervals {
+    /// The interval of one arc.
+    #[inline]
+    pub fn get(&self, gate: GateId, pin: u8, vector: usize) -> ArcInterval {
+        self.per_gate[gate.index()][pin as usize][vector]
+    }
+
+    /// Number of gates covered (every gate of the netlist).
+    pub fn num_gates(&self) -> usize {
+        self.per_gate.len()
+    }
+
+    /// Number of characterized vectors of one (gate, pin) arc family.
+    #[inline]
+    pub fn num_vectors(&self, gate: GateId, pin: u8) -> usize {
+        self.per_gate[gate.index()][pin as usize].len()
+    }
+}
+
+/// Two-sided per-arc delay/slew intervals: for every (pin, vector) the
+/// model is evaluated over both edges and the full swept slew domain at
+/// the arc's real fanout, and the min/max of delay and output slew are
+/// kept. The raw extrema are then widened *symmetrically* by
+/// `(margin - 1) * scale` where `scale = max(|min|, |max|)` — unlike the
+/// multiplicative widening of [`arc_bounds`], which is unsound for a
+/// lower bound whose minimum sits near zero while the function swings
+/// much larger between grid points.
+///
+/// # Panics
+///
+/// Panics if the netlist contains unmapped primitive gates.
+pub fn arc_intervals(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    corner: Corner,
+    default_slew: f64,
+    margin: f64,
+) -> ArcIntervals {
+    arc_intervals_with(
+        nl,
+        tlib,
+        default_slew,
+        margin,
+        |cell, pin, v, edge, fo, slew| {
+            tlib.cell(cell)
+                .variant(pin, v)
+                .for_edge(edge)
+                .eval(fo, slew, corner)
+        },
+    )
+}
+
+/// [`arc_intervals`] evaluated through a corner-compiled kernel table —
+/// bit-identical to the interpreted intervals at the kernel's corner, so
+/// audit verdicts never depend on the kernel setting.
+pub fn arc_intervals_compiled(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    kernel: &CompiledCorner,
+    default_slew: f64,
+    margin: f64,
+) -> ArcIntervals {
+    arc_intervals_with(
+        nl,
+        tlib,
+        default_slew,
+        margin,
+        |cell, pin, v, edge, fo, slew| kernel.eval(kernel.arc_id(cell, pin, v), edge, fo, slew),
+    )
+}
+
+fn arc_intervals_with(
+    nl: &Netlist,
+    tlib: &TimingLibrary,
+    default_slew: f64,
+    margin: f64,
+    mut arc_eval: impl FnMut(CellId, u8, usize, Edge, f64, f64) -> (f64, f64),
+) -> ArcIntervals {
+    // Symmetric scale-based widening: sound for both interval ends even
+    // when an extremum sits near zero (multiplying a tiny minimum by a
+    // margin < 1 would barely move it while the true inter-grid value
+    // can undershoot by a fraction of the function's magnitude).
+    fn widen(lo: f64, hi: f64, margin: f64) -> (f64, f64) {
+        let pad = (margin - 1.0) * lo.abs().max(hi.abs());
+        (lo - pad, hi + pad)
+    }
+    let per_gate = nl
+        .gate_ids()
+        .map(|g| {
+            let gate = nl.gate(g);
+            let cell = match gate.kind() {
+                GateKind::Cell(c) => c,
+                GateKind::Prim(op) => panic!("arc_intervals on unmapped primitive {op}"),
+            };
+            let fo = tlib.equivalent_fanout(nl, gate.output(), cell);
+            let ct = tlib.cell(cell);
+            (0..gate.fanin() as u8)
+                .map(|pin| {
+                    (0..ct.num_vectors(pin))
+                        .map(|v| {
+                            let mut d_lo = f64::INFINITY;
+                            let mut d_hi = f64::NEG_INFINITY;
+                            let mut s_lo = f64::INFINITY;
+                            let mut s_hi = f64::NEG_INFINITY;
+                            let mut take = |(d, s): (f64, f64)| {
+                                d_lo = d_lo.min(d);
+                                d_hi = d_hi.max(d);
+                                s_lo = s_lo.min(s);
+                                s_hi = s_hi.max(s);
+                            };
+                            for edge in Edge::BOTH {
+                                take(arc_eval(cell, pin, v, edge, fo, default_slew));
+                                for &slew in &SLEW_SWEEP {
+                                    take(arc_eval(cell, pin, v, edge, fo, slew));
+                                }
+                            }
+                            let (delay_lo, delay_hi) = widen(d_lo, d_hi, margin);
+                            let (slew_lo, slew_hi) = widen(s_lo, s_hi, margin);
+                            ArcInterval {
+                                delay_lo,
+                                delay_hi,
+                                slew_lo,
+                                slew_hi,
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    ArcIntervals { per_gate }
+}
+
 /// Per-source tightened remaining-delay bound: like the `remaining` half
 /// of [`static_bounds`], but restricted to arcs whose side requirements
 /// do not contradict the launch source's toggle analysis (the same
@@ -438,6 +597,44 @@ mod tests {
             for pin in 0..gate.fanin() as u8 {
                 for v in 0..tlib.cell(cell).num_vectors(pin) {
                     assert_eq!(a.get(g, pin, v).to_bits(), b.get(g, pin, v).to_bits());
+                }
+            }
+        }
+    }
+
+    /// Compiled and interpreted two-sided interval tables agree bitwise,
+    /// and every interval is well-formed with the delay upper bound under
+    /// the same-margin `arc_bounds` ceiling.
+    #[test]
+    fn compiled_arc_intervals_are_bit_identical_and_well_formed() {
+        let (nl, lib) = small_mapped();
+        let tech = Technology::n90();
+        let tlib = characterize(&lib, &tech, &CharConfig::fast()).unwrap();
+        let corner = Corner::nominal(&tech);
+        let kernel = tlib.compile_corner(corner);
+        let a = arc_intervals(&nl, &tlib, corner, 60.0, ARC_SWEEP_MARGIN);
+        let b = arc_intervals_compiled(&nl, &tlib, &kernel, 60.0, ARC_SWEEP_MARGIN);
+        let bounds = arc_bounds(&nl, &tlib, corner, 60.0, ARC_SWEEP_MARGIN);
+        for g in nl.gate_ids() {
+            let gate = nl.gate(g);
+            let cell = match gate.kind() {
+                GateKind::Cell(c) => c,
+                GateKind::Prim(_) => unreachable!(),
+            };
+            for pin in 0..gate.fanin() as u8 {
+                for v in 0..tlib.cell(cell).num_vectors(pin) {
+                    let ia = a.get(g, pin, v);
+                    let ib = b.get(g, pin, v);
+                    assert_eq!(ia.delay_lo.to_bits(), ib.delay_lo.to_bits());
+                    assert_eq!(ia.delay_hi.to_bits(), ib.delay_hi.to_bits());
+                    assert_eq!(ia.slew_lo.to_bits(), ib.slew_lo.to_bits());
+                    assert_eq!(ia.slew_hi.to_bits(), ib.slew_hi.to_bits());
+                    assert!(ia.delay_lo <= ia.delay_hi);
+                    assert!(ia.slew_lo <= ia.slew_hi);
+                    // The interval hi pads symmetrically off the same raw
+                    // maximum arc_bounds scales, so it can never exceed it
+                    // for positive delays.
+                    assert!(ia.delay_hi <= bounds.get(g, pin, v) + 1e-9);
                 }
             }
         }

@@ -238,6 +238,80 @@ impl SourceCache {
     pub fn num_cached_paths(&self) -> usize {
         self.per_source.iter().map(Vec::len).sum()
     }
+
+    /// The per-path truncation threshold the cache was built with.
+    pub fn n_worst(&self) -> Option<usize> {
+        self.n_worst
+    }
+
+    /// The cached canonical path list of one source slot (read-only —
+    /// the audit layer checks the structural invariants over it).
+    pub fn source_paths(&self, i: usize) -> &[TruePath] {
+        &self.per_source[i]
+    }
+}
+
+/// Which [`SourceCache`] structural invariant [`corrupt_source_cache`]
+/// violates. Each mode maps to one clause of the ECO002 audit in
+/// `sta-lint`, mirroring the fault-injector discipline of the netlist
+/// and library lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheCorruption {
+    /// Move a path into another source's slot (source membership).
+    Misfile,
+    /// Swap two adjacent paths out of canonical order (sort order).
+    Unsort,
+    /// Duplicate a path past the `n_worst` truncation limit (overfill).
+    Overfill,
+}
+
+/// Fault injector: break exactly one structural invariant of a built
+/// cache so the ECO002 audit rule can be pinned to it. Returns `false`
+/// (cache untouched) when the cache has no slot shaped so the chosen
+/// corruption is observable — e.g. `Unsort` needs a slot with two
+/// strictly-ordered paths, `Misfile` needs at least two source slots
+/// with one non-empty.
+pub fn corrupt_source_cache(cache: &mut SourceCache, mode: CacheCorruption) -> bool {
+    match mode {
+        CacheCorruption::Misfile => {
+            if cache.per_source.len() < 2 {
+                return false;
+            }
+            let from = match cache.per_source.iter().position(|s| !s.is_empty()) {
+                Some(i) => i,
+                None => return false,
+            };
+            let to = if from == 0 { 1 } else { 0 };
+            let path = cache.per_source[from].remove(0);
+            cache.per_source[to].insert(0, path);
+            true
+        }
+        CacheCorruption::Unsort => {
+            for slot in &mut cache.per_source {
+                for i in 0..slot.len().saturating_sub(1) {
+                    if TruePath::canonical_cmp(&slot[i], &slot[i + 1]).is_lt() {
+                        slot.swap(i, i + 1);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        CacheCorruption::Overfill => {
+            let n = match cache.n_worst {
+                Some(n) => n,
+                None => return false,
+            };
+            for slot in &mut cache.per_source {
+                if slot.len() == n {
+                    let dup = slot[slot.len() - 1].clone();
+                    slot.push(dup);
+                    return true;
+                }
+            }
+            false
+        }
+    }
 }
 
 #[cfg(test)]

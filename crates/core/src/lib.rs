@@ -70,12 +70,15 @@ pub use analysis::{
     RequiredSource, SlackOutcome,
 };
 pub use arrival::{
-    arc_bounds, arc_bounds_compiled, arc_delay_bound, record_bounds_metrics, static_bounds,
-    static_bounds_compiled, tightened_remaining, ArcBounds, StaticTiming,
+    arc_bounds, arc_bounds_compiled, arc_delay_bound, arc_intervals, arc_intervals_compiled,
+    record_bounds_metrics, static_bounds, static_bounds_compiled, tightened_remaining, ArcBounds,
+    ArcInterval, ArcIntervals, StaticTiming, ARC_SWEEP_MARGIN,
 };
 pub use bitsim::BitsimFilter;
 pub use delaycalc::{path_delay, path_delay_compiled, DelayCalcError, PathDelayBreakdown};
-pub use eco::{dirty_sources, fanin_cone, fanout_cone, SourceCache};
+pub use eco::{
+    corrupt_source_cache, dirty_sources, fanin_cone, fanout_cone, CacheCorruption, SourceCache,
+};
 pub use enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
 pub use justify::{
     justify, justify_filtered, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome,

@@ -84,6 +84,33 @@ pub enum RuleCode {
     /// `LEARN002` — a stored nogood claims an unsatisfiable assignment
     /// but independent re-justification finds a witness.
     LearnRefutesSatisfiable,
+    /// `AI001` — a certificate's arrival leaves its endpoint's (or an
+    /// intermediate node's) abstract `[lo, hi]` interval.
+    AiCertOutsideInterval,
+    /// `AI002` — the structural static bound fails to dominate the
+    /// abstract interval hull (or the hull itself is malformed).
+    AiStructuralDominance,
+    /// `AI003` — a certificate's per-arc gate delay leaves the swept
+    /// two-sided arc-delay interval.
+    AiArcDelayOutsideBound,
+    /// `AI004` — a certificate's endpoint slew leaves the abstract slew
+    /// interval.
+    AiSlewOutsideInterval,
+    /// `ECO001` — `dirty_sources` under-approximates: a source marked
+    /// clean has a per-source interval table that changed under the edit.
+    EcoDirtyUnderapprox,
+    /// `ECO002` — a `SourceCache` slot violates the splice invariants
+    /// (misfiled source, non-canonical order, overfilled slot).
+    EcoCacheInvariant,
+    /// `ECO003` — a dirty-source mask is malformed (wrong length, or a
+    /// function-changing edit without an all-dirty mask).
+    EcoDirtyMaskMalformed,
+    /// `SRV001` — the serve protocol schema and parser disagree on an
+    /// exemplar request line.
+    SrvSchemaParserDisagree,
+    /// `SRV002` — the checked-in serve schema drifted from the protocol
+    /// structs (op/kind/tech enums or the field set).
+    SrvSchemaDrift,
 }
 
 impl RuleCode {
@@ -109,6 +136,15 @@ impl RuleCode {
             RuleCode::SchedNotTopological => "SCHED001",
             RuleCode::LearnMalformed => "LEARN001",
             RuleCode::LearnRefutesSatisfiable => "LEARN002",
+            RuleCode::AiCertOutsideInterval => "AI001",
+            RuleCode::AiStructuralDominance => "AI002",
+            RuleCode::AiArcDelayOutsideBound => "AI003",
+            RuleCode::AiSlewOutsideInterval => "AI004",
+            RuleCode::EcoDirtyUnderapprox => "ECO001",
+            RuleCode::EcoCacheInvariant => "ECO002",
+            RuleCode::EcoDirtyMaskMalformed => "ECO003",
+            RuleCode::SrvSchemaParserDisagree => "SRV001",
+            RuleCode::SrvSchemaDrift => "SRV002",
         }
     }
 
@@ -128,7 +164,16 @@ impl RuleCode {
             | RuleCode::PathTimingMismatch
             | RuleCode::SchedNotTopological
             | RuleCode::LearnMalformed
-            | RuleCode::LearnRefutesSatisfiable => Severity::Error,
+            | RuleCode::LearnRefutesSatisfiable
+            | RuleCode::AiCertOutsideInterval
+            | RuleCode::AiStructuralDominance
+            | RuleCode::AiArcDelayOutsideBound
+            | RuleCode::AiSlewOutsideInterval
+            | RuleCode::EcoDirtyUnderapprox
+            | RuleCode::EcoCacheInvariant
+            | RuleCode::EcoDirtyMaskMalformed
+            | RuleCode::SrvSchemaParserDisagree
+            | RuleCode::SrvSchemaDrift => Severity::Error,
             RuleCode::NlDanglingNet | RuleCode::NlConstantOutput | RuleCode::LibNonMonotone => {
                 Severity::Warn
             }
@@ -160,6 +205,15 @@ impl RuleCode {
             RuleCode::SchedNotTopological => "compiled schedule is not a topological order",
             RuleCode::LearnMalformed => "malformed learned-nogood table entry",
             RuleCode::LearnRefutesSatisfiable => "learned nogood refutes a satisfiable assignment",
+            RuleCode::AiCertOutsideInterval => "certificate arrival outside abstract interval",
+            RuleCode::AiStructuralDominance => "structural bound fails to dominate interval hull",
+            RuleCode::AiArcDelayOutsideBound => "certificate arc delay outside swept arc interval",
+            RuleCode::AiSlewOutsideInterval => "certificate slew outside abstract slew interval",
+            RuleCode::EcoDirtyUnderapprox => "dirty-source set misses an affected source",
+            RuleCode::EcoCacheInvariant => "source-cache splice invariant violated",
+            RuleCode::EcoDirtyMaskMalformed => "malformed dirty-source mask",
+            RuleCode::SrvSchemaParserDisagree => "serve schema and parser disagree on exemplar",
+            RuleCode::SrvSchemaDrift => "serve schema drifted from protocol structs",
         }
     }
 }
@@ -369,6 +423,15 @@ mod tests {
             RuleCode::SchedNotTopological,
             RuleCode::LearnMalformed,
             RuleCode::LearnRefutesSatisfiable,
+            RuleCode::AiCertOutsideInterval,
+            RuleCode::AiStructuralDominance,
+            RuleCode::AiArcDelayOutsideBound,
+            RuleCode::AiSlewOutsideInterval,
+            RuleCode::EcoDirtyUnderapprox,
+            RuleCode::EcoCacheInvariant,
+            RuleCode::EcoDirtyMaskMalformed,
+            RuleCode::SrvSchemaParserDisagree,
+            RuleCode::SrvSchemaDrift,
         ];
         let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

@@ -32,7 +32,17 @@
 //!   structural invariants of a run's final nogood store plus an
 //!   independent re-justification of every stored refutation, so the one
 //!   piece of cross-thread shared mutable state in the engine is checked
-//!   by machinery that shares nothing with the learner.
+//!   by machinery that shares nothing with the learner;
+//! * `AIxxx` — interval abstract-interpretation audit ([`audit_certificates`],
+//!   [`audit_structural_dominance`]): a forward pass over the timing graph
+//!   propagates sound `[lo, hi]` arrival/slew envelopes ([`interval`]) and
+//!   every certificate, stage delay and pruning bound is checked against
+//!   them;
+//! * `ECOxxx` — incremental re-analysis audit ([`audit_dirty_sources`],
+//!   [`audit_source_cache`]): the dirty-source over-approximation and the
+//!   per-source splice invariants behind the serve daemon's ECO path;
+//! * `SRVxxx` — serve protocol audit ([`check_serve_protocol`]): the
+//!   checked-in request schema versus the daemon's self-described parser.
 //!
 //! Diagnostics carry a severity ([`Severity`]) and render either as
 //! human-readable lines or as JSON ([`LintReport`]); a `--deny warnings`
@@ -41,16 +51,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit_rules;
 pub mod diag;
+pub mod eco_rules;
+pub mod interval;
 pub mod learn_rules;
 pub mod library_rules;
 pub mod netlist_rules;
 pub mod path_rules;
 pub mod sched_rules;
+pub mod serve_rules;
 
+pub use audit_rules::{
+    audit_certificates, audit_metric_names, audit_structural_dominance, register_audit_metrics,
+    FlowAuditOutcome,
+};
 pub use diag::{Diagnostic, LintReport, RuleCode, Severity};
+pub use eco_rules::{audit_dirty_sources, audit_source_cache};
+pub use interval::{for_source, hull, NodeIntervals};
 pub use learn_rules::{audit_nogoods, NogoodAuditOutcome};
 pub use library_rules::{lint_library, LibLintConfig};
 pub use netlist_rules::lint_netlist;
 pub use path_rules::{verify_path, verify_paths, PathVerifyOutcome};
 pub use sched_rules::{check_compiled_schedule, check_schedule};
+pub use serve_rules::{check_serve_protocol, ProtocolExemplar, ProtocolSpec};

@@ -1,0 +1,256 @@
+//! SRV-family audit rules: the serve daemon's NDJSON protocol contract.
+//!
+//! The daemon's request parser (`sta-serve`) and the checked-in JSON
+//! schema (`docs/serve.schema.json`) describe the same wire protocol from
+//! two sides, and nothing ties them together at compile time — a new op
+//! added to the parser but not the schema (or vice versa) only surfaced
+//! at a live session. These rules validate the pair statically, at lint
+//! time.
+//!
+//! `sta-lint` deliberately does not depend on `sta-serve` (the daemon
+//! depends on the linter, not the other way around), so the serve crate
+//! *describes itself* through a [`ProtocolSpec`]: its enum sets, its
+//! field universe, and a battery of exemplar request lines annotated with
+//! what its parser and the schema should each say.
+//!
+//! * **SRV001** — exemplar conformance. For every exemplar: the schema's
+//!   verdict must match `schema_should_accept`, and any line the schema
+//!   accepts must also be accepted by the parser. (The parser is allowed
+//!   to be *more* lenient — it ignores unknown fields — so the reverse
+//!   direction is not required.)
+//! * **SRV002** — structural drift. The schema's `op`/`kind`/`tech` enum
+//!   sets must equal the spec's, its property set must equal the spec's
+//!   field universe, `required` must be exactly `["op"]`, and unknown
+//!   fields must stay rejected (`additionalProperties: false`).
+
+use crate::diag::{Diagnostic, RuleCode};
+use serde::Value;
+use std::collections::BTreeSet;
+
+/// One annotated wire-protocol exemplar line.
+#[derive(Clone, Debug)]
+pub struct ProtocolExemplar {
+    /// What the exemplar demonstrates (goes into diagnostics).
+    pub description: String,
+    /// The raw NDJSON request line.
+    pub line: String,
+    /// Whether the live parser accepts the line (computed by the serve
+    /// crate against its real `parse_request`).
+    pub parser_accepts: bool,
+    /// Whether the schema is supposed to accept the line.
+    pub schema_should_accept: bool,
+}
+
+/// The serve crate's self-description, checked against the schema.
+#[derive(Clone, Debug)]
+pub struct ProtocolSpec {
+    /// Every request op the parser knows.
+    pub ops: Vec<String>,
+    /// Every edit kind the parser knows.
+    pub kinds: Vec<String>,
+    /// Every technology name the daemon accepts.
+    pub techs: Vec<String>,
+    /// The full field universe of the wire protocol.
+    pub fields: Vec<String>,
+    /// Annotated exemplar lines.
+    pub exemplars: Vec<ProtocolExemplar>,
+}
+
+fn str_set(v: Option<&Value>) -> Option<BTreeSet<String>> {
+    match v {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .map(|i| match i {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+fn map_get<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, val)| val),
+        _ => None,
+    }
+}
+
+fn enum_drift(ds: &mut Vec<Diagnostic>, props: &Value, prop: &str, expected: &[String]) {
+    let schema_set = map_get(props, prop).and_then(|p| str_set(map_get(p, "enum")));
+    let spec_set: BTreeSet<String> = expected.iter().cloned().collect();
+    match schema_set {
+        Some(s) if s == spec_set => {}
+        Some(s) => {
+            let missing: Vec<_> = spec_set.difference(&s).cloned().collect();
+            let extra: Vec<_> = s.difference(&spec_set).cloned().collect();
+            ds.push(Diagnostic::new(
+                RuleCode::SrvSchemaDrift,
+                format!("serve.schema:{prop}"),
+                format!("`{prop}` enum drifted: schema missing {missing:?}, schema-only {extra:?}"),
+            ));
+        }
+        None => ds.push(Diagnostic::new(
+            RuleCode::SrvSchemaDrift,
+            format!("serve.schema:{prop}"),
+            format!("`{prop}` has no string enum in the schema"),
+        )),
+    }
+}
+
+/// Validates the checked-in serve schema against the daemon's
+/// [`ProtocolSpec`] (SRV001 exemplar conformance, SRV002 drift).
+pub fn check_serve_protocol(schema: &Value, spec: &ProtocolSpec) -> Vec<Diagnostic> {
+    let mut ds = Vec::new();
+
+    // SRV002 — structural drift.
+    match map_get(schema, "properties") {
+        Some(props) => {
+            enum_drift(&mut ds, props, "op", &spec.ops);
+            enum_drift(&mut ds, props, "kind", &spec.kinds);
+            enum_drift(&mut ds, props, "tech", &spec.techs);
+            let schema_fields: BTreeSet<String> = match props {
+                Value::Map(entries) => entries.iter().map(|(k, _)| k.clone()).collect(),
+                _ => BTreeSet::new(),
+            };
+            let spec_fields: BTreeSet<String> = spec.fields.iter().cloned().collect();
+            if schema_fields != spec_fields {
+                let missing: Vec<_> = spec_fields.difference(&schema_fields).cloned().collect();
+                let extra: Vec<_> = schema_fields.difference(&spec_fields).cloned().collect();
+                ds.push(Diagnostic::new(
+                    RuleCode::SrvSchemaDrift,
+                    "serve.schema:properties".to_string(),
+                    format!(
+                        "field universe drifted: schema missing {missing:?}, schema-only {extra:?}"
+                    ),
+                ));
+            }
+        }
+        None => ds.push(Diagnostic::new(
+            RuleCode::SrvSchemaDrift,
+            "serve.schema:properties".to_string(),
+            "schema has no `properties` map".to_string(),
+        )),
+    }
+    match str_set(map_get(schema, "required")) {
+        Some(req) if req.len() == 1 && req.contains("op") => {}
+        other => ds.push(Diagnostic::new(
+            RuleCode::SrvSchemaDrift,
+            "serve.schema:required".to_string(),
+            format!("`required` must be exactly [\"op\"], schema has {other:?}"),
+        )),
+    }
+    if map_get(schema, "additionalProperties") != Some(&Value::Bool(false)) {
+        ds.push(Diagnostic::new(
+            RuleCode::SrvSchemaDrift,
+            "serve.schema:additionalProperties".to_string(),
+            "unknown fields must stay rejected (`additionalProperties: false`)".to_string(),
+        ));
+    }
+
+    // SRV001 — exemplar conformance.
+    for ex in &spec.exemplars {
+        let doc: Value = match serde_json::from_str(&ex.line) {
+            Ok(d) => d,
+            Err(e) => {
+                ds.push(Diagnostic::new(
+                    RuleCode::SrvSchemaParserDisagree,
+                    format!("serve.exemplar:{}", ex.description),
+                    format!("exemplar line is not valid JSON: {e}"),
+                ));
+                continue;
+            }
+        };
+        let schema_accepts = sta_obs::schema::validate(schema, &doc).is_ok();
+        if schema_accepts != ex.schema_should_accept {
+            ds.push(Diagnostic::new(
+                RuleCode::SrvSchemaParserDisagree,
+                format!("serve.exemplar:{}", ex.description),
+                format!(
+                    "schema {} `{}` but the exemplar expects {}",
+                    if schema_accepts { "accepts" } else { "rejects" },
+                    ex.line,
+                    if ex.schema_should_accept {
+                        "accept"
+                    } else {
+                        "reject"
+                    },
+                ),
+            ));
+        }
+        if schema_accepts && !ex.parser_accepts {
+            ds.push(Diagnostic::new(
+                RuleCode::SrvSchemaParserDisagree,
+                format!("serve.exemplar:{}", ex.description),
+                format!(
+                    "schema accepts `{}` but the daemon parser rejects it",
+                    ex.line
+                ),
+            ));
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_schema() -> Value {
+        serde_json::from_str(
+            r#"{
+              "type": "object",
+              "required": ["op"],
+              "additionalProperties": false,
+              "properties": {
+                "op": {"type": "string", "enum": ["status"]}
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn tiny_spec() -> ProtocolSpec {
+        ProtocolSpec {
+            ops: vec!["status".into()],
+            kinds: vec![],
+            techs: vec![],
+            fields: vec!["op".into()],
+            exemplars: vec![ProtocolExemplar {
+                description: "status".into(),
+                line: r#"{"op":"status"}"#.into(),
+                parser_accepts: true,
+                schema_should_accept: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn aligned_schema_and_spec_are_clean_modulo_missing_enums() {
+        // kind/tech enums are absent from the tiny schema, so exactly two
+        // SRV002 findings fire — and nothing else.
+        let ds = check_serve_protocol(&tiny_schema(), &tiny_spec());
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds.iter().all(|d| d.rule.code() == "SRV002"));
+    }
+
+    #[test]
+    fn op_enum_drift_is_srv002() {
+        let schema = tiny_schema();
+        let mut spec = tiny_spec();
+        spec.ops.push("audit".into());
+        let ds = check_serve_protocol(&schema, &spec);
+        assert!(ds
+            .iter()
+            .any(|d| d.rule.code() == "SRV002" && d.message.contains("audit")));
+    }
+
+    #[test]
+    fn schema_parser_disagreement_is_srv001() {
+        let schema = tiny_schema();
+        let mut spec = tiny_spec();
+        spec.exemplars[0].parser_accepts = false;
+        let ds = check_serve_protocol(&schema, &spec);
+        assert!(ds.iter().any(|d| d.rule.code() == "SRV001"), "{ds:?}");
+    }
+}

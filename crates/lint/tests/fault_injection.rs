@@ -82,3 +82,181 @@ fn dropped_vector_is_a_coverage_gap() {
         "{gaps:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Whole-flow audit injectors (AI / ECO rule families)
+// ---------------------------------------------------------------------------
+
+use std::sync::OnceLock;
+
+use sta_charlib::TimingLibrary;
+use sta_circuits::resize_gate;
+use sta_core::{
+    arc_intervals, corrupt_source_cache, dirty_sources, static_bounds, CacheCorruption,
+    CertificateSet, EnumerationConfig, PathEnumerator, SourceCache, ARC_SWEEP_MARGIN,
+};
+use sta_lint::audit_rules::inject;
+use sta_netlist::Netlist;
+
+/// Fast-grid timing library shared by the audit-injector tests.
+fn fast_tlib() -> &'static TimingLibrary {
+    static TLIB: OnceLock<TimingLibrary> = OnceLock::new();
+    TLIB.get_or_init(|| {
+        characterize(
+            &Library::standard(),
+            &Technology::n90(),
+            &CharConfig::fast(),
+        )
+        .expect("characterization succeeds")
+    })
+}
+
+const INPUT_SLEW: f64 = 60.0;
+
+fn nominal() -> Corner {
+    Corner::nominal(&Technology::n90())
+}
+
+fn enumerate(nl: &Netlist, lib: &Library, n_worst: usize) -> CertificateSet {
+    let cfg = EnumerationConfig::new(nominal()).with_n_worst(n_worst);
+    let (paths, _) = PathEnumerator::new(nl, lib, fast_tlib(), cfg).run();
+    CertificateSet::new(nl, INPUT_SLEW, paths)
+}
+
+/// Resizes the first resizable gate at or after the middle of the gate
+/// list — the same deterministic sampling the CLI's `--audit-flow` uses.
+fn sample_resize(nl: &mut Netlist, lib: &Library) -> Option<sta_circuits::GateEdit> {
+    let gids: Vec<_> = nl.gate_ids().collect();
+    let n = gids.len();
+    for off in 0..n {
+        let gid = gids[(n / 2 + off) % n];
+        let instance = nl.net_label(nl.gate(gid).output());
+        if let Ok(edit) = resize_gate(nl, lib, &instance) {
+            return Some(edit);
+        }
+    }
+    None
+}
+
+/// Every AI-family injector trips exactly its designated rule code, and
+/// the pristine flow stays clean (100 % certificate enclosure).
+#[test]
+fn audit_injectors_pin_ai_rule_codes() {
+    let lib = Library::standard();
+    let nl = catalog::mapped("c432", &lib).unwrap().unwrap();
+    let corner = nominal();
+    let arcs = arc_intervals(&nl, fast_tlib(), corner, INPUT_SLEW, ARC_SWEEP_MARGIN);
+    let certs = enumerate(&nl, &lib, 25);
+    assert!(!certs.paths.is_empty());
+
+    let clean = sta_lint::audit_certificates(&nl, "c432", &arcs, &certs, INPUT_SLEW);
+    assert!(clean.diagnostics.is_empty(), "{:?}", clean.diagnostics);
+    assert_eq!(clean.enclosed, clean.certificates, "100% enclosure");
+
+    let mut bad = certs.clone();
+    assert!(inject::inflate_certificate_arrival(&mut bad));
+    let ds = sta_lint::audit_certificates(&nl, "c432", &arcs, &bad, INPUT_SLEW).diagnostics;
+    assert!(codes(&ds).contains(&"AI001"), "{ds:?}");
+
+    let mut bad = certs.clone();
+    assert!(inject::corrupt_arc_delay(&mut bad));
+    let ds = sta_lint::audit_certificates(&nl, "c432", &arcs, &bad, INPUT_SLEW).diagnostics;
+    assert!(codes(&ds).contains(&"AI003"), "{ds:?}");
+
+    let mut bad = certs.clone();
+    assert!(inject::corrupt_endpoint_slew(&mut bad));
+    let ds = sta_lint::audit_certificates(&nl, "c432", &arcs, &bad, INPUT_SLEW).diagnostics;
+    assert!(codes(&ds).contains(&"AI004"), "{ds:?}");
+
+    // AI002: the pruning bound dominates the hull until it is shrunk.
+    let hull = sta_lint::hull(&nl, &arcs, INPUT_SLEW);
+    let prune_margin = EnumerationConfig::new(corner).prune_margin;
+    let mut st = static_bounds(&nl, fast_tlib(), corner, INPUT_SLEW, prune_margin);
+    let ds = sta_lint::audit_structural_dominance("c432", &nl, &hull, &st);
+    assert!(ds.is_empty(), "{ds:?}");
+    assert!(inject::shrink_structural_arrival(&mut st));
+    let ds = sta_lint::audit_structural_dominance("c432", &nl, &hull, &st);
+    assert!(codes(&ds).contains(&"AI002"), "{ds:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The ECO-family injectors trip their designated rule codes: a
+    /// shrunk dirty cone is an ECO001 under-approximation, malformed
+    /// masks are ECO003, and every cache corruption mode is ECO002.
+    #[test]
+    fn eco_injectors_pin_eco_rule_codes(
+        which in 0usize..2,
+        n_worst in 3usize..8,
+    ) {
+        let name = ["c17", "sample"][which];
+        let lib = Library::standard();
+        let nl = catalog::mapped(name, &lib).unwrap().unwrap();
+        let corner = nominal();
+        let arcs = arc_intervals(&nl, fast_tlib(), corner, INPUT_SLEW, ARC_SWEEP_MARGIN);
+
+        let mut edited = nl.clone();
+        let edit = sample_resize(&mut edited, &lib).expect("catalog circuits have a resizable gate");
+        prop_assert!(!edit.function_changed);
+        let arcs_after = arc_intervals(&edited, fast_tlib(), corner, INPUT_SLEW, ARC_SWEEP_MARGIN);
+        let dirty = dirty_sources(&edited, &edit);
+        prop_assert!(dirty.iter().any(|&d| d), "a resize dirties its fanin sources");
+
+        let audit = |mask: &[bool], e: &sta_circuits::GateEdit| {
+            sta_lint::audit_dirty_sources(
+                name, &nl, &arcs, &edited, &arcs_after, e, mask, INPUT_SLEW,
+            )
+        };
+
+        // The honest mask is clean.
+        let ds = audit(&dirty, &edit);
+        prop_assert!(ds.is_empty(), "{ds:?}");
+
+        // ECO001 — dropping a genuinely dirty source from the mask.
+        let mut shrunk = dirty.clone();
+        let dropped = sta_circuits::shrink_dirty_cone(&mut shrunk);
+        prop_assert!(dropped.is_some());
+        let ds = audit(&shrunk, &edit);
+        prop_assert!(codes(&ds).contains(&"ECO001"), "{ds:?}");
+
+        // ECO003 — wrong mask shape.
+        let mut short = dirty.clone();
+        short.pop();
+        let ds = audit(&short, &edit);
+        prop_assert!(codes(&ds).contains(&"ECO003"), "{ds:?}");
+
+        // ECO003 — a function-changing edit must dirty every source.
+        let mut fedit = edit.clone();
+        fedit.function_changed = true;
+        let mut partial = vec![true; dirty.len()];
+        partial[0] = false;
+        let ds = audit(&partial, &fedit);
+        prop_assert!(codes(&ds).contains(&"ECO003"), "{ds:?}");
+
+        // ECO002 — every cache corruption mode breaks an invariant the
+        // auditor checks; the pristine cache passes with the splice
+        // cross-check attached.
+        let cfg = EnumerationConfig::new(corner)
+            .with_n_worst(n_worst)
+            .with_per_source_n_worst(true);
+        let enumr = PathEnumerator::new(&nl, &lib, fast_tlib(), cfg);
+        let (cache, stats) = SourceCache::build(&enumr);
+        drop(enumr);
+        let certs = enumerate(&nl, &lib, n_worst);
+        let splice_certs = (!stats.truncated).then_some(&certs);
+        let ds = sta_lint::audit_source_cache(name, &nl, &cache, splice_certs);
+        prop_assert!(ds.is_empty(), "{ds:?}");
+        for mode in [
+            CacheCorruption::Misfile,
+            CacheCorruption::Unsort,
+            CacheCorruption::Overfill,
+        ] {
+            let mut broken = cache.clone();
+            if corrupt_source_cache(&mut broken, mode) {
+                let ds = sta_lint::audit_source_cache(name, &nl, &broken, None);
+                prop_assert!(codes(&ds).contains(&"ECO002"), "{mode:?}: {ds:?}");
+            }
+        }
+    }
+}

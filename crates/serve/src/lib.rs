@@ -39,7 +39,10 @@
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{parse_request, EditKind, Request};
+pub use protocol::{
+    drift_schema_enum, drift_schema_field, parse_request, protocol_spec, EditKind, Request,
+    SERVE_SCHEMA_JSON,
+};
 #[cfg(unix)]
 pub use server::serve_socket;
 pub use server::{serve_lines, serve_stdio, Server, ServerConfig};

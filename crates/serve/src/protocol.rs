@@ -76,11 +76,21 @@ pub enum Request {
         /// Loaded circuit to verify.
         circuit: String,
     },
+    /// Run the whole-flow soundness audit (`sta-lint` AI/ECO/SRV rules)
+    /// over one resident circuit, or over every resident circuit.
+    Audit {
+        /// Loaded circuit to audit (default: all resident circuits).
+        circuit: Option<String>,
+    },
     /// Report the session manifest (resident circuits, counters, metrics).
     Status,
     /// Acknowledge and terminate the session.
     Shutdown,
 }
+
+/// The checked-in wire-protocol schema, embedded so the daemon (and the
+/// `audit` op) can validate requests without a filesystem lookup.
+pub const SERVE_SCHEMA_JSON: &str = include_str!("../../../docs/serve.schema.json");
 
 fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
@@ -168,11 +178,133 @@ pub fn parse_request(line: &str) -> Result<(Request, Option<Value>), String> {
         "verify" => Request::Verify {
             circuit: str_field(&map, "circuit")?,
         },
+        "audit" => Request::Audit {
+            circuit: opt_str_field(&map, "circuit")?,
+        },
         "status" => Request::Status,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown op {other:?}")),
     };
     Ok((req, id))
+}
+
+/// The daemon's protocol self-description for the SRV audit rules: enum
+/// sets and field universe mirroring [`parse_request`], plus annotated
+/// exemplar lines whose `parser_accepts` verdicts are computed against
+/// the *real* parser — so the lint check compares the live parser, not a
+/// transcription of it, against the checked-in schema.
+pub fn protocol_spec() -> sta_lint::ProtocolSpec {
+    let ops = [
+        "load", "edit", "paths", "slack", "verify", "audit", "status", "shutdown",
+    ];
+    let kinds = ["swap", "resize", "rewire"];
+    let techs = ["130nm", "90nm", "65nm"];
+    let fields = [
+        "op", "id", "circuit", "tech", "nworst", "threads", "kind", "instance", "cell", "pin",
+        "net", "limit",
+    ];
+    // (description, line, schema_should_accept)
+    let exemplars: [(&str, &str, bool); 15] = [
+        (
+            "load-full",
+            r#"{"op":"load","circuit":"c17","tech":"90nm","nworst":10,"threads":2}"#,
+            true,
+        ),
+        (
+            "edit-swap",
+            r#"{"id":1,"op":"edit","circuit":"c17","kind":"swap","instance":"g1","cell":"NAND2_X2"}"#,
+            true,
+        ),
+        (
+            "edit-rewire",
+            r#"{"op":"edit","circuit":"c17","kind":"rewire","instance":"g1","pin":0,"net":"a"}"#,
+            true,
+        ),
+        ("paths", r#"{"op":"paths","circuit":"c17","limit":5}"#, true),
+        ("slack", r#"{"op":"slack","circuit":"c17"}"#, true),
+        ("verify", r#"{"op":"verify","circuit":"c17"}"#, true),
+        ("audit-one", r#"{"op":"audit","circuit":"c17"}"#, true),
+        ("audit-all", r#"{"op":"audit"}"#, true),
+        ("status", r#"{"op":"status"}"#, true),
+        ("shutdown", r#"{"op":"shutdown"}"#, true),
+        ("missing-op", r#"{"circuit":"c17"}"#, false),
+        ("unknown-op", r#"{"op":"fly"}"#, false),
+        (
+            "unknown-tech",
+            r#"{"op":"load","circuit":"c17","tech":"45nm"}"#,
+            false,
+        ),
+        (
+            "unknown-field",
+            r#"{"op":"load","circuit":"c17","bogus":1}"#,
+            false,
+        ),
+        (
+            "zero-limit",
+            r#"{"op":"paths","circuit":"c17","limit":0}"#,
+            false,
+        ),
+    ];
+    sta_lint::ProtocolSpec {
+        ops: ops.iter().map(|s| s.to_string()).collect(),
+        kinds: kinds.iter().map(|s| s.to_string()).collect(),
+        techs: techs.iter().map(|s| s.to_string()).collect(),
+        fields: fields.iter().map(|s| s.to_string()).collect(),
+        exemplars: exemplars
+            .iter()
+            .map(|&(desc, line, schema_ok)| sta_lint::ProtocolExemplar {
+                description: desc.to_string(),
+                line: line.to_string(),
+                parser_accepts: parse_request(line).is_ok(),
+                schema_should_accept: schema_ok,
+            })
+            .collect(),
+    }
+}
+
+/// Fault injector: removes one property from a parsed schema document so
+/// the SRV002 field-universe comparison fires. Returns `false` when the
+/// schema has no such property.
+pub fn drift_schema_field(schema: &mut Value, field: &str) -> bool {
+    let Value::Map(entries) = schema else {
+        return false;
+    };
+    let Some(Value::Map(props)) = entries
+        .iter_mut()
+        .find(|(k, _)| k == "properties")
+        .map(|(_, v)| v)
+    else {
+        return false;
+    };
+    let before = props.len();
+    props.retain(|(k, _)| k != field);
+    props.len() != before
+}
+
+/// Fault injector: drops the last entry of a property's string enum
+/// (e.g. an op or tech name) so the SRV002 enum-set comparison fires —
+/// and, for `op`, so exemplars of the dropped op flip to
+/// schema-rejected, which SRV001 reports as a parser/schema
+/// disagreement. Returns `false` when the property has no enum to
+/// shrink.
+pub fn drift_schema_enum(schema: &mut Value, prop: &str) -> bool {
+    let Value::Map(entries) = schema else {
+        return false;
+    };
+    let Some(Value::Map(props)) = entries
+        .iter_mut()
+        .find(|(k, _)| k == "properties")
+        .map(|(_, v)| v)
+    else {
+        return false;
+    };
+    let Some(Value::Map(p)) = props.iter_mut().find(|(k, _)| k == prop).map(|(_, v)| v) else {
+        return false;
+    };
+    let Some(Value::Seq(en)) = p.iter_mut().find(|(k, _)| k == "enum").map(|(_, v)| v) else {
+        return false;
+    };
+    en.pop().is_some()
 }
 
 /// Builds a JSON object value from string keys (insertion-ordered).

@@ -10,7 +10,9 @@ use sta_cells::{Corner, Library, Technology};
 use sta_charlib::{characterize_cached, CharConfig, CompiledCorner, TimingLibrary};
 use sta_circuits::{catalog, resize_gate, rewire_net, swap_gate, GateEdit};
 use sta_core::{
-    dirty_sources, slack_report, CertificateSet, EnumerationConfig, PathEnumerator, SourceCache,
+    arc_intervals, arc_intervals_compiled, dirty_sources, slack_report, static_bounds,
+    static_bounds_compiled, CertificateSet, EnumerationConfig, PathEnumerator, SourceCache,
+    ARC_SWEEP_MARGIN,
 };
 use sta_logic::Schedule;
 use sta_netlist::Netlist;
@@ -191,6 +193,7 @@ impl Server {
             Request::Paths { circuit, limit } => self.op_paths(&circuit, limit).map(|f| (f, false)),
             Request::Slack { circuit } => self.op_slack(&circuit).map(|f| (f, false)),
             Request::Verify { circuit } => self.op_verify(&circuit).map(|f| (f, false)),
+            Request::Audit { circuit } => self.op_audit(circuit.as_deref()).map(|f| (f, false)),
             Request::Status => Ok((self.op_status(), false)),
             Request::Shutdown => {
                 self.shutting_down = true;
@@ -462,6 +465,134 @@ impl Server {
         ])
     }
 
+    /// The whole-flow soundness audit as a service: runs the `sta-lint`
+    /// AI rules (interval enclosure of the resident certificates,
+    /// structural dominance of the interval hull), the ECO002 cache
+    /// invariants, and the SRV protocol check against the embedded
+    /// schema — without disturbing any resident state.
+    fn op_audit(&mut self, circuit: Option<&str>) -> Result<Vec<(&'static str, Value)>, String> {
+        let input_slew = self.cfg.input_slew;
+        sta_lint::register_audit_metrics(&self.cfg.obs);
+        self.cfg.obs.counter("serve.audits").add(1);
+        self.cfg.obs.counter("audit.flow_runs").add(1);
+        let names: Vec<String> = match circuit {
+            Some(c) => {
+                self.session(c)?; // fail fast on an unloaded circuit
+                vec![c.to_string()]
+            }
+            None => self.circuits.iter().map(|(n, _)| n.clone()).collect(),
+        };
+        let mut report = sta_lint::LintReport::new();
+        let mut certificates = 0u64;
+        let mut enclosed = 0u64;
+        for name in &names {
+            let session = self.session(name)?;
+            let arcs = match &session.kernel {
+                Some(k) => arc_intervals_compiled(
+                    &session.netlist,
+                    &session.tlib,
+                    k,
+                    input_slew,
+                    ARC_SWEEP_MARGIN,
+                ),
+                None => arc_intervals(
+                    &session.netlist,
+                    &session.tlib,
+                    session.corner,
+                    input_slew,
+                    ARC_SWEEP_MARGIN,
+                ),
+            };
+            let outcome = sta_lint::audit_certificates(
+                &session.netlist,
+                name,
+                &arcs,
+                &session.certs,
+                input_slew,
+            );
+            certificates += outcome.certificates as u64;
+            enclosed += outcome.enclosed as u64;
+            self.cfg
+                .obs
+                .counter("audit.certificates_checked")
+                .add(outcome.certificates as u64);
+            self.cfg
+                .obs
+                .counter("audit.certificates_enclosed")
+                .add(outcome.enclosed as u64);
+            self.cfg
+                .obs
+                .counter("audit.sources_checked")
+                .add(outcome.sources_checked as u64);
+            report.extend(outcome.diagnostics);
+            let hull = sta_lint::hull(&session.netlist, &arcs, input_slew);
+            let prune_margin = EnumerationConfig::new(session.corner).prune_margin;
+            let st = match &session.kernel {
+                Some(k) => static_bounds_compiled(
+                    &session.netlist,
+                    &session.tlib,
+                    k,
+                    input_slew,
+                    prune_margin,
+                ),
+                None => static_bounds(
+                    &session.netlist,
+                    &session.tlib,
+                    session.corner,
+                    input_slew,
+                    prune_margin,
+                ),
+            };
+            report.extend(sta_lint::audit_structural_dominance(
+                name,
+                &session.netlist,
+                &hull,
+                &st,
+            ));
+            // The splice identity only holds untruncated; the structural
+            // slot invariants always hold.
+            let certs = (!session.truncated).then_some(&session.certs);
+            report.extend(sta_lint::audit_source_cache(
+                name,
+                &session.netlist,
+                &session.cache,
+                certs,
+            ));
+            self.cfg.obs.counter("audit.circuits").add(1);
+        }
+        let schema: Value = serde_json::from_str(crate::protocol::SERVE_SCHEMA_JSON)
+            .map_err(|e| format!("embedded serve schema is not valid JSON: {e}"))?;
+        let spec = crate::protocol::protocol_spec();
+        self.cfg
+            .obs
+            .counter("audit.srv_exemplars")
+            .add(spec.exemplars.len() as u64);
+        report.extend(sta_lint::check_serve_protocol(&schema, &spec));
+        let errors = report.count(sta_lint::Severity::Error) as u64;
+        let warnings = report.count(sta_lint::Severity::Warn) as u64;
+        self.cfg.obs.counter("audit.errors").add(errors);
+        self.cfg.obs.counter("audit.warnings").add(warnings);
+        const MAX_FINDINGS: usize = 20;
+        let findings: Vec<Value> = report
+            .diagnostics
+            .iter()
+            .take(MAX_FINDINGS)
+            .map(|d| jstr(d.to_string()))
+            .collect();
+        Ok(vec![
+            ("circuits", Value::UInt(names.len() as u64)),
+            ("certificates", Value::UInt(certificates)),
+            ("enclosed", Value::UInt(enclosed)),
+            ("errors", Value::UInt(errors)),
+            ("warnings", Value::UInt(warnings)),
+            (
+                "findings_truncated",
+                Value::Bool(report.diagnostics.len() > MAX_FINDINGS),
+            ),
+            ("findings", Value::Seq(findings)),
+        ])
+    }
+
     fn op_status(&self) -> Vec<(&'static str, Value)> {
         let manifest = self.manifest();
         let doc: Value = serde_json::from_str(&manifest.to_json())
@@ -494,6 +625,7 @@ fn op_name(req: &Request) -> &'static str {
         Request::Paths { .. } => "paths",
         Request::Slack { .. } => "slack",
         Request::Verify { .. } => "verify",
+        Request::Audit { .. } => "audit",
         Request::Status => "status",
         Request::Shutdown => "shutdown",
     }
@@ -768,6 +900,8 @@ mod tests {
             r#"{"op":"paths","circuit":"c17","limit":5}"#,
             r#"{"op":"slack","circuit":"c17"}"#,
             r#"{"op":"verify","circuit":"c17"}"#,
+            r#"{"op":"audit","circuit":"c17"}"#,
+            r#"{"op":"audit"}"#,
             r#"{"op":"status"}"#,
             r#"{"op":"shutdown"}"#,
         ];
@@ -792,5 +926,71 @@ mod tests {
                 "schema accepts invalid request {line}"
             );
         }
+        // The embedded copy is the same document CI and the audit op use.
+        assert_eq!(schema_text, crate::protocol::SERVE_SCHEMA_JSON);
+    }
+
+    #[test]
+    fn audit_op_is_clean_on_resident_circuits() {
+        let mut server = fast_server();
+        let loaded = reply(&mut server, r#"{"op":"load","circuit":"c17","nworst":10}"#);
+        assert_ok(&loaded);
+
+        let audited = reply(&mut server, r#"{"op":"audit","circuit":"c17"}"#);
+        assert_ok(&audited);
+        assert_eq!(as_u64(get(&audited, "errors")), 0, "{audited:?}");
+        let certs = as_u64(get(&audited, "certificates"));
+        assert!(certs > 0, "no certificates audited");
+        assert_eq!(
+            as_u64(get(&audited, "enclosed")),
+            certs,
+            "every certificate must fall inside its abstract interval"
+        );
+
+        // Without a circuit, the audit covers every resident session —
+        // and still runs (protocol-only) with none resident.
+        let all = reply(&mut server, r#"{"op":"audit"}"#);
+        assert_ok(&all);
+        assert_eq!(as_u64(get(&all, "circuits")), 1);
+
+        let missing = reply(&mut server, r#"{"op":"audit","circuit":"c432"}"#);
+        assert_eq!(get(&missing, "ok"), &Value::Bool(false));
+    }
+
+    #[test]
+    fn drift_injectors_pin_srv_rule_codes() {
+        use crate::protocol::{drift_schema_enum, drift_schema_field, protocol_spec};
+        let pristine: Value = serde_json::from_str(crate::protocol::SERVE_SCHEMA_JSON).unwrap();
+        let spec = protocol_spec();
+        let clean = sta_lint::check_serve_protocol(&pristine, &spec);
+        assert!(
+            clean.is_empty(),
+            "shipped schema/spec must agree: {clean:?}"
+        );
+
+        let mut dropped_field = pristine.clone();
+        assert!(drift_schema_field(&mut dropped_field, "limit"));
+        let ds = sta_lint::check_serve_protocol(&dropped_field, &spec);
+        assert!(
+            ds.iter().any(|d| d.rule.code() == "SRV002"),
+            "dropped property must be SRV002: {ds:?}"
+        );
+
+        let mut dropped_op = pristine.clone();
+        assert!(drift_schema_enum(&mut dropped_op, "op"));
+        let ds = sta_lint::check_serve_protocol(&dropped_op, &spec);
+        assert!(ds.iter().any(|d| d.rule.code() == "SRV002"), "{ds:?}");
+        assert!(
+            ds.iter().any(|d| d.rule.code() == "SRV001"),
+            "an exemplar of the dropped op must now disagree: {ds:?}"
+        );
+
+        let mut dropped_tech = pristine.clone();
+        assert!(drift_schema_enum(&mut dropped_tech, "tech"));
+        let ds = sta_lint::check_serve_protocol(&dropped_tech, &spec);
+        assert!(ds.iter().any(|d| d.rule.code() == "SRV002"), "{ds:?}");
+
+        assert!(!drift_schema_field(&mut pristine.clone(), "no-such-field"));
+        assert!(!drift_schema_enum(&mut pristine.clone(), "instance"));
     }
 }

@@ -8,7 +8,7 @@
 //! sta-repro baseline <circuit> [--tech T] [--k K] [--limit B]
 //! sta-repro cell     <name>    [--tech T]         # vectors + delays
 //! sta-repro liberty  [--tech T] [--out FILE]      # export .lib
-//! sta-repro lint     [circuits...] [--verify-paths]
+//! sta-repro lint     [circuits...] [--verify-paths] [--audit-flow]
 //! sta-repro validate-manifest <file> [--schema FILE]
 //! sta-repro serve    [--socket PATH] [--fast-char]   # persistent timing daemon
 //! ```
@@ -29,13 +29,17 @@ use serde::Value;
 use sta_baseline::{run_baseline, BaselineConfig, Classification};
 use sta_cells::{Corner, Edge, Library, Technology};
 use sta_charlib::{characterize_cached, CharConfig, CharError, TimingLibrary};
-use sta_circuits::catalog;
-use sta_core::{AnalysisError, AnalysisRequest, CertificateSet, RequiredSource, SdcError};
+use sta_circuits::{catalog, map_netlist, resize_gate};
+use sta_core::{
+    arc_intervals, arc_intervals_compiled, dirty_sources, static_bounds, static_bounds_compiled,
+    AnalysisContext, AnalysisError, AnalysisRequest, CertificateSet, EnumerationConfig,
+    PathEnumerator, RequiredSource, SdcError, SourceCache, ARC_SWEEP_MARGIN,
+};
 use sta_esim::cellsim::{cell_input_cap, simulate_arc, Drive};
 use sta_lint::{
     check_schedule, lint_library, lint_netlist, verify_paths, LibLintConfig, LintReport,
 };
-use sta_netlist::NetlistError;
+use sta_netlist::{Netlist, NetlistError};
 use sta_obs::{Heartbeat, Observer, RunManifest};
 
 // ---------------------------------------------------------------------------
@@ -166,9 +170,15 @@ fn print_usage() {
            cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
            liberty  [--tech T] [--out FILE]      export the characterized library as .lib\n\
            lint     [circuits...] [--tech T] [--format human|json] [--deny warnings]\n\
-                    [--verify-paths] [--nworst N] [--out FILE]\n\
+                    [--verify-paths] [--audit-flow] [--nworst N] [--out FILE]\n\
                     statically verify netlists, the fitted library, and (with\n\
                     --verify-paths) replay every enumerated path certificate;\n\
+                    --audit-flow additionally runs the whole-flow soundness\n\
+                    audit: interval abstract interpretation over the timing\n\
+                    graph (AI rules), a sampled ECO edit against the dirty-\n\
+                    source and cache invariants (ECO rules), and the serve\n\
+                    protocol schema/parser conformance check (SRV rules);\n\
+                    circuits may be catalog names or .bench file paths;\n\
                     no circuits = the whole catalog\n\
            validate-manifest <file> [--schema FILE]   check a run manifest\n\
                     against the JSON schema (default docs/manifest.schema.json)\n\
@@ -177,14 +187,21 @@ fn print_usage() {
                     socket), responses on stdout; keeps characterized\n\
                     libraries, compiled kernels and per-circuit path caches\n\
                     resident, and re-analyzes ECO edits incrementally\n\
-                    (request schema: docs/serve.schema.json; --fast-char\n\
-                    uses the coarse characterization grid)\n\
+                    (ops: load, edit, paths, slack, verify, audit, status,\n\
+                    shutdown — audit runs the whole-flow soundness audit on\n\
+                    resident circuits; request schema: docs/serve.schema.json;\n\
+                    --fast-char uses the coarse characterization grid)\n\
          \n\
          analysis commands also accept:\n\
            --format human|json                   output rendering (default human)\n\
            --manifest-out FILE                   write a run manifest (spans,\n\
                                                  metrics, config echo, path digest)\n\
            --progress                            heartbeat lines on stderr\n\
+           --fast-char                           coarse characterization grid\n\
+                                                 (fast but less accurate)\n\
+           --max-decisions N                     cap the global justification-\n\
+                                                 decision budget (bounded runs\n\
+                                                 report truncation honestly)\n\
          \n\
          exit codes: 0 success, 1 findings (lint/slack/schema violations),\n\
          2 usage or operational error.\n\
@@ -212,6 +229,8 @@ struct Opts {
     format: OutputFormat,
     deny_warnings: bool,
     verify_paths: bool,
+    audit_flow: bool,
+    max_decisions: Option<u64>,
     manifest_out: Option<String>,
     progress: bool,
     sdc: Option<String>,
@@ -243,6 +262,8 @@ impl Opts {
             format: OutputFormat::Human,
             deny_warnings: false,
             verify_paths: false,
+            audit_flow: false,
+            max_decisions: None,
             manifest_out: None,
             progress: false,
             sdc: None,
@@ -299,6 +320,11 @@ impl Opts {
                     opts.deny_warnings = true;
                 }
                 "--verify-paths" => opts.verify_paths = true,
+                "--audit-flow" => opts.audit_flow = true,
+                "--max-decisions" => {
+                    opts.max_decisions =
+                        Some(parse_num(&value("--max-decisions")?, "--max-decisions")?);
+                }
                 "--manifest-out" => opts.manifest_out = Some(value("--manifest-out")?),
                 "--progress" => opts.progress = true,
                 "--sdc" => opts.sdc = Some(value("--sdc")?),
@@ -334,8 +360,15 @@ impl Opts {
         m.insert("kernels".to_string(), (!self.no_kernels).to_string());
         m.insert("bitsim".to_string(), (!self.no_bitsim).to_string());
         m.insert("learning".to_string(), (!self.no_learning).to_string());
+        m.insert(
+            "char_grid".to_string(),
+            if self.fast_char { "fast" } else { "standard" }.to_string(),
+        );
         if let Some(n) = self.nworst {
             m.insert("nworst".to_string(), n.to_string());
+        }
+        if let Some(d) = self.max_decisions {
+            m.insert("max_decisions".to_string(), d.to_string());
         }
         m.insert(
             "format".to_string(),
@@ -462,6 +495,12 @@ fn base_request(circuit: &str, opts: &Opts, session: &ObsSession) -> AnalysisReq
         .compiled_kernels(!opts.no_kernels)
         .bitsim(!opts.no_bitsim)
         .learning(!opts.no_learning)
+        .char_config(if opts.fast_char {
+            CharConfig::fast()
+        } else {
+            CharConfig::standard()
+        })
+        .max_decisions(opts.max_decisions)
         .observer(session.observer())
 }
 
@@ -781,6 +820,156 @@ fn cmd_cell(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Bumps `audit.errors` / `audit.warnings` for one batch of audit
+/// findings (the counters are pre-registered, so a clean run still
+/// reports them at zero).
+fn record_audit_severities(obs: &Observer, findings: &[sta_lint::Diagnostic]) {
+    let errors = findings
+        .iter()
+        .filter(|d| d.severity == sta_lint::Severity::Error)
+        .count() as u64;
+    obs.counter("audit.errors").add(errors);
+    obs.counter("audit.warnings")
+        .add(findings.len() as u64 - errors);
+}
+
+/// One circuit's `--audit-flow` pass (see DESIGN.md §5.11):
+///
+/// * **AI leg** — builds the swept two-sided arc envelopes (compiled
+///   when the run itself would use compiled kernels, so the audit sees
+///   the same delay tables the search sees), re-derives single-source
+///   abstract intervals, and checks every enumerated certificate for
+///   enclosure (AI001/AI003/AI004) plus the structural pruning bound
+///   against the interval hull (AI002).
+/// * **ECO leg** — builds the per-source cache, checks its structural
+///   and splice invariants (ECO002), then applies one deterministic
+///   delay-only resize edit and audits the dirty-source mask against
+///   per-source interval tables (ECO001/ECO003) and the incrementally
+///   updated cache.
+fn audit_flow_circuit(
+    name: &str,
+    ctx: &AnalysisContext,
+    opts: &Opts,
+    obs: &Observer,
+) -> Vec<sta_lint::Diagnostic> {
+    let slew = ctx.input_slew();
+    let mut findings = Vec::new();
+    // The corner kernel depends only on (timing library, corner): one
+    // compile covers both the pristine and the edited netlist.
+    let kernel = (!opts.no_kernels).then(|| ctx.timing.compile_corner(ctx.corner));
+    let intervals_for = |nl: &Netlist| match &kernel {
+        Some(k) => arc_intervals_compiled(nl, &ctx.timing, k, slew, ARC_SWEEP_MARGIN),
+        None => arc_intervals(nl, &ctx.timing, ctx.corner, slew, ARC_SWEEP_MARGIN),
+    };
+
+    // AI001/AI003/AI004: every certificate inside its source's intervals.
+    let run = ctx.enumerate();
+    let plain_truncated = run.stats.truncated;
+    let certs = CertificateSet::new(&ctx.netlist, slew, run.paths);
+    let arcs = intervals_for(&ctx.netlist);
+    let outcome = sta_lint::audit_certificates(&ctx.netlist, name, &arcs, &certs, slew);
+    eprintln!(
+        "{name}: audit: {}/{} certificates enclosed across {} sources",
+        outcome.enclosed, outcome.certificates, outcome.sources_checked
+    );
+    obs.counter("audit.certificates_checked")
+        .add(outcome.certificates as u64);
+    obs.counter("audit.certificates_enclosed")
+        .add(outcome.enclosed as u64);
+    obs.counter("audit.sources_checked")
+        .add(outcome.sources_checked as u64);
+    findings.extend(outcome.diagnostics);
+
+    // AI002: the search's own pruning bound must dominate the hull.
+    let hull = sta_lint::hull(&ctx.netlist, &arcs, slew);
+    let prune_margin = ctx.config().prune_margin;
+    let st = match &kernel {
+        Some(k) => static_bounds_compiled(&ctx.netlist, &ctx.timing, k, slew, prune_margin),
+        None => static_bounds(&ctx.netlist, &ctx.timing, ctx.corner, slew, prune_margin),
+    };
+    findings.extend(sta_lint::audit_structural_dominance(
+        name,
+        &ctx.netlist,
+        &hull,
+        &st,
+    ));
+
+    // ECO002: per-source cache invariants, and — when neither side
+    // truncated — the splice must reproduce the cold enumeration above.
+    let per_source_cfg = {
+        let mut cfg = EnumerationConfig::new(ctx.corner)
+            .with_threads(opts.threads)
+            .with_compiled_kernels(!opts.no_kernels)
+            .with_bitsim(!opts.no_bitsim)
+            .with_learning(!opts.no_learning)
+            .with_per_source_n_worst(true)
+            .with_observer(obs.clone());
+        match opts.nworst {
+            Some(n) => cfg = cfg.with_n_worst(n),
+            None => cfg.max_paths = ctx.config().max_paths,
+        }
+        // Per-source enumeration has far weaker pruning thresholds than a
+        // global N-worst run, so honor a `--max-decisions` bound here too;
+        // the splice cross-check below already steps aside on truncation.
+        cfg.max_decisions = ctx.config().max_decisions;
+        cfg.input_slew = slew;
+        cfg
+    };
+    let (mut cache, build_stats) = {
+        let enumr =
+            PathEnumerator::new(&ctx.netlist, &ctx.lib, &ctx.timing, per_source_cfg.clone());
+        SourceCache::build(&enumr)
+    };
+    let splice_certs = (!plain_truncated && !build_stats.truncated).then_some(&certs);
+    findings.extend(sta_lint::audit_source_cache(
+        name,
+        &ctx.netlist,
+        &cache,
+        splice_certs,
+    ));
+
+    // ECO001/ECO003: one sampled delay-only edit — resize the first
+    // resizable gate at or after the middle of the gate list.
+    let mut edited = ctx.netlist.clone();
+    let gids: Vec<_> = edited.gate_ids().collect();
+    let n = gids.len();
+    let mut sampled = None;
+    for off in 0..n {
+        let gid = gids[(n / 2 + off) % n];
+        let instance = edited.net_label(edited.gate(gid).output());
+        if let Ok(edit) = resize_gate(&mut edited, &ctx.lib, &instance) {
+            sampled = Some(edit);
+            break;
+        }
+    }
+    match sampled {
+        Some(edit) => {
+            let dirty = dirty_sources(&edited, &edit);
+            let arcs_after = intervals_for(&edited);
+            findings.extend(sta_lint::audit_dirty_sources(
+                name,
+                &ctx.netlist,
+                &arcs,
+                &edited,
+                &arcs_after,
+                &edit,
+                &dirty,
+                slew,
+            ));
+            // An incremental update must preserve the cache invariants.
+            {
+                let cfg = per_source_cfg.with_source_filter(std::sync::Arc::new(dirty));
+                let enumr = PathEnumerator::new(&edited, &ctx.lib, &ctx.timing, cfg);
+                cache.update(&enumr);
+            }
+            findings.extend(sta_lint::audit_source_cache(name, &edited, &cache, None));
+            obs.counter("audit.eco_samples").add(1);
+        }
+        None => eprintln!("{name}: audit: no resizable gate, ECO edit sample skipped"),
+    }
+    findings
+}
+
 fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
     let session = ObsSession::new(opts, args);
     let obs = session.observer();
@@ -794,10 +983,22 @@ fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
     };
     let mut report = LintReport::new();
     let mut library_linted = false;
+    if opts.audit_flow {
+        // Pre-register the full audit.* counter set before any rule can
+        // fire so the metric-name set never depends on what was found.
+        sta_lint::register_audit_metrics(&obs);
+        obs.counter("audit.flow_runs").add(1);
+    }
     for name in &circuits {
-        let req = base_request(name, opts, &session)
+        let mut req = base_request(name, opts, &session)
             .n_worst(opts.nworst)
             .full_enum_path_cap(Some(20_000));
+        if name.ends_with(".bench") {
+            // A file path instead of a catalog name: parse and map it
+            // here, keeping the path as the reporting name.
+            let prim = catalog::from_bench_file(std::path::Path::new(name))?;
+            req = req.with_netlist(map_netlist(&prim, &Library::standard())?);
+        }
         let ctx = req.prepare()?;
         if !library_linted {
             // The library is checked once — it is shared by every circuit.
@@ -867,7 +1068,30 @@ fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
                 report.extend(audit.diagnostics);
             }
         }
+        if opts.audit_flow {
+            let findings = {
+                let _span = obs.span_with("audit-flow", vec![("circuit", name.clone())]);
+                audit_flow_circuit(name, &ctx, opts, &obs)
+            };
+            obs.counter("audit.circuits").add(1);
+            record_audit_severities(&obs, &findings);
+            report.extend(findings);
+        }
         drop(ctx);
+    }
+    if opts.audit_flow {
+        // SRV leg, once per invocation: the checked-in serve request
+        // schema must agree with the daemon's hand-written parser on
+        // every protocol exemplar, and must not have drifted from the
+        // protocol's field/enum universe.
+        let schema: Value = serde_json::from_str(sta_serve::SERVE_SCHEMA_JSON)
+            .map_err(|e| CliError::Invalid(format!("embedded serve schema: {e}")))?;
+        let spec = sta_serve::protocol_spec();
+        obs.counter("audit.srv_exemplars")
+            .add(spec.exemplars.len() as u64);
+        let findings = sta_lint::check_serve_protocol(&schema, &spec);
+        record_audit_severities(&obs, &findings);
+        report.extend(findings);
     }
 
     if opts.deny_warnings {

@@ -156,3 +156,44 @@ fn progress_counters_track_the_run() {
     let line = progress.line();
     assert!(line.starts_with("progress: paths="), "{line}");
 }
+
+#[test]
+fn audit_metric_names_are_thread_count_invariant() {
+    // The `--audit-flow` counters are pre-registered as a fixed set
+    // before any audit rule can fire, so the registered metric-name set
+    // is identical whether or not a rule found something — and across
+    // thread counts, extending golden promise (1) to the audit layer.
+    let mut expected: Vec<String> = sta_lint::audit_metric_names()
+        .iter()
+        .map(|n| format!("counter:{n}"))
+        .collect();
+    expected.sort();
+    let mut per_thread: Vec<Vec<String>> = Vec::new();
+    for threads in [1usize, 4] {
+        let obs = Observer::enabled();
+        sta_lint::register_audit_metrics(&obs);
+        // An observed analysis mixes engine metrics into the same
+        // registry; the audit.* subset must stay exactly the fixed set.
+        let outcome = request("c17")
+            .threads(threads)
+            .observer(obs.clone())
+            .run()
+            .expect("c17 analyzes");
+        assert!(!outcome.paths.is_empty());
+        drop(outcome);
+        let names: Vec<String> = obs
+            .metrics_snapshot()
+            .metric_names()
+            .into_iter()
+            .filter(|n| n.contains(":audit."))
+            .collect();
+        per_thread.push(names);
+    }
+    assert_eq!(
+        per_thread[0], per_thread[1],
+        "audit metric names must not depend on threads"
+    );
+    let mut got = per_thread.remove(0);
+    got.sort();
+    assert_eq!(got, expected, "the audit counter set is the fixed set");
+}

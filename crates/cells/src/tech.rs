@@ -166,6 +166,26 @@ impl Corner {
             vdd: tech.vdd,
         }
     }
+
+    /// The fast (best-case) signoff corner: cold silicon at elevated
+    /// supply (0 °C, 110 % VDD). Both points sit on the standard
+    /// characterization grids, so the polynomial model is exact here.
+    pub fn fast(tech: &Technology) -> Self {
+        Corner {
+            temperature: 0.0,
+            vdd: tech.vdd * 1.1,
+        }
+    }
+
+    /// The slow (worst-case) signoff corner: hot silicon at reduced
+    /// supply (125 °C, 90 % VDD). Both points sit on the standard
+    /// characterization grids, so the polynomial model is exact here.
+    pub fn slow(tech: &Technology) -> Self {
+        Corner {
+            temperature: 125.0,
+            vdd: tech.vdd * 0.9,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +223,13 @@ mod tests {
         let c = Corner::nominal(&t);
         assert_eq!(c.vdd, 1.2);
         assert_eq!(c.temperature, 25.0);
+    }
+
+    #[test]
+    fn signoff_corners_bracket_nominal() {
+        let t = Technology::n90();
+        let (fast, nom, slow) = (Corner::fast(&t), Corner::nominal(&t), Corner::slow(&t));
+        assert!(fast.vdd > nom.vdd && nom.vdd > slow.vdd);
+        assert!(fast.temperature < nom.temperature && nom.temperature < slow.temperature);
     }
 }

@@ -43,6 +43,13 @@ pub struct BenchmarkInfo {
     pub description: &'static str,
     /// Gate count of the original ISCAS-85 circuit, for reference.
     pub iscas_gates: usize,
+    /// Recommended justification-decision budget for N-worst runs of
+    /// this circuit (`None` = the engine default suffices). The large
+    /// surrogates carry a budget so the shipped flows (CLI defaults,
+    /// `bench_mcmm`) terminate in bounded time; budgeted runs report
+    /// `truncated` honestly. The values are the ones the pruning
+    /// benchmarks established.
+    pub decision_budget: Option<u64>,
 }
 
 /// All benchmarks, in the paper's Table 6 order.
@@ -51,67 +58,84 @@ pub const BENCHMARKS: [BenchmarkInfo; 12] = [
         name: "c17",
         description: "exact ISCAS-85 c17 (6 NAND2)",
         iscas_gates: 6,
+        decision_budget: None,
     },
     BenchmarkInfo {
         name: "c432",
         description: "27-channel priority interrupt controller (generator)",
         iscas_gates: 160,
+        decision_budget: None,
     },
     BenchmarkInfo {
         name: "c499",
         description: "32-bit single-error-correcting circuit (generator)",
         iscas_gates: 202,
+        decision_budget: None,
     },
     BenchmarkInfo {
         name: "c880",
         description: "16-bit ALU (generator; 16-bit to match the c880 gate count)",
         iscas_gates: 383,
+        decision_budget: None,
     },
     BenchmarkInfo {
         name: "c1355",
         description: "c499 with XORs expanded to NAND2s",
         iscas_gates: 546,
+        decision_budget: None,
     },
     BenchmarkInfo {
         name: "c1908",
         description: "seeded random logic, c1908-sized",
         iscas_gates: 880,
+        decision_budget: Some(2_000_000),
     },
     BenchmarkInfo {
         name: "c2670",
         description: "seeded random logic, c2670-sized",
         iscas_gates: 1193,
+        decision_budget: Some(2_000_000),
     },
     BenchmarkInfo {
         name: "c3540",
         description: "seeded random logic, c3540-sized",
         iscas_gates: 1669,
+        decision_budget: Some(2_000_000),
     },
     BenchmarkInfo {
         name: "c5315",
         description: "seeded random logic, c5315-sized",
         iscas_gates: 2307,
+        decision_budget: Some(2_000_000),
     },
     BenchmarkInfo {
         name: "c6288",
         description: "16×16 array multiplier (generator)",
         iscas_gates: 2406,
+        decision_budget: Some(1_000_000),
     },
     BenchmarkInfo {
         name: "c7552",
         description: "seeded random logic, c7552-sized",
         iscas_gates: 3512,
+        decision_budget: Some(2_000_000),
     },
     BenchmarkInfo {
         name: "sample",
         description: "the paper's Fig. 4 example (AO22 on the critical path)",
         iscas_gates: 5,
+        decision_budget: None,
     },
 ];
 
 /// Benchmark names in catalog order.
 pub fn names() -> Vec<&'static str> {
     BENCHMARKS.iter().map(|b| b.name).collect()
+}
+
+/// The catalog entry for a benchmark name (`None` for unknown names).
+pub fn benchmark_info(name: &str) -> Option<BenchmarkInfo> {
+    BENCHMARKS.iter().find(|b| b.name == name).copied()
 }
 
 /// Builds the primitive-gate netlist of a benchmark.
@@ -242,6 +266,21 @@ mod tests {
             assert!(stats.gates > 0, "{}", info.name);
         }
         assert!(primitive("c9999").is_none());
+    }
+
+    #[test]
+    fn large_surrogates_carry_decision_budgets() {
+        // The shipped flows rely on the big circuits being budgeted.
+        for name in ["c1908", "c2670", "c3540", "c5315", "c6288", "c7552"] {
+            let info = benchmark_info(name).expect("catalog entry");
+            assert!(info.decision_budget.is_some(), "{name} has no budget");
+        }
+        // The small circuits finish exactly; a budget would be noise.
+        for name in ["c17", "c432", "c499", "c880", "c1355", "sample"] {
+            let info = benchmark_info(name).expect("catalog entry");
+            assert_eq!(info.decision_budget, None, "{name}");
+        }
+        assert!(benchmark_info("c9999").is_none());
     }
 
     #[test]

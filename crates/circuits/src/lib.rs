@@ -45,7 +45,8 @@ pub mod sample;
 pub mod transforms;
 
 pub use catalog::{
-    from_bench_file, mapped, names, primitive, primitive_with_overrides, BenchmarkInfo, BENCHMARKS,
+    benchmark_info, from_bench_file, mapped, names, primitive, primitive_with_overrides,
+    BenchmarkInfo, BENCHMARKS,
 };
 pub use mapper::map_netlist;
 pub use sample::sample_circuit;

@@ -24,7 +24,9 @@ use sta_netlist::{Netlist, NetlistError};
 use sta_obs::{Observer, SpanGuard};
 
 use crate::enumerate::{EnumerationConfig, EnumerationStats, PathEnumerator};
+use crate::mcmm::BatchOutcome;
 use crate::path::TruePath;
+use crate::scenario::{Scenario, ScenarioError};
 use crate::sdc::{parse_sdc, Constraints, SdcError};
 use crate::slack::{slack_report, SlackReport};
 
@@ -40,6 +42,8 @@ pub enum AnalysisError {
     Characterization(CharError),
     /// The attached SDC text failed to parse against the circuit.
     Sdc(SdcError),
+    /// The scenario set is malformed (bad corner/mode spec, empty set).
+    Scenario(ScenarioError),
 }
 
 impl std::fmt::Display for AnalysisError {
@@ -49,6 +53,7 @@ impl std::fmt::Display for AnalysisError {
             AnalysisError::Netlist(e) => write!(f, "{e}"),
             AnalysisError::Characterization(e) => write!(f, "{e}"),
             AnalysisError::Sdc(e) => write!(f, "{e}"),
+            AnalysisError::Scenario(e) => write!(f, "{e}"),
         }
     }
 }
@@ -73,6 +78,12 @@ impl From<SdcError> for AnalysisError {
     }
 }
 
+impl From<ScenarioError> for AnalysisError {
+    fn from(e: ScenarioError) -> Self {
+        AnalysisError::Scenario(e)
+    }
+}
+
 /// Where the slack requirement of a [`SlackOutcome`] came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RequiredSource {
@@ -86,30 +97,41 @@ pub enum RequiredSource {
     Default,
 }
 
-/// Builder describing one analysis invocation. All setters are chainable;
-/// the defaults reproduce the engine's standard configuration (90 nm,
-/// nominal corner, one thread, compiled kernels, 60 ps input slew).
+/// Builder describing one analysis invocation — a single scenario for
+/// [`AnalysisRequest::run`], or a whole MCMM scenario set for
+/// [`AnalysisRequest::run_batch`]. All setters are chainable; the
+/// defaults reproduce the engine's standard configuration (nominal 90 nm,
+/// unconstrained mode, one thread, compiled kernels, 60 ps input slew).
+///
+/// The operating point and constraints live in typed [`Scenario`]s
+/// (corner = [`crate::CornerDef`], mode = [`crate::Mode`]); the legacy corner/SDC
+/// setters remain as deprecated shims that rewrite the primary scenario.
 #[derive(Clone, Debug)]
 pub struct AnalysisRequest {
-    circuit: String,
-    netlist_override: Option<Netlist>,
-    tech: Technology,
-    corner: Option<Corner>,
-    n_worst: Option<usize>,
-    threads: usize,
-    compile_kernels: bool,
-    bitsim: bool,
-    learning: bool,
+    pub(crate) circuit: String,
+    pub(crate) netlist_override: Option<Netlist>,
+    /// The scenario set; single-scenario flows use `scenarios[0]`.
+    pub(crate) scenarios: Vec<Scenario>,
+    /// Whether a deprecated `.corner()` call pinned the primary corner
+    /// (so a later `.tech()` keeps the explicit point, as the old
+    /// resolve-at-prepare semantics did).
+    primary_corner_explicit: bool,
+    pub(crate) n_worst: Option<usize>,
+    /// Worker threads *inside* each scenario's enumeration.
+    pub(crate) threads: usize,
+    /// Concurrent scenario jobs in [`AnalysisRequest::run_batch`].
+    pub(crate) batch_threads: usize,
+    pub(crate) compile_kernels: bool,
+    pub(crate) bitsim: bool,
+    pub(crate) learning: bool,
     /// Path cap applied only in full-enumeration mode (no `n_worst`).
-    full_enum_path_cap: Option<usize>,
+    pub(crate) full_enum_path_cap: Option<usize>,
     /// Override for the global justification-decision budget.
-    max_decisions: Option<u64>,
-    input_slew: f64,
-    required: Option<f64>,
-    sdc: Option<String>,
-    char_config: CharConfig,
-    cache_dir: PathBuf,
-    obs: Observer,
+    pub(crate) max_decisions: Option<u64>,
+    pub(crate) input_slew: f64,
+    pub(crate) char_config: CharConfig,
+    pub(crate) cache_dir: PathBuf,
+    pub(crate) obs: Observer,
 }
 
 impl AnalysisRequest {
@@ -118,18 +140,17 @@ impl AnalysisRequest {
         AnalysisRequest {
             circuit: circuit.to_string(),
             netlist_override: None,
-            tech: Technology::n90(),
-            corner: None,
+            scenarios: vec![Scenario::nominal()],
+            primary_corner_explicit: false,
             n_worst: None,
             threads: 1,
+            batch_threads: 1,
             compile_kernels: true,
             bitsim: true,
             learning: true,
             full_enum_path_cap: None,
             max_decisions: None,
             input_slew: 60.0,
-            required: None,
-            sdc: None,
             char_config: CharConfig::standard(),
             cache_dir: PathBuf::from(".char-cache"),
             obs: Observer::disabled(),
@@ -145,19 +166,69 @@ impl AnalysisRequest {
         self
     }
 
-    /// Selects the technology node (default 90 nm). The corner defaults to
-    /// nominal for this technology unless [`AnalysisRequest::corner`]
-    /// overrides it.
+    /// Replaces the whole scenario set (the MCMM matrix). Scenario 0 is
+    /// the *primary* scenario, the one single-scenario flows
+    /// ([`AnalysisRequest::prepare`], [`AnalysisRequest::run`]) analyze.
+    /// An empty set is reported at prepare/run time as
+    /// [`AnalysisError::Scenario`].
+    pub fn scenarios(mut self, set: Vec<Scenario>) -> Self {
+        self.scenarios = set;
+        self.primary_corner_explicit = true;
+        self
+    }
+
+    /// Replaces the scenario set with a single scenario.
+    pub fn scenario(self, s: Scenario) -> Self {
+        self.scenarios(vec![s])
+    }
+
+    /// The scenario set this request will analyze.
+    pub fn scenario_set(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Sets the number of concurrent scenario jobs
+    /// [`AnalysisRequest::run_batch`] fans out (default 1). Independent
+    /// of [`AnalysisRequest::threads`], which controls the workers
+    /// *inside* one scenario's enumeration; per-scenario results are
+    /// byte-identical at any combination of the two.
+    pub fn batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = threads.max(1);
+        self
+    }
+
+    /// Selects the technology node (default 90 nm), keeping an
+    /// explicitly set corner.
+    #[deprecated(note = "use scenarios()/scenario() with a typed CornerDef instead")]
     pub fn tech(mut self, tech: Technology) -> Self {
-        self.tech = tech;
+        let primary = self.primary_mut();
+        if primary.corner.name == primary.corner.tech.name {
+            primary.corner.name = tech.name.clone();
+        }
+        primary.corner.tech = tech;
+        if !self.primary_corner_explicit {
+            let primary = self.primary_mut();
+            primary.corner.corner = Corner::nominal(&primary.corner.tech);
+        }
         self
     }
 
     /// Overrides the operating corner (default: nominal of the
     /// technology).
+    #[deprecated(note = "use scenarios()/scenario() with a typed CornerDef instead")]
     pub fn corner(mut self, corner: Corner) -> Self {
-        self.corner = Some(corner);
+        let primary = self.primary_mut();
+        primary.corner.corner = corner;
+        primary.corner.name = format!("{},{}", corner.temperature, corner.vdd);
+        self.primary_corner_explicit = true;
         self
+    }
+
+    fn primary_mut(&mut self) -> &mut Scenario {
+        if self.scenarios.is_empty() {
+            self.scenarios.push(Scenario::nominal());
+        }
+        &mut self.scenarios[0]
     }
 
     /// Restricts enumeration to the N worst paths (`None` = enumerate
@@ -218,15 +289,17 @@ impl AnalysisRequest {
 
     /// Sets an explicit required arrival time at the outputs, ps (for
     /// slack analysis). Takes precedence over SDC-derived requirements.
+    #[deprecated(note = "use scenarios()/scenario() with Mode::with_required instead")]
     pub fn required(mut self, ps: f64) -> Self {
-        self.required = Some(ps);
+        self.primary_mut().mode.required = Some(ps);
         self
     }
 
     /// Attaches SDC constraint text, parsed against the circuit during
     /// [`AnalysisRequest::prepare`].
+    #[deprecated(note = "use scenarios()/scenario() with Mode::with_sdc instead")]
     pub fn sdc(mut self, text: &str) -> Self {
-        self.sdc = Some(text.to_string());
+        self.primary_mut().mode.sdc = Some(text.to_string());
         self
     }
 
@@ -260,12 +333,18 @@ impl AnalysisRequest {
     /// Returns [`AnalysisError`] when the circuit is unknown, fails to
     /// map, characterization fails, or the SDC text does not parse.
     pub fn prepare(&self) -> Result<AnalysisContext, AnalysisError> {
-        let corner = self.corner.unwrap_or_else(|| Corner::nominal(&self.tech));
+        let primary = self
+            .scenarios
+            .first()
+            .ok_or(AnalysisError::Scenario(ScenarioError::EmptySet))?
+            .clone();
+        let tech = primary.corner.tech.clone();
+        let corner = primary.corner.corner;
         let root = self.obs.span_with(
             "analysis",
             vec![
                 ("circuit", self.circuit.clone()),
-                ("tech", self.tech.name.clone()),
+                ("tech", tech.name.clone()),
                 ("threads", self.threads.to_string()),
                 ("kernels", self.compile_kernels.to_string()),
                 ("bitsim", self.bitsim.to_string()),
@@ -286,14 +365,14 @@ impl AnalysisRequest {
             let span = root.child("characterize");
             sta_charlib::characterize_cached_observed(
                 &lib,
-                &self.tech,
+                &tech,
                 &self.char_config,
                 &self.cache_dir,
                 &self.obs,
                 span.id(),
             )?
         };
-        let constraints = match &self.sdc {
+        let constraints = match &primary.mode.sdc {
             Some(text) => Some(parse_sdc(text, &netlist)?),
             None => None,
         };
@@ -318,7 +397,7 @@ impl AnalysisRequest {
             timing,
             corner,
             constraints,
-            required: self.required,
+            required: primary.mode.required,
             cfg,
             obs: self.obs.clone(),
             root,
@@ -337,6 +416,24 @@ impl AnalysisRequest {
         let run = ctx.enumerate();
         let elapsed_s = t0.elapsed().as_secs_f64();
         Ok(ctx.into_outcome(run, elapsed_s))
+    }
+
+    /// Runs the whole scenario set as one MCMM batch: scenario-invariant
+    /// work (netlist load, per-technology characterization, bitsim
+    /// schedule, per-corner kernel compilation, per-mode SDC parsing) is
+    /// done exactly once, then the N×M scenario jobs fan out over
+    /// [`AnalysisRequest::batch_threads`] work-stealing workers. Every
+    /// scenario's paths are byte-identical to an independent
+    /// [`AnalysisRequest::run`] of that scenario at any thread count; the
+    /// merged slack view is canonical in the scenario set (see
+    /// [`crate::MergedSlackReport`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisRequest::prepare`], plus
+    /// [`AnalysisError::Scenario`] for an empty scenario set.
+    pub fn run_batch(&self) -> Result<BatchOutcome, AnalysisError> {
+        crate::mcmm::run_batch(self)
     }
 }
 
@@ -542,6 +639,7 @@ pub struct AnalysisOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{CornerDef, Mode};
 
     fn cache_dir() -> PathBuf {
         // Share one fast-config cache across the facade tests.
@@ -601,6 +699,10 @@ mod tests {
         assert!(snap.gauges.contains_key("kernel.arcs"));
     }
 
+    fn nominal_with_mode(mode: Mode) -> Scenario {
+        Scenario::new(CornerDef::nominal(Technology::n90()), mode)
+    }
+
     #[test]
     fn slack_requirement_resolution_order() {
         let ctx = fast_request("c17").prepare().unwrap();
@@ -608,7 +710,10 @@ mod tests {
         assert_eq!(default.required_source, RequiredSource::Default);
         assert!((default.required - default.structural_worst * 0.9).abs() < 1e-9);
 
-        let explicit = fast_request("c17").required(123.0).prepare().unwrap();
+        let explicit = fast_request("c17")
+            .scenario(nominal_with_mode(Mode::with_required("m", 123.0)))
+            .prepare()
+            .unwrap();
         let s = explicit.slack();
         assert_eq!(
             (s.required, s.required_source),
@@ -616,7 +721,10 @@ mod tests {
         );
 
         let outputs_constrained = fast_request("c17")
-            .sdc("create_clock -period 500\n")
+            .scenario(nominal_with_mode(Mode::with_sdc(
+                "func",
+                "create_clock -period 500\n",
+            )))
             .prepare()
             .unwrap();
         let s = outputs_constrained.slack();
@@ -629,9 +737,96 @@ mod tests {
     #[test]
     fn bad_sdc_surfaces_as_typed_error() {
         let err = fast_request("c17")
-            .sdc("set_output_delay 100 [get_ports nope]\n")
+            .scenario(nominal_with_mode(Mode::with_sdc(
+                "bad",
+                "set_output_delay 100 [get_ports nope]\n",
+            )))
             .prepare()
             .unwrap_err();
         assert!(matches!(err, AnalysisError::Sdc(_)));
+    }
+
+    #[test]
+    fn empty_scenario_set_is_a_typed_error() {
+        let err = fast_request("c17").scenarios(Vec::new()).run().unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::Scenario(crate::scenario::ScenarioError::EmptySet)
+        );
+        let err = fast_request("c17")
+            .scenarios(Vec::new())
+            .run_batch()
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::Scenario(_)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_rewrite_the_primary_scenario() {
+        // tech() then corner(): explicit corner survives.
+        let req = fast_request("c17")
+            .corner(Corner {
+                temperature: 75.0,
+                vdd: 0.95,
+            })
+            .tech(Technology::n65());
+        let primary = &req.scenario_set()[0];
+        assert_eq!(primary.corner.tech.name, "65nm");
+        assert_eq!(primary.corner.corner.temperature, 75.0);
+        // tech() alone: corner follows to nominal of the node.
+        let req = fast_request("c17").tech(Technology::n130());
+        let primary = &req.scenario_set()[0];
+        assert_eq!(primary.corner.corner, Corner::nominal(&Technology::n130()));
+        assert_eq!(primary.corner.name, "130nm");
+        // sdc()/required() land in the primary mode.
+        let req = fast_request("c17")
+            .sdc("create_clock -period 500\n")
+            .required(450.0);
+        let primary = &req.scenario_set()[0];
+        assert_eq!(primary.mode.required, Some(450.0));
+        assert!(primary.mode.sdc.as_deref().unwrap().contains("500"));
+    }
+
+    #[test]
+    fn batch_matches_independent_single_runs() {
+        let corners = vec![
+            CornerDef::nominal(Technology::n90()),
+            CornerDef::parse("slow", &Technology::n90()).unwrap(),
+        ];
+        let modes = vec![
+            Mode::unconstrained(),
+            Mode::with_sdc("func", "create_clock -period 400\n"),
+        ];
+        let set = Scenario::matrix(&corners, &modes);
+        let batch = fast_request("c17")
+            .scenarios(set.clone())
+            .run_batch()
+            .unwrap();
+        assert_eq!(batch.scenarios.len(), 4);
+        for (i, s) in set.iter().enumerate() {
+            let single = fast_request("c17").scenario(s.clone()).run().unwrap();
+            assert_eq!(batch.scenarios[i].paths, single.paths, "{}", s.name());
+            assert_eq!(
+                batch.certificates(i).to_json(),
+                crate::report::CertificateSet::new(
+                    &single.netlist,
+                    single.input_slew,
+                    single.paths
+                )
+                .to_json(),
+                "{}",
+                s.name()
+            );
+        }
+        // The merged report is canonical under submission-order permutation.
+        let mut reversed_set = set;
+        reversed_set.reverse();
+        let reversed = fast_request("c17")
+            .scenarios(reversed_set)
+            .run_batch()
+            .unwrap();
+        assert_eq!(batch.merged, reversed.merged);
+        assert_eq!(batch.merged.to_json(), reversed.merged.to_json());
+        assert_eq!(batch.merged.endpoints.len(), batch.netlist.outputs().len());
     }
 }

@@ -58,9 +58,11 @@ pub mod eco;
 pub mod enumerate;
 pub mod justify;
 pub mod learn;
+pub mod mcmm;
 mod parallel;
 pub mod path;
 pub mod report;
+pub mod scenario;
 pub mod sdc;
 pub mod sdf;
 pub mod slack;
@@ -84,8 +86,10 @@ pub use justify::{
     justify, justify_filtered, justify_with_cache, JustifyBudget, JustifyCache, JustifyOutcome,
 };
 pub use learn::{Nogood, NogoodKey, NogoodStore, NogoodView};
+pub use mcmm::{BatchOutcome, MergedEndpoint, MergedSlackReport, ScenarioOutcome};
 pub use path::{group_by_structure, LaunchTiming, PathArc, PathGroup, PiValue, TruePath};
 pub use report::{path_report, summary_report, worst_path_report, CertificateSet};
+pub use scenario::{CornerDef, Mode, Scenario, ScenarioError};
 pub use sdc::{parse_sdc, Constraints, SdcError};
 pub use sdf::{write_sdf, SdfVectorPolicy};
 pub use slack::{slack_report, SlackReport};

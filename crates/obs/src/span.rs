@@ -223,6 +223,38 @@ impl LocalSpans {
         out
     }
 
+    /// Like [`LocalSpans::time`], but hands `f` the id of the span being
+    /// recorded so it can record *children* under it (again at explicit,
+    /// caller-chosen ordinals). This is what gives a work-stealing batch
+    /// a deterministic span subtree per job: the job's (parent, ord) pair
+    /// comes from its submission index, never from which worker ran it or
+    /// when.
+    pub fn time_tree<R>(
+        &mut self,
+        parent: u64,
+        ord: u64,
+        name: &'static str,
+        attrs: Vec<(&'static str, String)>,
+        f: impl FnOnce(&mut LocalSpans, u64) -> R,
+    ) -> R {
+        if !self.obs.is_enabled() {
+            return f(self, 0);
+        }
+        let id = self.obs.alloc_id();
+        let start_ns = self.obs.now_ns();
+        let out = f(self, id);
+        self.buf.push(SpanRecord {
+            id,
+            parent,
+            ord,
+            name,
+            attrs,
+            start_ns,
+            duration_ns: self.obs.now_ns().saturating_sub(start_ns),
+        });
+        out
+    }
+
     /// Merges the buffered spans into the shared recorder (one lock).
     pub fn flush(&mut self) {
         if !self.buf.is_empty() {

@@ -7,6 +7,17 @@
 //! an optional `"id"` echoed verbatim into the response so clients can
 //! pipeline. The machine-readable schema lives in `docs/serve.schema.json`
 //! (validated by `sta_obs::schema`; a unit test keeps the two in sync).
+//!
+//! # Versioning
+//!
+//! The protocol is at schema version 2, which added the MCMM surface:
+//! the `analyze_batch` op and the `scenario` selector on `paths` and
+//! `verify`. Requests may pin a version with an optional
+//! `"schema_version"` field; a request without one is served at the
+//! current version. Pinning `1` is the one-version compatibility shim:
+//! the v1 surface behaves exactly as it always did, and v2-only
+//! constructs are rejected with a message naming the version that
+//! provides them. Versions other than 1 or 2 are rejected outright.
 
 use serde::Value;
 
@@ -59,12 +70,32 @@ pub enum Request {
         /// The edit operation.
         kind: EditKind,
     },
+    /// Run a whole MCMM scenario matrix over the resident netlist
+    /// revision (schema version 2).
+    AnalyzeBatch {
+        /// Loaded circuit to analyze.
+        circuit: String,
+        /// Comma-separated corner specs in the CLI `--corners` grammar
+        /// (default: the session's nominal corner).
+        corners: Option<String>,
+        /// Comma-separated `name=PERIOD_PS` mode specs (default: one
+        /// unconstrained mode).
+        modes: Option<String>,
+        /// Keep the N worst paths per scenario (default: full
+        /// enumeration).
+        n_worst: Option<usize>,
+        /// Concurrent scenario jobs (default 1).
+        batch_threads: usize,
+    },
     /// Report the worst cached paths.
     Paths {
         /// Loaded circuit to query.
         circuit: String,
         /// Maximum paths to return (default 10).
         limit: usize,
+        /// Read paths of one resident batch scenario (`corner/mode`)
+        /// instead of the spliced ECO cache (schema version 2).
+        scenario: Option<String>,
     },
     /// Report the circuit's slack summary at its current revision.
     Slack {
@@ -75,6 +106,9 @@ pub enum Request {
     Verify {
         /// Loaded circuit to verify.
         circuit: String,
+        /// Verify one resident batch scenario against an independent
+        /// single-scenario re-run instead (schema version 2).
+        scenario: Option<String>,
     },
     /// Run the whole-flow soundness audit (`sta-lint` AI/ECO/SRV rules)
     /// over one resident circuit, or over every resident circuit.
@@ -91,6 +125,10 @@ pub enum Request {
 /// The checked-in wire-protocol schema, embedded so the daemon (and the
 /// `audit` op) can validate requests without a filesystem lookup.
 pub const SERVE_SCHEMA_JSON: &str = include_str!("../../../docs/serve.schema.json");
+
+/// The protocol version this daemon speaks (and serves to requests that
+/// do not pin one).
+pub const SCHEMA_VERSION: usize = 2;
 
 fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
@@ -136,6 +174,30 @@ pub fn parse_request(line: &str) -> Result<(Request, Option<Value>), String> {
         return Err("request must be a JSON object".to_string());
     };
     let id = field(&map, "id").cloned();
+    let version = opt_usize_field(&map, "schema_version")?.unwrap_or(SCHEMA_VERSION);
+    if !(1..=SCHEMA_VERSION).contains(&version) {
+        return Err(format!(
+            "unsupported schema_version {version} (this daemon speaks 1 through {SCHEMA_VERSION})"
+        ));
+    }
+    // The v1 compatibility shim: a request pinned to schema_version 1
+    // gets exactly the v1 surface, with v2-only constructs named.
+    let v2_only = |what: &str| -> Result<(), String> {
+        if version >= 2 {
+            Ok(())
+        } else {
+            Err(format!(
+                "{what} requires schema_version 2 (request pinned schema_version 1)"
+            ))
+        }
+    };
+    let scenario_field = |map: &[(String, Value)]| -> Result<Option<String>, String> {
+        let scenario = opt_str_field(map, "scenario")?;
+        if scenario.is_some() {
+            v2_only("field \"scenario\"")?;
+        }
+        Ok(scenario)
+    };
     let op = str_field(&map, "op")?;
     let req = match op.as_str() {
         "load" => Request::Load {
@@ -168,15 +230,27 @@ pub fn parse_request(line: &str) -> Result<(Request, Option<Value>), String> {
             };
             Request::Edit { circuit, kind }
         }
+        "analyze_batch" => {
+            v2_only("op \"analyze_batch\"")?;
+            Request::AnalyzeBatch {
+                circuit: str_field(&map, "circuit")?,
+                corners: opt_str_field(&map, "corners")?,
+                modes: opt_str_field(&map, "modes")?,
+                n_worst: opt_usize_field(&map, "nworst")?,
+                batch_threads: opt_usize_field(&map, "batch_threads")?.unwrap_or(1).max(1),
+            }
+        }
         "paths" => Request::Paths {
             circuit: str_field(&map, "circuit")?,
             limit: opt_usize_field(&map, "limit")?.unwrap_or(10),
+            scenario: scenario_field(&map)?,
         },
         "slack" => Request::Slack {
             circuit: str_field(&map, "circuit")?,
         },
         "verify" => Request::Verify {
             circuit: str_field(&map, "circuit")?,
+            scenario: scenario_field(&map)?,
         },
         "audit" => Request::Audit {
             circuit: opt_str_field(&map, "circuit")?,
@@ -195,16 +269,39 @@ pub fn parse_request(line: &str) -> Result<(Request, Option<Value>), String> {
 /// transcription of it, against the checked-in schema.
 pub fn protocol_spec() -> sta_lint::ProtocolSpec {
     let ops = [
-        "load", "edit", "paths", "slack", "verify", "audit", "status", "shutdown",
+        "load",
+        "edit",
+        "analyze_batch",
+        "paths",
+        "slack",
+        "verify",
+        "audit",
+        "status",
+        "shutdown",
     ];
     let kinds = ["swap", "resize", "rewire"];
     let techs = ["130nm", "90nm", "65nm"];
     let fields = [
-        "op", "id", "circuit", "tech", "nworst", "threads", "kind", "instance", "cell", "pin",
-        "net", "limit",
+        "op",
+        "id",
+        "schema_version",
+        "circuit",
+        "tech",
+        "nworst",
+        "threads",
+        "kind",
+        "instance",
+        "cell",
+        "pin",
+        "net",
+        "limit",
+        "corners",
+        "modes",
+        "scenario",
+        "batch_threads",
     ];
     // (description, line, schema_should_accept)
-    let exemplars: [(&str, &str, bool); 15] = [
+    let exemplars: [(&str, &str, bool); 19] = [
         (
             "load-full",
             r#"{"op":"load","circuit":"c17","tech":"90nm","nworst":10,"threads":2}"#,
@@ -223,6 +320,26 @@ pub fn protocol_spec() -> sta_lint::ProtocolSpec {
         ("paths", r#"{"op":"paths","circuit":"c17","limit":5}"#, true),
         ("slack", r#"{"op":"slack","circuit":"c17"}"#, true),
         ("verify", r#"{"op":"verify","circuit":"c17"}"#, true),
+        (
+            "analyze-batch",
+            r#"{"op":"analyze_batch","circuit":"c17","corners":"typ,slow","modes":"func=600,test=900","nworst":10,"batch_threads":2}"#,
+            true,
+        ),
+        (
+            "paths-scenario",
+            r#"{"op":"paths","circuit":"c17","scenario":"typ/func","limit":5,"schema_version":2}"#,
+            true,
+        ),
+        (
+            "verify-scenario",
+            r#"{"op":"verify","circuit":"c17","scenario":"typ/func"}"#,
+            true,
+        ),
+        (
+            "future-version",
+            r#"{"op":"status","schema_version":3}"#,
+            false,
+        ),
         ("audit-one", r#"{"op":"audit","circuit":"c17"}"#, true),
         ("audit-all", r#"{"op":"audit"}"#, true),
         ("status", r#"{"op":"status"}"#, true),
@@ -358,7 +475,8 @@ mod tests {
             req,
             Request::Paths {
                 circuit: "c17".to_string(),
-                limit: 3
+                limit: 3,
+                scenario: None,
             }
         );
         assert_eq!(
@@ -369,6 +487,46 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap().0,
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn schema_version_gates_the_v2_surface() {
+        // No version pinned = current version: the MCMM surface parses.
+        let (req, _) =
+            parse_request(r#"{"op":"analyze_batch","circuit":"c17","corners":"typ,slow"}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::AnalyzeBatch {
+                circuit: "c17".to_string(),
+                corners: Some("typ,slow".to_string()),
+                modes: None,
+                n_worst: None,
+                batch_threads: 1,
+            }
+        );
+        let (req, _) =
+            parse_request(r#"{"op":"paths","circuit":"c17","scenario":"typ/func"}"#).unwrap();
+        assert!(matches!(req, Request::Paths { scenario: Some(s), .. } if s == "typ/func"));
+
+        // Pinning v1 keeps the v1 surface working…
+        assert!(parse_request(r#"{"op":"paths","circuit":"c17","schema_version":1}"#).is_ok());
+        assert!(parse_request(r#"{"op":"verify","circuit":"c17","schema_version":1}"#).is_ok());
+        // …and rejects v2-only constructs with the version named.
+        let err = parse_request(r#"{"op":"analyze_batch","circuit":"c17","schema_version":1}"#)
+            .unwrap_err();
+        assert!(err.contains("schema_version 2"), "{err}");
+        let err = parse_request(
+            r#"{"op":"paths","circuit":"c17","scenario":"typ/func","schema_version":1}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("schema_version 2"), "{err}");
+
+        // Versions this daemon does not speak are rejected outright.
+        let err = parse_request(r#"{"op":"status","schema_version":3}"#).unwrap_err();
+        assert!(err.contains("unsupported schema_version 3"), "{err}");
+        let err = parse_request(r#"{"op":"status","schema_version":0}"#).unwrap_err();
+        assert!(err.contains("unsupported schema_version 0"), "{err}");
     }
 
     #[test]

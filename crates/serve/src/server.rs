@@ -11,8 +11,8 @@ use sta_charlib::{characterize_cached, CharConfig, CompiledCorner, TimingLibrary
 use sta_circuits::{catalog, resize_gate, rewire_net, swap_gate, GateEdit};
 use sta_core::{
     arc_intervals, arc_intervals_compiled, dirty_sources, slack_report, static_bounds,
-    static_bounds_compiled, CertificateSet, EnumerationConfig, PathEnumerator, SourceCache,
-    ARC_SWEEP_MARGIN,
+    static_bounds_compiled, AnalysisRequest, CertificateSet, CornerDef, EnumerationConfig, Mode,
+    PathEnumerator, Scenario, SourceCache, TruePath, ARC_SWEEP_MARGIN,
 };
 use sta_logic::Schedule;
 use sta_netlist::Netlist;
@@ -57,6 +57,25 @@ impl Default for ServerConfig {
     }
 }
 
+/// One scenario of a resident MCMM batch, kept for the v2 `scenario`
+/// selector on `paths` and `verify`.
+struct BatchScenario {
+    scenario: Scenario,
+    certs: CertificateSet,
+    digest: String,
+    truncated: bool,
+}
+
+/// The last `analyze_batch` result for a circuit. Computed against one
+/// netlist revision and dropped by the next edit — a batch over a stale
+/// revision would silently answer for a netlist that no longer exists.
+struct BatchResident {
+    /// The per-scenario path cap the batch ran with (`verify` re-runs
+    /// with the same cap).
+    n_worst: Option<usize>,
+    scenarios: Vec<BatchScenario>,
+}
+
 /// Everything kept resident for one loaded circuit.
 struct CircuitSession {
     tech: Technology,
@@ -79,6 +98,59 @@ struct CircuitSession {
     truncated: bool,
     structural_worst_ps: f64,
     required_ps: f64,
+    /// Resident MCMM batch results, when an `analyze_batch` has run at
+    /// the current revision.
+    batch: Option<BatchResident>,
+}
+
+/// Looks up one scenario of the circuit's resident batch by its
+/// `corner/mode` name.
+fn resident_scenario<'s>(
+    session: &'s CircuitSession,
+    circuit: &str,
+    name: &str,
+) -> Result<&'s BatchScenario, String> {
+    let batch = session.batch.as_ref().ok_or_else(|| {
+        format!("circuit {circuit:?} has no resident batch (send an analyze_batch request first)")
+    })?;
+    batch
+        .scenarios
+        .iter()
+        .find(|s| s.scenario.name() == name)
+        .ok_or_else(|| {
+            let have: Vec<String> = batch.scenarios.iter().map(|s| s.scenario.name()).collect();
+            format!("scenario {name:?} is not in the resident batch (have {have:?})")
+        })
+}
+
+/// Parses the `modes` list of an `analyze_batch` request: comma-separated
+/// `name=PERIOD_PS` entries, each becoming a single-clock SDC mode.
+fn parse_modes(list: &str) -> Result<Vec<Mode>, String> {
+    let mut out = Vec::new();
+    for item in list.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (name, period) = item
+            .split_once('=')
+            .ok_or_else(|| format!("bad mode spec {item:?} (expected name=PERIOD_PS)"))?;
+        let period: f64 = period
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad mode spec {item:?} (expected name=PERIOD_PS)"))?;
+        if !(period.is_finite() && period > 0.0) {
+            return Err(format!("bad mode spec {item:?} (period must be positive)"));
+        }
+        out.push(Mode::with_sdc(
+            name.trim(),
+            &format!("create_clock -period {period}\n"),
+        ));
+    }
+    if out.is_empty() {
+        return Err("empty modes list (expected name=PERIOD_PS entries)".to_string());
+    }
+    Ok(out)
 }
 
 impl CircuitSession {
@@ -190,9 +262,32 @@ impl Server {
                 .op_load(&circuit, &tech, n_worst, threads)
                 .map(|f| (f, false)),
             Request::Edit { circuit, kind } => self.op_edit(&circuit, &kind).map(|f| (f, false)),
-            Request::Paths { circuit, limit } => self.op_paths(&circuit, limit).map(|f| (f, false)),
+            Request::AnalyzeBatch {
+                circuit,
+                corners,
+                modes,
+                n_worst,
+                batch_threads,
+            } => self
+                .op_analyze_batch(
+                    &circuit,
+                    corners.as_deref(),
+                    modes.as_deref(),
+                    n_worst,
+                    batch_threads,
+                )
+                .map(|f| (f, false)),
+            Request::Paths {
+                circuit,
+                limit,
+                scenario,
+            } => self
+                .op_paths(&circuit, limit, scenario.as_deref())
+                .map(|f| (f, false)),
             Request::Slack { circuit } => self.op_slack(&circuit).map(|f| (f, false)),
-            Request::Verify { circuit } => self.op_verify(&circuit).map(|f| (f, false)),
+            Request::Verify { circuit, scenario } => self
+                .op_verify(&circuit, scenario.as_deref())
+                .map(|f| (f, false)),
             Request::Audit { circuit } => self.op_audit(circuit.as_deref()).map(|f| (f, false)),
             Request::Status => Ok((self.op_status(), false)),
             Request::Shutdown => {
@@ -275,6 +370,7 @@ impl Server {
             truncated: stats.truncated,
             structural_worst_ps: 0.0,
             required_ps: 0.0,
+            batch: None,
         };
         session.refresh_required(self.cfg.input_slew);
         self.cfg.obs.counter("serve.loads").add(1);
@@ -319,6 +415,8 @@ impl Server {
         }
         .map_err(|e| format!("edit rejected: {e}"))?;
         session.revision += 1;
+        // Any resident batch was computed against the pre-edit netlist.
+        session.batch = None;
 
         let dirty = dirty_sources(&session.netlist, &edit);
         let n_dirty = dirty.iter().filter(|&&d| d).count();
@@ -371,15 +469,129 @@ impl Server {
         ])
     }
 
+    /// Runs an MCMM batch over the resident netlist revision: one
+    /// scenario per (corner, mode) cell, scenario-invariant preparation
+    /// shared across the matrix (see `sta_core::mcmm`). The per-scenario
+    /// certificate sets stay resident for the v2 `scenario` selector on
+    /// `paths` and `verify` until the next edit.
+    fn op_analyze_batch(
+        &mut self,
+        circuit: &str,
+        corners: Option<&str>,
+        modes: Option<&str>,
+        n_worst: Option<usize>,
+        batch_threads: usize,
+    ) -> Result<Vec<(&'static str, Value)>, String> {
+        let cfg = self.cfg.clone();
+        let session = self.session(circuit)?;
+        let corner_defs = match corners {
+            Some(list) => CornerDef::parse_list(list, &session.tech)
+                .map_err(|e| format!("bad corners list: {e}"))?,
+            None => vec![CornerDef::nominal(session.tech.clone())],
+        };
+        let mode_defs = match modes {
+            Some(list) => parse_modes(list)?,
+            None => vec![Mode::unconstrained()],
+        };
+        let revision = session.revision;
+        let req = AnalysisRequest::new(circuit)
+            .with_netlist(session.netlist.clone())
+            .scenarios(Scenario::matrix(&corner_defs, &mode_defs))
+            .n_worst(n_worst)
+            .threads(session.threads)
+            .batch_threads(batch_threads)
+            .input_slew(cfg.input_slew)
+            .char_config(cfg.char_config)
+            .cache_dir(cfg.cache_dir)
+            .observer(cfg.obs.clone());
+        let batch = req
+            .run_batch()
+            .map_err(|e| format!("batch analysis failed: {e}"))?;
+
+        let mut rows = Vec::new();
+        let mut resident = Vec::new();
+        let mut truncated_any = false;
+        for (i, s) in batch.scenarios.iter().enumerate() {
+            let certs = batch.certificates(i);
+            let digest = digest_string(certs.to_json().as_bytes());
+            let worst_slack = batch
+                .netlist
+                .outputs()
+                .iter()
+                .map(|&o| s.slack.of(o))
+                .fold(f64::INFINITY, f64::min);
+            truncated_any |= s.stats.truncated;
+            rows.push(jmap(vec![
+                ("scenario", jstr(s.scenario.name())),
+                ("tech", jstr(s.scenario.corner.tech.name.clone())),
+                ("paths", Value::UInt(s.paths.len() as u64)),
+                ("truncated", Value::Bool(s.stats.truncated)),
+                ("required_ps", Value::Float(s.required)),
+                ("worst_slack_ps", Value::Float(worst_slack)),
+                ("passes", Value::Bool(worst_slack >= 0.0)),
+                ("digest", jstr(digest.clone())),
+            ]));
+            resident.push(BatchScenario {
+                scenario: s.scenario.clone(),
+                certs,
+                digest,
+                truncated: s.stats.truncated,
+            });
+        }
+        let merged_worst = batch
+            .merged
+            .worst()
+            .map(|e| {
+                jmap(vec![
+                    ("output", jstr(e.output.clone())),
+                    ("slack_ps", Value::Float(e.slack)),
+                    ("scenario", jstr(e.scenario.clone())),
+                ])
+            })
+            .unwrap_or(Value::Null);
+        let fields = vec![
+            ("circuit", jstr(circuit)),
+            ("revision", Value::UInt(revision)),
+            ("scenarios", Value::UInt(batch.scenarios.len() as u64)),
+            ("results", Value::Seq(rows)),
+            ("merged_worst", merged_worst),
+            ("passes", Value::Bool(batch.merged.passes())),
+            ("truncated", Value::Bool(truncated_any)),
+            ("elapsed_s", Value::Float(batch.elapsed_s)),
+        ];
+        self.cfg.obs.counter("serve.batches").add(1);
+        self.cfg
+            .obs
+            .counter("serve.batch_scenarios")
+            .add(batch.scenarios.len() as u64);
+        self.session_mut(circuit)?.batch = Some(BatchResident {
+            n_worst,
+            scenarios: resident,
+        });
+        Ok(fields)
+    }
+
     fn op_paths(
         &mut self,
         circuit: &str,
         limit: usize,
+        scenario: Option<&str>,
     ) -> Result<Vec<(&'static str, Value)>, String> {
         let session = self.session(circuit)?;
-        let worst: Vec<Value> = session
-            .certs
-            .paths
+        let (paths, mut extra): (&[TruePath], Vec<(&'static str, Value)>) = match scenario {
+            Some(name) => {
+                let sc = resident_scenario(session, circuit, name)?;
+                (
+                    &sc.certs.paths,
+                    vec![
+                        ("scenario", jstr(name)),
+                        ("digest", jstr(sc.digest.clone())),
+                    ],
+                )
+            }
+            None => (&session.certs.paths, Vec::new()),
+        };
+        let worst: Vec<Value> = paths
             .iter()
             .take(limit)
             .enumerate()
@@ -393,12 +605,14 @@ impl Server {
                 ])
             })
             .collect();
-        Ok(vec![
+        let mut fields = vec![
             ("circuit", jstr(circuit)),
             ("revision", Value::UInt(session.revision)),
-            ("paths", Value::UInt(session.certs.paths.len() as u64)),
-            ("worst_paths", Value::Seq(worst)),
-        ])
+            ("paths", Value::UInt(paths.len() as u64)),
+        ];
+        fields.append(&mut extra);
+        fields.push(("worst_paths", Value::Seq(worst)));
+        Ok(fields)
     }
 
     fn op_slack(&mut self, circuit: &str) -> Result<Vec<(&'static str, Value)>, String> {
@@ -429,8 +643,18 @@ impl Server {
     /// The splice-identity proof as a service: cold re-run the current
     /// netlist revision with the plain (non-per-source) configuration and
     /// compare certificate digests. `identical` is the proof verdict;
-    /// truncation on either side voids it (reported honestly).
-    fn op_verify(&mut self, circuit: &str) -> Result<Vec<(&'static str, Value)>, String> {
+    /// truncation on either side voids it (reported honestly). With a
+    /// `scenario` selector the same proof runs against one resident batch
+    /// scenario instead: an independent single-scenario re-run must
+    /// reproduce the batch's certificate bytes.
+    fn op_verify(
+        &mut self,
+        circuit: &str,
+        scenario: Option<&str>,
+    ) -> Result<Vec<(&'static str, Value)>, String> {
+        if let Some(name) = scenario {
+            return self.op_verify_scenario(circuit, name);
+        }
         let input_slew = self.cfg.input_slew;
         let lib = self.lib.clone();
         let session = self.session(circuit)?;
@@ -461,6 +685,56 @@ impl Server {
             (
                 "truncated",
                 Value::Bool(session.truncated || stats.truncated),
+            ),
+        ])
+    }
+
+    /// The batch-identity proof for one resident scenario: re-runs it as
+    /// an independent single-scenario analysis (same netlist revision,
+    /// same path cap) and compares certificate digests.
+    fn op_verify_scenario(
+        &mut self,
+        circuit: &str,
+        name: &str,
+    ) -> Result<Vec<(&'static str, Value)>, String> {
+        let cfg = self.cfg.clone();
+        let session = self.session(circuit)?;
+        let sc = resident_scenario(session, circuit, name)?;
+        let batch_digest = sc.digest.clone();
+        let batch_truncated = sc.truncated;
+        let revision = session.revision;
+        let req = AnalysisRequest::new(circuit)
+            .with_netlist(session.netlist.clone())
+            .scenario(sc.scenario.clone())
+            .n_worst(session.batch.as_ref().expect("resident checked").n_worst)
+            .threads(session.threads)
+            .input_slew(cfg.input_slew)
+            .char_config(cfg.char_config)
+            .cache_dir(cfg.cache_dir);
+        let single = req
+            .run()
+            .map_err(|e| format!("verification run failed: {e}"))?;
+        let cold = CertificateSet::new(&single.netlist, single.input_slew, single.paths);
+        let cold_digest = digest_string(cold.to_json().as_bytes());
+        let identical = cold_digest == batch_digest;
+        self.cfg
+            .obs
+            .counter(if identical {
+                "serve.verify_ok"
+            } else {
+                "serve.verify_mismatch"
+            })
+            .add(1);
+        Ok(vec![
+            ("circuit", jstr(circuit)),
+            ("revision", Value::UInt(revision)),
+            ("scenario", jstr(name)),
+            ("identical", Value::Bool(identical)),
+            ("batch_digest", jstr(batch_digest)),
+            ("cold_digest", jstr(cold_digest)),
+            (
+                "truncated",
+                Value::Bool(batch_truncated || single.stats.truncated),
             ),
         ])
     }
@@ -622,6 +896,7 @@ fn op_name(req: &Request) -> &'static str {
     match req {
         Request::Load { .. } => "load",
         Request::Edit { .. } => "edit",
+        Request::AnalyzeBatch { .. } => "analyze_batch",
         Request::Paths { .. } => "paths",
         Request::Slack { .. } => "slack",
         Request::Verify { .. } => "verify",
@@ -900,6 +1175,9 @@ mod tests {
             r#"{"op":"paths","circuit":"c17","limit":5}"#,
             r#"{"op":"slack","circuit":"c17"}"#,
             r#"{"op":"verify","circuit":"c17"}"#,
+            r#"{"op":"analyze_batch","circuit":"c17","corners":"typ,slow","modes":"func=600","nworst":10,"batch_threads":2}"#,
+            r#"{"op":"paths","circuit":"c17","scenario":"typ/func","limit":5}"#,
+            r#"{"op":"verify","circuit":"c17","scenario":"typ/func","schema_version":2}"#,
             r#"{"op":"audit","circuit":"c17"}"#,
             r#"{"op":"audit"}"#,
             r#"{"op":"status"}"#,
@@ -918,6 +1196,8 @@ mod tests {
             r#"{"op":"load","circuit":"c17","tech":"45nm"}"#,
             r#"{"op":"load","circuit":"c17","bogus":1}"#,
             r#"{"op":"paths","circuit":"c17","limit":0}"#,
+            r#"{"op":"status","schema_version":3}"#,
+            r#"{"op":"analyze_batch","circuit":"c17","batch_threads":0}"#,
         ];
         for line in invalid {
             let doc: Value = serde_json::from_str(line).unwrap();
@@ -928,6 +1208,106 @@ mod tests {
         }
         // The embedded copy is the same document CI and the audit op use.
         assert_eq!(schema_text, crate::protocol::SERVE_SCHEMA_JSON);
+    }
+
+    #[test]
+    fn analyze_batch_session_round_trip() {
+        let mut server = fast_server();
+        let inst = c17_instance(&server.lib);
+        assert_ok(&reply(
+            &mut server,
+            r#"{"op":"load","circuit":"c17","nworst":10}"#,
+        ));
+
+        let batch = reply(
+            &mut server,
+            r#"{"op":"analyze_batch","circuit":"c17","corners":"typ,slow","modes":"func=600,test=900","nworst":10}"#,
+        );
+        assert_ok(&batch);
+        assert_eq!(as_u64(get(&batch, "scenarios")), 4);
+        let Value::Seq(results) = get(&batch, "results") else {
+            panic!("results is not an array")
+        };
+        assert_eq!(results.len(), 4);
+        // Corners-major matrix order, names are corner/mode.
+        assert_eq!(get(&results[0], "scenario"), &jstr("typ/func"));
+        assert_eq!(get(&results[3], "scenario"), &jstr("slow/test"));
+        let Value::Str(first_digest) = get(&results[0], "digest") else {
+            panic!("digest is not a string")
+        };
+        assert!(!first_digest.is_empty());
+
+        // The scenario selector reads one batch scenario's paths.
+        let paths = reply(
+            &mut server,
+            r#"{"op":"paths","circuit":"c17","scenario":"slow/test","limit":3}"#,
+        );
+        assert_ok(&paths);
+        assert_eq!(get(&paths, "scenario"), &jstr("slow/test"));
+        let Value::Seq(worst) = get(&paths, "worst_paths") else {
+            panic!("worst_paths is not an array")
+        };
+        assert_eq!(worst.len(), 3);
+        let missing = reply(
+            &mut server,
+            r#"{"op":"paths","circuit":"c17","scenario":"nope","limit":3}"#,
+        );
+        assert_eq!(get(&missing, "ok"), &Value::Bool(false));
+        assert!(matches!(get(&missing, "error"), Value::Str(s) if s.contains("nope")));
+
+        // An independent single-scenario re-run reproduces the batch's
+        // certificate bytes: the MCMM identity, checked in-band.
+        let verified = reply(
+            &mut server,
+            r#"{"op":"verify","circuit":"c17","scenario":"slow/test"}"#,
+        );
+        assert_ok(&verified);
+        assert_eq!(get(&verified, "identical"), &Value::Bool(true));
+        assert_eq!(get(&verified, "truncated"), &Value::Bool(false));
+
+        // An edit drops the resident batch: it answered for the pre-edit
+        // netlist. The plain ops keep working.
+        assert_ok(&reply(
+            &mut server,
+            &format!(r#"{{"op":"edit","circuit":"c17","kind":"resize","instance":"{inst}"}}"#),
+        ));
+        let stale = reply(
+            &mut server,
+            r#"{"op":"paths","circuit":"c17","scenario":"slow/test","limit":3}"#,
+        );
+        assert_eq!(get(&stale, "ok"), &Value::Bool(false));
+        assert!(matches!(get(&stale, "error"), Value::Str(s) if s.contains("analyze_batch")));
+        assert_ok(&reply(
+            &mut server,
+            r#"{"op":"paths","circuit":"c17","limit":3}"#,
+        ));
+
+        // Re-batching the edited revision works and verifies again.
+        let rebatch = reply(
+            &mut server,
+            r#"{"op":"analyze_batch","circuit":"c17","corners":"typ","modes":"func=600"}"#,
+        );
+        assert_ok(&rebatch);
+        assert_eq!(as_u64(get(&rebatch, "scenarios")), 1);
+        let verified = reply(
+            &mut server,
+            r#"{"op":"verify","circuit":"c17","scenario":"typ/func"}"#,
+        );
+        assert_ok(&verified);
+        assert_eq!(get(&verified, "identical"), &Value::Bool(true));
+
+        // Bad corner and mode specs answer in-band, not with a dead session.
+        let bad = reply(
+            &mut server,
+            r#"{"op":"analyze_batch","circuit":"c17","corners":"bogus"}"#,
+        );
+        assert_eq!(get(&bad, "ok"), &Value::Bool(false));
+        let bad = reply(
+            &mut server,
+            r#"{"op":"analyze_batch","circuit":"c17","modes":"func"}"#,
+        );
+        assert_eq!(get(&bad, "ok"), &Value::Bool(false));
+        assert!(matches!(get(&bad, "error"), Value::Str(s) if s.contains("PERIOD")));
     }
 
     #[test]

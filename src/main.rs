@@ -32,8 +32,8 @@ use sta_charlib::{characterize_cached, CharConfig, CharError, TimingLibrary};
 use sta_circuits::{catalog, map_netlist, resize_gate};
 use sta_core::{
     arc_intervals, arc_intervals_compiled, dirty_sources, static_bounds, static_bounds_compiled,
-    AnalysisContext, AnalysisError, AnalysisRequest, CertificateSet, EnumerationConfig,
-    PathEnumerator, RequiredSource, SdcError, SourceCache, ARC_SWEEP_MARGIN,
+    AnalysisContext, AnalysisError, AnalysisRequest, CertificateSet, CornerDef, EnumerationConfig,
+    Mode, PathEnumerator, RequiredSource, Scenario, SdcError, SourceCache, ARC_SWEEP_MARGIN,
 };
 use sta_esim::cellsim::{cell_input_cap, simulate_arc, Drive};
 use sta_lint::{
@@ -159,15 +159,21 @@ fn print_usage() {
          \n\
          commands:\n\
            list                                  list catalog benchmarks\n\
-           analyze  <circuit> [--tech T] [--nworst N] [--threads W] [--no-kernels]\n\
+           analyze  <circuit> [--tech T] [--corner C] [--corners C,..] [--modes F,..]\n\
+                    [--nworst N] [--threads W] [--batch-threads B] [--no-kernels]\n\
                     [--no-bitsim] [--no-learning] run the single-pass true-path STA\n\
                     (--no-kernels disables the corner-compiled delay kernels;\n\
                     --no-bitsim disables the 64-lane bit-parallel justification\n\
                     pre-filter; --no-learning disables nogood learning and\n\
-                    dominance pruning — results are identical either way)\n\
-           slack    <circuit> [--tech T] [--required PS] [--sdc FILE]   structural slack report\n\
-           baseline <circuit> [--tech T] [--k K] [--limit B]   run the two-step baseline\n\
-           cell     <name>    [--tech T]         show a cell's vectors and measured delays\n\
+                    dominance pruning — results are identical either way;\n\
+                    --corners/--modes run the whole MCMM matrix as one batch\n\
+                    with shared characterization/netlist/schedule, reporting\n\
+                    per-scenario results plus the merged worst-slack view)\n\
+           slack    <circuit> [--tech T] [--corner C] [--corners C,..] [--modes F,..]\n\
+                    [--required PS] [--sdc FILE]   structural slack report\n\
+                    (single scenario, or the merged MCMM matrix with --corners/--modes)\n\
+           baseline <circuit> [--tech T] [--corner C] [--k K] [--limit B]   run the two-step baseline\n\
+           cell     <name>    [--tech T] [--corner C]   show a cell's vectors and measured delays\n\
            liberty  [--tech T] [--out FILE]      export the characterized library as .lib\n\
            lint     [circuits...] [--tech T] [--format human|json] [--deny warnings]\n\
                     [--verify-paths] [--audit-flow] [--nworst N] [--out FILE]\n\
@@ -206,7 +212,13 @@ fn print_usage() {
          exit codes: 0 success, 1 findings (lint/slack/schema violations),\n\
          2 usage or operational error.\n\
          \n\
-         T is one of 130nm | 90nm | 65nm (default 90nm)."
+         T is one of 130nm | 90nm | 65nm (default 90nm).\n\
+         C is a corner spec: fan130|fan90|fan65, 130nm|90nm|65nm (nominal of the\n\
+         node), slow|typ|fast (PVT points of --tech), TECH:PVT (e.g. 90nm:slow),\n\
+         or T,V (explicit °C and volts, e.g. 75,0.95). --corners takes a\n\
+         comma-separated list; --modes takes a comma-separated list of SDC\n\
+         files, each becoming a named mode (--sdc FILE is sugar for a one-mode\n\
+         set); the batch analyzes the full corners × modes matrix."
     );
 }
 
@@ -217,6 +229,10 @@ fn print_usage() {
 struct Opts {
     positional: Vec<String>,
     tech: Technology,
+    corner: Option<String>,
+    corners: Option<String>,
+    modes: Option<String>,
+    batch_threads: usize,
     nworst: Option<usize>,
     threads: usize,
     k: usize,
@@ -250,6 +266,10 @@ impl Opts {
         let mut opts = Opts {
             positional: Vec::new(),
             tech: Technology::n90(),
+            corner: None,
+            corners: None,
+            modes: None,
+            batch_threads: 1,
             nworst: None,
             threads: 1,
             k: 1000,
@@ -286,6 +306,12 @@ impl Opts {
                             "unknown technology {t:?} (expected 130nm | 90nm | 65nm)"
                         ))
                     })?;
+                }
+                "--corner" => opts.corner = Some(value("--corner")?),
+                "--corners" => opts.corners = Some(value("--corners")?),
+                "--modes" => opts.modes = Some(value("--modes")?),
+                "--batch-threads" => {
+                    opts.batch_threads = parse_num(&value("--batch-threads")?, "--batch-threads")?;
                 }
                 "--nworst" => opts.nworst = Some(parse_num(&value("--nworst")?, "--nworst")?),
                 "--threads" => opts.threads = parse_num(&value("--threads")?, "--threads")?,
@@ -356,6 +382,18 @@ impl Opts {
             m.insert("circuit".to_string(), c.to_string());
         }
         m.insert("tech".to_string(), self.tech.name.clone());
+        if let Some(c) = &self.corner {
+            m.insert("corner".to_string(), c.clone());
+        }
+        if let Some(c) = &self.corners {
+            m.insert("corners".to_string(), c.clone());
+        }
+        if let Some(mo) = &self.modes {
+            m.insert("modes".to_string(), mo.clone());
+        }
+        if self.batch_threads > 1 {
+            m.insert("batch_threads".to_string(), self.batch_threads.to_string());
+        }
         m.insert("threads".to_string(), self.threads.to_string());
         m.insert("kernels".to_string(), (!self.no_kernels).to_string());
         m.insert("bitsim".to_string(), (!self.no_bitsim).to_string());
@@ -478,20 +516,107 @@ fn print_json(doc: &Value) {
 // ---------------------------------------------------------------------------
 
 fn cmd_list() -> Result<(), CliError> {
-    println!("{:<8} {:>12}  description", "name", "ISCAS gates");
+    println!(
+        "{:<8} {:>12} {:>12}  description",
+        "name", "ISCAS gates", "budget"
+    );
     for b in catalog::BENCHMARKS {
-        println!("{:<8} {:>12}  {}", b.name, b.iscas_gates, b.description);
+        let budget = match b.decision_budget {
+            Some(d) => d.to_string(),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<8} {:>12} {:>12}  {}",
+            b.name, b.iscas_gates, budget, b.description
+        );
     }
     Ok(())
 }
 
-/// The shared request preamble: circuit, technology, threading, kernels,
-/// the bit-parallel pre-filter and the session's observer.
-fn base_request(circuit: &str, opts: &Opts, session: &ObsSession) -> AnalysisRequest {
-    eprintln!("characterizing / loading cache for {} ...", opts.tech.name);
-    AnalysisRequest::new(circuit)
-        .tech(opts.tech.clone())
+/// Whether the invocation asked for a whole MCMM matrix (batch flags)
+/// rather than a single scenario.
+fn is_batch(opts: &Opts) -> bool {
+    opts.corners.is_some() || opts.modes.is_some()
+}
+
+/// Builds one [`Mode`] from an SDC file; the mode is named after the
+/// file stem (`constraints/func.sdc` → mode `func`).
+fn mode_from_sdc_file(path: &str) -> Result<Mode, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("--modes/--sdc: reading {path}: {e}")))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("mode")
+        .to_string();
+    Ok(Mode::with_sdc(&name, &text))
+}
+
+/// Resolves the unified corner/mode flags into the scenario matrix:
+/// `--corners`/`--modes` span the batch, `--corner` picks a single
+/// operating point, `--sdc FILE` is sugar for a one-mode set, and
+/// `--required` overrides the requirement of every mode. `--tech` is the
+/// base technology that bare PVT names (`slow`, `75,0.95`) refer to.
+fn scenario_matrix(opts: &Opts) -> Result<Vec<Scenario>, CliError> {
+    let usage = |m: String| CliError::Usage(m);
+    if opts.corner.is_some() && opts.corners.is_some() {
+        return Err(usage(
+            "--corner and --corners are mutually exclusive".into(),
+        ));
+    }
+    if opts.sdc.is_some() && opts.modes.is_some() {
+        return Err(usage("--sdc and --modes are mutually exclusive".into()));
+    }
+    let corners = if let Some(list) = &opts.corners {
+        CornerDef::parse_list(list, &opts.tech).map_err(|e| usage(e.to_string()))?
+    } else if let Some(spec) = &opts.corner {
+        vec![CornerDef::parse(spec, &opts.tech).map_err(|e| usage(e.to_string()))?]
+    } else {
+        vec![CornerDef::nominal(opts.tech.clone())]
+    };
+    let mut modes = Vec::new();
+    if let Some(list) = &opts.modes {
+        for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            modes.push(mode_from_sdc_file(item)?);
+        }
+        if modes.is_empty() {
+            return Err(usage("--modes needs at least one SDC file".into()));
+        }
+    } else if let Some(path) = &opts.sdc {
+        modes.push(mode_from_sdc_file(path)?);
+    } else {
+        modes.push(Mode::unconstrained());
+    }
+    if let Some(r) = opts.required {
+        for m in &mut modes {
+            m.required = Some(r);
+        }
+    }
+    Ok(Scenario::matrix(&corners, &modes))
+}
+
+/// The shared request preamble: circuit, scenario matrix, threading,
+/// kernels, the bit-parallel pre-filter and the session's observer.
+fn base_request(
+    circuit: &str,
+    opts: &Opts,
+    session: &ObsSession,
+) -> Result<AnalysisRequest, CliError> {
+    let scenarios = scenario_matrix(opts)?;
+    let mut techs: Vec<&str> = scenarios
+        .iter()
+        .map(|s| s.corner.tech.name.as_str())
+        .collect();
+    techs.sort_unstable();
+    techs.dedup();
+    eprintln!(
+        "characterizing / loading cache for {} ...",
+        techs.join(", ")
+    );
+    Ok(AnalysisRequest::new(circuit)
+        .scenarios(scenarios)
         .threads(opts.threads)
+        .batch_threads(opts.batch_threads)
         .compiled_kernels(!opts.no_kernels)
         .bitsim(!opts.no_bitsim)
         .learning(!opts.no_learning)
@@ -500,14 +625,143 @@ fn base_request(circuit: &str, opts: &Opts, session: &ObsSession) -> AnalysisReq
         } else {
             CharConfig::standard()
         })
-        .max_decisions(opts.max_decisions)
-        .observer(session.observer())
+        .max_decisions(
+            // Explicit --max-decisions wins (0 = unlimited); otherwise the
+            // catalog's per-circuit budget keeps the big surrogates bounded.
+            opts.max_decisions
+                .or_else(|| catalog::benchmark_info(circuit).and_then(|b| b.decision_budget)),
+        )
+        .observer(session.observer()))
+}
+
+/// Renders a finished batch (shared by `analyze --corners/--modes` and
+/// `slack --corners/--modes`) and returns the number of *check*
+/// violations — endpoints whose dominating scenario has a user-stated
+/// requirement (explicit or SDC) and misses it. Probe-only scenarios
+/// (default 90 %-of-worst requirement) never flip the exit code.
+fn render_batch(
+    command: &str,
+    circuit: &str,
+    batch: &sta_core::BatchOutcome,
+    opts: &Opts,
+) -> usize {
+    let is_check: BTreeMap<String, bool> = batch
+        .scenarios
+        .iter()
+        .map(|s| {
+            (
+                s.scenario.name(),
+                s.required_source != RequiredSource::Default,
+            )
+        })
+        .collect();
+    let check_violations = batch
+        .merged
+        .endpoints
+        .iter()
+        .filter(|e| e.slack < 0.0 && is_check[&e.scenario])
+        .count();
+    match opts.format {
+        OutputFormat::Human => {
+            println!(
+                "{circuit}: {} scenario(s) in {:.2} s (batch)",
+                batch.scenarios.len(),
+                batch.elapsed_s
+            );
+            for s in &batch.scenarios {
+                let worst = s
+                    .paths
+                    .first()
+                    .map(|p| p.worst_arrival())
+                    .unwrap_or(f64::NAN);
+                println!(
+                    "  {:<24} {:>6} paths  worst {:>9.1} ps  required {:>9.1} ps  {}{}",
+                    s.scenario.name(),
+                    s.stats.paths,
+                    worst,
+                    s.required,
+                    if s.slack.passes() { "PASS" } else { "FAIL" },
+                    if s.stats.truncated {
+                        " (budget hit)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            let mut worst_eps: Vec<&sta_core::MergedEndpoint> =
+                batch.merged.endpoints.iter().collect();
+            worst_eps.sort_by(|a, b| a.slack.total_cmp(&b.slack));
+            println!("  merged worst endpoints (slack / dominating scenario):");
+            for e in worst_eps.iter().take(10) {
+                println!("  {:>9.1} ps  {:<12} <- {}", e.slack, e.output, e.scenario);
+            }
+        }
+        OutputFormat::Json => {
+            let scenarios: Vec<Value> = batch
+                .scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let digest = sta_obs::digest_string(batch.certificates(i).to_json().as_bytes());
+                    jmap(vec![
+                        ("scenario", jstr(s.scenario.name())),
+                        ("corner", jstr(s.scenario.corner.name.clone())),
+                        ("tech", jstr(s.scenario.corner.tech.name.clone())),
+                        ("mode", jstr(s.scenario.mode.name.clone())),
+                        ("paths", Value::UInt(s.stats.paths as u64)),
+                        ("input_vectors", Value::UInt(s.stats.input_vectors as u64)),
+                        ("truncated", Value::Bool(s.stats.truncated)),
+                        ("required_ps", Value::Float(s.required)),
+                        ("worst_slack_ps", Value::Float(s.slack.worst().1)),
+                        ("passes", Value::Bool(s.slack.passes())),
+                        ("certificate_digest", jstr(digest)),
+                    ])
+                })
+                .collect();
+            let merged: Value =
+                serde_json::from_str(&batch.merged.to_json()).expect("merged report round-trips");
+            print_json(&jmap(vec![
+                (
+                    "schema_version",
+                    Value::UInt(sta_obs::SCHEMA_VERSION as u64),
+                ),
+                ("command", jstr(command)),
+                ("circuit", jstr(circuit)),
+                ("batch", Value::Bool(true)),
+                ("num_scenarios", Value::UInt(batch.scenarios.len() as u64)),
+                ("elapsed_s", Value::Float(batch.elapsed_s)),
+                ("scenarios", Value::Seq(scenarios)),
+                ("merged", merged),
+            ]));
+        }
+    }
+    check_violations
+}
+
+/// The batch digest for a run manifest: stable hash over the
+/// per-scenario certificate digests, in submission order.
+fn batch_digest(batch: &sta_core::BatchOutcome) -> String {
+    let joined: String = (0..batch.scenarios.len())
+        .map(|i| sta_obs::digest_string(batch.certificates(i).to_json().as_bytes()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    sta_obs::digest_string(joined.as_bytes())
 }
 
 fn cmd_analyze(opts: &Opts, args: &[String]) -> Result<(), CliError> {
     let circuit = opts.circuit("analyze")?;
     let session = ObsSession::new(opts, args);
-    let outcome = base_request(circuit, opts, &session)
+    if is_batch(opts) {
+        let batch = base_request(circuit, opts, &session)?
+            .n_worst(opts.nworst)
+            .full_enum_path_cap(Some(500_000))
+            .run_batch()?;
+        render_batch("analyze", circuit, &batch, opts);
+        let digest = session.wants_manifest().then(|| batch_digest(&batch));
+        drop(batch);
+        return session.finish(opts.config_echo(Some(circuit)), digest);
+    }
+    let outcome = base_request(circuit, opts, &session)?
         .n_worst(opts.nworst)
         .full_enum_path_cap(Some(500_000))
         .run()?;
@@ -624,16 +878,24 @@ fn cmd_analyze(opts: &Opts, args: &[String]) -> Result<(), CliError> {
 fn cmd_slack(opts: &Opts, args: &[String]) -> Result<(), CliError> {
     let circuit = opts.circuit("slack")?;
     let session = ObsSession::new(opts, args);
-    let mut req = base_request(circuit, opts, &session);
-    if let Some(r) = opts.required {
-        req = req.required(r);
+    if is_batch(opts) {
+        let batch = base_request(circuit, opts, &session)?
+            .n_worst(opts.nworst.or(Some(1)))
+            .run_batch()?;
+        let check_violations = render_batch("slack", circuit, &batch, opts);
+        drop(batch);
+        session.finish(opts.config_echo(Some(circuit)), None)?;
+        return if check_violations == 0 {
+            Ok(())
+        } else {
+            Err(CliError::Findings(format!(
+                "slack requirement violated at {check_violations} endpoint(s) across the scenario matrix"
+            )))
+        };
     }
-    if let Some(path) = &opts.sdc {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
-        req = req.sdc(&text);
-    }
-    let ctx = req.prepare()?;
+    // `--sdc`/`--required` are already folded into the primary scenario's
+    // mode by the scenario matrix.
+    let ctx = base_request(circuit, opts, &session)?.prepare()?;
     let out = ctx.slack();
     let source = match out.required_source {
         RequiredSource::Explicit => "explicit",
@@ -702,8 +964,14 @@ fn cmd_slack(opts: &Opts, args: &[String]) -> Result<(), CliError> {
 
 fn cmd_baseline(opts: &Opts, args: &[String]) -> Result<(), CliError> {
     let circuit = opts.circuit("baseline")?;
+    if is_batch(opts) {
+        return Err(CliError::Usage(
+            "baseline analyzes a single scenario; use --corner/--sdc, not --corners/--modes"
+                .to_string(),
+        ));
+    }
     let session = ObsSession::new(opts, args);
-    let ctx = base_request(circuit, opts, &session).prepare()?;
+    let ctx = base_request(circuit, opts, &session)?.prepare()?;
     let t0 = std::time::Instant::now();
     let report = run_baseline(
         &ctx.netlist,
@@ -790,15 +1058,24 @@ fn cmd_cell(opts: &Opts) -> Result<(), CliError> {
         cell.expr().display(),
         cell.topology().transistor_count()
     );
-    let corner = Corner::nominal(&opts.tech);
-    let load = cell_input_cap(cell, &opts.tech);
+    // `cell` honors the unified --corner flag (single-point commands
+    // reject the batch flags in `scenario_matrix`).
+    let (tech, corner) = match &opts.corner {
+        Some(spec) => {
+            let def =
+                CornerDef::parse(spec, &opts.tech).map_err(|e| CliError::Usage(e.to_string()))?;
+            (def.tech, def.corner)
+        }
+        None => (opts.tech.clone(), Corner::nominal(&opts.tech)),
+    };
+    let load = cell_input_cap(cell, &tech);
     for pin in 0..cell.num_pins() {
         for v in cell.vectors_of(pin) {
             let mut cols = Vec::new();
             for edge in Edge::BOTH {
                 match simulate_arc(
                     cell,
-                    &opts.tech,
+                    &tech,
                     corner,
                     v,
                     edge,
@@ -971,6 +1248,13 @@ fn audit_flow_circuit(
 }
 
 fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
+    if is_batch(opts) {
+        return Err(CliError::Usage(
+            "lint analyzes a single scenario per circuit; use --corner/--sdc, not \
+             --corners/--modes"
+                .to_string(),
+        ));
+    }
     let session = ObsSession::new(opts, args);
     let obs = session.observer();
     let circuits: Vec<String> = if opts.positional.is_empty() {
@@ -990,7 +1274,7 @@ fn cmd_lint(opts: &Opts, args: &[String]) -> Result<(), CliError> {
         obs.counter("audit.flow_runs").add(1);
     }
     for name in &circuits {
-        let mut req = base_request(name, opts, &session)
+        let mut req = base_request(name, opts, &session)?
             .n_worst(opts.nworst)
             .full_enum_path_cap(Some(20_000));
         if name.ends_with(".bench") {

@@ -1,0 +1,155 @@
+//! MCMM batch identity oracles.
+//!
+//! The batch engine (`sta-core`'s `mcmm` module) shares the netlist
+//! load, characterization, logic schedule, and per-corner kernels across
+//! scenarios, and fans the scenario jobs over a work-stealing pool.
+//! None of that sharing may change a single byte of any scenario's
+//! result: these tests pin each scenario's `CertificateSet` against an
+//! independent single-scenario run at batch-thread counts 1/2/4, and the
+//! merged slack report against submission-order permutation.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use sta_cells::{Library, Technology};
+use sta_charlib::CharConfig;
+use sta_circuits::map_netlist;
+use sta_circuits::randlogic::{random_logic, RandParams};
+use sta_core::{AnalysisRequest, CertificateSet, CornerDef, Mode, Scenario};
+
+fn cache_dir() -> PathBuf {
+    // Share one fast-config cache across the identity tests.
+    std::env::temp_dir().join("sta-mcmm-identity-cache")
+}
+
+fn request(circuit: &str) -> AnalysisRequest {
+    AnalysisRequest::new(circuit)
+        .char_config(CharConfig::fast())
+        .cache_dir(cache_dir())
+        .n_worst(Some(10))
+}
+
+/// The 2-corner × 2-mode matrix the tests analyze: nominal and slow
+/// 90 nm, unconstrained and a 400 ps clock.
+fn matrix() -> Vec<Scenario> {
+    let corners = vec![
+        CornerDef::nominal(Technology::n90()),
+        CornerDef::parse("slow", &Technology::n90()).expect("named corner parses"),
+    ];
+    let modes = vec![
+        Mode::unconstrained(),
+        Mode::with_sdc("func", "create_clock -period 400\n"),
+    ];
+    Scenario::matrix(&corners, &modes)
+}
+
+/// Every scenario of a batch is byte-identical (certificate JSON) to an
+/// independent single-scenario run, at any batch-thread count.
+#[test]
+fn batch_certificates_equal_independent_runs_at_any_thread_count() {
+    let set = matrix();
+    for circuit in ["c17", "c432"] {
+        // The independent oracles, one per scenario.
+        let singles: Vec<String> = set
+            .iter()
+            .map(|s| {
+                let one = request(circuit).scenario(s.clone()).run().unwrap();
+                CertificateSet::new(&one.netlist, one.input_slew, one.paths).to_json()
+            })
+            .collect();
+        let mut merged_at_1 = None;
+        for batch_threads in [1usize, 2, 4] {
+            let batch = request(circuit)
+                .scenarios(set.clone())
+                .batch_threads(batch_threads)
+                .run_batch()
+                .unwrap();
+            assert_eq!(batch.scenarios.len(), set.len());
+            for (i, s) in set.iter().enumerate() {
+                assert_eq!(
+                    batch.certificates(i).to_json(),
+                    singles[i],
+                    "{circuit} {} at {batch_threads} batch threads",
+                    s.name()
+                );
+            }
+            // The merged report is thread-count-invariant too.
+            let merged = batch.merged.to_json();
+            match &merged_at_1 {
+                None => merged_at_1 = Some(merged),
+                Some(first) => assert_eq!(
+                    first, &merged,
+                    "{circuit}: merged report differs at {batch_threads} batch threads"
+                ),
+            }
+        }
+    }
+}
+
+/// The merged report is canonical in the scenario *set*: submitting the
+/// scenarios in reverse order yields the same bytes.
+#[test]
+fn merged_report_is_invariant_under_submission_order() {
+    let set = matrix();
+    let forward = request("c17").scenarios(set.clone()).run_batch().unwrap();
+    let mut reversed_set = set;
+    reversed_set.reverse();
+    let reversed = request("c17")
+        .scenarios(reversed_set)
+        .batch_threads(2)
+        .run_batch()
+        .unwrap();
+    assert_eq!(forward.merged, reversed.merged);
+    assert_eq!(forward.merged.to_json(), reversed.merged.to_json());
+    assert_eq!(
+        forward.merged.endpoints.len(),
+        forward.netlist.outputs().len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random mapped logic through the full 2×2 matrix: batch equals
+    /// the four independent runs, with the netlist supplied directly
+    /// (the daemon's ECO path) rather than resolved from the catalog.
+    #[test]
+    fn random_logic_batch_matches_singles(
+        seed in 0u64..1_000,
+        gates in 10usize..40,
+        inputs in 3usize..6,
+    ) {
+        let lib = Library::standard();
+        let raw = random_logic(&RandParams {
+            name: format!("mcmm_{seed}"),
+            inputs,
+            outputs: 2,
+            gates,
+            seed,
+            window: 8,
+        });
+        let nl = map_netlist(&raw, &lib).expect("mapping succeeds");
+        let set = matrix();
+        let batch = request("mcmm")
+            .with_netlist(nl.clone())
+            .scenarios(set.clone())
+            .batch_threads(2)
+            .run_batch()
+            .unwrap();
+        for (i, s) in set.iter().enumerate() {
+            let one = request("mcmm")
+                .with_netlist(nl.clone())
+                .scenario(s.clone())
+                .run()
+                .unwrap();
+            prop_assert_eq!(
+                batch.certificates(i).to_json(),
+                CertificateSet::new(&one.netlist, one.input_slew, one.paths).to_json(),
+                "seed {} scenario {}",
+                seed,
+                s.name()
+            );
+        }
+    }
+}
